@@ -1,0 +1,242 @@
+// Reproduces the paper's Section VI guarantee demonstrations:
+//
+//  (a) strongly connected + primitive Markov system  => unique attractive
+//      invariant measure (certificate + empirical Elton check);
+//  (b) periodic / reducible systems                  => certificate
+//      refuses, and time averages do depend on initial conditions;
+//  (c) the Fioravanti et al. (2019) phenomenon: integral feedback with
+//      hysteretic agents regulates the aggregate but destroys unique
+//      ergodicity (per-agent time averages depend on initial conditions),
+//      while a stable randomized broadcast keeps the loop uniquely
+//      ergodic and equal-impact;
+//  (d) ablations of the credit loop's design choices: filter forgetting
+//      factor and training-window protocol.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/ergodicity.h"
+#include "credit/credit_loop.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "markov/affine_ifs.h"
+#include "markov/affine_map.h"
+#include "markov/coupling.h"
+#include "markov/markov_chain.h"
+#include "markov/ulam.h"
+#include "rng/random.h"
+#include "sim/ensemble_control.h"
+#include "sim/text_table.h"
+#include "stats/time_series.h"
+
+namespace {
+
+using eqimpact::linalg::Matrix;
+using eqimpact::linalg::Vector;
+
+void SectionA() {
+  std::printf("--- (a) primitive chain: unique attractive measure ---\n");
+  eqimpact::markov::MarkovChain chain(
+      Matrix{{0.6, 0.3, 0.1}, {0.2, 0.5, 0.3}, {0.1, 0.2, 0.7}});
+  eqimpact::core::ErgodicityCertificate certificate =
+      eqimpact::core::CertifyMarkovChain(chain);
+  std::printf("certificate: %s\n", certificate.Summary().c_str());
+
+  auto pi = chain.StationaryDistribution();
+  std::printf("stationary distribution: %s\n", pi->ToString().c_str());
+
+  eqimpact::rng::Random random(1);
+  for (size_t start : {0u, 1u, 2u}) {
+    Vector occupation = chain.EmpiricalOccupation(start, 200000, 1000,
+                                                  &random);
+    std::printf("empirical occupation from state %zu: %s (TV to pi: %.4f)\n",
+                start, occupation.ToString().c_str(),
+                eqimpact::markov::TotalVariationDistance(occupation, *pi));
+  }
+  std::printf("\n");
+}
+
+void SectionB() {
+  std::printf("--- (b) certificates refuse non-ergodic systems ---\n");
+  eqimpact::markov::MarkovChain periodic(Matrix{{0.0, 1.0}, {1.0, 0.0}});
+  std::printf("periodic two-cycle:    %s\n",
+              eqimpact::core::CertifyMarkovChain(periodic).Summary().c_str());
+  eqimpact::markov::MarkovChain reducible(Matrix{{1.0, 0.0}, {0.5, 0.5}});
+  std::printf("absorbing (reducible): %s\n",
+              eqimpact::core::CertifyMarkovChain(reducible).Summary().c_str());
+
+  // Contractive vs expansive IFS, with the empirical Elton check.
+  eqimpact::markov::AffineIfs contractive(
+      {eqimpact::markov::AffineMap::Scalar(0.5, 0.0),
+       eqimpact::markov::AffineMap::Scalar(0.5, 1.0)},
+      {0.5, 0.5});
+  std::printf("contractive IFS:       %s\n",
+              eqimpact::core::CertifyAffineIfs(contractive).Summary().c_str());
+  eqimpact::rng::Random random(2);
+  eqimpact::markov::EltonCheckResult elton = VerifyEltonConvergence(
+      contractive, {Vector{-100.0}, Vector{0.0}, Vector{100.0}}, 100000, 100,
+      [](const Vector& x) { return x[0]; }, 0.05, &random);
+  std::printf(
+      "Elton check from x0 in {-100, 0, 100}: averages %.4f / %.4f / %.4f "
+      "(gap %.4f) => IC-independent: %s\n",
+      elton.time_averages[0], elton.time_averages[1], elton.time_averages[2],
+      elton.max_gap, elton.initial_condition_independent ? "yes" : "NO");
+  std::printf("\n");
+}
+
+void SectionC() {
+  std::printf(
+      "--- (c) ensemble control: stable vs integral (Fioravanti et al.) "
+      "---\n");
+  eqimpact::sim::EnsembleOptions options;
+  options.num_agents = 10;
+  options.target_fraction = 0.5;
+  options.steps = 20000;
+  options.burn_in = 2000;
+
+  auto pattern = [](size_t n, bool first_half) {
+    std::vector<bool> on(n, false);
+    for (size_t i = 0; i < n / 2; ++i) on[first_half ? i : n / 2 + i] = true;
+    return on;
+  };
+
+  eqimpact::sim::TextTable table({"controller", "initial ON set",
+                                  "aggregate avg", "agent-0 avg",
+                                  "agent-9 avg", "coincidence gap"});
+  for (bool first_half : {true, false}) {
+    for (auto kind :
+         {eqimpact::sim::EnsembleControllerKind::kStableRandomized,
+          eqimpact::sim::EnsembleControllerKind::kIntegralHysteresis}) {
+      eqimpact::rng::Random random(first_half ? 31 : 32);
+      eqimpact::sim::EnsembleRunResult run = RunEnsembleControl(
+          kind, options, pattern(options.num_agents, first_half), 0.5,
+          &random);
+      table.AddRow(
+          {kind == eqimpact::sim::EnsembleControllerKind::kStableRandomized
+               ? "stable-randomized"
+               : "integral-hysteresis",
+           first_half ? "agents 0-4" : "agents 5-9",
+           eqimpact::sim::TextTable::Cell(run.aggregate_average, 3),
+           eqimpact::sim::TextTable::Cell(run.per_agent_average[0], 3),
+           eqimpact::sim::TextTable::Cell(run.per_agent_average[9], 3),
+           eqimpact::sim::TextTable::Cell(
+               eqimpact::stats::CoincidenceGap(run.per_agent_average), 3)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "reading: both controllers regulate the aggregate to 0.5, but the\n"
+      "integral-hysteresis loop freezes whichever agents started ON\n"
+      "(agent averages 0 or 1 depending on the initial set) — the loss of\n"
+      "ergodicity; the stable randomized broadcast gives every agent the\n"
+      "same 0.5 time average from any start — equal impact.\n\n");
+}
+
+void SectionD() {
+  std::printf("--- (d) credit-loop design ablations ---\n");
+  eqimpact::sim::TextTable table({"variant", "final BLACK", "final WHITE",
+                                  "final ASIAN", "race gap"});
+  struct Variant {
+    const char* name;
+    double forgetting;
+    bool accumulate;
+  };
+  for (const Variant& variant :
+       {Variant{"paper (accumulate, ff=1.0)", 1.0, true},
+        Variant{"forgetting filter ff=0.9", 0.9, true},
+        Variant{"forgetting filter ff=0.7", 0.7, true},
+        Variant{"train on last year only", 1.0, false}}) {
+    eqimpact::credit::CreditLoopOptions options;
+    options.num_users = 1000;
+    options.seed = 99;
+    options.forgetting_factor = variant.forgetting;
+    options.accumulate_history = variant.accumulate;
+    eqimpact::credit::CreditLoopResult result =
+        eqimpact::credit::CreditScoringLoop(options).Run();
+    std::vector<double> finals;
+    for (size_t r = 0; r < eqimpact::credit::kNumRaces; ++r) {
+      finals.push_back(result.race_adr[r].back());
+    }
+    table.AddRow({variant.name,
+                  eqimpact::sim::TextTable::Cell(finals[0], 4),
+                  eqimpact::sim::TextTable::Cell(finals[1], 4),
+                  eqimpact::sim::TextTable::Cell(finals[2], 4),
+                  eqimpact::sim::TextTable::Cell(
+                      eqimpact::stats::CoincidenceGap(finals), 4)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "reading: the equal-impact conclusion is robust to the filter and\n"
+      "training-window choices; forgetting filters track recent behaviour\n"
+      "and keep the race gap small.\n");
+}
+
+void SectionE() {
+  std::printf("--- (e) the Markov operator P*, discretised (Ulam) ---\n");
+  // The appendix's adjoint operator P* acting on measures, made
+  // computable: (P*)^n nu -> mu for every nu, as matrix powers.
+  eqimpact::markov::AffineIfs ifs(
+      {eqimpact::markov::AffineMap::Scalar(0.5, 0.0),
+       eqimpact::markov::AffineMap::Scalar(0.5, 0.5)},
+      {0.5, 0.5});
+  eqimpact::markov::UlamApproximation ulam(ifs, 0.0, 1.0, 64);
+  auto pi = ulam.InvariantCellMeasure();
+  std::printf("invariant mean via P*: %.4f (exact: %.4f)\n",
+              *ulam.InvariantMean(), ifs.InvariantMean()[0]);
+  Vector left(64), right(64);
+  left[0] = 1.0;
+  right[63] = 1.0;
+  for (unsigned k : {1u, 5u, 20u, 60u}) {
+    double tv_left = eqimpact::markov::TotalVariationDistance(
+        ulam.Propagate(left, k), *pi);
+    double tv_right = eqimpact::markov::TotalVariationDistance(
+        ulam.Propagate(right, k), *pi);
+    std::printf("  ||(P*)^%-2u nu - mu||_TV: from left %.4f, from right "
+                "%.4f\n",
+                k, tv_left, tv_right);
+  }
+  std::printf("reading: both point masses converge to the same invariant "
+              "measure — attractivity.\n\n");
+}
+
+void SectionF() {
+  std::printf("--- (f) coupling evidence (Hairer-style, future work) ---\n");
+  eqimpact::rng::Random random(7);
+  eqimpact::markov::AffineIfs contractive(
+      {eqimpact::markov::AffineMap::Scalar(0.5, 0.0),
+       eqimpact::markov::AffineMap::Scalar(0.5, 1.0)},
+      {0.5, 0.5});
+  eqimpact::markov::CouplingResult good = SynchronousCoupling(
+      contractive, Vector{-100.0}, Vector{100.0}, 100, 1e-9, &random);
+  std::printf("contractive IFS: coupled=%s at step %zu, per-step rate "
+              "%.3f\n",
+              good.coupled ? "yes" : "no", good.coupling_time,
+              good.per_step_rate);
+
+  eqimpact::markov::AffineIfs expansive(
+      {eqimpact::markov::AffineMap::Scalar(1.05, 0.0)}, {1.0});
+  eqimpact::markov::CouplingResult bad = SynchronousCoupling(
+      expansive, Vector{0.0}, Vector{1.0}, 100, 1e-9, &random);
+  std::printf("expansive map:   coupled=%s, final distance %.2f, rate "
+              "%.3f\n",
+              bad.coupled ? "yes" : "no", bad.final_distance,
+              bad.per_step_rate);
+  std::printf("reading: a contracting synchronous coupling is constructive "
+              "evidence for unique\nergodicity; its failure is the "
+              "contrapositive direction the paper's conclusion asks "
+              "about.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section VI: ergodicity guarantees and their loss ===\n\n");
+  SectionA();
+  SectionB();
+  SectionC();
+  SectionD();
+  std::printf("\n");
+  SectionE();
+  SectionF();
+  return 0;
+}

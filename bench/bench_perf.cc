@@ -1,0 +1,206 @@
+// Google-Benchmark micro-benchmarks of the library's hot paths: RNG
+// throughput, the normal CDF (on the repayment hot path), logistic IRLS
+// training, closed-loop trial throughput, Markov-operator application and
+// stationary-distribution solves. Build in Release for meaningful numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "credit/credit_loop.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+#include "linalg/symmetric_eigen.h"
+#include "markov/affine_ifs.h"
+#include "markov/affine_map.h"
+#include "markov/coupling.h"
+#include "markov/ulam.h"
+#include "markov/markov_chain.h"
+#include "market/matching_market.h"
+#include "ml/dataset.h"
+#include "ml/logistic_regression.h"
+#include "rng/normal.h"
+#include "rng/random.h"
+
+namespace {
+
+using eqimpact::linalg::Matrix;
+using eqimpact::linalg::Vector;
+
+void BM_Pcg32Next(benchmark::State& state) {
+  eqimpact::rng::Pcg32 gen(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next());
+  }
+}
+BENCHMARK(BM_Pcg32Next);
+
+void BM_UniformDouble(benchmark::State& state) {
+  eqimpact::rng::Random random(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(random.UniformDouble());
+  }
+}
+BENCHMARK(BM_UniformDouble);
+
+void BM_StandardNormalCdf(benchmark::State& state) {
+  double x = -4.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eqimpact::rng::StandardNormalCdf(x));
+    x += 1e-6;
+  }
+}
+BENCHMARK(BM_StandardNormalCdf);
+
+void BM_NormalDraw(benchmark::State& state) {
+  eqimpact::rng::Random random(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(random.Normal());
+  }
+}
+BENCHMARK(BM_NormalDraw);
+
+void BM_LogisticFitIrls(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  eqimpact::rng::Random random(7);
+  eqimpact::ml::Dataset data(2);
+  for (int i = 0; i < n; ++i) {
+    double adr = random.UniformDouble();
+    double code = random.Bernoulli(0.5) ? 1.0 : 0.0;
+    double p = eqimpact::ml::Sigmoid(-4.0 * adr + 3.0 * code);
+    data.Add(Vector{adr, code}, random.Bernoulli(p) ? 1.0 : 0.0);
+  }
+  for (auto _ : state) {
+    eqimpact::ml::LogisticRegression model;
+    benchmark::DoNotOptimize(model.Fit(data));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LogisticFitIrls)->Arg(1000)->Arg(10000);
+
+void BM_CreditLoopTrial(benchmark::State& state) {
+  eqimpact::credit::CreditLoopOptions options;
+  options.num_users = static_cast<size_t>(state.range(0));
+  options.seed = 3;
+  eqimpact::credit::CreditScoringLoop loop(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loop.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 19);
+}
+BENCHMARK(BM_CreditLoopTrial)->Arg(200)->Arg(1000);
+
+void BM_MarkovChainStep(benchmark::State& state) {
+  eqimpact::markov::MarkovChain chain(
+      Matrix{{0.6, 0.3, 0.1}, {0.2, 0.5, 0.3}, {0.1, 0.2, 0.7}});
+  eqimpact::rng::Random random(5);
+  size_t s = 0;
+  for (auto _ : state) {
+    s = chain.Step(s, &random);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_MarkovChainStep);
+
+void BM_StationaryDistribution(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  eqimpact::rng::Random random(9);
+  Matrix p(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    double total = 0.0;
+    for (size_t c = 0; c < n; ++c) {
+      p(r, c) = random.UniformDouble(0.01, 1.0);
+      total += p(r, c);
+    }
+    for (size_t c = 0; c < n; ++c) p(r, c) /= total;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eqimpact::linalg::StationaryDistribution(p));
+  }
+}
+BENCHMARK(BM_StationaryDistribution)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_AffineIfsTrajectory(benchmark::State& state) {
+  eqimpact::markov::AffineIfs ifs(
+      {eqimpact::markov::AffineMap::Scalar(0.5, 0.0),
+       eqimpact::markov::AffineMap::Scalar(0.5, 1.0)},
+      {0.5, 0.5});
+  eqimpact::rng::Random random(11);
+  Vector x{0.0};
+  for (auto _ : state) {
+    x = ifs.Step(x, &random);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_AffineIfsTrajectory);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  eqimpact::rng::Random random(15);
+  Matrix a(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = r; c < n; ++c) {
+      a(r, c) = a(c, r) = random.UniformDouble(-1.0, 1.0);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eqimpact::linalg::JacobiEigen(a));
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_UlamBuildAndSolve(benchmark::State& state) {
+  const size_t cells = static_cast<size_t>(state.range(0));
+  eqimpact::markov::AffineIfs ifs(
+      {eqimpact::markov::AffineMap::Scalar(0.5, 0.0),
+       eqimpact::markov::AffineMap::Scalar(0.5, 0.5)},
+      {0.5, 0.5});
+  for (auto _ : state) {
+    eqimpact::markov::UlamApproximation ulam(ifs, 0.0, 1.0, cells);
+    benchmark::DoNotOptimize(ulam.InvariantCellMeasure());
+  }
+}
+BENCHMARK(BM_UlamBuildAndSolve)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_SynchronousCoupling(benchmark::State& state) {
+  eqimpact::markov::AffineIfs ifs(
+      {eqimpact::markov::AffineMap::Scalar(0.5, 0.0),
+       eqimpact::markov::AffineMap::Scalar(0.5, 1.0)},
+      {0.5, 0.5});
+  eqimpact::rng::Random random(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SynchronousCoupling(
+        ifs, Vector{-10.0}, Vector{10.0}, 100, 1e-12, &random));
+  }
+}
+BENCHMARK(BM_SynchronousCoupling);
+
+void BM_MatchingMarketRun(benchmark::State& state) {
+  eqimpact::market::MatchingMarketOptions options;
+  options.num_workers = static_cast<size_t>(state.range(0));
+  options.rounds = 200;
+  options.seed = 17;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunMatchingMarket(
+        eqimpact::market::MatchingRule::kEpsilonGreedy, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 200);
+}
+BENCHMARK(BM_MatchingMarketRun)->Arg(100)->Arg(400);
+
+void BM_SpectralRadius(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  eqimpact::rng::Random random(13);
+  Matrix a(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      a(r, c) = random.UniformDouble(-0.5, 0.5) / static_cast<double>(n);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eqimpact::linalg::SpectralRadius(a));
+  }
+}
+BENCHMARK(BM_SpectralRadius)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Regulatory tooling on top of the closed loop: a full fairness
+// compliance report for the credit-scoring system, a concept-drift audit
+// of its training stream, and the two-sided matching market with the
+// exploration intervention that restores equal impact.
+//
+// This is the operational reading of the paper's regulation theme (and
+// of the EU AI Act Article 15 feedback-loop clause it quotes): a
+// provider must be able to *measure* the loop's long-run impact, detect
+// the drift its own outputs induce, and intervene.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/compliance_report.h"
+#include "core/drift_monitor.h"
+#include "credit/credit_loop.h"
+#include "credit/race.h"
+#include "market/matching_market.h"
+#include "sim/text_table.h"
+#include "stats/aggregate.h"
+
+int main() {
+  using namespace eqimpact;
+
+  // ---------------------------------------------------------------- 1
+  std::printf("1) Compliance report for the credit-scoring loop\n\n");
+  credit::CreditLoopOptions options;
+  options.num_users = 1000;
+  options.seed = 11;
+  credit::CreditLoopResult loop = credit::CreditScoringLoop(options).Run();
+
+  core::ComplianceInputs inputs;
+  inputs.user_outcomes = loop.user_adr;
+  for (credit::Race race : loop.races) {
+    inputs.class_of.push_back(static_cast<size_t>(race));
+  }
+  inputs.class_names = {"BLACK ALONE", "WHITE ALONE", "ASIAN ALONE"};
+  inputs.impact_criteria.series_are_running_averages = true;
+  inputs.impact_criteria.settle_window = 5;
+  inputs.impact_criteria.settle_tolerance = 0.05;
+  inputs.impact_criteria.coincidence_tolerance = 0.30;  // User-level spread.
+  core::ComplianceVerdict verdict = core::AssessCompliance(inputs);
+  std::printf("%s\n", RenderComplianceReport(verdict, inputs.class_names)
+                          .c_str());
+  std::printf(
+      "   interpretation: over the paper's finite 19-year horizon some\n"
+      "   *individual* trajectories are still moving (users who regained\n"
+      "   approval late), so the strict user-level check fails — while\n"
+      "   the class-level limits have settled and coincide, which is the\n"
+      "   paper's equal-impact reading of Figures 3-5. Longer horizons\n"
+      "   tighten the user-level verdict (see the auditors' tests).\n\n");
+
+  // ---------------------------------------------------------------- 2
+  std::printf("2) Concept drift in the loop's own training stream\n\n");
+  // The filter's output (the per-user ADR cross-section) *is* next
+  // year's training feature: monitor how the loop moves it over time.
+  core::DriftMonitor monitor(0.15);
+  for (size_t k = 0; k < loop.years.size(); ++k) {
+    std::vector<double> cross = stats::CrossSection(loop.user_adr, k);
+    auto measurement = monitor.Ingest(std::move(cross));
+    if (measurement.has_value() && measurement->drift_alert) {
+      std::printf("   year %d: drift alert (KS to previous %.3f)\n",
+                  loop.years[k], measurement->ks_to_previous);
+    }
+  }
+  std::printf("   steps monitored: %zu, any alert: %s\n",
+              monitor.num_steps(), monitor.AnyAlert() ? "yes" : "no");
+  std::printf("   max drift from the 2002 reference: KS = %.3f\n",
+              monitor.MaxDriftFromReference());
+  std::printf("   -> the loop demonstrably reshapes its own training\n"
+              "      distribution: 'concept drift' is endogenous here.\n\n");
+
+  // ---------------------------------------------------------------- 3
+  std::printf("3) Two-sided matching market: exploration as mitigation\n\n");
+  sim::TextTable table({"matching rule", "mean match rate", "Gini",
+                        "min rate", "max rate"});
+  for (auto [rule, name] :
+       {std::pair{market::MatchingRule::kTopScore, "top-score"},
+        std::pair{market::MatchingRule::kEpsilonGreedy,
+                  "epsilon-greedy (0.3)"},
+        std::pair{market::MatchingRule::kUniformRandom, "lottery"}}) {
+    market::MatchingMarketOptions market_options;
+    market_options.num_workers = 200;
+    market_options.rounds = 800;
+    market_options.exploration = 0.3;
+    market_options.seed = 5;
+    market::MatchingMarketResult result =
+        RunMatchingMarket(rule, market_options);
+    double lo = result.match_rate[0], hi = result.match_rate[0];
+    for (double r : result.match_rate) {
+      lo = std::min(lo, r);
+      hi = std::max(hi, r);
+    }
+    table.AddRow({name, sim::TextTable::Cell(result.mean_match_rate, 3),
+                  sim::TextTable::Cell(result.match_rate_gini, 3),
+                  sim::TextTable::Cell(lo, 3), sim::TextTable::Cell(hi, 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "   reading: with identical worker skill, pure reputation ranking\n"
+      "   locks early winners in (high Gini, some workers never matched\n"
+      "   again) — the market analogue of the credit lock-out. A\n"
+      "   randomised exploration share restores equal impact, exactly\n"
+      "   as the stable randomized broadcast does for the ensemble.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Ergodicity in closed loops: certificates and their empirical meaning.
+//
+// Demonstrates the paper's Section VI machinery on three systems:
+//   1. an average-contractive iterated function system — certified
+//      uniquely ergodic, and Elton time averages agree from any start;
+//   2. a periodic Markov chain — invariant measure exists but is not
+//      attractive; distributions oscillate forever;
+//   3. the ensemble under integral control with hysteresis — the
+//      aggregate regulates but per-agent impact depends on the initial
+//      condition (Fioravanti et al. 2019), violating equal impact.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/comparison_functions.h"
+#include "core/ergodicity.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "markov/affine_ifs.h"
+#include "markov/affine_map.h"
+#include "markov/markov_chain.h"
+#include "rng/random.h"
+#include "sim/ensemble_control.h"
+#include "stats/time_series.h"
+
+int main() {
+  using namespace eqimpact;
+
+  std::printf("1) Average-contractive IFS\n");
+  markov::AffineIfs ifs({markov::AffineMap::Scalar(0.4, 0.0),
+                         markov::AffineMap::Scalar(0.6, 0.8)},
+                        {0.5, 0.5});
+  core::ErgodicityCertificate certificate = core::CertifyAffineIfs(ifs);
+  std::printf("   certificate: %s\n", certificate.Summary().c_str());
+  std::printf("   exact invariant mean: %.4f\n", ifs.InvariantMean()[0]);
+  rng::Random random(1);
+  for (double x0 : {-10.0, 0.0, 25.0}) {
+    double avg = ifs.TimeAverage(
+        linalg::Vector{x0}, 100000, 500,
+        [](const linalg::Vector& x) { return x[0]; }, &random);
+    std::printf("   time average from x0=%+6.1f: %.4f\n", x0, avg);
+  }
+
+  std::printf("\n2) Periodic chain: invariant measure without attraction\n");
+  markov::MarkovChain flip(linalg::Matrix{{0.0, 1.0}, {1.0, 0.0}});
+  std::printf("   certificate: %s\n",
+              core::CertifyMarkovChain(flip).Summary().c_str());
+  linalg::Vector mu{1.0, 0.0};
+  std::printf("   distribution under P^k from [1, 0]:");
+  for (int k = 0; k < 4; ++k) {
+    std::printf(" %s", mu.ToString().c_str());
+    mu = flip.Propagate(mu, 1);
+  }
+  std::printf("  (oscillates, never converges)\n");
+
+  std::printf("\n3) Integral control with hysteresis vs stable broadcast\n");
+  sim::EnsembleOptions options;
+  options.num_agents = 6;
+  options.steps = 10000;
+  options.burn_in = 1000;
+  std::vector<bool> start_a{true, true, true, false, false, false};
+  std::vector<bool> start_b{false, false, false, true, true, true};
+  for (auto kind : {sim::EnsembleControllerKind::kStableRandomized,
+                    sim::EnsembleControllerKind::kIntegralHysteresis}) {
+    const char* name =
+        kind == sim::EnsembleControllerKind::kStableRandomized
+            ? "stable-randomized"
+            : "integral-hysteresis";
+    rng::Random ra(10), rb(11);
+    sim::EnsembleRunResult run_a =
+        RunEnsembleControl(kind, options, start_a, 0.5, &ra);
+    sim::EnsembleRunResult run_b =
+        RunEnsembleControl(kind, options, start_b, 0.5, &rb);
+    double cross_gap = 0.0;
+    for (size_t i = 0; i < options.num_agents; ++i) {
+      cross_gap = std::max(cross_gap,
+                           std::fabs(run_a.per_agent_average[i] -
+                                     run_b.per_agent_average[i]));
+    }
+    std::printf("   %-20s aggregate %.3f/%.3f, per-agent gap across "
+                "initial conditions: %.3f -> %s\n",
+                name, run_a.aggregate_average, run_b.aggregate_average,
+                cross_gap,
+                cross_gap < 0.05 ? "uniquely ergodic behaviour"
+                                 : "ERGODICITY LOST");
+  }
+
+  std::printf("\n4) Incremental ISS certificates for the loop dynamics\n");
+  core::LinearIssCertificate stable = core::CertifyLinearIncrementalIss(
+      linalg::Matrix{{0.7, 0.1}, {0.0, 0.5}});
+  std::printf("   stable filter A (rho=%.2f): incrementally ISS: %s\n",
+              stable.spectral_radius,
+              stable.incrementally_iss ? "yes" : "no");
+  core::LinearIssCertificate integrator =
+      core::CertifyLinearIncrementalIss(linalg::Matrix{{1.0}});
+  std::printf("   pure integrator (rho=%.2f): incrementally ISS: %s  "
+              "<- integral action is the paper's culprit\n",
+              integrator.spectral_radius,
+              integrator.incrementally_iss ? "yes" : "no");
+  return 0;
+}

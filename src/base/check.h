@@ -1,0 +1,44 @@
+#ifndef EQIMPACT_BASE_CHECK_H_
+#define EQIMPACT_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// CHECK-style runtime assertions for programmer errors.
+///
+/// The library does not throw exceptions across its public API; violated
+/// preconditions abort with a diagnostic instead. These checks are active in
+/// all build types: the cost is negligible for this library's workloads and
+/// silent precondition violations in a fairness audit would be far worse.
+
+namespace eqimpact {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "[eqimpact] CHECK failed at %s:%d: %s\n", file, line,
+               condition);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace eqimpact
+
+/// Aborts the process with a diagnostic if `condition` is false.
+#define EQIMPACT_CHECK(condition)                                      \
+  do {                                                                 \
+    if (!(condition)) {                                                \
+      ::eqimpact::internal::CheckFailed(__FILE__, __LINE__, #condition); \
+    }                                                                  \
+  } while (false)
+
+/// Convenience comparison checks; `a` and `b` are evaluated once.
+#define EQIMPACT_CHECK_EQ(a, b) EQIMPACT_CHECK((a) == (b))
+#define EQIMPACT_CHECK_NE(a, b) EQIMPACT_CHECK((a) != (b))
+#define EQIMPACT_CHECK_LT(a, b) EQIMPACT_CHECK((a) < (b))
+#define EQIMPACT_CHECK_LE(a, b) EQIMPACT_CHECK((a) <= (b))
+#define EQIMPACT_CHECK_GT(a, b) EQIMPACT_CHECK((a) > (b))
+#define EQIMPACT_CHECK_GE(a, b) EQIMPACT_CHECK((a) >= (b))
+
+#endif  // EQIMPACT_BASE_CHECK_H_

@@ -1,0 +1,183 @@
+#include "core/auditors.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "stats/time_series.h"
+
+namespace eqimpact {
+namespace core {
+namespace {
+
+// Groups user indices by class label, validating labels along the way.
+std::vector<std::vector<size_t>> GroupByClass(
+    const std::vector<size_t>& class_of, size_t num_classes) {
+  std::vector<std::vector<size_t>> groups(num_classes);
+  for (size_t i = 0; i < class_of.size(); ++i) {
+    EQIMPACT_CHECK_LT(class_of[i], num_classes);
+    groups[class_of[i]].push_back(i);
+  }
+  return groups;
+}
+
+std::vector<std::vector<double>> SelectUsers(
+    const std::vector<std::vector<double>>& user_actions,
+    const std::vector<size_t>& members) {
+  std::vector<std::vector<double>> subset;
+  subset.reserve(members.size());
+  for (size_t i : members) subset.push_back(user_actions[i]);
+  return subset;
+}
+
+}  // namespace
+
+EqualImpactReport AuditEqualImpact(
+    const std::vector<std::vector<double>>& user_actions,
+    const EqualImpactCriteria& criteria) {
+  EQIMPACT_CHECK(!user_actions.empty());
+  const size_t length = user_actions[0].size();
+  EQIMPACT_CHECK_GT(length, 0u);
+
+  EqualImpactReport report;
+  report.limits.reserve(user_actions.size());
+  report.settled.reserve(user_actions.size());
+  report.all_settled = true;
+  for (const std::vector<double>& series : user_actions) {
+    EQIMPACT_CHECK_EQ(series.size(), length);
+    std::vector<double> averages = criteria.series_are_running_averages
+                                       ? series
+                                       : stats::CesaroAverages(series);
+    report.limits.push_back(averages.back());
+    bool settled = stats::HasSettled(averages, criteria.settle_window,
+                                     criteria.settle_tolerance);
+    report.settled.push_back(settled);
+    report.all_settled = report.all_settled && settled;
+  }
+  report.coincidence_gap = stats::CoincidenceGap(report.limits);
+  report.equal_impact =
+      report.all_settled &&
+      report.coincidence_gap <= criteria.coincidence_tolerance;
+  return report;
+}
+
+std::vector<EqualImpactReport> AuditEqualImpactConditioned(
+    const std::vector<std::vector<double>>& user_actions,
+    const std::vector<size_t>& class_of, size_t num_classes,
+    const EqualImpactCriteria& criteria) {
+  EQIMPACT_CHECK_EQ(user_actions.size(), class_of.size());
+  EQIMPACT_CHECK_GT(num_classes, 0u);
+  std::vector<std::vector<size_t>> groups =
+      GroupByClass(class_of, num_classes);
+  std::vector<EqualImpactReport> reports;
+  reports.reserve(num_classes);
+  for (const std::vector<size_t>& members : groups) {
+    if (members.empty()) {
+      // An absent class is vacuously equal-impact.
+      EqualImpactReport empty;
+      empty.all_settled = true;
+      empty.equal_impact = true;
+      reports.push_back(empty);
+      continue;
+    }
+    reports.push_back(
+        AuditEqualImpact(SelectUsers(user_actions, members), criteria));
+  }
+  return reports;
+}
+
+InitialConditionReport AuditInitialConditionIndependence(
+    const std::vector<std::vector<std::vector<double>>>& runs_user_actions,
+    double tolerance) {
+  EQIMPACT_CHECK_GE(runs_user_actions.size(), 2u);
+  const size_t num_users = runs_user_actions[0].size();
+  EQIMPACT_CHECK_GT(num_users, 0u);
+
+  // Per-run, per-user limits.
+  std::vector<std::vector<double>> limits;
+  limits.reserve(runs_user_actions.size());
+  for (const std::vector<std::vector<double>>& run : runs_user_actions) {
+    EQIMPACT_CHECK_EQ(run.size(), num_users);
+    std::vector<double> run_limits;
+    run_limits.reserve(num_users);
+    for (const std::vector<double>& series : run) {
+      EQIMPACT_CHECK(!series.empty());
+      run_limits.push_back(stats::CesaroAverages(series).back());
+    }
+    limits.push_back(std::move(run_limits));
+  }
+
+  InitialConditionReport report;
+  report.per_user_gap.resize(num_users);
+  for (size_t i = 0; i < num_users; ++i) {
+    std::vector<double> user_limits;
+    user_limits.reserve(limits.size());
+    for (const std::vector<double>& run_limits : limits) {
+      user_limits.push_back(run_limits[i]);
+    }
+    report.per_user_gap[i] = stats::CoincidenceGap(user_limits);
+    report.max_gap = std::max(report.max_gap, report.per_user_gap[i]);
+  }
+  report.independent = report.max_gap <= tolerance;
+  return report;
+}
+
+EqualTreatmentReport AuditEqualTreatment(
+    const std::vector<std::vector<double>>& user_actions, double tolerance) {
+  EQIMPACT_CHECK(!user_actions.empty());
+  const size_t length = user_actions[0].size();
+  EQIMPACT_CHECK_GT(length, 0u);
+  for (const std::vector<double>& series : user_actions) {
+    EQIMPACT_CHECK_EQ(series.size(), length);
+  }
+
+  EqualTreatmentReport report;
+  report.per_step_gap.resize(length);
+  for (size_t k = 0; k < length; ++k) {
+    double lo = user_actions[0][k];
+    double hi = user_actions[0][k];
+    for (const std::vector<double>& series : user_actions) {
+      lo = std::min(lo, series[k]);
+      hi = std::max(hi, series[k]);
+    }
+    report.per_step_gap[k] = hi - lo;
+    report.max_gap = std::max(report.max_gap, hi - lo);
+  }
+  // Definition 1(ii) also asks the constant to be the same across time:
+  // check the overall spread of all actions.
+  double overall_lo = user_actions[0][0];
+  double overall_hi = user_actions[0][0];
+  for (const std::vector<double>& series : user_actions) {
+    for (double y : series) {
+      overall_lo = std::min(overall_lo, y);
+      overall_hi = std::max(overall_hi, y);
+    }
+  }
+  report.constant_action = (overall_hi - overall_lo) <= tolerance;
+  return report;
+}
+
+std::vector<EqualTreatmentReport> AuditEqualTreatmentConditioned(
+    const std::vector<std::vector<double>>& user_actions,
+    const std::vector<size_t>& class_of, size_t num_classes,
+    double tolerance) {
+  EQIMPACT_CHECK_EQ(user_actions.size(), class_of.size());
+  EQIMPACT_CHECK_GT(num_classes, 0u);
+  std::vector<std::vector<size_t>> groups =
+      GroupByClass(class_of, num_classes);
+  std::vector<EqualTreatmentReport> reports;
+  reports.reserve(num_classes);
+  for (const std::vector<size_t>& members : groups) {
+    if (members.empty()) {
+      EqualTreatmentReport empty;
+      empty.constant_action = true;
+      reports.push_back(empty);
+      continue;
+    }
+    reports.push_back(
+        AuditEqualTreatment(SelectUsers(user_actions, members), tolerance));
+  }
+  return reports;
+}
+
+}  // namespace core
+}  // namespace eqimpact

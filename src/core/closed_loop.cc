@@ -1,0 +1,47 @@
+#include "core/closed_loop.h"
+
+#include "base/check.h"
+
+namespace eqimpact {
+namespace core {
+
+ClosedLoop::ClosedLoop(AiSystemInterface* ai_system,
+                       UserEnsembleInterface* users, FilterInterface* filter)
+    : ai_system_(ai_system), users_(users), filter_(filter) {
+  EQIMPACT_CHECK(ai_system_ != nullptr);
+  EQIMPACT_CHECK(users_ != nullptr);
+  EQIMPACT_CHECK(filter_ != nullptr);
+}
+
+ClosedLoopTrace ClosedLoop::Run(size_t steps, rng::Random* random) {
+  EQIMPACT_CHECK(random != nullptr);
+  ClosedLoopTrace trace;
+  trace.outputs.reserve(steps);
+  trace.filtered.reserve(steps);
+  trace.user_actions.assign(users_->num_users(), {});
+  trace.aggregate_actions.reserve(steps);
+
+  linalg::Vector filtered = filter_->InitialState();
+  for (size_t k = 0; k < steps; ++k) {
+    int64_t step = static_cast<int64_t>(k);
+    trace.filtered.push_back(filtered);
+
+    linalg::Vector output = ai_system_->Produce(filtered, step);
+    trace.outputs.push_back(output);
+
+    linalg::Vector actions = users_->Respond(output, step, random);
+    EQIMPACT_CHECK_EQ(actions.size(), users_->num_users());
+    double aggregate = 0.0;
+    for (size_t i = 0; i < actions.size(); ++i) {
+      trace.user_actions[i].push_back(actions[i]);
+      aggregate += actions[i];
+    }
+    trace.aggregate_actions.push_back(aggregate);
+
+    filtered = filter_->Update(actions, step);
+  }
+  return trace;
+}
+
+}  // namespace core
+}  // namespace eqimpact

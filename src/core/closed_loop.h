@@ -1,0 +1,92 @@
+#ifndef EQIMPACT_CORE_CLOSED_LOOP_H_
+#define EQIMPACT_CORE_CLOSED_LOOP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/vector.h"
+#include "rng/random.h"
+
+namespace eqimpact {
+namespace core {
+
+/// The "AI System" block of Figure 1: maps the filtered aggregate of past
+/// user actions to the broadcast output pi(k). Retraining happens inside
+/// Produce — the system may keep internal state (e.g. a fitted model).
+class AiSystemInterface {
+ public:
+  virtual ~AiSystemInterface() = default;
+
+  /// Produces pi(k) from the filtered signal available at time k. At k = 0
+  /// the filtered signal is the filter's initial state.
+  virtual linalg::Vector Produce(const linalg::Vector& filtered,
+                                 int64_t k) = 0;
+};
+
+/// The user population block: N users who observe the broadcast output and
+/// respond stochastically (paper Section III — users are "not required to
+/// take action based on the AI System's outputs"; responses are modelled
+/// probabilistically).
+class UserEnsembleInterface {
+ public:
+  virtual ~UserEnsembleInterface() = default;
+
+  /// Number of users N.
+  virtual size_t num_users() const = 0;
+
+  /// All users' scalar actions y_i(k) in response to pi(k). The returned
+  /// vector must have num_users() entries.
+  virtual linalg::Vector Respond(const linalg::Vector& output, int64_t k,
+                                 rng::Random* random) = 0;
+};
+
+/// The filter block: aggregates (and possibly accumulates) the user
+/// actions into the signal fed back to the AI system, with the one-step
+/// delay of Figure 1.
+class FilterInterface {
+ public:
+  virtual ~FilterInterface() = default;
+
+  /// The filtered signal before any action has been observed.
+  virtual linalg::Vector InitialState() const = 0;
+
+  /// Ingests the actions of step k and returns the filtered signal that
+  /// the AI system will see at step k + 1.
+  virtual linalg::Vector Update(const linalg::Vector& actions, int64_t k) = 0;
+};
+
+/// Complete trace of a closed-loop run.
+struct ClosedLoopTrace {
+  /// Broadcast outputs pi(k), k = 0..steps-1.
+  std::vector<linalg::Vector> outputs;
+  /// Filtered signals seen by the AI system at each step.
+  std::vector<linalg::Vector> filtered;
+  /// Per-user action series: user_actions[i][k] = y_i(k).
+  std::vector<std::vector<double>> user_actions;
+  /// Aggregate action sum y(k) = sum_i y_i(k).
+  std::vector<double> aggregate_actions;
+};
+
+/// The paper's closed loop (Figure 1): AI system -> users -> filter ->
+/// (delay) -> AI system. The engine owns no component; callers keep the
+/// blocks alive for the duration of Run. This is the object the equal-
+/// treatment and equal-impact auditors consume.
+class ClosedLoop {
+ public:
+  /// Wires the three blocks together; none may be null.
+  ClosedLoop(AiSystemInterface* ai_system, UserEnsembleInterface* users,
+             FilterInterface* filter);
+
+  /// Runs `steps` passes through the loop.
+  ClosedLoopTrace Run(size_t steps, rng::Random* random);
+
+ private:
+  AiSystemInterface* ai_system_;
+  UserEnsembleInterface* users_;
+  FilterInterface* filter_;
+};
+
+}  // namespace core
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_CORE_CLOSED_LOOP_H_

@@ -1,0 +1,60 @@
+#ifndef EQIMPACT_CORE_COMPARISON_FUNCTIONS_H_
+#define EQIMPACT_CORE_COMPARISON_FUNCTIONS_H_
+
+#include <functional>
+
+#include "linalg/matrix.h"
+
+namespace eqimpact {
+namespace core {
+
+/// Numerical checks for the comparison-function classes of the paper's
+/// Definitions 5-7 (Angeli 2002), plus the incremental-ISS certificate
+/// for linear systems used to justify ergodic behaviour of
+/// controller/filter dynamics.
+
+/// Numerically checks whether `f` behaves as a class-K function on
+/// (0, `radius`]: f(0) = 0, and f strictly increasing across `samples`
+/// geometrically spaced probe points. A necessary-condition test, not a
+/// proof; intended for validating user-supplied gains.
+bool LooksLikeClassK(const std::function<double(double)>& f, double radius,
+                     int samples = 64, double tolerance = 1e-12);
+
+/// Additionally checks properness: f grows beyond any bound across probe
+/// points up to `radius` * 2^`doublings` (class K-infinity candidate).
+bool LooksLikeClassKInfinity(const std::function<double(double)>& f,
+                             double radius, int doublings = 16,
+                             int samples = 64);
+
+/// Numerically checks whether `beta(s, t)` behaves as a class-KL function
+/// on (0, radius] x [0, horizon]: class K in s for fixed t, non-increasing
+/// and vanishing in t for fixed s.
+bool LooksLikeClassKL(const std::function<double(double, double)>& beta,
+                      double radius, double horizon, int samples = 16,
+                      double vanish_tolerance = 1e-6);
+
+/// Incremental input-to-state stability certificate for the linear system
+/// x(k+1) = A x(k) + B u(k) (Definition 7 specialised to linear maps).
+struct LinearIssCertificate {
+  /// Spectral radius of A.
+  double spectral_radius = 0.0;
+  /// True if rho(A) < 1, in which case the system is globally
+  /// incrementally ISS with beta(s, k) = c rho^k s and a linear gain.
+  bool incrementally_iss = false;
+  /// The geometric decay rate usable in beta (a value in (rho(A), 1)
+  /// when certified, else 1).
+  double decay_rate = 1.0;
+  /// Overshoot constant c such that ||A^k|| <= c * decay_rate^k holds on
+  /// the probed horizon.
+  double overshoot = 1.0;
+};
+
+/// Certifies incremental ISS of x(k+1) = A x(k) + B u(k). For linear
+/// systems incremental ISS is equivalent to Schur stability of A; the
+/// certificate includes explicit (numerically probed) beta parameters.
+LinearIssCertificate CertifyLinearIncrementalIss(const linalg::Matrix& a);
+
+}  // namespace core
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_CORE_COMPARISON_FUNCTIONS_H_

@@ -1,0 +1,94 @@
+#include "core/compliance_report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/check.h"
+#include "stats/time_series.h"
+
+namespace eqimpact {
+namespace core {
+
+ComplianceVerdict AssessCompliance(const ComplianceInputs& inputs) {
+  EQIMPACT_CHECK(!inputs.user_outcomes.empty());
+  EQIMPACT_CHECK_EQ(inputs.user_outcomes.size(), inputs.class_of.size());
+  EQIMPACT_CHECK(!inputs.class_names.empty());
+
+  ComplianceVerdict verdict;
+  verdict.treatment =
+      AuditEqualTreatment(inputs.user_outcomes, inputs.treatment_tolerance);
+  verdict.impact_overall =
+      AuditEqualImpact(inputs.user_outcomes, inputs.impact_criteria);
+  verdict.impact_by_class = AuditEqualImpactConditioned(
+      inputs.user_outcomes, inputs.class_of, inputs.class_names.size(),
+      inputs.impact_criteria);
+
+  // Class-level limits: mean of the per-user limits within each class.
+  verdict.class_mean_limits.assign(inputs.class_names.size(), 0.0);
+  std::vector<size_t> counts(inputs.class_names.size(), 0);
+  for (size_t i = 0; i < inputs.user_outcomes.size(); ++i) {
+    size_t cls = inputs.class_of[i];
+    EQIMPACT_CHECK_LT(cls, inputs.class_names.size());
+    // Reuse the overall audit's limits (aligned with user order).
+    verdict.class_mean_limits[cls] += verdict.impact_overall.limits[i];
+    ++counts[cls];
+  }
+  std::vector<double> present_limits;
+  for (size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] > 0) {
+      verdict.class_mean_limits[c] /= static_cast<double>(counts[c]);
+      present_limits.push_back(verdict.class_mean_limits[c]);
+    }
+  }
+  verdict.between_class_gap = stats::CoincidenceGap(present_limits);
+  verdict.equal_impact_across_classes =
+      verdict.between_class_gap <=
+      inputs.impact_criteria.coincidence_tolerance;
+  return verdict;
+}
+
+std::string RenderComplianceReport(
+    const ComplianceVerdict& verdict,
+    const std::vector<std::string>& class_names) {
+  std::string out;
+  char line[256];
+  out += "================ closed-loop fairness assessment ================\n";
+
+  out += "\n[1] Equal treatment (one pass, Definition 1)\n";
+  std::snprintf(line, sizeof(line),
+                "    identical constant outcomes: %s (max gap %.4f)\n",
+                verdict.treatment.constant_action ? "yes" : "no",
+                verdict.treatment.max_gap);
+  out += line;
+
+  out += "\n[2] Equal impact (long run, Definition 3)\n";
+  std::snprintf(line, sizeof(line),
+                "    all user averages settled: %s\n",
+                verdict.impact_overall.all_settled ? "yes" : "no");
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "    user-level coincidence gap: %.4f -> %s\n",
+                verdict.impact_overall.coincidence_gap,
+                verdict.impact_overall.equal_impact ? "PASS" : "FAIL");
+  out += line;
+
+  out += "\n[3] Equal impact per protected class (Definition 4)\n";
+  for (size_t c = 0; c < class_names.size(); ++c) {
+    std::snprintf(line, sizeof(line),
+                  "    %-16s class mean limit %.4f, within-class %s\n",
+                  class_names[c].c_str(), verdict.class_mean_limits[c],
+                  verdict.impact_by_class[c].equal_impact ? "PASS" : "FAIL");
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "    between-class gap: %.4f -> equal impact across "
+                "classes: %s\n",
+                verdict.between_class_gap,
+                verdict.equal_impact_across_classes ? "PASS" : "FAIL");
+  out += line;
+  out += "==================================================================\n";
+  return out;
+}
+
+}  // namespace core
+}  // namespace eqimpact

@@ -1,0 +1,60 @@
+#ifndef EQIMPACT_CORE_COMPLIANCE_REPORT_H_
+#define EQIMPACT_CORE_COMPLIANCE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/auditors.h"
+
+namespace eqimpact {
+namespace core {
+
+/// Inputs of a full fairness assessment of a deployed closed loop.
+///
+/// This is the operational form of the EU AI Act Article 15 requirement
+/// the paper quotes: systems that "continue to learn after being placed
+/// on the market" must ensure "possibly biased outputs due to outputs
+/// used as an input for future operations ('feedback loops') are duly
+/// addressed". The assessment combines the one-pass equal-treatment
+/// audit with the long-run equal-impact audit, overall and per protected
+/// class.
+struct ComplianceInputs {
+  /// Per-user outcome series from the loop (e.g. ADR_i(k) or y_i(k)).
+  std::vector<std::vector<double>> user_outcomes;
+  /// Protected-class label per user (e.g. race), values in
+  /// [0, class_names.size()).
+  std::vector<size_t> class_of;
+  /// Display names of the protected classes.
+  std::vector<std::string> class_names;
+  /// Criteria for the impact audit.
+  EqualImpactCriteria impact_criteria;
+  /// Tolerance for the (strict) equal-treatment audit.
+  double treatment_tolerance = 1e-9;
+};
+
+/// The combined verdict.
+struct ComplianceVerdict {
+  EqualTreatmentReport treatment;
+  EqualImpactReport impact_overall;
+  std::vector<EqualImpactReport> impact_by_class;
+  /// Mean limit per protected class (the class-level r of Definition 4).
+  std::vector<double> class_mean_limits;
+  /// Largest gap between the class mean limits — the "disparate impact"
+  /// statistic of the assessment.
+  double between_class_gap = 0.0;
+  /// between_class_gap within the coincidence tolerance.
+  bool equal_impact_across_classes = false;
+};
+
+/// Runs both audits. CHECK-fails on inconsistent shapes.
+ComplianceVerdict AssessCompliance(const ComplianceInputs& inputs);
+
+/// Renders the verdict as a human-readable report (plain text, one
+/// screenful) suitable for audit trails.
+std::string RenderComplianceReport(const ComplianceVerdict& verdict,
+                                   const std::vector<std::string>& class_names);
+
+}  // namespace core
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_CORE_COMPLIANCE_REPORT_H_

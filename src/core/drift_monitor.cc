@@ -1,0 +1,52 @@
+#include "core/drift_monitor.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "stats/time_series.h"
+
+namespace eqimpact {
+namespace core {
+
+DriftMonitor::DriftMonitor(double alert_threshold)
+    : alert_threshold_(alert_threshold) {
+  EQIMPACT_CHECK_GT(alert_threshold_, 0.0);
+}
+
+std::optional<DriftMonitor::Measurement> DriftMonitor::Ingest(
+    std::vector<double> sample) {
+  EQIMPACT_CHECK(!sample.empty());
+  std::sort(sample.begin(), sample.end());
+  ++num_steps_;
+  if (num_steps_ == 1) {
+    reference_ = sample;
+    previous_ = std::move(sample);
+    return std::nullopt;
+  }
+  Measurement measurement;
+  measurement.step = num_steps_ - 1;
+  measurement.ks_to_previous = stats::KsStatistic(previous_, sample);
+  measurement.ks_to_reference = stats::KsStatistic(reference_, sample);
+  measurement.drift_alert = measurement.ks_to_previous > alert_threshold_;
+  previous_ = std::move(sample);
+  measurements_.push_back(measurement);
+  return measurement;
+}
+
+bool DriftMonitor::AnyAlert() const {
+  for (const Measurement& m : measurements_) {
+    if (m.drift_alert) return true;
+  }
+  return false;
+}
+
+double DriftMonitor::MaxDriftFromReference() const {
+  double best = 0.0;
+  for (const Measurement& m : measurements_) {
+    best = std::max(best, m.ks_to_reference);
+  }
+  return best;
+}
+
+}  // namespace core
+}  // namespace eqimpact

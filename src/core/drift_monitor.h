@@ -1,0 +1,75 @@
+#ifndef EQIMPACT_CORE_DRIFT_MONITOR_H_
+#define EQIMPACT_CORE_DRIFT_MONITOR_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace eqimpact {
+namespace core {
+
+/// Concept-drift monitor for the closed loop's training stream.
+///
+/// The paper lists the explicit modelling of "'concept drift' and
+/// retraining of the AI system over time" among the advantages of the
+/// closed-loop view: the distribution the AI system is trained on at step
+/// k is itself a product of the system's earlier outputs. This monitor
+/// quantifies that endogenous drift: it ingests one feature sample per
+/// retraining step and reports the Kolmogorov-Smirnov distance between
+/// consecutive steps and against the first (reference) step.
+class DriftMonitor {
+ public:
+  /// A drift measurement between two retraining steps.
+  struct Measurement {
+    /// Index of the newly ingested step (1-based; step 0 is reference).
+    size_t step = 0;
+    /// KS distance to the previous step's sample.
+    double ks_to_previous = 0.0;
+    /// KS distance to the reference (first) sample.
+    double ks_to_reference = 0.0;
+    /// Whether ks_to_previous exceeded the alert threshold.
+    bool drift_alert = false;
+  };
+
+  /// `alert_threshold` is the KS distance between consecutive steps above
+  /// which a drift alert is raised. The conventional two-sample KS
+  /// critical value at level alpha for samples of size n is
+  /// c(alpha) * sqrt(2/n); pass a problem-appropriate absolute value.
+  explicit DriftMonitor(double alert_threshold = 0.1);
+
+  /// Ingests the feature sample of one retraining step and, from the
+  /// second step on, returns the drift measurement. CHECK-fails on empty
+  /// samples.
+  std::optional<Measurement> Ingest(std::vector<double> sample);
+
+  /// Number of steps ingested so far.
+  size_t num_steps() const { return num_steps_; }
+
+  /// All measurements so far (num_steps() - 1 entries once two or more
+  /// steps were ingested).
+  const std::vector<Measurement>& measurements() const {
+    return measurements_;
+  }
+
+  /// True if any ingested step raised a drift alert.
+  bool AnyAlert() const;
+
+  /// Largest drift against the reference distribution so far — how far
+  /// the loop has carried its own training distribution from where it
+  /// started (the feedback-loop effect the EU AI Act's Article 15 asks
+  /// providers to address).
+  double MaxDriftFromReference() const;
+
+ private:
+  double alert_threshold_;
+  size_t num_steps_ = 0;
+  std::vector<double> reference_;  // Sorted.
+  std::vector<double> previous_;   // Sorted.
+  std::vector<Measurement> measurements_;
+};
+
+}  // namespace core
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_CORE_DRIFT_MONITOR_H_

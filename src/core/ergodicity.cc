@@ -1,0 +1,71 @@
+#include "core/ergodicity.h"
+
+#include <cstdio>
+
+#include "graph/analysis.h"
+
+namespace eqimpact {
+namespace core {
+
+std::string ErgodicityCertificate::Summary() const {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "irreducible=%s period=%zu aperiodic=%s contraction=%.4f "
+                "invariant_measure=%s uniquely_ergodic=%s",
+                irreducible ? "yes" : "no", period,
+                aperiodic ? "yes" : "no", contraction_factor,
+                invariant_measure_exists ? "exists" : "unknown",
+                uniquely_ergodic ? "yes" : "no");
+  return line;
+}
+
+ErgodicityCertificate CertifyMarkovChain(const markov::MarkovChain& chain) {
+  ErgodicityCertificate certificate;
+  certificate.irreducible = chain.IsIrreducible();
+  if (certificate.irreducible) {
+    certificate.period = chain.Period();
+    certificate.aperiodic = certificate.period == 1;
+  }
+  // Finite state space: irreducibility alone pins down the invariant
+  // measure; attractivity additionally needs aperiodicity.
+  certificate.invariant_measure_exists = certificate.irreducible;
+  certificate.contraction_factor = certificate.aperiodic ? 0.0 : 1.0;
+  certificate.average_contractive = certificate.aperiodic;
+  certificate.uniquely_ergodic =
+      certificate.irreducible && certificate.aperiodic;
+  return certificate;
+}
+
+ErgodicityCertificate CertifyAffineIfs(const markov::AffineIfs& ifs) {
+  ErgodicityCertificate certificate;
+  // Single-cell system: the vertex graph is one vertex with self-loops.
+  certificate.irreducible = true;
+  certificate.period = 1;
+  certificate.aperiodic = true;
+  certificate.contraction_factor = ifs.AverageContractionFactor();
+  certificate.average_contractive = certificate.contraction_factor < 1.0;
+  certificate.invariant_measure_exists = certificate.average_contractive;
+  certificate.uniquely_ergodic = certificate.average_contractive;
+  return certificate;
+}
+
+ErgodicityCertificate CertifyMarkovSystem(const markov::MarkovSystem& system,
+                                          double contraction_estimate) {
+  ErgodicityCertificate certificate;
+  certificate.irreducible = system.IsIrreducible();
+  if (certificate.irreducible) {
+    graph::Digraph g = system.VertexGraph();
+    certificate.period = graph::Period(g);
+    certificate.aperiodic = certificate.period == 1;
+  }
+  certificate.contraction_factor = contraction_estimate;
+  certificate.average_contractive = contraction_estimate < 1.0;
+  certificate.invariant_measure_exists = certificate.irreducible;
+  certificate.uniquely_ergodic = certificate.irreducible &&
+                                 certificate.aperiodic &&
+                                 certificate.average_contractive;
+  return certificate;
+}
+
+}  // namespace core
+}  // namespace eqimpact

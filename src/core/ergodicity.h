@@ -1,0 +1,62 @@
+#ifndef EQIMPACT_CORE_ERGODICITY_H_
+#define EQIMPACT_CORE_ERGODICITY_H_
+
+#include <cstddef>
+#include <string>
+
+#include "markov/affine_ifs.h"
+#include "markov/markov_chain.h"
+#include "markov/markov_system.h"
+
+namespace eqimpact {
+namespace core {
+
+/// Machine-checkable form of the paper's Section VI guarantee chain:
+///
+///   strongly connected graph        => an invariant measure exists
+///   + primitive adjacency matrix    => the invariant measure is
+///     (and average contractivity)      attractive; the loop is uniquely
+///                                      ergodic; time averages converge
+///                                      independently of initial
+///                                      conditions (Elton / Werner)
+///
+/// A certificate with `uniquely_ergodic` true is the formal prerequisite
+/// for an equal-impact guarantee: the limits r_i of Definition 3 then
+/// exist and do not depend on where the loop started.
+struct ErgodicityCertificate {
+  bool irreducible = false;   ///< Graph strongly connected.
+  size_t period = 0;          ///< Graph period (0 when not irreducible).
+  bool aperiodic = false;     ///< Irreducible with period 1.
+  /// Average contraction factor where available (exact for affine IFS,
+  /// 1.0 placeholder where not applicable).
+  double contraction_factor = 1.0;
+  bool average_contractive = false;
+  /// Invariant measure exists (irreducible).
+  bool invariant_measure_exists = false;
+  /// Invariant measure attractive and unique (all conditions together).
+  bool uniquely_ergodic = false;
+
+  /// One-line summary for reports.
+  std::string Summary() const;
+};
+
+/// Certifies a finite-state Markov chain. For finite chains, average
+/// contractivity is not needed: irreducibility alone gives a unique
+/// stationary distribution; aperiodicity makes it attractive.
+ErgodicityCertificate CertifyMarkovChain(const markov::MarkovChain& chain);
+
+/// Certifies an affine IFS on a single cell: the graph conditions hold
+/// trivially (one vertex with self-loops), so the certificate rests on
+/// the exact average contraction factor sum_e p_e Lip(w_e) < 1.
+ErgodicityCertificate CertifyAffineIfs(const markov::AffineIfs& ifs);
+
+/// Certifies the graph-side conditions of a general Markov system, with a
+/// Monte-Carlo contraction estimate supplied by the caller (pass 1.0 or
+/// more when unknown — the certificate then reports existence only).
+ErgodicityCertificate CertifyMarkovSystem(const markov::MarkovSystem& system,
+                                          double contraction_estimate);
+
+}  // namespace core
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_CORE_ERGODICITY_H_

@@ -1,0 +1,42 @@
+#include "core/impact_equalizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/check.h"
+#include "stats/time_series.h"
+
+namespace eqimpact {
+namespace core {
+
+ImpactEqualizer::ImpactEqualizer(size_t num_classes, double learning_rate,
+                                 double min_offset, double max_offset)
+    : offsets_(num_classes, 0.0),
+      learning_rate_(learning_rate),
+      min_offset_(min_offset),
+      max_offset_(max_offset),
+      last_gap_(std::numeric_limits<double>::infinity()) {
+  EQIMPACT_CHECK_GT(num_classes, 0u);
+  EQIMPACT_CHECK_NE(learning_rate, 0.0);
+  EQIMPACT_CHECK_LT(min_offset, max_offset);
+}
+
+double ImpactEqualizer::Observe(const std::vector<double>& class_impacts) {
+  EQIMPACT_CHECK_EQ(class_impacts.size(), offsets_.size());
+  double mean = 0.0;
+  for (double m : class_impacts) mean += m;
+  mean /= static_cast<double>(class_impacts.size());
+
+  last_gap_ = stats::CoincidenceGap(class_impacts);
+  for (size_t c = 0; c < offsets_.size(); ++c) {
+    offsets_[c] = std::clamp(
+        offsets_[c] + learning_rate_ * (class_impacts[c] - mean),
+        min_offset_, max_offset_);
+  }
+  ++steps_;
+  return last_gap_;
+}
+
+}  // namespace core
+}  // namespace eqimpact

@@ -1,0 +1,70 @@
+#ifndef EQIMPACT_CORE_IMPACT_EQUALIZER_H_
+#define EQIMPACT_CORE_IMPACT_EQUALIZER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace eqimpact {
+namespace core {
+
+/// Iterative mitigation of impact gaps across protected classes — the
+/// paper's future-work direction "how to impose constraints on the
+/// equality of impact [Celis et al. 2019]", in the simplest feedback
+/// form compatible with the closed-loop view.
+///
+/// The regulator maintains one control offset theta_c per class (e.g. a
+/// per-class adjustment of a decision threshold, an exploration quota, or
+/// a loan-size haircut). After each pass of the loop it observes the
+/// class impacts m_c and applies a projected consensus step
+///
+///   theta_c <- clip(theta_c + eta * (m_c - mean(m)), lo, hi),
+///
+/// i.e. classes whose impact sits above the average get a *larger*
+/// offset. The caller wires the offsets into its policy with the
+/// convention that a larger offset reduces that class's impact (for ADR:
+/// a stricter cut-off; for match rates interpreted as beneficial impact,
+/// flip the sign of `learning_rate`). Under a monotone response the gap
+/// contracts; the class Observe() returns the current gap so callers can
+/// stop early.
+///
+/// Note the equalizer never changes the *within-class* treatment: it is
+/// an "equal treatment conditioned on class" intervention in the sense of
+/// Definition 2, adjusting only class-level parameters.
+class ImpactEqualizer {
+ public:
+  /// `learning_rate` is eta above; offsets start at 0 and are clipped to
+  /// [min_offset, max_offset]. CHECK-fails on num_classes == 0, a
+  /// non-positive |learning_rate| or an empty offset interval.
+  ImpactEqualizer(size_t num_classes, double learning_rate,
+                  double min_offset, double max_offset);
+
+  size_t num_classes() const { return offsets_.size(); }
+  const std::vector<double>& offsets() const { return offsets_; }
+
+  /// Updates the offsets from the observed per-class impacts and returns
+  /// the impact gap max_c m_c - min_c m_c before the update.
+  /// CHECK-fails on a size mismatch.
+  double Observe(const std::vector<double>& class_impacts);
+
+  /// Gap observed at the most recent Observe (infinity before the first).
+  double last_gap() const { return last_gap_; }
+
+  /// True once the most recent observed gap is within `tolerance`.
+  bool Converged(double tolerance) const { return last_gap_ <= tolerance; }
+
+  /// Number of Observe calls so far.
+  size_t steps() const { return steps_; }
+
+ private:
+  std::vector<double> offsets_;
+  double learning_rate_;
+  double min_offset_;
+  double max_offset_;
+  double last_gap_;
+  size_t steps_ = 0;
+};
+
+}  // namespace core
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_CORE_IMPACT_EQUALIZER_H_

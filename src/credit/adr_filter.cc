@@ -1,0 +1,73 @@
+#include "credit/adr_filter.h"
+
+#include "base/check.h"
+
+namespace eqimpact {
+namespace credit {
+
+AdrFilter::AdrFilter(std::vector<Race> races, double forgetting_factor)
+    : races_(std::move(races)),
+      forgetting_factor_(forgetting_factor),
+      offer_weight_(races_.size(), 0.0),
+      default_weight_(races_.size(), 0.0),
+      offer_count_(races_.size(), 0) {
+  EQIMPACT_CHECK(!races_.empty());
+  EQIMPACT_CHECK(forgetting_factor_ > 0.0 && forgetting_factor_ <= 1.0);
+}
+
+void AdrFilter::Update(size_t i, bool offered, bool repaid) {
+  EQIMPACT_CHECK_LT(i, races_.size());
+  if (!offered) return;
+  offer_weight_[i] = forgetting_factor_ * offer_weight_[i] + 1.0;
+  default_weight_[i] =
+      forgetting_factor_ * default_weight_[i] + (repaid ? 0.0 : 1.0);
+  ++offer_count_[i];
+}
+
+double AdrFilter::UserAdr(size_t i) const {
+  EQIMPACT_CHECK_LT(i, races_.size());
+  if (offer_weight_[i] <= 0.0) return 0.0;
+  return default_weight_[i] / offer_weight_[i];
+}
+
+int64_t AdrFilter::UserOffers(size_t i) const {
+  EQIMPACT_CHECK_LT(i, races_.size());
+  return offer_count_[i];
+}
+
+double AdrFilter::RaceAdr(Race race) const {
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i < races_.size(); ++i) {
+    if (races_[i] != race) continue;
+    sum += UserAdr(i);
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double AdrFilter::OverallAdr() const {
+  double sum = 0.0;
+  for (size_t i = 0; i < races_.size(); ++i) sum += UserAdr(i);
+  return sum / static_cast<double>(races_.size());
+}
+
+double AdrFilter::PooledRaceAdr(Race race) const {
+  double offers = 0.0;
+  double defaults = 0.0;
+  for (size_t i = 0; i < races_.size(); ++i) {
+    if (races_[i] != race) continue;
+    offers += offer_weight_[i];
+    defaults += default_weight_[i];
+  }
+  return offers <= 0.0 ? 0.0 : defaults / offers;
+}
+
+std::vector<double> AdrFilter::UserAdrSnapshot() const {
+  std::vector<double> snapshot(races_.size());
+  for (size_t i = 0; i < races_.size(); ++i) snapshot[i] = UserAdr(i);
+  return snapshot;
+}
+
+}  // namespace credit
+}  // namespace eqimpact

@@ -1,0 +1,72 @@
+#ifndef EQIMPACT_CREDIT_ADR_FILTER_H_
+#define EQIMPACT_CREDIT_ADR_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "credit/race.h"
+
+namespace eqimpact {
+namespace credit {
+
+/// The closed loop's filter (Figure 1): accumulates repayment actions into
+/// per-user average default rates (paper equation (12)).
+///
+/// A *default* is a mortgage offered but not repaid: y_i(k) = 0 given
+/// pi(k, i) = 1. For user i,
+///   ADR_i(k) = (#defaults of i up to k) / (#offers to i up to k),
+/// and 0 before the first offer. The race-wise rate ADR_s(k) is the mean
+/// of ADR_i(k) over users of race s.
+///
+/// An optional forgetting factor turns the accumulating average into an
+/// exponentially weighted one — an ablation of the paper's filter choice
+/// (the accumulating average corresponds to forgetting_factor = 1).
+class AdrFilter {
+ public:
+  /// Filter over `num_users` users with the given races (used for the
+  /// race-wise aggregates). `forgetting_factor` in (0, 1]; 1 reproduces
+  /// the paper's accumulating average exactly.
+  AdrFilter(std::vector<Race> races, double forgetting_factor = 1.0);
+
+  size_t num_users() const { return races_.size(); }
+
+  /// Records the outcome of user `i` at the current step: whether a
+  /// mortgage was offered and whether it was repaid. Non-offers leave the
+  /// user's ADR unchanged (no repayment event takes place).
+  void Update(size_t i, bool offered, bool repaid);
+
+  /// ADR_i after all updates so far (0 before any offer).
+  double UserAdr(size_t i) const;
+
+  /// Number of offers user `i` has received.
+  int64_t UserOffers(size_t i) const;
+
+  /// Mean of UserAdr over the users of `race`; 0 if the race is absent.
+  double RaceAdr(Race race) const;
+
+  /// Mean of UserAdr over all users.
+  double OverallAdr() const;
+
+  /// Pooled variant of the race aggregate: total defaults / total offers
+  /// within the race (0 before any offer). Exposed for the filter
+  /// ablation; the paper's figures use RaceAdr.
+  double PooledRaceAdr(Race race) const;
+
+  /// Snapshot of every user's ADR.
+  std::vector<double> UserAdrSnapshot() const;
+
+ private:
+  std::vector<Race> races_;
+  double forgetting_factor_;
+  // With forgetting factor 1 these are plain counters; otherwise they are
+  // exponentially weighted sums (weight and weighted default count).
+  std::vector<double> offer_weight_;
+  std::vector<double> default_weight_;
+  std::vector<int64_t> offer_count_;
+};
+
+}  // namespace credit
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_CREDIT_ADR_FILTER_H_

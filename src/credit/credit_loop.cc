@@ -1,0 +1,155 @@
+#include "credit/credit_loop.h"
+
+#include <memory>
+#include <optional>
+
+#include "base/check.h"
+#include "credit/lending_policy.h"
+#include "credit/population.h"
+#include "linalg/vector.h"
+#include "ml/dataset.h"
+#include "ml/scorecard.h"
+#include "rng/random.h"
+
+namespace eqimpact {
+namespace credit {
+namespace {
+
+// Independent RNG stream indices derived from the master seed, so that
+// e.g. changing the repayment draws does not perturb the sampled cohort.
+enum StreamIndex : uint64_t {
+  kRaceStream = 0,
+  kIncomeStream = 1,
+  kRepaymentStream = 2,
+};
+
+// Scorecard factor templates in feature order [adr, income_code],
+// mirroring the rows of the paper's Table I.
+std::vector<ml::ScorecardFactor> TableOneTemplates() {
+  return {
+      {"History", "x Average Default Rate", 0.0},
+      {"Income", "> $15K (income code)", 0.0},
+  };
+}
+
+}  // namespace
+
+CreditScoringLoop::CreditScoringLoop(CreditLoopOptions options)
+    : options_(options) {
+  EQIMPACT_CHECK_GT(options_.num_users, 0u);
+  EQIMPACT_CHECK_LE(options_.first_year, options_.last_year);
+  EQIMPACT_CHECK_GE(options_.warmup_steps, 1u);
+}
+
+CreditLoopResult CreditScoringLoop::Run() const {
+  const size_t num_years =
+      static_cast<size_t>(options_.last_year - options_.first_year) + 1;
+
+  rng::Random race_rng(rng::DeriveSeed(options_.seed, kRaceStream));
+  rng::Random income_rng(rng::DeriveSeed(options_.seed, kIncomeStream));
+  rng::Random repayment_rng(rng::DeriveSeed(options_.seed, kRepaymentStream));
+
+  IncomeModel income_model;
+  Population population(options_.num_users, &race_rng);
+  RepaymentModel repayment(options_.repayment);
+  AdrFilter filter(population.races(), options_.forgetting_factor);
+
+  CreditLoopResult result;
+  result.years.reserve(num_years);
+  result.races = population.races();
+  result.user_adr.assign(options_.num_users, {});
+  result.race_adr.assign(kNumRaces, {});
+  result.race_approval.assign(kNumRaces, {});
+
+  // Training examples accumulated by the loop's filter block: features
+  // [ADR_i(k-1), income code at k] with label y_i(k), recorded only for
+  // offered mortgages (repayment is unobservable otherwise).
+  ml::Dataset history(2);
+  std::vector<bool> ever_defaulted(options_.num_users, false);
+
+  std::optional<ml::Scorecard> current_scorecard;
+  const ApproveAllPolicy warmup_policy(options_.repayment.income_multiple);
+
+  for (size_t k = 0; k < num_years; ++k) {
+    const int year = options_.first_year + static_cast<int>(k);
+    result.years.push_back(year);
+    population.ResampleIncomes(year, income_model, &income_rng);
+
+    // Retrain the AI system once the warm-up has produced data.
+    if (k >= options_.warmup_steps) {
+      ml::Dataset* training = &history;
+      if (training->HasBothClasses()) {
+        ml::LogisticRegression model(options_.logistic);
+        ml::FitResult fit = model.Fit(*training);
+        if (fit.success) {
+          current_scorecard = ml::Scorecard::FromModel(
+              model, TableOneTemplates(), options_.cutoff);
+          result.scorecards.push_back(ScorecardSnapshot{
+              year, model.weights()[0], model.weights()[1],
+              model.intercept()});
+        }
+      }
+      // If the fit was impossible (single-class history) the previous
+      // scorecard — or the warm-up policy if none exists — stays in force.
+    }
+
+    const LendingPolicy* policy;
+    std::unique_ptr<ScorecardPolicy> scorecard_policy;
+    if (k < options_.warmup_steps || !current_scorecard.has_value()) {
+      policy = &warmup_policy;
+    } else {
+      scorecard_policy = std::make_unique<ScorecardPolicy>(
+          *current_scorecard, options_.repayment.income_multiple);
+      policy = scorecard_policy.get();
+    }
+
+    // One pass through the loop: decide, act, filter.
+    ml::Dataset this_year(2);
+    std::vector<size_t> race_offers(kNumRaces, 0);
+    for (size_t i = 0; i < options_.num_users; ++i) {
+      const double income = population.income(i);
+      const double code =
+          population.IncomeCode(i, options_.income_code_threshold);
+      const double adr_before = filter.UserAdr(i);
+
+      Applicant applicant{income, code, adr_before, ever_defaulted[i]};
+      LendingDecision decision = policy->Decide(applicant);
+
+      bool repaid = repayment.SimulateRepaymentForAmount(
+          income, decision.mortgage_amount, decision.approved,
+          &repayment_rng);
+      filter.Update(i, decision.approved, repaid);
+
+      if (decision.approved) {
+        ++race_offers[static_cast<size_t>(population.race(i))];
+        if (!repaid) ever_defaulted[i] = true;
+        this_year.Add(linalg::Vector{adr_before, code}, repaid ? 1.0 : 0.0);
+      }
+    }
+
+    // Fold this year's observations into the training history.
+    if (!options_.accumulate_history) history = ml::Dataset(2);
+    for (size_t e = 0; e < this_year.size(); ++e) {
+      history.Add(this_year.features(e), this_year.label(e));
+    }
+
+    // Record the year's aggregates.
+    for (size_t i = 0; i < options_.num_users; ++i) {
+      result.user_adr[i].push_back(filter.UserAdr(i));
+    }
+    for (size_t r = 0; r < kNumRaces; ++r) {
+      Race race = static_cast<Race>(r);
+      result.race_adr[r].push_back(filter.RaceAdr(race));
+      size_t members = population.CountRace(race);
+      result.race_approval[r].push_back(
+          members == 0 ? 0.0
+                       : static_cast<double>(race_offers[r]) /
+                             static_cast<double>(members));
+    }
+    result.overall_adr.push_back(filter.OverallAdr());
+  }
+  return result;
+}
+
+}  // namespace credit
+}  // namespace eqimpact

@@ -1,0 +1,98 @@
+#ifndef EQIMPACT_CREDIT_CREDIT_LOOP_H_
+#define EQIMPACT_CREDIT_CREDIT_LOOP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "credit/adr_filter.h"
+#include "credit/income_model.h"
+#include "credit/race.h"
+#include "credit/repayment_model.h"
+#include "ml/logistic_regression.h"
+
+namespace eqimpact {
+namespace credit {
+
+/// Configuration of the paper's Section VII closed loop.
+struct CreditLoopOptions {
+  /// Cohort size (paper: N = 1000).
+  size_t num_users = 1000;
+  /// Simulated period (paper: 2002-2020 inclusive, one year per step).
+  int first_year = 2002;
+  int last_year = 2020;
+  /// Steps with no scorecard, everyone approved (paper: k = 0, 1).
+  size_t warmup_steps = 2;
+  /// Scorecard cut-off (paper: 0.4).
+  double cutoff = 0.4;
+  /// Income-code threshold in $K (paper: 1{z >= 15}).
+  double income_code_threshold = 15.0;
+  /// Filter forgetting factor; 1 reproduces the paper's accumulating
+  /// average default rate.
+  double forgetting_factor = 1.0;
+  /// Train on the loop's entire history (true) or only on the latest
+  /// year's observations (false) — a retraining-protocol ablation.
+  bool accumulate_history = true;
+  /// Behavioural model parameters (equations (10)-(11)).
+  RepaymentModelOptions repayment;
+  /// Scorecard trainer configuration. Defaults (no intercept, small
+  /// ridge) match Table I's two-factor structure.
+  ml::LogisticRegressionOptions logistic;
+  /// Master seed; one trial per seed. Different seeds = the paper's
+  /// independent trials with "a new batch of 1000 users".
+  uint64_t seed = 0;
+};
+
+/// Fitted scorecard parameters of one retraining step.
+struct ScorecardSnapshot {
+  int year = 0;
+  /// Coefficient on ADR_i(k-1) (Table I "History": -8.17 in the example).
+  double history_weight = 0.0;
+  /// Coefficient on the income code (Table I "Income": +5.77).
+  double income_weight = 0.0;
+  /// Base points (0 when trained without intercept).
+  double intercept = 0.0;
+};
+
+/// Complete record of one trial of the closed loop.
+struct CreditLoopResult {
+  /// Simulated years, index-aligned with every per-year series below.
+  std::vector<int> years;
+  /// Race of every user.
+  std::vector<Race> races;
+  /// ADR_i(k): one series per user over the years (Figures 4, 5).
+  std::vector<std::vector<double>> user_adr;
+  /// ADR_s(k): one series per race, indexed by Race enum (Figure 3).
+  std::vector<std::vector<double>> race_adr;
+  /// Approval rate per race per year.
+  std::vector<std::vector<double>> race_approval;
+  /// Population-mean ADR per year.
+  std::vector<double> overall_adr;
+  /// One snapshot per retraining step (years with a scorecard in force).
+  std::vector<ScorecardSnapshot> scorecards;
+};
+
+/// The paper's credit-scoring closed loop (Figure 1 instantiated for
+/// Section VII): incomes are redrawn every year from the census model,
+/// the logistic scorecard is refit on the accumulated (income code,
+/// trailing ADR -> repayment) history, decisions at cut-off 0.4 feed the
+/// Gaussian repayment model, and the accumulating filter updates every
+/// user's average default rate, which is in turn next year's training
+/// input — closing the loop.
+class CreditScoringLoop {
+ public:
+  explicit CreditScoringLoop(CreditLoopOptions options = CreditLoopOptions());
+
+  const CreditLoopOptions& options() const { return options_; }
+
+  /// Runs one full trial and returns its record. Deterministic in
+  /// options().seed.
+  CreditLoopResult Run() const;
+
+ private:
+  CreditLoopOptions options_;
+};
+
+}  // namespace credit
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_CREDIT_CREDIT_LOOP_H_

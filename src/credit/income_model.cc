@@ -1,0 +1,151 @@
+#include "credit/income_model.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "base/check.h"
+#include "rng/categorical.h"
+
+namespace eqimpact {
+namespace credit {
+namespace {
+
+// Anchor bracket shares (percent, summing to 100 per row) for 2002 and
+// 2020, calibrated as described in the class comment / DESIGN.md.
+// Row order matches the Race enum: BLACK, WHITE, ASIAN.
+constexpr double kShares2002[kNumRaces][kNumIncomeBrackets] = {
+    {21.0, 14.5, 13.0, 15.5, 17.0, 9.0, 7.0, 1.8, 1.2},
+    {8.5, 11.5, 12.0, 15.0, 20.0, 13.0, 12.5, 4.0, 3.5},
+    {8.5, 9.0, 10.0, 13.5, 19.0, 13.5, 15.0, 6.0, 5.5},
+};
+
+constexpr double kShares2020[kNumRaces][kNumIncomeBrackets] = {
+    {13.8, 10.0, 10.5, 13.3, 17.0, 10.8, 12.7, 6.0, 5.9},
+    {6.0, 7.0, 8.0, 11.5, 16.5, 12.5, 16.5, 9.0, 13.0},
+    {5.0, 5.0, 6.0, 9.0, 13.5, 11.0, 17.5, 13.2, 19.8},
+};
+
+}  // namespace
+
+std::string BracketLabel(size_t bracket) {
+  EQIMPACT_CHECK_LT(bracket, kNumIncomeBrackets);
+  char buffer[32];
+  if (bracket == 0) {
+    std::snprintf(buffer, sizeof(buffer), "under %.0f",
+                  kBracketUpperEdges[0]);
+  } else if (bracket == kNumIncomeBrackets - 1) {
+    std::snprintf(buffer, sizeof(buffer), "over %.0f",
+                  kBracketLowerEdges[bracket]);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0f-%.0f",
+                  kBracketLowerEdges[bracket], kBracketUpperEdges[bracket]);
+  }
+  return buffer;
+}
+
+std::vector<double> IncomeModel::BracketShares(int year, Race race) const {
+  int clamped = std::clamp(year, kFirstYear, kLastYear);
+  for (const Override& override_entry : overrides_) {
+    if (override_entry.year == clamped && override_entry.race == race) {
+      return override_entry.shares;
+    }
+  }
+  double t = static_cast<double>(clamped - kFirstYear) /
+             static_cast<double>(kLastYear - kFirstYear);
+  size_t r = static_cast<size_t>(race);
+  EQIMPACT_CHECK_LT(r, kNumRaces);
+  std::vector<double> shares(kNumIncomeBrackets);
+  double total = 0.0;
+  for (size_t b = 0; b < kNumIncomeBrackets; ++b) {
+    shares[b] = (1.0 - t) * kShares2002[r][b] + t * kShares2020[r][b];
+    total += shares[b];
+  }
+  for (double& share : shares) share /= total;
+  return shares;
+}
+
+void IncomeModel::SetYearShares(int year, Race race,
+                                const std::vector<double>& shares) {
+  EQIMPACT_CHECK_EQ(shares.size(), kNumIncomeBrackets);
+  double total = 0.0;
+  for (double share : shares) {
+    EQIMPACT_CHECK_GE(share, 0.0);
+    total += share;
+  }
+  EQIMPACT_CHECK_GT(total, 0.0);
+  std::vector<double> normalised = shares;
+  for (double& share : normalised) share /= total;
+  // Replace an existing override for the same cell, if any.
+  for (Override& override_entry : overrides_) {
+    if (override_entry.year == year && override_entry.race == race) {
+      override_entry.shares = std::move(normalised);
+      return;
+    }
+  }
+  overrides_.push_back(Override{year, race, std::move(normalised)});
+}
+
+size_t IncomeModel::SampleBracket(int year, Race race,
+                                  rng::Random* random) const {
+  return rng::SampleCategorical(BracketShares(year, race), random);
+}
+
+double IncomeModel::SampleIncome(int year, Race race,
+                                 rng::Random* random) const {
+  size_t bracket = SampleBracket(year, race, random);
+  if (bracket == kNumIncomeBrackets - 1) {
+    return random->Pareto(kBracketLowerEdges[bracket], kTailAlpha);
+  }
+  return random->UniformDouble(kBracketLowerEdges[bracket],
+                               kBracketUpperEdges[bracket]);
+}
+
+int LoadIncomeSharesCsv(const std::string& path, IncomeModel* model) {
+  EQIMPACT_CHECK(model != nullptr);
+  std::ifstream in(path);
+  if (!in.is_open()) return -1;
+
+  auto parse_race = [](const std::string& label, Race* race) {
+    for (size_t r = 0; r < kNumRaces; ++r) {
+      if (label == RaceName(static_cast<Race>(r))) {
+        *race = static_cast<Race>(r);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  int rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    // Split on commas.
+    std::vector<std::string> fields;
+    std::string field;
+    std::stringstream stream(line);
+    while (std::getline(stream, field, ',')) fields.push_back(field);
+    if (fields.size() != 2 + kNumIncomeBrackets) return -1;
+    // Skip a header row ("year,...").
+    if (rows == 0 && fields[0] == "year") continue;
+
+    char* end = nullptr;
+    long year = std::strtol(fields[0].c_str(), &end, 10);
+    if (end == fields[0].c_str() || *end != '\0') return -1;
+    Race race;
+    if (!parse_race(fields[1], &race)) return -1;
+    std::vector<double> shares(kNumIncomeBrackets);
+    for (size_t b = 0; b < kNumIncomeBrackets; ++b) {
+      shares[b] = std::strtod(fields[2 + b].c_str(), &end);
+      if (end == fields[2 + b].c_str() || shares[b] < 0.0) return -1;
+    }
+    model->SetYearShares(static_cast<int>(year), race, shares);
+    ++rows;
+  }
+  return rows;
+}
+
+}  // namespace credit
+}  // namespace eqimpact

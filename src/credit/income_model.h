@@ -1,0 +1,103 @@
+#ifndef EQIMPACT_CREDIT_INCOME_MODEL_H_
+#define EQIMPACT_CREDIT_INCOME_MODEL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "credit/race.h"
+#include "rng/random.h"
+
+namespace eqimpact {
+namespace credit {
+
+/// Number of income brackets of CPS Table A-2 as used in the paper's
+/// Figure 2: under-15, 15-25, 25-35, 35-50, 50-75, 75-100, 100-150,
+/// 150-200, over-200 (thousands of dollars).
+inline constexpr size_t kNumIncomeBrackets = 9;
+
+/// First year covered by the embedded table (the paper starts in 2002,
+/// when ASEC allowed the more diverse race options).
+inline constexpr int kFirstYear = 2002;
+/// Last year covered by the embedded table.
+inline constexpr int kLastYear = 2020;
+
+/// Lower bracket edges in thousands of dollars (the last bracket is
+/// open-ended).
+inline constexpr double kBracketLowerEdges[kNumIncomeBrackets] = {
+    0.0, 15.0, 25.0, 35.0, 50.0, 75.0, 100.0, 150.0, 200.0};
+
+/// Upper bracket edges in thousands of dollars; the last entry is the
+/// notional cap used only for labelling (samples above it come from a
+/// Pareto tail).
+inline constexpr double kBracketUpperEdges[kNumIncomeBrackets] = {
+    15.0, 25.0, 35.0, 50.0, 75.0, 100.0, 150.0, 200.0, 1e9};
+
+/// Human-readable bracket label, e.g. "15-25" or "over 200".
+std::string BracketLabel(size_t bracket);
+
+/// Household income model per race and year, replacing CPS Table A-2.
+///
+/// SUBSTITUTION (documented in DESIGN.md): the real Census CSV is not
+/// available offline, so the table embeds bracket shares calibrated to
+/// the paper's Figure 2 for 2020 (BLACK ALONE concentrated below $75K,
+/// ASIAN ALONE with ~20% of households above $200K) and to the nominal
+/// income growth of 2002-2020 for the 2002 anchor; intermediate years
+/// interpolate linearly. The loop's dynamics only see incomes through
+/// the repayment probability and the income code, so the qualitative
+/// behaviour (orderings, convergence) is preserved.
+class IncomeModel {
+ public:
+  IncomeModel() = default;
+
+  /// Bracket shares (probabilities summing to 1) for `race` in `year`.
+  /// Years outside [kFirstYear, kLastYear] are clamped. Overrides
+  /// installed via SetYearShares take precedence over the embedded
+  /// interpolated table.
+  std::vector<double> BracketShares(int year, Race race) const;
+
+  /// Replaces the embedded shares for one (year, race) cell, e.g. with
+  /// the real CPS Table A-2 row once available (see LoadIncomeSharesCsv).
+  /// `shares` must have kNumIncomeBrackets non-negative entries with a
+  /// positive sum; they are normalised internally.
+  void SetYearShares(int year, Race race, const std::vector<double>& shares);
+
+  /// Number of (year, race) cells overridden so far.
+  size_t num_overrides() const { return overrides_.size(); }
+
+  /// Samples a household income in thousands of dollars: a bracket from
+  /// BracketShares, then uniform within the bracket, with a Pareto tail
+  /// (x_m = 200, alpha = 2.5) for the open-ended top bracket.
+  double SampleIncome(int year, Race race, rng::Random* random) const;
+
+  /// Samples the bracket index only.
+  size_t SampleBracket(int year, Race race, rng::Random* random) const;
+
+  /// Pareto tail shape for the top bracket.
+  static constexpr double kTailAlpha = 2.5;
+
+ private:
+  struct Override {
+    int year;
+    Race race;
+    std::vector<double> shares;
+  };
+  std::vector<Override> overrides_;
+};
+
+/// Loads bracket-share overrides from a CSV file into `model`.
+///
+/// Expected format (header optional, lines starting with '#' ignored):
+///   year,race,s0,s1,s2,s3,s4,s5,s6,s7,s8
+/// where race is the CPS label ("BLACK ALONE", "WHITE ALONE",
+/// "ASIAN ALONE") and s0..s8 are the shares of the nine brackets in any
+/// positive scale (percent or probability). Returns the number of rows
+/// loaded, or -1 on a file or parse error (in which case `model` may be
+/// partially updated). This is the integration point for the real Census
+/// Table A-2 data that the embedded table substitutes for (DESIGN.md §4).
+int LoadIncomeSharesCsv(const std::string& path, IncomeModel* model);
+
+}  // namespace credit
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_CREDIT_INCOME_MODEL_H_

@@ -1,0 +1,53 @@
+#include "credit/population.h"
+
+#include "base/check.h"
+#include "rng/categorical.h"
+
+namespace eqimpact {
+namespace credit {
+
+Population::Population(size_t num_users, rng::Random* random) {
+  EQIMPACT_CHECK_GT(num_users, 0u);
+  std::vector<double> shares(std::begin(kRaceShares2002),
+                             std::end(kRaceShares2002));
+  rng::Categorical race_distribution(shares);
+  races_.reserve(num_users);
+  for (size_t i = 0; i < num_users; ++i) {
+    races_.push_back(static_cast<Race>(race_distribution.Sample(random)));
+  }
+  incomes_.assign(num_users, 0.0);
+}
+
+Race Population::race(size_t i) const {
+  EQIMPACT_CHECK_LT(i, races_.size());
+  return races_[i];
+}
+
+void Population::ResampleIncomes(int year, const IncomeModel& model,
+                                 rng::Random* random) {
+  for (size_t i = 0; i < races_.size(); ++i) {
+    incomes_[i] = model.SampleIncome(year, races_[i], random);
+  }
+  incomes_sampled_ = true;
+}
+
+double Population::income(size_t i) const {
+  EQIMPACT_CHECK(incomes_sampled_);
+  EQIMPACT_CHECK_LT(i, incomes_.size());
+  return incomes_[i];
+}
+
+double Population::IncomeCode(size_t i, double threshold) const {
+  return income(i) >= threshold ? 1.0 : 0.0;
+}
+
+size_t Population::CountRace(Race race) const {
+  size_t count = 0;
+  for (Race r : races_) {
+    if (r == race) ++count;
+  }
+  return count;
+}
+
+}  // namespace credit
+}  // namespace eqimpact

@@ -1,0 +1,54 @@
+#ifndef EQIMPACT_CREDIT_POPULATION_H_
+#define EQIMPACT_CREDIT_POPULATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "credit/income_model.h"
+#include "credit/race.h"
+#include "rng/random.h"
+
+namespace eqimpact {
+namespace credit {
+
+/// A cohort of N households (the paper's "users").
+///
+/// Races are sampled once at construction from the 2002 CPS shares
+/// [0.1235, 0.8406, 0.0359]; incomes are resampled every year from the
+/// per-race income model, exactly as in Section VII ("following the income
+/// distribution of the year 2002 + k and race s, we sample the income
+/// z_i(k)"). The lender only ever observes the income *code*
+/// 1{z >= threshold}; race and exact income stay private.
+class Population {
+ public:
+  /// Samples `num_users` household races. CHECK-fails on num_users == 0.
+  Population(size_t num_users, rng::Random* random);
+
+  size_t size() const { return races_.size(); }
+  const std::vector<Race>& races() const { return races_; }
+  Race race(size_t i) const;
+
+  /// Resamples every household's income for `year`.
+  void ResampleIncomes(int year, const IncomeModel& model,
+                       rng::Random* random);
+
+  /// Income of household `i` in thousands of dollars; CHECK-fails before
+  /// the first ResampleIncomes.
+  double income(size_t i) const;
+
+  /// The visible income code 1{income >= threshold} (paper: threshold 15).
+  double IncomeCode(size_t i, double threshold) const;
+
+  /// Number of households of `race`.
+  size_t CountRace(Race race) const;
+
+ private:
+  std::vector<Race> races_;
+  std::vector<double> incomes_;
+  bool incomes_sampled_ = false;
+};
+
+}  // namespace credit
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_CREDIT_POPULATION_H_

@@ -1,0 +1,22 @@
+#include "credit/race.h"
+
+#include "base/check.h"
+
+namespace eqimpact {
+namespace credit {
+
+std::string RaceName(Race race) {
+  switch (race) {
+    case Race::kBlackAlone:
+      return "BLACK ALONE";
+    case Race::kWhiteAlone:
+      return "WHITE ALONE";
+    case Race::kAsianAlone:
+      return "ASIAN ALONE";
+  }
+  EQIMPACT_CHECK(false);
+  return "";
+}
+
+}  // namespace credit
+}  // namespace eqimpact

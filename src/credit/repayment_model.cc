@@ -1,0 +1,74 @@
+#include "credit/repayment_model.h"
+
+#include "base/check.h"
+#include "rng/normal.h"
+
+namespace eqimpact {
+namespace credit {
+
+RepaymentModel::RepaymentModel(RepaymentModelOptions options)
+    : options_(options) {
+  EQIMPACT_CHECK_GT(options_.income_multiple, 0.0);
+  EQIMPACT_CHECK_GE(options_.annual_rate, 0.0);
+  EQIMPACT_CHECK_GE(options_.living_cost, 0.0);
+  EQIMPACT_CHECK_GT(options_.sensitivity, 0.0);
+}
+
+double RepaymentModel::SurplusShare(double income) const {
+  return SurplusShareForAmount(income, options_.income_multiple * income);
+}
+
+double RepaymentModel::SurplusShareForAmount(double income,
+                                             double mortgage_amount) const {
+  EQIMPACT_CHECK_GT(income, 0.0);
+  return (income - options_.living_cost -
+          options_.annual_rate * mortgage_amount) /
+         income;
+}
+
+double RepaymentModel::RepaymentProbability(double income) const {
+  return RepaymentProbabilityForAmount(income,
+                                       options_.income_multiple * income);
+}
+
+double RepaymentModel::RepaymentProbabilityForAmount(
+    double income, double mortgage_amount) const {
+  double x = SurplusShareForAmount(income, mortgage_amount);
+  if (x <= 0.0) return 0.0;
+  return rng::StandardNormalCdf(options_.sensitivity * x);
+}
+
+bool RepaymentModel::SimulateRepayment(double income, bool offered,
+                                       rng::Random* random) const {
+  return SimulateRepaymentForAmount(
+      income, options_.income_multiple * income, offered, random);
+}
+
+bool RepaymentModel::SimulateRepaymentForAmount(double income,
+                                                double mortgage_amount,
+                                                bool offered,
+                                                rng::Random* random) const {
+  if (!offered) return false;
+  double p = RepaymentProbabilityForAmount(income, mortgage_amount);
+  if (p <= 0.0) return false;
+  return random->Bernoulli(p);
+}
+
+double RepaymentModel::MaxAffordableMortgage(double income,
+                                             double target_probability) const {
+  EQIMPACT_CHECK_GT(income, 0.0);
+  EQIMPACT_CHECK(target_probability > 0.0 && target_probability < 1.0);
+  double required_x = rng::StandardNormalQuantile(target_probability) /
+                      options_.sensitivity;
+  if (options_.annual_rate <= 0.0) {
+    // Free credit: affordable iff the surplus condition already holds.
+    return SurplusShare(income) >= required_x ? 1e9 : 0.0;
+  }
+  double amount =
+      (income - options_.living_cost - required_x * income) /
+      options_.annual_rate;
+  return amount > 0.0 ? amount : 0.0;
+}
+
+}  // namespace credit
+}  // namespace eqimpact

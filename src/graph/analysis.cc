@@ -1,0 +1,156 @@
+#include "graph/analysis.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace eqimpact {
+namespace graph {
+
+SccResult StronglyConnectedComponents(const Digraph& g) {
+  const size_t n = g.num_vertices();
+  constexpr size_t kUnvisited = static_cast<size_t>(-1);
+
+  SccResult result;
+  result.component_of.assign(n, kUnvisited);
+
+  std::vector<size_t> index(n, kUnvisited);
+  std::vector<size_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  size_t next_index = 0;
+
+  // Explicit DFS frames: (vertex, next successor position).
+  struct Frame {
+    size_t vertex;
+    size_t edge_pos;
+  };
+  std::vector<Frame> dfs;
+
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const std::vector<size_t>& successors = g.Successors(frame.vertex);
+      if (frame.edge_pos < successors.size()) {
+        size_t w = successors[frame.edge_pos++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[frame.vertex] = std::min(lowlink[frame.vertex], index[w]);
+        }
+      } else {
+        size_t v = frame.vertex;
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          lowlink[dfs.back().vertex] =
+              std::min(lowlink[dfs.back().vertex], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          // v is the root of an SCC: pop it off the Tarjan stack.
+          std::vector<size_t> component;
+          while (true) {
+            size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component_of[w] = result.components.size();
+            component.push_back(w);
+            if (w == v) break;
+          }
+          result.components.push_back(std::move(component));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool IsStronglyConnected(const Digraph& g) {
+  if (g.num_vertices() == 0) return false;
+  return StronglyConnectedComponents(g).components.size() == 1;
+}
+
+size_t Period(const Digraph& g) {
+  EQIMPACT_CHECK(IsStronglyConnected(g));
+  EQIMPACT_CHECK_GT(g.num_edges(), 0u);
+  const size_t n = g.num_vertices();
+
+  // BFS levels from vertex 0; every edge (u, v) closes a pseudo-cycle of
+  // length level[u] + 1 - level[v], and the period is the gcd of these.
+  constexpr long long kUnset = -1;
+  std::vector<long long> level(n, kUnset);
+  std::vector<size_t> queue;
+  queue.push_back(0);
+  level[0] = 0;
+  size_t g_period = 0;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    size_t u = queue[head];
+    for (size_t v : g.Successors(u)) {
+      if (level[v] == kUnset) {
+        level[v] = level[u] + 1;
+        queue.push_back(v);
+      } else {
+        long long delta = level[u] + 1 - level[v];
+        if (delta != 0) {
+          g_period = std::gcd(g_period, static_cast<size_t>(
+                                            delta < 0 ? -delta : delta));
+        }
+      }
+    }
+  }
+  // A strongly connected graph with edges always has at least one cycle,
+  // so some non-zero delta was found.
+  EQIMPACT_CHECK_GT(g_period, 0u);
+  return g_period;
+}
+
+bool IsPrimitive(const Digraph& g) {
+  if (!IsStronglyConnected(g)) return false;
+  if (g.num_edges() == 0) return false;
+  return Period(g) == 1;
+}
+
+size_t PrimitivityExponent(const Digraph& g, size_t limit) {
+  const size_t n = g.num_vertices();
+  EQIMPACT_CHECK_GT(n, 0u);
+  if (limit == 0) limit = (n - 1) * (n - 1) + 1;  // Wielandt's bound.
+
+  std::vector<std::vector<bool>> power = g.AdjacencyMatrix();
+  const std::vector<std::vector<bool>> adjacency = power;
+  for (size_t k = 1; k <= limit; ++k) {
+    bool all_positive = true;
+    for (size_t r = 0; r < n && all_positive; ++r) {
+      for (size_t c = 0; c < n; ++c) {
+        if (!power[r][c]) {
+          all_positive = false;
+          break;
+        }
+      }
+    }
+    if (all_positive) return k;
+    // power <- power * adjacency (boolean product).
+    std::vector<std::vector<bool>> next(n, std::vector<bool>(n, false));
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t m = 0; m < n; ++m) {
+        if (!power[r][m]) continue;
+        for (size_t c = 0; c < n; ++c) {
+          if (adjacency[m][c]) next[r][c] = true;
+        }
+      }
+    }
+    power = std::move(next);
+  }
+  return 0;
+}
+
+}  // namespace graph
+}  // namespace eqimpact

@@ -1,0 +1,56 @@
+#ifndef EQIMPACT_GRAPH_ANALYSIS_H_
+#define EQIMPACT_GRAPH_ANALYSIS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace eqimpact {
+namespace graph {
+
+/// Strongly connected components of `g`, found with Tarjan's algorithm
+/// (iterative, so deep graphs cannot overflow the stack).
+///
+/// `component_of[v]` gives the component index of vertex `v`; components
+/// are numbered in reverse topological order of the condensation (i.e. a
+/// component only has edges into lower-numbered... see note below).
+struct SccResult {
+  /// Component index per vertex.
+  std::vector<size_t> component_of;
+  /// Vertices per component.
+  std::vector<std::vector<size_t>> components;
+};
+
+/// Computes the strongly connected components of `g`.
+SccResult StronglyConnectedComponents(const Digraph& g);
+
+/// True if `g` is strongly connected (one SCC covering every vertex).
+/// This is the paper's irreducibility requirement for the Markov system's
+/// graph (Section VI: "when the graph G = (X, E) is strongly connected,
+/// there exists an invariant measure").
+bool IsStronglyConnected(const Digraph& g);
+
+/// Period of a strongly connected graph: the gcd of all cycle lengths.
+/// CHECK-fails if `g` is not strongly connected or has no edges.
+/// A strongly connected graph is *aperiodic* iff its period is 1.
+size_t Period(const Digraph& g);
+
+/// True if `g` is strongly connected with period 1. For the boolean
+/// adjacency matrix this is exactly primitivity: some power of the matrix
+/// is entry-wise positive. The paper's Section VI uses primitivity of the
+/// adjacency matrix as the certificate for a *unique, attractive*
+/// invariant measure.
+bool IsPrimitive(const Digraph& g);
+
+/// Direct primitivity witness: the smallest exponent k <= limit such that
+/// every entry of A^k is positive, or 0 if none exists up to `limit`.
+/// The Wielandt bound (n-1)^2 + 1 is the default limit. Quadratic-cubic
+/// cost; intended for the small graphs of Markov systems and for
+/// cross-checking IsPrimitive in tests.
+size_t PrimitivityExponent(const Digraph& g, size_t limit = 0);
+
+}  // namespace graph
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_GRAPH_ANALYSIS_H_

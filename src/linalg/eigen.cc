@@ -1,0 +1,150 @@
+#include "linalg/eigen.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "linalg/solve.h"
+
+namespace eqimpact {
+namespace linalg {
+
+PowerIterationResult PowerIteration(const Matrix& a, int max_iterations,
+                                    double tolerance) {
+  EQIMPACT_CHECK_EQ(a.rows(), a.cols());
+  EQIMPACT_CHECK_GT(a.rows(), 0u);
+  const size_t n = a.rows();
+
+  PowerIterationResult result;
+  // Deterministic, non-degenerate start vector: slightly tilted uniform so
+  // it is unlikely to be orthogonal to the dominant eigenvector.
+  Vector x(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = 1.0 + 0.001 * static_cast<double>(i + 1);
+  }
+  x /= x.Norm2();
+
+  double lambda = 0.0;
+  for (int it = 0; it < max_iterations; ++it) {
+    Vector next = a * x;
+    double norm = next.Norm2();
+    if (norm == 0.0) {
+      // x is in the kernel: eigenvalue 0 with eigenvector x.
+      result.eigenvalue = 0.0;
+      result.eigenvector = x;
+      result.iterations = it + 1;
+      result.converged = true;
+      return result;
+    }
+    next /= norm;
+    double new_lambda = Dot(next, a * next);
+    double drift = MaxAbsDiff(next, x);
+    // The eigenvector of a negative or complex-dominant mode flips sign each
+    // step; also track the flipped distance so real negative eigenvalues
+    // converge.
+    Vector flipped = next;
+    flipped *= -1.0;
+    drift = std::min(drift, MaxAbsDiff(flipped, x));
+    x = next;
+    if (std::fabs(new_lambda - lambda) <= tolerance && drift <= tolerance) {
+      result.eigenvalue = new_lambda;
+      result.eigenvector = x;
+      result.iterations = it + 1;
+      result.converged = true;
+      return result;
+    }
+    lambda = new_lambda;
+  }
+  result.eigenvalue = lambda;
+  result.eigenvector = x;
+  result.iterations = max_iterations;
+  result.converged = false;
+  return result;
+}
+
+double SpectralRadius(const Matrix& a, int max_squarings, double tolerance) {
+  EQIMPACT_CHECK_EQ(a.rows(), a.cols());
+  EQIMPACT_CHECK_GT(a.rows(), 0u);
+  // Gelfand's formula with the induced infinity norm (max absolute row
+  // sum), which is submultiplicative: ||A^(2^m)||^(1/2^m) -> rho(A).
+  // Renormalise before each squaring and accumulate the log-scale so very
+  // large or tiny powers cannot overflow.
+  auto row_sum_norm = [](const Matrix& m) {
+    double best = 0.0;
+    for (size_t r = 0; r < m.rows(); ++r) {
+      double sum = 0.0;
+      for (size_t c = 0; c < m.cols(); ++c) sum += std::fabs(m(r, c));
+      best = std::max(best, sum);
+    }
+    return best;
+  };
+
+  Matrix power = a;
+  double log_scale = 0.0;  // log of the factor divided out so far.
+  double previous_estimate = -1.0;
+  for (int m = 0; m < max_squarings; ++m) {
+    double norm = row_sum_norm(power);
+    if (norm == 0.0) return 0.0;  // Nilpotent.
+    double exponent = std::pow(2.0, m);
+    double estimate = std::exp((log_scale + std::log(norm)) / exponent);
+    if (m > 0 && std::fabs(estimate - previous_estimate) <=
+                     tolerance * std::max(1.0, estimate)) {
+      return estimate;
+    }
+    previous_estimate = estimate;
+    Matrix scaled = power * (1.0 / norm);
+    power = scaled * scaled;
+    log_scale = 2.0 * (log_scale + std::log(norm));
+  }
+  return previous_estimate;
+}
+
+std::optional<Vector> StationaryDistribution(const Matrix& transition) {
+  EQIMPACT_CHECK_EQ(transition.rows(), transition.cols());
+  const size_t n = transition.rows();
+  EQIMPACT_CHECK_GT(n, 0u);
+  EQIMPACT_CHECK(transition.IsRowStochastic(1e-7));
+
+  // Solve pi (P - I) = 0 with sum(pi) = 1: replace the last equation of the
+  // transposed system with the normalisation row.
+  Matrix system(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      system(r, c) = transition(c, r) - (r == c ? 1.0 : 0.0);
+    }
+  }
+  for (size_t c = 0; c < n; ++c) system(n - 1, c) = 1.0;
+  Vector rhs(n);
+  rhs[n - 1] = 1.0;
+
+  std::optional<Vector> pi = Solve(system, rhs);
+  if (!pi.has_value()) return std::nullopt;
+  // Clip the tiny negative round-off and renormalise.
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if ((*pi)[i] < 0.0) {
+      if ((*pi)[i] < -1e-9) return std::nullopt;  // Genuinely negative: fail.
+      (*pi)[i] = 0.0;
+    }
+    total += (*pi)[i];
+  }
+  if (total <= 0.0) return std::nullopt;
+  *pi /= total;
+  return pi;
+}
+
+std::optional<Vector> StationaryDistributionByIteration(
+    const Matrix& transition, const Vector& initial, int max_iterations,
+    double tolerance) {
+  EQIMPACT_CHECK_EQ(transition.rows(), transition.cols());
+  EQIMPACT_CHECK_EQ(initial.size(), transition.rows());
+  Vector pi = initial;
+  for (int it = 0; it < max_iterations; ++it) {
+    Vector next = MultiplyLeft(pi, transition);
+    if (MaxAbsDiff(next, pi) <= tolerance) return next;
+    pi = next;
+  }
+  return std::nullopt;
+}
+
+}  // namespace linalg
+}  // namespace eqimpact

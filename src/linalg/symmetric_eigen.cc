@@ -1,0 +1,106 @@
+#include "linalg/symmetric_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace eqimpact {
+namespace linalg {
+
+SymmetricEigenResult JacobiEigen(const Matrix& a, int max_sweeps,
+                                 double tolerance) {
+  EQIMPACT_CHECK_EQ(a.rows(), a.cols());
+  const size_t n = a.rows();
+  EQIMPACT_CHECK_GT(n, 0u);
+  double scale = std::max(a.NormInf(), 1.0);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = r + 1; c < n; ++c) {
+      EQIMPACT_CHECK(std::fabs(a(r, c) - a(c, r)) <= 1e-9 * scale);
+    }
+  }
+
+  Matrix d = a;                       // Will converge to diagonal.
+  Matrix v = Matrix::Identity(n);     // Accumulated rotations.
+  SymmetricEigenResult result;
+
+  auto off_diagonal_norm = [&d, n]() {
+    double sum = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = r + 1; c < n; ++c) sum += d(r, c) * d(r, c);
+    }
+    return std::sqrt(sum);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    result.sweeps = sweep + 1;
+    if (off_diagonal_norm() <= tolerance * scale) {
+      result.converged = true;
+      break;
+    }
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double apq = d(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        // Classic Jacobi rotation annihilating d(p, q).
+        double theta = (d(q, q) - d(p, p)) / (2.0 * apq);
+        double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        for (size_t k = 0; k < n; ++k) {
+          double dkp = d(k, p), dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double dpk = d(p, k), dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (!result.converged && off_diagonal_norm() <= tolerance * scale) {
+    result.converged = true;
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&d](size_t x, size_t y) { return d(x, x) > d(y, y); });
+  result.eigenvalues = Vector(n);
+  result.eigenvectors = Matrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    result.eigenvalues[j] = d(order[j], order[j]);
+    for (size_t i = 0; i < n; ++i) {
+      result.eigenvectors(i, j) = v(i, order[j]);
+    }
+  }
+  return result;
+}
+
+double SpectralNorm(const Matrix& a) {
+  EQIMPACT_CHECK_GT(a.rows(), 0u);
+  EQIMPACT_CHECK_GT(a.cols(), 0u);
+  Matrix gram = a.Transposed() * a;
+  // Round-off can leave the Gram matrix very slightly asymmetric.
+  for (size_t r = 0; r < gram.rows(); ++r) {
+    for (size_t c = r + 1; c < gram.cols(); ++c) {
+      double mean = 0.5 * (gram(r, c) + gram(c, r));
+      gram(r, c) = gram(c, r) = mean;
+    }
+  }
+  SymmetricEigenResult eigen = JacobiEigen(gram);
+  return std::sqrt(std::max(eigen.eigenvalues[0], 0.0));
+}
+
+}  // namespace linalg
+}  // namespace eqimpact

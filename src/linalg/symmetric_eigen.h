@@ -1,0 +1,39 @@
+#ifndef EQIMPACT_LINALG_SYMMETRIC_EIGEN_H_
+#define EQIMPACT_LINALG_SYMMETRIC_EIGEN_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace eqimpact {
+namespace linalg {
+
+/// Full eigendecomposition of a symmetric matrix.
+struct SymmetricEigenResult {
+  /// Eigenvalues in descending order.
+  Vector eigenvalues;
+  /// Orthonormal eigenvectors as matrix columns, aligned with
+  /// `eigenvalues`.
+  Matrix eigenvectors;
+  /// Number of Jacobi sweeps performed.
+  int sweeps = 0;
+  /// True if the off-diagonal mass dropped below the tolerance.
+  bool converged = false;
+};
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix. Quadratically
+/// convergent and unconditionally stable; unlike power iteration it
+/// returns *all* eigenvalues, including clustered and negative ones.
+/// CHECK-fails if `a` is not square or not symmetric (within 1e-9 of the
+/// matrix scale).
+SymmetricEigenResult JacobiEigen(const Matrix& a, int max_sweeps = 64,
+                                 double tolerance = 1e-12);
+
+/// Spectral (operator-2) norm of an arbitrary rectangular matrix:
+/// sqrt(lambda_max(A^T A)) via the Jacobi decomposition of the Gram
+/// matrix. This is the exact Lipschitz constant of x -> A x.
+double SpectralNorm(const Matrix& a);
+
+}  // namespace linalg
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_LINALG_SYMMETRIC_EIGEN_H_

@@ -1,0 +1,118 @@
+#include "market/matching_market.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/check.h"
+#include "rng/random.h"
+#include "stats/time_series.h"
+
+namespace eqimpact {
+namespace market {
+
+MatchingMarketResult RunMatchingMarket(MatchingRule rule,
+                                       const MatchingMarketOptions& options) {
+  EQIMPACT_CHECK_GT(options.num_workers, 0u);
+  EQIMPACT_CHECK(options.capacity_fraction > 0.0 &&
+                 options.capacity_fraction <= 1.0);
+  EQIMPACT_CHECK(options.exploration >= 0.0 && options.exploration <= 1.0);
+  EQIMPACT_CHECK_GT(options.rounds, 0u);
+  EQIMPACT_CHECK(options.base_skill > 0.0 && options.base_skill < 1.0);
+  EQIMPACT_CHECK_GE(options.prior_weight, 0.0);
+
+  const size_t n = options.num_workers;
+  const size_t capacity = std::max<size_t>(
+      1, static_cast<size_t>(options.capacity_fraction *
+                             static_cast<double>(n)));
+
+  rng::Random skill_rng(rng::DeriveSeed(options.seed, 0));
+  rng::Random match_rng(rng::DeriveSeed(options.seed, 1));
+  rng::Random outcome_rng(rng::DeriveSeed(options.seed, 2));
+
+  MatchingMarketResult result;
+  result.skill.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    result.skill[i] = options.heterogeneous_skill
+                          ? skill_rng.UniformDouble(0.3, 0.9)
+                          : options.base_skill;
+  }
+
+  // Rating filter state: Bayesian running average with a prior.
+  std::vector<double> rating_count(n, options.prior_weight);
+  std::vector<double> rating_sum(n, options.prior_weight * options.prior_mean);
+  std::vector<int64_t> matches(n, 0);
+
+  std::vector<size_t> order(n);
+  std::vector<bool> matched(n);
+  for (size_t round = 0; round < options.rounds; ++round) {
+    std::fill(matched.begin(), matched.end(), false);
+
+    // How much of the capacity is allocated by reputation vs lottery.
+    size_t explore_slots = 0;
+    switch (rule) {
+      case MatchingRule::kTopScore:
+        explore_slots = 0;
+        break;
+      case MatchingRule::kEpsilonGreedy:
+        explore_slots = static_cast<size_t>(options.exploration *
+                                            static_cast<double>(capacity));
+        break;
+      case MatchingRule::kUniformRandom:
+        explore_slots = capacity;
+        break;
+    }
+    const size_t exploit_slots = capacity - explore_slots;
+
+    // Exploitation: the highest-reputation workers, random tie-break.
+    std::iota(order.begin(), order.end(), 0u);
+    match_rng.Shuffle(&order);  // Random tie-break before the stable sort.
+    std::stable_sort(order.begin(), order.end(),
+                     [&rating_sum, &rating_count](size_t a, size_t b) {
+                       return rating_sum[a] / rating_count[a] >
+                              rating_sum[b] / rating_count[b];
+                     });
+    size_t filled = 0;
+    for (size_t rank = 0; rank < n && filled < exploit_slots; ++rank) {
+      matched[order[rank]] = true;
+      ++filled;
+    }
+    // Exploration: uniform lottery over the not-yet-matched workers.
+    if (explore_slots > 0) {
+      std::vector<size_t> pool;
+      pool.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (!matched[i]) pool.push_back(i);
+      }
+      match_rng.Shuffle(&pool);
+      for (size_t s = 0; s < explore_slots && s < pool.size(); ++s) {
+        matched[pool[s]] = true;
+      }
+    }
+
+    // Outcomes and the rating filter update (only matched workers are
+    // rated — the loop's self-selection).
+    for (size_t i = 0; i < n; ++i) {
+      if (!matched[i]) continue;
+      ++matches[i];
+      bool success = outcome_rng.Bernoulli(result.skill[i]);
+      rating_count[i] += 1.0;
+      rating_sum[i] += success ? 1.0 : 0.0;
+    }
+  }
+
+  result.match_rate.resize(n);
+  result.reputation.resize(n);
+  double total_rate = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.match_rate[i] = static_cast<double>(matches[i]) /
+                           static_cast<double>(options.rounds);
+    result.reputation[i] = rating_sum[i] / rating_count[i];
+    total_rate += result.match_rate[i];
+  }
+  result.mean_match_rate = total_rate / static_cast<double>(n);
+  result.match_rate_gini = stats::GiniCoefficient(result.match_rate);
+  return result;
+}
+
+}  // namespace market
+}  // namespace eqimpact

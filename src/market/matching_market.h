@@ -1,0 +1,76 @@
+#ifndef EQIMPACT_MARKET_MATCHING_MARKET_H_
+#define EQIMPACT_MARKET_MATCHING_MARKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace eqimpact {
+namespace market {
+
+/// How the platform allocates its per-round capacity.
+enum class MatchingRule {
+  /// Pure exploitation: the highest-reputation workers get every job.
+  /// The closed loop then locks in early luck: unrated or unlucky
+  /// workers never work again, their time-average match rate depends on
+  /// the initial randomness — equal impact fails even among workers of
+  /// identical skill.
+  kTopScore,
+  /// Epsilon-greedy: a fraction of the capacity is allocated uniformly
+  /// at random (exploration), the rest by reputation. The randomised
+  /// component keeps the loop uniquely ergodic, restoring equal impact
+  /// within skill classes — the market analogue of the stable randomized
+  /// broadcast in the ensemble-control experiments.
+  kEpsilonGreedy,
+  /// Pure lottery: capacity allocated uniformly at random. Maximal
+  /// equality, no use of reputation at all.
+  kUniformRandom,
+};
+
+/// Configuration of the matching-market closed loop — the paper's
+/// "matches in a two-sided market" instantiation of Figure 1: the AI
+/// system is the reputation ranker, the output pi(k) is the matching,
+/// the user responses are the match outcomes, and the filter is the
+/// rating average feeding the next round's ranking.
+struct MatchingMarketOptions {
+  size_t num_workers = 200;
+  /// Jobs per round as a fraction of the worker pool.
+  double capacity_fraction = 0.5;
+  /// Exploration fraction for kEpsilonGreedy.
+  double exploration = 0.1;
+  /// Bayesian prior pseudo-ratings for a cold-start worker.
+  double prior_weight = 1.0;
+  double prior_mean = 0.5;
+  /// Number of rounds to simulate.
+  size_t rounds = 500;
+  /// All workers share this success probability ("skill") unless
+  /// heterogeneous_skill is set; with equal skill, any long-run
+  /// dispersion in match rates is produced by the loop itself.
+  double base_skill = 0.6;
+  bool heterogeneous_skill = false;
+  /// Seed; the sampled skills, matchings and outcomes derive from it.
+  uint64_t seed = 0;
+};
+
+/// Result of one market simulation.
+struct MatchingMarketResult {
+  /// Time-average match rate per worker (the equal-impact quantity r_i).
+  std::vector<double> match_rate;
+  /// Final reputation per worker.
+  std::vector<double> reputation;
+  /// Hidden skill per worker.
+  std::vector<double> skill;
+  /// Gini coefficient of the match rates (0 = equal access).
+  double match_rate_gini = 0.0;
+  /// Mean match rate (= capacity fraction up to rounding).
+  double mean_match_rate = 0.0;
+};
+
+/// Runs the matching-market closed loop. Deterministic in options.seed.
+MatchingMarketResult RunMatchingMarket(MatchingRule rule,
+                                       const MatchingMarketOptions& options);
+
+}  // namespace market
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_MARKET_MATCHING_MARKET_H_

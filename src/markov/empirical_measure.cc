@@ -1,0 +1,114 @@
+#include "markov/empirical_measure.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace eqimpact {
+namespace markov {
+
+EmpiricalMeasure::EmpiricalMeasure(std::vector<double> samples)
+    : samples_(std::move(samples)) {
+  EQIMPACT_CHECK(!samples_.empty());
+  std::sort(samples_.begin(), samples_.end());
+}
+
+double EmpiricalMeasure::Cdf(double x) const {
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalMeasure::Quantile(double p) const {
+  EQIMPACT_CHECK(p >= 0.0 && p <= 1.0);
+  if (p <= 0.0) return samples_.front();
+  size_t index = static_cast<size_t>(
+      std::ceil(p * static_cast<double>(samples_.size()))) - 1;
+  index = std::min(index, samples_.size() - 1);
+  return samples_[index];
+}
+
+double EmpiricalMeasure::Mean() const {
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double EmpiricalMeasure::Variance() const {
+  if (samples_.size() < 2) return 0.0;
+  double mean = Mean();
+  double sum = 0.0;
+  for (double s : samples_) sum += (s - mean) * (s - mean);
+  return sum / static_cast<double>(samples_.size() - 1);
+}
+
+double KolmogorovDistance(const EmpiricalMeasure& a,
+                          const EmpiricalMeasure& b) {
+  // Sweep the union of jump points.
+  double best = 0.0;
+  size_t ia = 0, ib = 0;
+  const auto& sa = a.sorted_samples();
+  const auto& sb = b.sorted_samples();
+  while (ia < sa.size() || ib < sb.size()) {
+    double x;
+    if (ib >= sb.size() || (ia < sa.size() && sa[ia] <= sb[ib])) {
+      x = sa[ia];
+    } else {
+      x = sb[ib];
+    }
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    double fa = static_cast<double>(ia) / static_cast<double>(sa.size());
+    double fb = static_cast<double>(ib) / static_cast<double>(sb.size());
+    best = std::max(best, std::fabs(fa - fb));
+  }
+  return best;
+}
+
+double Wasserstein1Distance(const EmpiricalMeasure& a,
+                            const EmpiricalMeasure& b) {
+  // W1 = integral |F_a(x) - F_b(x)| dx: both CDFs are constant between
+  // consecutive points of the merged sample, so the integral is a finite
+  // sum over merged intervals.
+  const auto& sa = a.sorted_samples();
+  const auto& sb = b.sorted_samples();
+  std::vector<double> merged;
+  merged.reserve(sa.size() + sb.size());
+  merged.insert(merged.end(), sa.begin(), sa.end());
+  merged.insert(merged.end(), sb.begin(), sb.end());
+  std::sort(merged.begin(), merged.end());
+
+  double distance = 0.0;
+  size_t ia = 0, ib = 0;
+  for (size_t k = 0; k + 1 < merged.size(); ++k) {
+    double x = merged[k];
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    double fa = static_cast<double>(ia) / static_cast<double>(sa.size());
+    double fb = static_cast<double>(ib) / static_cast<double>(sb.size());
+    distance += std::fabs(fa - fb) * (merged[k + 1] - merged[k]);
+  }
+  return distance;
+}
+
+EmpiricalMeasure ApproximateInvariantMeasure(const AffineIfs& ifs,
+                                             double x0, size_t samples,
+                                             size_t burn_in, size_t thinning,
+                                             rng::Random* random) {
+  EQIMPACT_CHECK_EQ(ifs.dimension(), 1u);
+  EQIMPACT_CHECK_GT(samples, 0u);
+  EQIMPACT_CHECK_GT(thinning, 0u);
+  linalg::Vector x{x0};
+  for (size_t k = 0; k < burn_in; ++k) x = ifs.Step(x, random);
+  std::vector<double> collected;
+  collected.reserve(samples);
+  while (collected.size() < samples) {
+    for (size_t t = 0; t < thinning; ++t) x = ifs.Step(x, random);
+    collected.push_back(x[0]);
+  }
+  return EmpiricalMeasure(std::move(collected));
+}
+
+}  // namespace markov
+}  // namespace eqimpact

@@ -1,0 +1,68 @@
+#ifndef EQIMPACT_MARKOV_EMPIRICAL_MEASURE_H_
+#define EQIMPACT_MARKOV_EMPIRICAL_MEASURE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/affine_ifs.h"
+#include "rng/random.h"
+
+namespace eqimpact {
+namespace markov {
+
+/// Empirical probability measure on R from a finite sample.
+///
+/// The paper's equal-impact condition is convergence of the loop's
+/// occupation measures to the unique invariant measure; this class makes
+/// those measures concrete objects with CDFs, quantiles, moments and two
+/// metrics (Kolmogorov and Wasserstein-1) for quantifying weak
+/// convergence.
+class EmpiricalMeasure {
+ public:
+  /// Builds the measure from `samples` (copied, then sorted);
+  /// CHECK-fails on an empty sample.
+  explicit EmpiricalMeasure(std::vector<double> samples);
+
+  size_t size() const { return samples_.size(); }
+  const std::vector<double>& sorted_samples() const { return samples_; }
+
+  /// Right-continuous empirical CDF F(x) = #{s <= x} / n.
+  double Cdf(double x) const;
+
+  /// Empirical quantile (inverse CDF), p in [0, 1].
+  double Quantile(double p) const;
+
+  double Mean() const;
+  double Variance() const;
+  double Min() const { return samples_.front(); }
+  double Max() const { return samples_.back(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Kolmogorov (sup-CDF) distance between two empirical measures.
+double KolmogorovDistance(const EmpiricalMeasure& a,
+                          const EmpiricalMeasure& b);
+
+/// Wasserstein-1 (earth mover) distance: integral of |F_a - F_b| over R,
+/// computed exactly from the merged samples in O((n + m) log(n + m)).
+/// The natural metric for "how far is the loop's occupation measure from
+/// the invariant measure" because it metrises weak convergence (plus
+/// first moments) on the real line.
+double Wasserstein1Distance(const EmpiricalMeasure& a,
+                            const EmpiricalMeasure& b);
+
+/// Approximates the invariant measure of a (one-dimensional) IFS by the
+/// chaos game: simulate one long trajectory, discard `burn_in` states,
+/// keep every `thinning`-th state until `samples` are collected.
+/// CHECK-fails unless the IFS is one-dimensional.
+EmpiricalMeasure ApproximateInvariantMeasure(const AffineIfs& ifs,
+                                             double x0, size_t samples,
+                                             size_t burn_in, size_t thinning,
+                                             rng::Random* random);
+
+}  // namespace markov
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_MARKOV_EMPIRICAL_MEASURE_H_

@@ -1,0 +1,149 @@
+#include "markov/markov_system.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "graph/analysis.h"
+#include "rng/categorical.h"
+
+namespace eqimpact {
+namespace markov {
+
+MarkovSystem::MarkovSystem(size_t num_vertices, CellFn cell_of)
+    : num_vertices_(num_vertices),
+      cell_of_(std::move(cell_of)),
+      out_edges_(num_vertices) {
+  EQIMPACT_CHECK_GT(num_vertices_, 0u);
+  EQIMPACT_CHECK(cell_of_ != nullptr);
+}
+
+size_t MarkovSystem::AddEdge(size_t from, size_t to, Map w, ProbabilityFn p) {
+  EQIMPACT_CHECK_LT(from, num_vertices_);
+  EQIMPACT_CHECK_LT(to, num_vertices_);
+  EQIMPACT_CHECK(w != nullptr);
+  EQIMPACT_CHECK(p != nullptr);
+  size_t id = edges_.size();
+  edges_.push_back(Edge{from, to, std::move(w), std::move(p)});
+  out_edges_[from].push_back(id);
+  return id;
+}
+
+size_t MarkovSystem::CellOf(const linalg::Vector& x) const {
+  size_t cell = cell_of_(x);
+  EQIMPACT_CHECK_LT(cell, num_vertices_);
+  return cell;
+}
+
+bool MarkovSystem::ProbabilitiesNormalisedAt(const linalg::Vector& x,
+                                             double tolerance) const {
+  size_t cell = CellOf(x);
+  double total = 0.0;
+  for (size_t e : out_edges_[cell]) {
+    double p = edges_[e].probability(x);
+    if (p < -tolerance) return false;
+    total += p;
+  }
+  return std::fabs(total - 1.0) <= tolerance;
+}
+
+linalg::Vector MarkovSystem::Step(const linalg::Vector& x,
+                                  rng::Random* random) const {
+  size_t cell = CellOf(x);
+  const std::vector<size_t>& candidates = out_edges_[cell];
+  EQIMPACT_CHECK(!candidates.empty());
+  std::vector<double> weights(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    weights[i] = edges_[candidates[i]].probability(x);
+  }
+  size_t choice = rng::SampleCategorical(weights, random);
+  const Edge& edge = edges_[candidates[choice]];
+  linalg::Vector next = edge.map(x);
+  // The map must respect the partition: w_e(X_{i(e)}) subset X_{t(e)}.
+  EQIMPACT_CHECK_EQ(CellOf(next), edge.to);
+  return next;
+}
+
+std::vector<linalg::Vector> MarkovSystem::Trajectory(
+    const linalg::Vector& x0, size_t steps, rng::Random* random) const {
+  std::vector<linalg::Vector> path;
+  path.reserve(steps + 1);
+  path.push_back(x0);
+  linalg::Vector x = x0;
+  for (size_t k = 0; k < steps; ++k) {
+    x = Step(x, random);
+    path.push_back(x);
+  }
+  return path;
+}
+
+double MarkovSystem::TimeAverage(
+    const linalg::Vector& x0, size_t steps, size_t burn_in,
+    const std::function<double(const linalg::Vector&)>& f,
+    rng::Random* random) const {
+  EQIMPACT_CHECK_GT(steps, burn_in);
+  linalg::Vector x = x0;
+  double sum = 0.0;
+  size_t counted = 0;
+  for (size_t k = 0; k <= steps; ++k) {
+    if (k >= burn_in) {
+      sum += f(x);
+      ++counted;
+    }
+    if (k < steps) x = Step(x, random);
+  }
+  return sum / static_cast<double>(counted);
+}
+
+double MarkovSystem::ApplyOperator(
+    const std::function<double(const linalg::Vector&)>& f,
+    const linalg::Vector& x) const {
+  size_t cell = CellOf(x);
+  double value = 0.0;
+  for (size_t e : out_edges_[cell]) {
+    const Edge& edge = edges_[e];
+    double p = edge.probability(x);
+    if (p > 0.0) value += p * f(edge.map(x));
+  }
+  return value;
+}
+
+graph::Digraph MarkovSystem::VertexGraph() const {
+  graph::Digraph g(num_vertices_);
+  for (const Edge& edge : edges_) g.AddEdge(edge.from, edge.to);
+  return g;
+}
+
+bool MarkovSystem::IsIrreducible() const {
+  return graph::IsStronglyConnected(VertexGraph());
+}
+
+bool MarkovSystem::IsAperiodic() const {
+  graph::Digraph g = VertexGraph();
+  return graph::IsPrimitive(g);
+}
+
+double MarkovSystem::EstimateContractionFactor(
+    const std::function<std::pair<linalg::Vector, linalg::Vector>(
+        rng::Random*)>& sampler,
+    size_t pairs, rng::Random* random) const {
+  EQIMPACT_CHECK_GT(pairs, 0u);
+  double worst = 0.0;
+  for (size_t n = 0; n < pairs; ++n) {
+    auto [x, y] = sampler(random);
+    size_t cell = CellOf(x);
+    EQIMPACT_CHECK_EQ(CellOf(y), cell);
+    double distance = (x - y).Norm2();
+    if (distance == 0.0) continue;
+    double transported = 0.0;
+    for (size_t e : out_edges_[cell]) {
+      const Edge& edge = edges_[e];
+      double p = edge.probability(x);
+      if (p > 0.0) transported += p * (edge.map(x) - edge.map(y)).Norm2();
+    }
+    worst = std::max(worst, transported / distance);
+  }
+  return worst;
+}
+
+}  // namespace markov
+}  // namespace eqimpact

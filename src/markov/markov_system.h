@@ -1,0 +1,115 @@
+#ifndef EQIMPACT_MARKOV_MARKOV_SYSTEM_H_
+#define EQIMPACT_MARKOV_MARKOV_SYSTEM_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "linalg/vector.h"
+#include "rng/random.h"
+
+namespace eqimpact {
+namespace markov {
+
+/// Werner-style Markov system (paper appendix, Figure 6).
+///
+/// A family (X_{i(e)}, w_e, p_e)_{e in E} over a finite directed multigraph
+/// with vertex set {1..N}: the metric space X is partitioned into Borel
+/// cells X_1, ..., X_N; each edge e carries a Borel map
+/// w_e : X_{i(e)} -> X_{t(e)} and a probability weight p_e(x) >= 0 with
+/// sum_{e out of i} p_e(x) = 1 for all x in X_i. The induced Markov
+/// operator is P f(x) = sum_e p_e(x) f(w_e(x)).
+///
+/// The paper's Section VI reduction: if the graph is strongly connected an
+/// invariant measure exists; if the adjacency matrix is moreover primitive
+/// the invariant measure is attractive and the system uniquely ergodic
+/// (given average contractivity, cf. Werner 2004). This class provides
+/// the structure, the simulation, the graph-side certificates and a
+/// Monte-Carlo average-contractivity probe; exact contraction constants
+/// for affine systems live in `AffineIfs`.
+class MarkovSystem {
+ public:
+  using Map = std::function<linalg::Vector(const linalg::Vector&)>;
+  using ProbabilityFn = std::function<double(const linalg::Vector&)>;
+  using CellFn = std::function<size_t(const linalg::Vector&)>;
+
+  /// Constructs a system with `num_vertices` partition cells; `cell_of`
+  /// must return the cell index (< num_vertices) of any state.
+  MarkovSystem(size_t num_vertices, CellFn cell_of);
+
+  /// Adds edge `from` -> `to` with map `w` and probability weight `p`.
+  /// Returns the edge id.
+  size_t AddEdge(size_t from, size_t to, Map w, ProbabilityFn p);
+
+  size_t num_vertices() const { return num_vertices_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Cell of a state.
+  size_t CellOf(const linalg::Vector& x) const;
+
+  /// Checks the probability normalisation sum_{e out of cell(x)} p_e(x)=1
+  /// at the point `x` (within `tolerance`).
+  bool ProbabilitiesNormalisedAt(const linalg::Vector& x,
+                                 double tolerance = 1e-9) const;
+
+  /// One random transition from `x`: picks an out-edge e of cell(x) with
+  /// probability p_e(x) and returns w_e(x). CHECK-fails if x's cell has no
+  /// out-edges.
+  linalg::Vector Step(const linalg::Vector& x, rng::Random* random) const;
+
+  /// Simulates a trajectory of `steps` transitions (returned vector has
+  /// steps + 1 states including `x0`).
+  std::vector<linalg::Vector> Trajectory(const linalg::Vector& x0,
+                                         size_t steps,
+                                         rng::Random* random) const;
+
+  /// Time average (1/(n - burn_in)) sum_{k>=burn_in} f(x_k) along one
+  /// simulated trajectory — the quantity Elton's ergodic theorem says
+  /// converges almost surely, independently of x0, for uniquely ergodic
+  /// systems. This is the bridge from ergodicity to "equal impact".
+  double TimeAverage(const linalg::Vector& x0, size_t steps, size_t burn_in,
+                     const std::function<double(const linalg::Vector&)>& f,
+                     rng::Random* random) const;
+
+  /// Markov operator applied to an observable: (P f)(x).
+  double ApplyOperator(const std::function<double(const linalg::Vector&)>& f,
+                       const linalg::Vector& x) const;
+
+  /// The underlying vertex graph (one edge per AddEdge call).
+  graph::Digraph VertexGraph() const;
+
+  /// Graph-side certificates from the paper's Section VI.
+  bool IsIrreducible() const;   // strongly connected vertex graph
+  bool IsAperiodic() const;     // irreducible with period 1
+  bool HasPrimitiveGraph() const { return IsAperiodic(); }
+
+  /// Monte-Carlo estimate of the average contraction factor: draws `pairs`
+  /// pairs (x, y) from `sampler` (which must return two points in the same
+  /// cell per call), and returns the maximum over pairs of
+  /// sum_e p_e(x) d(w_e(x), w_e(y)) / d(x, y) under the Euclidean metric.
+  /// A value < 1 is evidence of average contractivity (Werner's condition);
+  /// exact certification for affine maps is in AffineIfs.
+  double EstimateContractionFactor(
+      const std::function<std::pair<linalg::Vector, linalg::Vector>(
+          rng::Random*)>& sampler,
+      size_t pairs, rng::Random* random) const;
+
+ private:
+  struct Edge {
+    size_t from;
+    size_t to;
+    Map map;
+    ProbabilityFn probability;
+  };
+
+  size_t num_vertices_;
+  CellFn cell_of_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<size_t>> out_edges_;  // Edge ids per vertex.
+};
+
+}  // namespace markov
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_MARKOV_MARKOV_SYSTEM_H_

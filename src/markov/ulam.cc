@@ -1,0 +1,112 @@
+#include "markov/ulam.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace eqimpact {
+namespace markov {
+namespace {
+
+// Builds the Ulam matrix for the given 1-d affine IFS.
+linalg::Matrix BuildUlamMatrix(const AffineIfs& ifs, double lo, double hi,
+                               size_t num_cells) {
+  EQIMPACT_CHECK_EQ(ifs.dimension(), 1u);
+  EQIMPACT_CHECK_LT(lo, hi);
+  EQIMPACT_CHECK_GT(num_cells, 0u);
+  const double width = (hi - lo) / static_cast<double>(num_cells);
+
+  linalg::Matrix t(num_cells, num_cells);
+  for (size_t i = 0; i < num_cells; ++i) {
+    const double cell_lo = lo + static_cast<double>(i) * width;
+    const double cell_hi = cell_lo + width;
+    for (size_t e = 0; e < ifs.num_maps(); ++e) {
+      const double p = ifs.probability(e);
+      if (p <= 0.0) continue;
+      const double slope = ifs.map(e).a()(0, 0);
+      const double offset = ifs.map(e).b()[0];
+      // Image of the cell under the affine map (an interval; possibly a
+      // point for slope 0).
+      double image_lo = slope * cell_lo + offset;
+      double image_hi = slope * cell_hi + offset;
+      if (image_lo > image_hi) std::swap(image_lo, image_hi);
+
+      if (image_hi <= image_lo) {
+        // Degenerate image (slope 0): all mass lands in one cell.
+        double x = std::clamp(image_lo, lo, hi);
+        size_t j = std::min(
+            static_cast<size_t>((x - lo) / width), num_cells - 1);
+        t(i, j) += p;
+        continue;
+      }
+      const double image_length = image_hi - image_lo;
+      // Distribute the cell's mass over the cells the image overlaps,
+      // clamping out-of-range mass into the boundary cells.
+      double below = std::max(0.0, std::min(image_hi, lo) - image_lo);
+      if (below > 0.0) t(i, 0) += p * below / image_length;
+      double above = std::max(0.0, image_hi - std::max(image_lo, hi));
+      if (above > 0.0) t(i, num_cells - 1) += p * above / image_length;
+
+      double clipped_lo = std::max(image_lo, lo);
+      double clipped_hi = std::min(image_hi, hi);
+      if (clipped_lo < clipped_hi) {
+        size_t first = std::min(
+            static_cast<size_t>((clipped_lo - lo) / width), num_cells - 1);
+        size_t last = std::min(
+            static_cast<size_t>((clipped_hi - lo) / width), num_cells - 1);
+        for (size_t j = first; j <= last; ++j) {
+          double overlap_lo =
+              std::max(clipped_lo, lo + static_cast<double>(j) * width);
+          double overlap_hi = std::min(
+              clipped_hi, lo + static_cast<double>(j + 1) * width);
+          double overlap = std::max(0.0, overlap_hi - overlap_lo);
+          if (overlap > 0.0) t(i, j) += p * overlap / image_length;
+        }
+      }
+    }
+    // Numerical cleanup: renormalise the row to exactly 1.
+    double row_sum = 0.0;
+    for (size_t j = 0; j < num_cells; ++j) row_sum += t(i, j);
+    EQIMPACT_CHECK_GT(row_sum, 0.0);
+    for (size_t j = 0; j < num_cells; ++j) t(i, j) /= row_sum;
+  }
+  return t;
+}
+
+}  // namespace
+
+UlamApproximation::UlamApproximation(const AffineIfs& ifs, double lo,
+                                     double hi, size_t num_cells)
+    : lo_(lo),
+      hi_(hi),
+      cell_width_((hi - lo) / static_cast<double>(num_cells)),
+      chain_(BuildUlamMatrix(ifs, lo, hi, num_cells)) {}
+
+double UlamApproximation::CellCenter(size_t i) const {
+  EQIMPACT_CHECK_LT(i, num_cells());
+  return lo_ + (static_cast<double>(i) + 0.5) * cell_width_;
+}
+
+std::optional<linalg::Vector> UlamApproximation::InvariantCellMeasure()
+    const {
+  return chain_.StationaryDistribution();
+}
+
+std::optional<double> UlamApproximation::InvariantMean() const {
+  std::optional<linalg::Vector> pi = InvariantCellMeasure();
+  if (!pi.has_value()) return std::nullopt;
+  double mean = 0.0;
+  for (size_t i = 0; i < num_cells(); ++i) {
+    mean += (*pi)[i] * CellCenter(i);
+  }
+  return mean;
+}
+
+linalg::Vector UlamApproximation::Propagate(
+    const linalg::Vector& cell_measure, unsigned steps) const {
+  return chain_.Propagate(cell_measure, steps);
+}
+
+}  // namespace markov
+}  // namespace eqimpact

@@ -1,0 +1,73 @@
+#ifndef EQIMPACT_MARKOV_ULAM_H_
+#define EQIMPACT_MARKOV_ULAM_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "markov/affine_ifs.h"
+#include "markov/markov_chain.h"
+
+namespace eqimpact {
+namespace markov {
+
+/// Ulam discretisation of the Markov operator of a one-dimensional IFS.
+///
+/// The paper's appendix defines the Markov operator P and its adjoint P*
+/// acting on measures; Ulam's method makes P* computable: partition an
+/// interval [lo, hi] into n cells, and approximate the transition kernel
+/// by the matrix
+///   T(i, j) = sum_e p_e * |w_e(C_i) intersect C_j| / |C_i|,
+/// exact for affine maps because w_e(C_i) is again an interval. The
+/// invariant density of the IFS is approximated by the stationary
+/// distribution of T, and attractivity ((P*)^n nu -> mu) becomes ordinary
+/// matrix-power convergence — giving an independent, simulation-free
+/// check of the Section VI certificates.
+class UlamApproximation {
+ public:
+  /// Discretises `ifs` (must be 1-d with constant probabilities) on
+  /// [lo, hi] with `num_cells` cells. Mass mapped outside [lo, hi] is
+  /// clamped into the boundary cells, so choose an interval that contains
+  /// the attractor (for an average-contractive IFS, any interval that all
+  /// fixed points and images of the endpoints fall into).
+  UlamApproximation(const AffineIfs& ifs, double lo, double hi,
+                    size_t num_cells);
+
+  size_t num_cells() const { return chain_.num_states(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double cell_width() const { return cell_width_; }
+
+  /// Midpoint of cell `i`.
+  double CellCenter(size_t i) const;
+
+  /// The discretised transfer operator as a Markov chain (row-stochastic
+  /// transition matrix T).
+  const MarkovChain& chain() const { return chain_; }
+
+  /// Approximate invariant *probability vector* over the cells
+  /// (stationary distribution of T); std::nullopt if T is reducible to
+  /// working precision.
+  std::optional<linalg::Vector> InvariantCellMeasure() const;
+
+  /// Mean of the approximate invariant measure.
+  std::optional<double> InvariantMean() const;
+
+  /// Pushes a probability vector over cells through k steps of the
+  /// adjoint operator (nu (P*)^k in the paper's notation).
+  linalg::Vector Propagate(const linalg::Vector& cell_measure,
+                           unsigned steps) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double cell_width_;
+  MarkovChain chain_;
+};
+
+}  // namespace markov
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_MARKOV_ULAM_H_

@@ -1,0 +1,41 @@
+#include "ml/dataset.h"
+
+#include "base/check.h"
+
+namespace eqimpact {
+namespace ml {
+
+Dataset::Dataset(size_t num_features) : num_features_(num_features) {
+  EQIMPACT_CHECK_GT(num_features, 0u);
+}
+
+void Dataset::Add(const linalg::Vector& features, double label) {
+  EQIMPACT_CHECK_EQ(features.size(), num_features_);
+  EQIMPACT_CHECK(label == 0.0 || label == 1.0);
+  rows_.push_back(features);
+  labels_.push_back(label);
+  if (label == 1.0) ++num_positive_;
+}
+
+const linalg::Vector& Dataset::features(size_t i) const {
+  EQIMPACT_CHECK_LT(i, rows_.size());
+  return rows_[i];
+}
+
+double Dataset::label(size_t i) const {
+  EQIMPACT_CHECK_LT(i, labels_.size());
+  return labels_[i];
+}
+
+linalg::Matrix Dataset::FeatureMatrix() const {
+  linalg::Matrix x(size(), num_features_);
+  for (size_t r = 0; r < size(); ++r) x.SetRow(r, rows_[r]);
+  return x;
+}
+
+linalg::Vector Dataset::LabelVector() const {
+  return linalg::Vector(labels_);
+}
+
+}  // namespace ml
+}  // namespace eqimpact

@@ -1,0 +1,58 @@
+#ifndef EQIMPACT_ML_DATASET_H_
+#define EQIMPACT_ML_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace eqimpact {
+namespace ml {
+
+/// Binary-classification training set: feature rows plus 0/1 labels.
+///
+/// Rows are appended one at a time as the closed loop accumulates history
+/// (the paper's filter feeds (income code, trailing ADR, repayment) tuples
+/// into retraining); `FeatureMatrix` snapshots the rows for a solver.
+class Dataset {
+ public:
+  /// Dataset for feature dimension `num_features`.
+  explicit Dataset(size_t num_features);
+
+  /// Appends one example. CHECK-fails unless features.size() matches and
+  /// label is 0 or 1.
+  void Add(const linalg::Vector& features, double label);
+
+  size_t num_features() const { return num_features_; }
+  size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+
+  const linalg::Vector& features(size_t i) const;
+  double label(size_t i) const;
+
+  /// Number of positive (label 1) examples.
+  size_t num_positive() const { return num_positive_; }
+
+  /// True if both classes are present — a fit is only meaningful then.
+  bool HasBothClasses() const {
+    return num_positive_ > 0 && num_positive_ < labels_.size();
+  }
+
+  /// Features as an n x d matrix (copy).
+  linalg::Matrix FeatureMatrix() const;
+
+  /// Labels as an n-vector (copy).
+  linalg::Vector LabelVector() const;
+
+ private:
+  size_t num_features_;
+  std::vector<linalg::Vector> rows_;
+  std::vector<double> labels_;
+  size_t num_positive_ = 0;
+};
+
+}  // namespace ml
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_ML_DATASET_H_

@@ -1,0 +1,177 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+
+namespace eqimpact {
+namespace ml {
+namespace {
+
+// Probabilities are clipped away from {0, 1} when computing the loss so
+// that log() stays finite under perfect separation.
+constexpr double kProbabilityClip = 1e-12;
+
+// Builds the feature row augmented with the intercept column (a trailing
+// constant 1) when requested.
+linalg::Vector Augment(const linalg::Vector& features, bool fit_intercept) {
+  if (!fit_intercept) return features;
+  linalg::Vector augmented(features.size() + 1);
+  for (size_t i = 0; i < features.size(); ++i) augmented[i] = features[i];
+  augmented[features.size()] = 1.0;
+  return augmented;
+}
+
+}  // namespace
+
+double Sigmoid(double t) {
+  if (t >= 0.0) {
+    double e = std::exp(-t);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(t);
+  return e / (1.0 + e);
+}
+
+LogisticRegression::LogisticRegression(LogisticRegressionOptions options)
+    : options_(options) {
+  EQIMPACT_CHECK_GE(options_.l2_penalty, 0.0);
+  EQIMPACT_CHECK_GT(options_.max_iterations, 0);
+  EQIMPACT_CHECK_GT(options_.tolerance, 0.0);
+}
+
+double LogisticRegression::PenalisedLoss(
+    const Dataset& data, const linalg::Vector& augmented) const {
+  double loss = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    linalg::Vector row = Augment(data.features(i), options_.fit_intercept);
+    double p = Sigmoid(linalg::Dot(row, augmented));
+    p = std::min(std::max(p, kProbabilityClip), 1.0 - kProbabilityClip);
+    loss -= data.label(i) == 1.0 ? std::log(p) : std::log(1.0 - p);
+  }
+  loss /= static_cast<double>(data.size());
+  double penalty = 0.0;
+  for (size_t j = 0; j < augmented.size(); ++j) {
+    penalty += augmented[j] * augmented[j];
+  }
+  return loss + 0.5 * options_.l2_penalty * penalty;
+}
+
+FitResult LogisticRegression::Fit(const Dataset& data) {
+  FitResult result;
+  if (!data.HasBothClasses()) return result;
+
+  const size_t d =
+      data.num_features() + (options_.fit_intercept ? 1u : 0u);
+  const size_t n = data.size();
+  linalg::Vector w(d);  // Start from zero: score 0, probability 1/2.
+
+  // IRLS / Newton: at each step solve (X^T S X + n*lambda I) delta =
+  // X^T (y - mu) - n*lambda w with S = diag(mu (1 - mu)).
+  bool irls_failed = false;
+  for (int it = 0; it < options_.max_iterations; ++it) {
+    linalg::Matrix hessian(d, d);
+    linalg::Vector gradient(d);
+    for (size_t i = 0; i < n; ++i) {
+      linalg::Vector row = Augment(data.features(i), options_.fit_intercept);
+      double mu = Sigmoid(linalg::Dot(row, w));
+      double s = std::max(mu * (1.0 - mu), 1e-10);
+      double residual = data.label(i) - mu;
+      for (size_t r = 0; r < d; ++r) {
+        gradient[r] += row[r] * residual;
+        for (size_t c = r; c < d; ++c) {
+          hessian(r, c) += s * row[r] * row[c];
+        }
+      }
+    }
+    // Symmetrise and add the ridge term (scaled by n so the penalty is per
+    // the mean loss used in PenalisedLoss).
+    double ridge = options_.l2_penalty * static_cast<double>(n);
+    for (size_t r = 0; r < d; ++r) {
+      for (size_t c = 0; c < r; ++c) hessian(r, c) = hessian(c, r);
+      hessian(r, r) += ridge;
+      gradient[r] -= ridge * w[r];
+    }
+    std::optional<linalg::Vector> delta = linalg::SolveSpd(hessian, gradient);
+    if (!delta.has_value()) {
+      irls_failed = true;
+      break;
+    }
+    // Newton can overshoot badly far from the optimum; cap the step.
+    double step_norm = delta->NormInf();
+    if (step_norm > 10.0) *delta *= 10.0 / step_norm;
+    w += *delta;
+    result.iterations = it + 1;
+    if (delta->NormInf() <= options_.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  if (irls_failed) {
+    if (!options_.gradient_fallback) return result;
+    FitResult fallback = FitGradientDescent(data, &w);
+    fallback.used_gradient_fallback = true;
+    result = fallback;
+  }
+
+  // Unpack weights.
+  if (options_.fit_intercept) {
+    weights_ = linalg::Vector(data.num_features());
+    for (size_t j = 0; j < data.num_features(); ++j) weights_[j] = w[j];
+    intercept_ = w[data.num_features()];
+  } else {
+    weights_ = w;
+    intercept_ = 0.0;
+  }
+  fitted_ = true;
+  result.success = true;
+  result.final_log_loss = PenalisedLoss(data, w);
+  return result;
+}
+
+FitResult LogisticRegression::FitGradientDescent(
+    const Dataset& data, linalg::Vector* augmented) const {
+  FitResult result;
+  const size_t d = augmented->size();
+  const size_t n = data.size();
+  linalg::Vector w = *augmented;
+  for (int it = 0; it < options_.gradient_iterations; ++it) {
+    linalg::Vector gradient(d);
+    for (size_t i = 0; i < n; ++i) {
+      linalg::Vector row = Augment(data.features(i), options_.fit_intercept);
+      double mu = Sigmoid(linalg::Dot(row, w));
+      double residual = data.label(i) - mu;
+      for (size_t r = 0; r < d; ++r) gradient[r] += row[r] * residual;
+    }
+    gradient /= static_cast<double>(n);
+    for (size_t r = 0; r < d; ++r) {
+      gradient[r] -= options_.l2_penalty * w[r];
+    }
+    w += options_.learning_rate * gradient;
+    result.iterations = it + 1;
+    if (gradient.NormInf() <= options_.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  *augmented = w;
+  return result;
+}
+
+double LogisticRegression::DecisionFunction(
+    const linalg::Vector& features) const {
+  EQIMPACT_CHECK(fitted_);
+  EQIMPACT_CHECK_EQ(features.size(), weights_.size());
+  return linalg::Dot(features, weights_) + intercept_;
+}
+
+double LogisticRegression::PredictProbability(
+    const linalg::Vector& features) const {
+  return Sigmoid(DecisionFunction(features));
+}
+
+}  // namespace ml
+}  // namespace eqimpact

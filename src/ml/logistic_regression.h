@@ -1,0 +1,102 @@
+#ifndef EQIMPACT_ML_LOGISTIC_REGRESSION_H_
+#define EQIMPACT_ML_LOGISTIC_REGRESSION_H_
+
+#include <cstddef>
+
+#include "linalg/vector.h"
+#include "ml/dataset.h"
+
+namespace eqimpact {
+namespace ml {
+
+/// Standard logistic sigmoid 1 / (1 + exp(-t)), numerically stable for
+/// large |t|.
+double Sigmoid(double t);
+
+/// Training configuration for LogisticRegression.
+struct LogisticRegressionOptions {
+  /// Include an intercept term. The paper's Table I scorecard has no base
+  /// points — only the History and Income factors — so the credit loop
+  /// trains without an intercept by default; a fitted intercept simply
+  /// shifts every score and the cut-off by the same amount.
+  bool fit_intercept = false;
+
+  /// L2 (ridge) penalty. Keeps IRLS well-posed under perfect separation,
+  /// which genuinely occurs in the credit loop (high-income households
+  /// almost never default). Applied to every weight.
+  double l2_penalty = 1e-4;
+
+  /// IRLS iteration budget and convergence threshold on the weight update.
+  int max_iterations = 100;
+  double tolerance = 1e-8;
+
+  /// If true, fall back to gradient descent whenever an IRLS Newton system
+  /// is numerically singular (instead of failing the fit).
+  bool gradient_fallback = true;
+
+  /// Gradient-descent fallback parameters.
+  int gradient_iterations = 2000;
+  double learning_rate = 0.5;
+};
+
+/// Result of a fit.
+struct FitResult {
+  bool success = false;
+  bool converged = false;
+  int iterations = 0;
+  double final_log_loss = 0.0;
+  /// True if the gradient fallback was used.
+  bool used_gradient_fallback = false;
+};
+
+/// Maximum-likelihood logistic regression, solved by iteratively
+/// reweighted least squares (Newton's method) with an optional
+/// gradient-descent fallback.
+///
+/// This is the paper's "AI System": the lender refits it every year on
+/// the filtered loop history and derives the scorecard from its weights
+/// (Table I). Implemented from first principles — no external solver —
+/// per the reproduction ground rules.
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(
+      LogisticRegressionOptions options = LogisticRegressionOptions());
+
+  /// Fits on `data`. Requires both classes present (returns
+  /// success = false otherwise). Refitting replaces the previous weights.
+  FitResult Fit(const Dataset& data);
+
+  /// True once a successful Fit has been performed.
+  bool fitted() const { return fitted_; }
+
+  /// Linear predictor w . x (+ intercept): the "score" of the scorecard.
+  double DecisionFunction(const linalg::Vector& features) const;
+
+  /// P(y = 1 | x) = sigmoid(DecisionFunction(x)).
+  double PredictProbability(const linalg::Vector& features) const;
+
+  /// Feature weights (without the intercept).
+  const linalg::Vector& weights() const { return weights_; }
+
+  /// Intercept (0 when fit_intercept is false).
+  double intercept() const { return intercept_; }
+
+  const LogisticRegressionOptions& options() const { return options_; }
+
+ private:
+  /// Mean penalised log-loss at the given augmented weights.
+  double PenalisedLoss(const Dataset& data,
+                       const linalg::Vector& augmented) const;
+  FitResult FitGradientDescent(const Dataset& data,
+                               linalg::Vector* augmented) const;
+
+  LogisticRegressionOptions options_;
+  linalg::Vector weights_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace ml
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_ML_LOGISTIC_REGRESSION_H_

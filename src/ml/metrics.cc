@@ -1,0 +1,74 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace eqimpact {
+namespace ml {
+
+double LogLoss(const std::vector<double>& labels,
+               const std::vector<double>& probabilities) {
+  EQIMPACT_CHECK(!labels.empty());
+  EQIMPACT_CHECK_EQ(labels.size(), probabilities.size());
+  double loss = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    double p = std::clamp(probabilities[i], 1e-12, 1.0 - 1e-12);
+    loss -= labels[i] == 1.0 ? std::log(p) : std::log(1.0 - p);
+  }
+  return loss / static_cast<double>(labels.size());
+}
+
+double Accuracy(const std::vector<double>& labels,
+                const std::vector<double>& probabilities, double threshold) {
+  EQIMPACT_CHECK(!labels.empty());
+  EQIMPACT_CHECK_EQ(labels.size(), probabilities.size());
+  size_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    double predicted = probabilities[i] > threshold ? 1.0 : 0.0;
+    if (predicted == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double AreaUnderRoc(const std::vector<double>& labels,
+                    const std::vector<double>& scores) {
+  EQIMPACT_CHECK(!labels.empty());
+  EQIMPACT_CHECK_EQ(labels.size(), scores.size());
+  const size_t n = labels.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&scores](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Midranks: tied scores share the average of their rank range.
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+
+  double positive_rank_sum = 0.0;
+  size_t positives = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k] == 1.0) {
+      positive_rank_sum += ranks[k];
+      ++positives;
+    }
+  }
+  size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  double u = positive_rank_sum -
+             static_cast<double>(positives) *
+                 (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+}  // namespace ml
+}  // namespace eqimpact

@@ -1,0 +1,30 @@
+#ifndef EQIMPACT_ML_METRICS_H_
+#define EQIMPACT_ML_METRICS_H_
+
+#include <vector>
+
+namespace eqimpact {
+namespace ml {
+
+/// Mean binary cross-entropy of predicted probabilities against 0/1
+/// labels; probabilities are clipped away from {0,1}. CHECK-fails on empty
+/// or mismatched inputs.
+double LogLoss(const std::vector<double>& labels,
+               const std::vector<double>& probabilities);
+
+/// Fraction of correct predictions when thresholding probabilities at
+/// `threshold`. CHECK-fails on empty or mismatched inputs.
+double Accuracy(const std::vector<double>& labels,
+                const std::vector<double>& probabilities,
+                double threshold = 0.5);
+
+/// Area under the ROC curve via the rank statistic (Mann-Whitney U), with
+/// midrank tie handling. Returns 0.5 when one class is absent — the
+/// conventional "uninformative" value.
+double AreaUnderRoc(const std::vector<double>& labels,
+                    const std::vector<double>& scores);
+
+}  // namespace ml
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_ML_METRICS_H_

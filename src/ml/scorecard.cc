@@ -1,0 +1,71 @@
+#include "ml/scorecard.h"
+
+#include <cstdio>
+
+#include "base/check.h"
+
+namespace eqimpact {
+namespace ml {
+
+Scorecard::Scorecard(std::vector<ScorecardFactor> factors, double cutoff,
+                     double base_points)
+    : factors_(std::move(factors)), cutoff_(cutoff), base_points_(base_points) {
+  EQIMPACT_CHECK(!factors_.empty());
+}
+
+Scorecard Scorecard::FromModel(const LogisticRegression& model,
+                               const std::vector<ScorecardFactor>& templates,
+                               double cutoff) {
+  EQIMPACT_CHECK(model.fitted());
+  EQIMPACT_CHECK_EQ(templates.size(), model.weights().size());
+  std::vector<ScorecardFactor> factors = templates;
+  for (size_t j = 0; j < factors.size(); ++j) {
+    factors[j].score = model.weights()[j];
+  }
+  return Scorecard(std::move(factors), cutoff, model.intercept());
+}
+
+const ScorecardFactor& Scorecard::factor(size_t j) const {
+  EQIMPACT_CHECK_LT(j, factors_.size());
+  return factors_[j];
+}
+
+double Scorecard::Score(const linalg::Vector& features) const {
+  EQIMPACT_CHECK_EQ(features.size(), factors_.size());
+  double score = base_points_;
+  for (size_t j = 0; j < factors_.size(); ++j) {
+    score += factors_[j].score * features[j];
+  }
+  return score;
+}
+
+bool Scorecard::Approve(const linalg::Vector& features) const {
+  return Score(features) > cutoff_;
+}
+
+std::string Scorecard::ToTableString() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-10s %-28s %10s\n", "Factor",
+                "Description", "Score");
+  out += line;
+  out += std::string(50, '-') + "\n";
+  if (base_points_ != 0.0) {
+    std::snprintf(line, sizeof(line), "%-10s %-28s %+10.2f\n", "Base",
+                  "base points", base_points_);
+    out += line;
+  }
+  for (const ScorecardFactor& factor : factors_) {
+    std::snprintf(line, sizeof(line), "%-10s %-28s %+10.2f\n",
+                  factor.name.c_str(), factor.description.c_str(),
+                  factor.score);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-10s %-28s %10.2f\n", "Cut-off",
+                "approve if score exceeds", cutoff_);
+  out += line;
+  return out;
+}
+
+}  // namespace ml
+}  // namespace eqimpact

@@ -1,0 +1,73 @@
+#ifndef EQIMPACT_ML_SCORECARD_H_
+#define EQIMPACT_ML_SCORECARD_H_
+
+#include <string>
+#include <vector>
+
+#include "linalg/vector.h"
+#include "ml/logistic_regression.h"
+
+namespace eqimpact {
+namespace ml {
+
+/// One row of a scorecard: a named factor with its per-unit score.
+struct ScorecardFactor {
+  /// Factor name, e.g. "History" or "Income".
+  std::string name;
+  /// Human-readable description, e.g. "x Average Default Rate" or
+  /// "> $15K".
+  std::string description;
+  /// Score contribution per unit of the corresponding feature. For an
+  /// indicator feature this is the flat number of points awarded when the
+  /// indicator is 1.
+  double score = 0.0;
+};
+
+/// Explainable linear scorecard — the lender-facing view of a fitted
+/// logistic regression (paper Table I).
+///
+/// A scorecard holds one factor per feature plus a cut-off: an applicant
+/// with feature vector x receives score
+///   s(x) = base_points + sum_j factor_j.score * x_j
+/// and is approved iff s(x) > cutoff. The paper's running example is
+/// score = -8.17 * ADR + 5.77 * 1{income > 15K}, cutoff 0.4: a user with
+/// ADR 0.1 and income $50K scores -8.17*0.1 + 5.77 = 4.953 > 0.4.
+class Scorecard {
+ public:
+  /// Builds from explicit factors. `cutoff` is the approval threshold.
+  Scorecard(std::vector<ScorecardFactor> factors, double cutoff,
+            double base_points = 0.0);
+
+  /// Builds a scorecard from a fitted logistic model: factor j's score is
+  /// the model weight j; the intercept becomes the base points. Factor
+  /// names/descriptions are supplied by the caller, in feature order.
+  /// CHECK-fails unless the model is fitted and the name count matches.
+  static Scorecard FromModel(const LogisticRegression& model,
+                             const std::vector<ScorecardFactor>& templates,
+                             double cutoff);
+
+  size_t num_factors() const { return factors_.size(); }
+  const ScorecardFactor& factor(size_t j) const;
+  double cutoff() const { return cutoff_; }
+  double base_points() const { return base_points_; }
+
+  /// The score s(x); CHECK-fails on dimension mismatch.
+  double Score(const linalg::Vector& features) const;
+
+  /// Approval decision: Score(x) > cutoff.
+  bool Approve(const linalg::Vector& features) const;
+
+  /// Formats the scorecard as an ASCII table in the style of paper
+  /// Table I.
+  std::string ToTableString() const;
+
+ private:
+  std::vector<ScorecardFactor> factors_;
+  double cutoff_;
+  double base_points_;
+};
+
+}  // namespace ml
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_ML_SCORECARD_H_

@@ -1,0 +1,78 @@
+#include "rng/categorical.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace eqimpact {
+namespace rng {
+
+Categorical::Categorical(const std::vector<double>& weights) {
+  EQIMPACT_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    EQIMPACT_CHECK(std::isfinite(w) && w >= 0.0);
+    total += w;
+  }
+  EQIMPACT_CHECK_GT(total, 0.0);
+
+  const size_t n = weights.size();
+  normalized_.resize(n);
+  for (size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  // Walker/Vose alias construction.
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  std::vector<size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    size_t s = small.back();
+    small.pop_back();
+    size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers are probability-1 columns.
+  while (!large.empty()) {
+    prob_[large.back()] = 1.0;
+    large.pop_back();
+  }
+  while (!small.empty()) {
+    prob_[small.back()] = 1.0;
+    small.pop_back();
+  }
+}
+
+size_t Categorical::Sample(Random* random) const {
+  size_t column = static_cast<size_t>(random->UniformInt(prob_.size()));
+  return random->UniformDouble() < prob_[column] ? column : alias_[column];
+}
+
+size_t SampleCategorical(const std::vector<double>& weights, Random* random) {
+  EQIMPACT_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    EQIMPACT_CHECK(std::isfinite(w) && w >= 0.0);
+    total += w;
+  }
+  EQIMPACT_CHECK_GT(total, 0.0);
+  double u = random->UniformDouble() * total;
+  double cumulative = 0.0;
+  for (size_t i = 0; i + 1 < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (u < cumulative) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace rng
+}  // namespace eqimpact

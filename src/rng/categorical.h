@@ -1,0 +1,52 @@
+#ifndef EQIMPACT_RNG_CATEGORICAL_H_
+#define EQIMPACT_RNG_CATEGORICAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "rng/random.h"
+
+namespace eqimpact {
+namespace rng {
+
+/// Discrete distribution over {0, ..., K-1} with fixed weights.
+///
+/// Sampling uses Walker's alias method: O(K) construction, O(1) per draw.
+/// Weights need not be normalised; they must be non-negative, finite, and
+/// sum to a positive value. Used to sample household race and income
+/// brackets from the embedded census tables (Figure 2 of the paper) and to
+/// choose state-transition maps in Markov systems (equations (8)-(9)).
+class Categorical {
+ public:
+  /// Builds the alias table from `weights`. CHECK-fails on empty, negative
+  /// or all-zero weights.
+  explicit Categorical(const std::vector<double>& weights);
+
+  /// Draws one category index using `random`.
+  size_t Sample(Random* random) const;
+
+  /// Number of categories.
+  size_t size() const { return prob_.size(); }
+
+  /// Normalised probability of category `k`.
+  double probability(size_t k) const { return normalized_[k]; }
+
+  /// The full normalised probability vector.
+  const std::vector<double>& probabilities() const { return normalized_; }
+
+ private:
+  std::vector<double> prob_;     // Alias-table acceptance probabilities.
+  std::vector<size_t> alias_;    // Alias-table alternatives.
+  std::vector<double> normalized_;
+};
+
+/// Draws from a categorical distribution given by `weights` without building
+/// an alias table (linear scan over the CDF). Convenient for one-off draws
+/// where the weights change every call, e.g. user response probabilities
+/// p_ij(pi(k)) that depend on the broadcast signal.
+size_t SampleCategorical(const std::vector<double>& weights, Random* random);
+
+}  // namespace rng
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_RNG_CATEGORICAL_H_

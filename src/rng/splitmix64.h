@@ -1,0 +1,38 @@
+#ifndef EQIMPACT_RNG_SPLITMIX64_H_
+#define EQIMPACT_RNG_SPLITMIX64_H_
+
+#include <cstdint>
+
+namespace eqimpact {
+namespace rng {
+
+/// SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014).
+///
+/// A tiny, fast, well-distributed 64-bit generator. We use it primarily to
+/// expand a single user-provided seed into the larger state of Pcg32/Pcg64
+/// and to derive independent per-trial seeds, as recommended by the PCG
+/// authors. Deterministic across platforms.
+class SplitMix64 {
+ public:
+  /// Constructs a generator from a 64-bit seed. Any value is acceptable.
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit output and advances the state.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Current internal state (useful for serialisation in tests).
+  uint64_t state() const { return state_; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace rng
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_RNG_SPLITMIX64_H_

@@ -1,0 +1,58 @@
+#include "sim/csv_export.h"
+
+#include <fstream>
+
+#include "credit/race.h"
+
+namespace eqimpact {
+namespace sim {
+
+bool WriteStringToFile(const std::string& contents, const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << contents;
+  out.close();
+  return out.good();
+}
+
+bool WriteCsvFile(const TextTable& table, const std::string& path) {
+  return WriteStringToFile(table.ToCsv(), path);
+}
+
+bool ExportRaceAdrCsv(const MultiTrialResult& result,
+                      const std::string& path) {
+  std::vector<std::string> headers{"year"};
+  for (size_t r = 0; r < credit::kNumRaces; ++r) {
+    std::string name = RaceName(static_cast<credit::Race>(r));
+    headers.push_back(name + " mean");
+    headers.push_back(name + " std");
+  }
+  TextTable table(headers);
+  for (size_t k = 0; k < result.years.size(); ++k) {
+    std::vector<std::string> row{TextTable::Cell(result.years[k])};
+    for (size_t r = 0; r < credit::kNumRaces; ++r) {
+      row.push_back(TextTable::Cell(result.race_envelopes[r].mean[k], 6));
+      row.push_back(TextTable::Cell(result.race_envelopes[r].std_dev[k], 6));
+    }
+    table.AddRow(row);
+  }
+  return WriteCsvFile(table, path);
+}
+
+bool ExportUserAdrCsv(const MultiTrialResult& result,
+                      const std::string& path) {
+  std::vector<std::string> headers{"race"};
+  for (int year : result.years) headers.push_back(TextTable::Cell(year));
+  TextTable table(headers);
+  for (size_t i = 0; i < result.pooled_user_adr.size(); ++i) {
+    std::vector<std::string> row{RaceName(result.pooled_races[i])};
+    for (double adr : result.pooled_user_adr[i]) {
+      row.push_back(TextTable::Cell(adr, 6));
+    }
+    table.AddRow(row);
+  }
+  return WriteCsvFile(table, path);
+}
+
+}  // namespace sim
+}  // namespace eqimpact

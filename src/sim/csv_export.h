@@ -1,0 +1,34 @@
+#ifndef EQIMPACT_SIM_CSV_EXPORT_H_
+#define EQIMPACT_SIM_CSV_EXPORT_H_
+
+#include <string>
+
+#include "sim/multi_trial.h"
+#include "sim/text_table.h"
+
+namespace eqimpact {
+namespace sim {
+
+/// Writes `contents` to `path`, truncating any existing file. Returns
+/// false on I/O failure (unwritable path). Plain fstream; no
+/// <filesystem> dependency.
+bool WriteStringToFile(const std::string& contents, const std::string& path);
+
+/// Writes a TextTable as CSV to `path`.
+bool WriteCsvFile(const TextTable& table, const std::string& path);
+
+/// Exports the Figure 3 data (per-race mean +/- std envelopes over the
+/// years) of a multi-trial run as CSV with one row per year. Columns:
+/// year, then mean and std per race in Race enum order.
+bool ExportRaceAdrCsv(const MultiTrialResult& result,
+                      const std::string& path);
+
+/// Exports the pooled user ADR series (Figures 4/5 raw data) as CSV with
+/// one row per user series: race, then ADR per year.
+bool ExportUserAdrCsv(const MultiTrialResult& result,
+                      const std::string& path);
+
+}  // namespace sim
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_SIM_CSV_EXPORT_H_

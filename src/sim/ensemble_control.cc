@@ -1,0 +1,78 @@
+#include "sim/ensemble_control.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace eqimpact {
+namespace sim {
+
+EnsembleRunResult RunEnsembleControl(EnsembleControllerKind kind,
+                                     const EnsembleOptions& options,
+                                     const std::vector<bool>& initial_on,
+                                     double initial_signal,
+                                     rng::Random* random) {
+  EQIMPACT_CHECK_EQ(initial_on.size(), options.num_agents);
+  EQIMPACT_CHECK_GT(options.steps, options.burn_in);
+  EQIMPACT_CHECK(random != nullptr);
+
+  const size_t n = options.num_agents;
+  std::vector<bool> on = initial_on;
+  double signal = initial_signal;
+
+  EnsembleRunResult result;
+  result.per_agent_average.assign(n, 0.0);
+  result.aggregate_fraction.reserve(options.steps);
+  size_t counted = 0;
+
+  for (size_t k = 0; k < options.steps; ++k) {
+    // Agents respond to the broadcast.
+    switch (kind) {
+      case EnsembleControllerKind::kStableRandomized: {
+        double p = std::clamp(signal, 0.0, 1.0);
+        for (size_t i = 0; i < n; ++i) on[i] = random->Bernoulli(p);
+        break;
+      }
+      case EnsembleControllerKind::kIntegralHysteresis: {
+        for (size_t i = 0; i < n; ++i) {
+          if (!on[i] && signal >= 0.5 + options.hysteresis) on[i] = true;
+          if (on[i] && signal <= 0.5 - options.hysteresis) on[i] = false;
+        }
+        break;
+      }
+    }
+
+    // Aggregate and record.
+    double fraction = 0.0;
+    for (size_t i = 0; i < n; ++i) fraction += on[i] ? 1.0 : 0.0;
+    fraction /= static_cast<double>(n);
+    result.aggregate_fraction.push_back(fraction);
+    if (k >= options.burn_in) {
+      for (size_t i = 0; i < n; ++i) {
+        result.per_agent_average[i] += on[i] ? 1.0 : 0.0;
+      }
+      result.aggregate_average += fraction;
+      ++counted;
+    }
+
+    // Controller update.
+    switch (kind) {
+      case EnsembleControllerKind::kStableRandomized:
+        signal = options.target_fraction;  // Static, stable broadcast.
+        break;
+      case EnsembleControllerKind::kIntegralHysteresis:
+        signal += options.gain * (options.target_fraction - fraction);
+        break;
+    }
+  }
+
+  for (double& average : result.per_agent_average) {
+    average /= static_cast<double>(counted);
+  }
+  result.aggregate_average /= static_cast<double>(counted);
+  result.final_signal = signal;
+  return result;
+}
+
+}  // namespace sim
+}  // namespace eqimpact

@@ -1,0 +1,79 @@
+#ifndef EQIMPACT_SIM_ENSEMBLE_CONTROL_H_
+#define EQIMPACT_SIM_ENSEMBLE_CONTROL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "rng/random.h"
+
+namespace eqimpact {
+namespace sim {
+
+/// Ensemble-control experiments after Fioravanti et al. (2019), cited by
+/// the paper's Section VI: "feedback control with integral action has the
+/// potential to disrupt the closed-loop system's ergodic features", while
+/// "stable control action always results in ergodic behaviour".
+///
+/// The plant is an ensemble of N on/off agents sharing one broadcast
+/// signal pi(k) (e.g. a price). The aggregate y(k) = sum_i y_i(k) is fed
+/// back. Two controller/agent pairs are provided:
+///
+/// * kStableRandomized — the broadcast is the constant target and each
+///   agent responds stochastically (ON with probability pi each step,
+///   independently). The per-agent action processes are i.i.d. Bernoulli:
+///   uniquely ergodic, every agent's time average converges to the target
+///   independently of initial conditions. Equal impact holds.
+///
+/// * kIntegralHysteresis — the broadcast integrates the aggregate error,
+///   pi(k+1) = pi(k) + gain * (target - y(k)/N), and agents respond with
+///   deterministic hysteresis around threshold 1/2 (switch ON above
+///   1/2 + h, OFF below 1/2 - h). The integrator parks pi inside the
+///   deadband once the aggregate matches the target, freezing whatever
+///   allocation the initial conditions produced: per-agent time averages
+///   depend on the initial on/off pattern, so the loop is not uniquely
+///   ergodic and equal impact fails even though the aggregate is
+///   regulated perfectly.
+enum class EnsembleControllerKind {
+  kStableRandomized,
+  kIntegralHysteresis,
+};
+
+/// Experiment parameters.
+struct EnsembleOptions {
+  size_t num_agents = 10;
+  /// Target fraction of agents ON.
+  double target_fraction = 0.5;
+  /// Integrator gain (kIntegralHysteresis only).
+  double gain = 0.05;
+  /// Hysteresis half-width around the 1/2 threshold.
+  double hysteresis = 0.05;
+  /// Steps to simulate.
+  size_t steps = 2000;
+  /// Steps discarded before averaging.
+  size_t burn_in = 200;
+};
+
+/// Result of one run.
+struct EnsembleRunResult {
+  /// Per-agent time-average action r_i (after burn-in).
+  std::vector<double> per_agent_average;
+  /// Aggregate fraction series y(k)/N.
+  std::vector<double> aggregate_fraction;
+  /// Time average of the aggregate fraction (after burn-in).
+  double aggregate_average = 0.0;
+  /// Final broadcast value.
+  double final_signal = 0.0;
+};
+
+/// Runs the loop from the given initial on/off pattern and initial
+/// broadcast value. `initial_on` must have num_agents entries.
+EnsembleRunResult RunEnsembleControl(EnsembleControllerKind kind,
+                                     const EnsembleOptions& options,
+                                     const std::vector<bool>& initial_on,
+                                     double initial_signal,
+                                     rng::Random* random);
+
+}  // namespace sim
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_SIM_ENSEMBLE_CONTROL_H_

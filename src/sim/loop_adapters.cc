@@ -1,0 +1,73 @@
+#include "sim/loop_adapters.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace eqimpact {
+namespace sim {
+
+ConstantBroadcastSystem::ConstantBroadcastSystem(double value)
+    : value_(value) {}
+
+linalg::Vector ConstantBroadcastSystem::Produce(const linalg::Vector&,
+                                                int64_t) {
+  return linalg::Vector{value_};
+}
+
+IntegralBroadcastSystem::IntegralBroadcastSystem(double target, double gain,
+                                                 double initial_output)
+    : target_(target), gain_(gain), output_(initial_output) {
+  EQIMPACT_CHECK_GT(gain_, 0.0);
+}
+
+linalg::Vector IntegralBroadcastSystem::Produce(
+    const linalg::Vector& filtered, int64_t k) {
+  if (k > 0) {
+    // Integrate the tracking error of the previous step's aggregate.
+    output_ += gain_ * (target_ - filtered[0]);
+  }
+  return linalg::Vector{output_};
+}
+
+BernoulliResponseEnsemble::BernoulliResponseEnsemble(size_t num_users)
+    : num_users_(num_users) {
+  EQIMPACT_CHECK_GT(num_users_, 0u);
+}
+
+linalg::Vector BernoulliResponseEnsemble::Respond(
+    const linalg::Vector& output, int64_t, rng::Random* random) {
+  double p = std::clamp(output[0], 0.0, 1.0);
+  linalg::Vector actions(num_users_);
+  for (size_t i = 0; i < num_users_; ++i) {
+    actions[i] = random->Bernoulli(p) ? 1.0 : 0.0;
+  }
+  return actions;
+}
+
+linalg::Vector MeanAggregateFilter::InitialState() const {
+  return linalg::Vector{0.0};
+}
+
+linalg::Vector MeanAggregateFilter::Update(const linalg::Vector& actions,
+                                           int64_t) {
+  return linalg::Vector{actions.Mean()};
+}
+
+EwmaAggregateFilter::EwmaAggregateFilter(double smoothing)
+    : smoothing_(smoothing) {
+  EQIMPACT_CHECK(smoothing_ > 0.0 && smoothing_ <= 1.0);
+}
+
+linalg::Vector EwmaAggregateFilter::InitialState() const {
+  return linalg::Vector{state_};
+}
+
+linalg::Vector EwmaAggregateFilter::Update(const linalg::Vector& actions,
+                                           int64_t) {
+  state_ = (1.0 - smoothing_) * state_ + smoothing_ * actions.Mean();
+  return linalg::Vector{state_};
+}
+
+}  // namespace sim
+}  // namespace eqimpact

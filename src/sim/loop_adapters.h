@@ -1,0 +1,83 @@
+#ifndef EQIMPACT_SIM_LOOP_ADAPTERS_H_
+#define EQIMPACT_SIM_LOOP_ADAPTERS_H_
+
+#include <cstddef>
+
+#include "core/closed_loop.h"
+
+namespace eqimpact {
+namespace sim {
+
+/// Ready-made blocks for the generic core::ClosedLoop engine, so that the
+/// broadcast-ensemble experiments can be expressed through the paper's
+/// Figure 1 abstraction and audited with the core auditors directly.
+
+/// AI system broadcasting a constant scalar output (the "stable control"
+/// of Section VI: no feedback pathology is possible).
+class ConstantBroadcastSystem : public core::AiSystemInterface {
+ public:
+  explicit ConstantBroadcastSystem(double value);
+  linalg::Vector Produce(const linalg::Vector& filtered, int64_t k) override;
+
+ private:
+  double value_;
+};
+
+/// AI system with integral action: pi(k+1) = pi(k) + gain * (target -
+/// filtered aggregate). The internal integrator state is exactly the
+/// marginally stable dynamics (spectral radius 1) that the paper's
+/// Section VI identifies as the threat to ergodicity.
+class IntegralBroadcastSystem : public core::AiSystemInterface {
+ public:
+  IntegralBroadcastSystem(double target, double gain, double initial_output);
+  linalg::Vector Produce(const linalg::Vector& filtered, int64_t k) override;
+  double output() const { return output_; }
+
+ private:
+  double target_;
+  double gain_;
+  double output_;
+};
+
+/// N users responding to the broadcast with independent Bernoulli actions
+/// of success probability clamp(pi, 0, 1) — the paper's probabilistic
+/// user-response model in its simplest form.
+class BernoulliResponseEnsemble : public core::UserEnsembleInterface {
+ public:
+  explicit BernoulliResponseEnsemble(size_t num_users);
+  size_t num_users() const override { return num_users_; }
+  linalg::Vector Respond(const linalg::Vector& output, int64_t k,
+                         rng::Random* random) override;
+
+ private:
+  size_t num_users_;
+};
+
+/// Filter forwarding the *mean* action — a memoryless, trivially stable
+/// aggregate (contrast with accumulating filters).
+class MeanAggregateFilter : public core::FilterInterface {
+ public:
+  MeanAggregateFilter() = default;
+  linalg::Vector InitialState() const override;
+  linalg::Vector Update(const linalg::Vector& actions, int64_t k) override;
+};
+
+/// Filter forwarding the exponentially weighted mean action with the
+/// given forgetting factor in (0, 1]: state <- (1 - a) * state + a * mean.
+/// Internally asymptotically stable for a in (0, 1], which is the
+/// paper's "stable filter" condition.
+class EwmaAggregateFilter : public core::FilterInterface {
+ public:
+  explicit EwmaAggregateFilter(double smoothing);
+  linalg::Vector InitialState() const override;
+  linalg::Vector Update(const linalg::Vector& actions, int64_t k) override;
+
+ private:
+  double smoothing_;
+  double state_ = 0.0;
+};
+
+}  // namespace sim
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_SIM_LOOP_ADAPTERS_H_

@@ -1,0 +1,44 @@
+#include "sim/multi_trial.h"
+
+#include "base/check.h"
+#include "rng/random.h"
+
+namespace eqimpact {
+namespace sim {
+
+MultiTrialResult RunMultiTrial(const MultiTrialOptions& options) {
+  EQIMPACT_CHECK_GT(options.num_trials, 0u);
+  MultiTrialResult result;
+  result.trials.reserve(options.num_trials);
+
+  for (size_t t = 0; t < options.num_trials; ++t) {
+    credit::CreditLoopOptions loop_options = options.loop;
+    loop_options.seed = rng::DeriveSeed(options.master_seed, t);
+    credit::CreditScoringLoop loop(loop_options);
+    result.trials.push_back(loop.Run());
+  }
+  result.years = result.trials[0].years;
+
+  // Figure 3 envelopes: per race, the trials' ADR_s(k) series.
+  result.race_envelopes.reserve(credit::kNumRaces);
+  for (size_t r = 0; r < credit::kNumRaces; ++r) {
+    std::vector<std::vector<double>> across_trials;
+    across_trials.reserve(options.num_trials);
+    for (const credit::CreditLoopResult& trial : result.trials) {
+      across_trials.push_back(trial.race_adr[r]);
+    }
+    result.race_envelopes.push_back(stats::AggregateEnvelope(across_trials));
+  }
+
+  // Figures 4/5 pool: every user series from every trial.
+  for (const credit::CreditLoopResult& trial : result.trials) {
+    for (size_t i = 0; i < trial.user_adr.size(); ++i) {
+      result.pooled_user_adr.push_back(trial.user_adr[i]);
+      result.pooled_races.push_back(trial.races[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace sim
+}  // namespace eqimpact

@@ -1,0 +1,45 @@
+#ifndef EQIMPACT_SIM_MULTI_TRIAL_H_
+#define EQIMPACT_SIM_MULTI_TRIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "credit/credit_loop.h"
+#include "stats/aggregate.h"
+
+namespace eqimpact {
+namespace sim {
+
+/// Configuration of a multi-trial credit-scoring experiment (the paper's
+/// "five trials ... with each trial using a new batch of 1000 users").
+struct MultiTrialOptions {
+  credit::CreditLoopOptions loop;
+  size_t num_trials = 5;
+  /// Trial t runs with seed DeriveSeed(master_seed, t).
+  uint64_t master_seed = 42;
+};
+
+/// Results of a multi-trial experiment, pre-aggregated for the paper's
+/// figures.
+struct MultiTrialResult {
+  /// Full per-trial records.
+  std::vector<credit::CreditLoopResult> trials;
+  /// Simulated years.
+  std::vector<int> years;
+  /// Figure 3: per-race mean +/- std of ADR_s(k) across trials, indexed
+  /// by Race enum value.
+  std::vector<stats::SeriesEnvelope> race_envelopes;
+  /// All user ADR series from all trials pooled (num_trials x num_users
+  /// series), with their races — the raw material of Figures 4 and 5.
+  std::vector<std::vector<double>> pooled_user_adr;
+  std::vector<credit::Race> pooled_races;
+};
+
+/// Runs the closed loop `num_trials` times with independent seeds and
+/// aggregates the results.
+MultiTrialResult RunMultiTrial(const MultiTrialOptions& options);
+
+}  // namespace sim
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_SIM_MULTI_TRIAL_H_

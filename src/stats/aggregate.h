@@ -1,0 +1,38 @@
+#ifndef EQIMPACT_STATS_AGGREGATE_H_
+#define EQIMPACT_STATS_AGGREGATE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace eqimpact {
+namespace stats {
+
+/// Per-time-step mean and standard deviation across a bundle of series.
+struct SeriesEnvelope {
+  std::vector<double> mean;
+  std::vector<double> std_dev;
+};
+
+/// Aggregates `series` (all of equal length, at least one) into a
+/// per-time-step mean +/- std envelope. This realises the paper's Figure 3:
+/// "solid curves depict the mean value ... across five trials ... error
+/// shades display mean +/- one standard deviation".
+SeriesEnvelope AggregateEnvelope(
+    const std::vector<std::vector<double>>& series);
+
+/// Per-time-step quantile fan across a bundle of series: for each requested
+/// probability p, the p-quantile at every time step. This summarises
+/// Figure 4's 5x1000 trajectory bundle without plotting hardware.
+/// All series must have equal non-zero length.
+std::vector<std::vector<double>> QuantileFan(
+    const std::vector<std::vector<double>>& series,
+    const std::vector<double>& probabilities);
+
+/// Cross-section of a bundle at time `k`: the vector of series[i][k].
+std::vector<double> CrossSection(
+    const std::vector<std::vector<double>>& series, size_t k);
+
+}  // namespace stats
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_STATS_AGGREGATE_H_

@@ -1,0 +1,70 @@
+#include "stats/autocorrelation.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace eqimpact {
+namespace stats {
+
+std::vector<double> Autocorrelation(const std::vector<double>& series,
+                                    size_t max_lag) {
+  const size_t n = series.size();
+  EQIMPACT_CHECK_GE(n, 2u);
+  EQIMPACT_CHECK_LT(max_lag, n);
+
+  double mean = 0.0;
+  for (double x : series) mean += x;
+  mean /= static_cast<double>(n);
+
+  double variance = 0.0;
+  for (double x : series) variance += (x - mean) * (x - mean);
+  variance /= static_cast<double>(n);
+
+  std::vector<double> acf(max_lag + 1, 0.0);
+  acf[0] = 1.0;
+  if (variance <= 0.0) return acf;  // Constant series.
+  for (size_t lag = 1; lag <= max_lag; ++lag) {
+    double cov = 0.0;
+    for (size_t k = 0; k + lag < n; ++k) {
+      cov += (series[k] - mean) * (series[k + lag] - mean);
+    }
+    cov /= static_cast<double>(n);
+    acf[lag] = cov / variance;
+  }
+  return acf;
+}
+
+double IntegratedAutocorrelationTime(const std::vector<double>& series) {
+  const size_t n = series.size();
+  EQIMPACT_CHECK_GE(n, 2u);
+  size_t max_lag = std::min(n - 1, n / 2);
+  std::vector<double> acf = Autocorrelation(series, max_lag);
+  double tau = 1.0;
+  for (size_t lag = 1; lag <= max_lag; ++lag) {
+    if (acf[lag] <= 0.0) break;  // Geyer truncation.
+    tau += 2.0 * acf[lag];
+  }
+  return tau;
+}
+
+double EffectiveSampleSize(const std::vector<double>& series) {
+  return static_cast<double>(series.size()) /
+         IntegratedAutocorrelationTime(series);
+}
+
+double TimeAverageStandardError(const std::vector<double>& series) {
+  const size_t n = series.size();
+  EQIMPACT_CHECK_GE(n, 2u);
+  double mean = 0.0;
+  for (double x : series) mean += x;
+  mean /= static_cast<double>(n);
+  double variance = 0.0;
+  for (double x : series) variance += (x - mean) * (x - mean);
+  variance /= static_cast<double>(n - 1);
+  double tau = IntegratedAutocorrelationTime(series);
+  return std::sqrt(variance * tau / static_cast<double>(n));
+}
+
+}  // namespace stats
+}  // namespace eqimpact

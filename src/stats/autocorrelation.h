@@ -1,0 +1,37 @@
+#ifndef EQIMPACT_STATS_AUTOCORRELATION_H_
+#define EQIMPACT_STATS_AUTOCORRELATION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace eqimpact {
+namespace stats {
+
+/// Sample autocorrelation function rho(1..max_lag) of a scalar series
+/// (rho(0) = 1 is included as the first entry). A constant series has an
+/// undefined ACF; this returns all zeros past lag 0 in that case.
+/// CHECK-fails if the series is shorter than 2 or max_lag >= length.
+std::vector<double> Autocorrelation(const std::vector<double>& series,
+                                    size_t max_lag);
+
+/// Integrated autocorrelation time tau = 1 + 2 sum_k rho(k), truncated at
+/// the first non-positive autocorrelation (Geyer's initial positive
+/// sequence heuristic). tau >= 1; i.i.d. series give ~1.
+///
+/// Ergodic time averages of a correlated series are as accurate as an
+/// i.i.d. sample of size n / tau, so tau quantifies how long the paper's
+/// closed loop must run before the equal-impact limits r_i are trusted.
+double IntegratedAutocorrelationTime(const std::vector<double>& series);
+
+/// Effective sample size n / tau.
+double EffectiveSampleSize(const std::vector<double>& series);
+
+/// Standard error of the time average of a correlated, (approximately)
+/// stationary series: sqrt(variance * tau / n). This is the error bar on
+/// an estimated equal-impact limit r_i.
+double TimeAverageStandardError(const std::vector<double>& series);
+
+}  // namespace stats
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_STATS_AUTOCORRELATION_H_

@@ -1,0 +1,72 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "base/check.h"
+
+namespace eqimpact {
+namespace stats {
+
+Histogram::Histogram(double lo, double hi, size_t num_bins)
+    : lo_(lo), hi_(hi) {
+  EQIMPACT_CHECK_GT(num_bins, 0u);
+  EQIMPACT_CHECK_LT(lo, hi);
+  bin_width_ = (hi - lo) / static_cast<double>(num_bins);
+  counts_.assign(num_bins, 0);
+}
+
+void Histogram::Add(double x) {
+  double clamped = std::clamp(x, lo_, hi_);
+  size_t bin = static_cast<size_t>((clamped - lo_) / bin_width_);
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::AddAll(const std::vector<double>& values) {
+  for (double v : values) Add(v);
+}
+
+int64_t Histogram::count(size_t b) const {
+  EQIMPACT_CHECK_LT(b, counts_.size());
+  return counts_[b];
+}
+
+double Histogram::Fraction(size_t b) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(b)) / static_cast<double>(total_);
+}
+
+double Histogram::Density(size_t b) const {
+  return Fraction(b) / bin_width_;
+}
+
+double Histogram::BinCenter(size_t b) const {
+  EQIMPACT_CHECK_LT(b, counts_.size());
+  return lo_ + (static_cast<double>(b) + 0.5) * bin_width_;
+}
+
+std::string Histogram::ToAsciiChart(size_t width) const {
+  int64_t peak = 1;
+  for (int64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char header[96];
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    double left = lo_ + static_cast<double>(b) * bin_width_;
+    double right = left + bin_width_;
+    std::snprintf(header, sizeof(header), "[%8.4f, %8.4f) %8lld |", left,
+                  right, static_cast<long long>(counts_[b]));
+    out += header;
+    size_t bar = static_cast<size_t>(
+        std::llround(static_cast<double>(counts_[b]) * static_cast<double>(width) /
+                     static_cast<double>(peak)));
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace stats
+}  // namespace eqimpact

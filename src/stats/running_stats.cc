@@ -1,0 +1,55 @@
+#include "stats/running_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace eqimpact {
+namespace stats {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = kInf;
+    max_ = -kInf;
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  int64_t total = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double combined_mean =
+      mean_ + delta * static_cast<double>(other.count_) /
+                  static_cast<double>(total);
+  m2_ = m2_ + other.m2_ +
+        delta * delta * static_cast<double>(count_) *
+            static_cast<double>(other.count_) / static_cast<double>(total);
+  mean_ = combined_mean;
+  count_ = total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+}  // namespace stats
+}  // namespace eqimpact

@@ -1,0 +1,49 @@
+#ifndef EQIMPACT_STATS_RUNNING_STATS_H_
+#define EQIMPACT_STATS_RUNNING_STATS_H_
+
+#include <cstdint>
+
+namespace eqimpact {
+namespace stats {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable one-pass estimates; used for cross-trial
+/// aggregation (Figure 3's mean +/- one standard deviation shades) and for
+/// Monte-Carlo contractivity estimates. Value semantics; merging two
+/// accumulators is supported for parallel reduction patterns.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (Chan et al. update).
+  void Merge(const RunningStats& other);
+
+  /// Number of observations.
+  int64_t count() const { return count_; }
+  /// Mean of the observations (0 when empty).
+  double Mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 with fewer than two observations).
+  double Variance() const;
+  /// Square root of Variance().
+  double StdDev() const;
+  /// Smallest observation (+inf when empty).
+  double Min() const { return min_; }
+  /// Largest observation (-inf when empty).
+  double Max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_;
+  double max_;
+};
+
+}  // namespace stats
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_STATS_RUNNING_STATS_H_

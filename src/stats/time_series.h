@@ -1,0 +1,51 @@
+#ifndef EQIMPACT_STATS_TIME_SERIES_H_
+#define EQIMPACT_STATS_TIME_SERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace eqimpact {
+namespace stats {
+
+/// Cesaro (running time) averages of a scalar series:
+/// out[k] = (1/(k+1)) * sum_{j<=k} series[j].
+///
+/// This is precisely the quantity whose limit defines equal impact
+/// (paper equation (3)); auditors operate on these averages.
+std::vector<double> CesaroAverages(const std::vector<double>& series);
+
+/// Convergence diagnostic on the tail of a series.
+///
+/// The series is declared converged when, over its final `window`
+/// observations, max - min <= `tolerance`. Requires window >= 2; returns
+/// false when the series is shorter than the window. Deliberately simple
+/// and distribution-free: the auditors must not assume a parametric model
+/// of the loop they are auditing.
+bool HasSettled(const std::vector<double>& series, size_t window,
+                double tolerance);
+
+/// Largest pairwise gap max_i(values) - min_i(values); 0 for empty input.
+/// Used to test that per-user limits r_i coincide (Definition 3(ii)).
+double CoincidenceGap(const std::vector<double>& values);
+
+/// Exact p-quantile (linear interpolation between order statistics) of
+/// `values`, p in [0, 1]. CHECK-fails on empty input. Copies and sorts;
+/// O(n log n).
+double Quantile(std::vector<double> values, double p);
+
+/// Two-sample Kolmogorov-Smirnov statistic sup_x |F_a(x) - F_b(x)|.
+/// Used to test weak convergence of empirical measures to the invariant
+/// measure. CHECK-fails if either sample is empty.
+double KsStatistic(std::vector<double> a, std::vector<double> b);
+
+/// Gini coefficient of a non-negative sample: 0 = perfectly equal,
+/// -> 1 = maximally concentrated. Used to quantify how unequally a
+/// closed loop distributes access (e.g. matches in a two-sided market).
+/// CHECK-fails on empty input or negative values; returns 0 when the
+/// total is zero.
+double GiniCoefficient(std::vector<double> values);
+
+}  // namespace stats
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_STATS_TIME_SERIES_H_

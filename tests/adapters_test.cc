@@ -1,0 +1,134 @@
+// Tests for the generic closed-loop adapters (the Figure 1 abstraction
+// hosting the broadcast-ensemble experiments) and the CSV exporters.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/auditors.h"
+#include "core/closed_loop.h"
+#include "sim/csv_export.h"
+#include "sim/loop_adapters.h"
+#include "sim/multi_trial.h"
+#include "stats/time_series.h"
+
+namespace eqimpact {
+namespace {
+
+TEST(LoopAdaptersTest, ConstantBroadcastProducesConstantOutput) {
+  sim::ConstantBroadcastSystem ai(0.7);
+  sim::BernoulliResponseEnsemble users(5);
+  sim::MeanAggregateFilter filter;
+  core::ClosedLoop loop(&ai, &users, &filter);
+  rng::Random random(1);
+  core::ClosedLoopTrace trace = loop.Run(100, &random);
+  for (const linalg::Vector& output : trace.outputs) {
+    EXPECT_DOUBLE_EQ(output[0], 0.7);
+  }
+}
+
+TEST(LoopAdaptersTest, StableLoopDeliversEqualImpactThroughCoreEngine) {
+  sim::ConstantBroadcastSystem ai(0.4);
+  sim::BernoulliResponseEnsemble users(10);
+  sim::MeanAggregateFilter filter;
+  core::ClosedLoop loop(&ai, &users, &filter);
+  rng::Random random(2);
+  core::ClosedLoopTrace trace = loop.Run(6000, &random);
+  core::EqualImpactReport report =
+      core::AuditEqualImpact(trace.user_actions);
+  EXPECT_TRUE(report.equal_impact);
+  for (double limit : report.limits) EXPECT_NEAR(limit, 0.4, 0.05);
+}
+
+TEST(LoopAdaptersTest, IntegralSystemRegulatesTheAggregate) {
+  sim::IntegralBroadcastSystem ai(/*target=*/0.6, /*gain=*/0.2,
+                                  /*initial_output=*/0.0);
+  sim::BernoulliResponseEnsemble users(50);
+  sim::MeanAggregateFilter filter;
+  core::ClosedLoop loop(&ai, &users, &filter);
+  rng::Random random(3);
+  core::ClosedLoopTrace trace = loop.Run(4000, &random);
+  // Average aggregate fraction over the second half approaches target.
+  double sum = 0.0;
+  size_t counted = 0;
+  for (size_t k = 2000; k < 4000; ++k) {
+    sum += trace.aggregate_actions[k] / 50.0;
+    ++counted;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(counted), 0.6, 0.03);
+}
+
+TEST(LoopAdaptersTest, EwmaFilterSmoothsTheAggregate) {
+  sim::ConstantBroadcastSystem ai(1.0);  // Everyone always acts.
+  sim::BernoulliResponseEnsemble users(4);
+  sim::EwmaAggregateFilter filter(0.5);
+  core::ClosedLoop loop(&ai, &users, &filter);
+  rng::Random random(4);
+  core::ClosedLoopTrace trace = loop.Run(12, &random);
+  // Filter state converges geometrically to 1: 1 - 0.5^k.
+  for (size_t k = 1; k < trace.filtered.size(); ++k) {
+    EXPECT_NEAR(trace.filtered[k][0],
+                1.0 - std::pow(0.5, static_cast<double>(k)), 1e-12);
+  }
+}
+
+TEST(LoopAdaptersTest, EwmaFilterRejectsBadSmoothing) {
+  EXPECT_DEATH(sim::EwmaAggregateFilter(0.0), "CHECK failed");
+  EXPECT_DEATH(sim::EwmaAggregateFilter(1.5), "CHECK failed");
+}
+
+// --- CSV export --------------------------------------------------------------
+
+TEST(CsvExportTest, WritesTableToFile) {
+  sim::TextTable table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::string path = ::testing::TempDir() + "/eqimpact_table.csv";
+  ASSERT_TRUE(sim::WriteCsvFile(table, path));
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  char buffer[64] = {0};
+  size_t read = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  EXPECT_EQ(std::string(buffer, read), "a,b\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvExportTest, FailsOnUnwritablePath) {
+  sim::TextTable table({"a"});
+  EXPECT_FALSE(sim::WriteCsvFile(table, "/nonexistent-dir/x/y.csv"));
+}
+
+TEST(CsvExportTest, ExportsMultiTrialResults) {
+  sim::MultiTrialOptions options;
+  options.loop.num_users = 50;
+  options.num_trials = 2;
+  options.master_seed = 5;
+  sim::MultiTrialResult result = sim::RunMultiTrial(options);
+
+  std::string race_path = ::testing::TempDir() + "/eqimpact_race.csv";
+  std::string user_path = ::testing::TempDir() + "/eqimpact_user.csv";
+  ASSERT_TRUE(sim::ExportRaceAdrCsv(result, race_path));
+  ASSERT_TRUE(sim::ExportUserAdrCsv(result, user_path));
+
+  // Row counts: header + one row per year / per pooled user.
+  auto count_lines = [](const std::string& path) {
+    std::FILE* file = std::fopen(path.c_str(), "r");
+    EXPECT_NE(file, nullptr);
+    int lines = 0;
+    int c;
+    while ((c = std::fgetc(file)) != EOF) {
+      if (c == '\n') ++lines;
+    }
+    std::fclose(file);
+    return lines;
+  };
+  EXPECT_EQ(count_lines(race_path), 1 + 19);
+  EXPECT_EQ(count_lines(user_path), 1 + 100);
+  std::remove(race_path.c_str());
+  std::remove(user_path.c_str());
+}
+
+}  // namespace
+}  // namespace eqimpact

@@ -1,0 +1,535 @@
+// Unit tests for the credit module: income model, repayment behaviour,
+// ADR filter, lending policies, population, and the full closed loop.
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "credit/adr_filter.h"
+#include "credit/credit_loop.h"
+#include "credit/income_model.h"
+#include "credit/lending_policy.h"
+#include "credit/population.h"
+#include "credit/race.h"
+#include "credit/repayment_model.h"
+#include "rng/normal.h"
+#include "rng/random.h"
+
+namespace eqimpact {
+namespace {
+
+using credit::Race;
+
+TEST(RaceTest, NamesMatchCpsLabels) {
+  EXPECT_EQ(RaceName(Race::kBlackAlone), "BLACK ALONE");
+  EXPECT_EQ(RaceName(Race::kWhiteAlone), "WHITE ALONE");
+  EXPECT_EQ(RaceName(Race::kAsianAlone), "ASIAN ALONE");
+}
+
+TEST(RaceTest, SharesMatchPaperAndSumToNearOne) {
+  EXPECT_DOUBLE_EQ(credit::kRaceShares2002[0], 0.1235);
+  EXPECT_DOUBLE_EQ(credit::kRaceShares2002[1], 0.8406);
+  EXPECT_DOUBLE_EQ(credit::kRaceShares2002[2], 0.0359);
+  double total = credit::kRaceShares2002[0] + credit::kRaceShares2002[1] +
+                 credit::kRaceShares2002[2];
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(IncomeModelTest, SharesSumToOneForAllYearsAndRaces) {
+  credit::IncomeModel model;
+  for (int year = credit::kFirstYear; year <= credit::kLastYear; ++year) {
+    for (size_t r = 0; r < credit::kNumRaces; ++r) {
+      auto shares = model.BracketShares(year, static_cast<Race>(r));
+      EXPECT_EQ(shares.size(), credit::kNumIncomeBrackets);
+      double total = std::accumulate(shares.begin(), shares.end(), 0.0);
+      EXPECT_NEAR(total, 1.0, 1e-12) << "year " << year << " race " << r;
+    }
+  }
+}
+
+TEST(IncomeModelTest, Figure2AsianTopBracketShare) {
+  // Paper Figure 2: "a larger share (almost 20%) of ASIAN ALONE households
+  // makes more than $200K in 2020".
+  credit::IncomeModel model;
+  auto asian = model.BracketShares(2020, Race::kAsianAlone);
+  EXPECT_NEAR(asian.back(), 0.198, 0.01);
+  auto black = model.BracketShares(2020, Race::kBlackAlone);
+  auto white = model.BracketShares(2020, Race::kWhiteAlone);
+  EXPECT_GT(asian.back(), white.back());
+  EXPECT_GT(white.back(), black.back());
+}
+
+TEST(IncomeModelTest, Figure2BlackMostlyBelow75K) {
+  // Paper: "the income of most BLACK ALONE households is less than $75K".
+  credit::IncomeModel model;
+  auto shares = model.BracketShares(2020, Race::kBlackAlone);
+  double below75 = shares[0] + shares[1] + shares[2] + shares[3] + shares[4];
+  EXPECT_GT(below75, 0.5);
+}
+
+TEST(IncomeModelTest, IncomesGrowOverTime) {
+  // Nominal income growth 2002 -> 2020: the under-15K share shrinks and
+  // the over-200K share grows for every race.
+  credit::IncomeModel model;
+  for (size_t r = 0; r < credit::kNumRaces; ++r) {
+    Race race = static_cast<Race>(r);
+    auto early = model.BracketShares(2002, race);
+    auto late = model.BracketShares(2020, race);
+    EXPECT_GT(early.front(), late.front()) << "race " << r;
+    EXPECT_LT(early.back(), late.back()) << "race " << r;
+  }
+}
+
+TEST(IncomeModelTest, YearsOutsideRangeAreClamped) {
+  credit::IncomeModel model;
+  EXPECT_EQ(model.BracketShares(1990, Race::kWhiteAlone),
+            model.BracketShares(2002, Race::kWhiteAlone));
+  EXPECT_EQ(model.BracketShares(2030, Race::kWhiteAlone),
+            model.BracketShares(2020, Race::kWhiteAlone));
+}
+
+TEST(IncomeModelTest, SampledIncomesLandInBrackets) {
+  credit::IncomeModel model;
+  rng::Random random(201);
+  for (int i = 0; i < 5000; ++i) {
+    double income = model.SampleIncome(2010, Race::kWhiteAlone, &random);
+    EXPECT_GT(income, 0.0);
+    EXPECT_LT(income, 10000.0);  // The Pareto tail stays sane.
+  }
+}
+
+TEST(IncomeModelTest, SamplingFrequenciesMatchShares) {
+  credit::IncomeModel model;
+  rng::Random random(202);
+  auto shares = model.BracketShares(2020, Race::kAsianAlone);
+  std::vector<int> counts(credit::kNumIncomeBrackets, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[model.SampleBracket(2020, Race::kAsianAlone, &random)];
+  }
+  for (size_t b = 0; b < credit::kNumIncomeBrackets; ++b) {
+    EXPECT_NEAR(static_cast<double>(counts[b]) / draws, shares[b], 0.01);
+  }
+}
+
+TEST(IncomeModelTest, BracketLabels) {
+  EXPECT_EQ(credit::BracketLabel(0), "under 15");
+  EXPECT_EQ(credit::BracketLabel(1), "15-25");
+  EXPECT_EQ(credit::BracketLabel(8), "over 200");
+}
+
+TEST(IncomeModelTest, YearSharesOverrideReplacesEmbeddedTable) {
+  credit::IncomeModel model;
+  std::vector<double> custom(credit::kNumIncomeBrackets, 0.0);
+  custom[4] = 2.0;  // All mass in the 50-75 bracket (any positive scale).
+  model.SetYearShares(2010, Race::kWhiteAlone, custom);
+  EXPECT_EQ(model.num_overrides(), 1u);
+  auto shares = model.BracketShares(2010, Race::kWhiteAlone);
+  EXPECT_DOUBLE_EQ(shares[4], 1.0);  // Normalised.
+  // Other cells untouched.
+  EXPECT_NE(model.BracketShares(2011, Race::kWhiteAlone)[4], 1.0);
+  EXPECT_NE(model.BracketShares(2010, Race::kBlackAlone)[4], 1.0);
+  // Replacing the same cell does not grow the override list.
+  model.SetYearShares(2010, Race::kWhiteAlone, custom);
+  EXPECT_EQ(model.num_overrides(), 1u);
+}
+
+TEST(IncomeModelTest, CsvLoaderInstallsOverrides) {
+  std::string path = ::testing::TempDir() + "/eqimpact_income.csv";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fputs("year,race,s0,s1,s2,s3,s4,s5,s6,s7,s8\n", file);
+  std::fputs("# comment line\n", file);
+  std::fputs("2010,WHITE ALONE,10,10,10,10,10,10,10,10,20\n", file);
+  std::fputs("2011,BLACK ALONE,50,50,0,0,0,0,0,0,0\n", file);
+  std::fclose(file);
+
+  credit::IncomeModel model;
+  EXPECT_EQ(credit::LoadIncomeSharesCsv(path, &model), 2);
+  EXPECT_EQ(model.num_overrides(), 2u);
+  EXPECT_NEAR(model.BracketShares(2010, Race::kWhiteAlone)[8], 0.2, 1e-12);
+  EXPECT_NEAR(model.BracketShares(2011, Race::kBlackAlone)[0], 0.5, 1e-12);
+  std::remove(path.c_str());
+}
+
+TEST(IncomeModelTest, CsvLoaderRejectsMalformedRows) {
+  std::string path = ::testing::TempDir() + "/eqimpact_income_bad.csv";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fputs("2010,WHITE ALONE,1,2,3\n", file);  // Too few columns.
+  std::fclose(file);
+  credit::IncomeModel model;
+  EXPECT_EQ(credit::LoadIncomeSharesCsv(path, &model), -1);
+  std::remove(path.c_str());
+}
+
+TEST(IncomeModelTest, CsvLoaderRejectsUnknownRaceAndBadNumbers) {
+  std::string path = ::testing::TempDir() + "/eqimpact_income_bad2.csv";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fputs("2010,MARTIAN,10,10,10,10,10,10,10,10,20\n", file);
+  std::fclose(file);
+  credit::IncomeModel model;
+  EXPECT_EQ(credit::LoadIncomeSharesCsv(path, &model), -1);
+  std::remove(path.c_str());
+}
+
+TEST(IncomeModelTest, CsvLoaderMissingFileFails) {
+  credit::IncomeModel model;
+  EXPECT_EQ(credit::LoadIncomeSharesCsv("/no/such/file.csv", &model), -1);
+}
+
+// --- Repayment model (paper equations (10)-(11)) ---------------------------
+
+TEST(RepaymentModelTest, SurplusShareMatchesEquation10) {
+  credit::RepaymentModel model;
+  // x = (z - 10 - 3.5 * 0.0216 * z) / z = 0.9244 - 10/z.
+  EXPECT_NEAR(model.SurplusShare(50.0), 0.9244 - 10.0 / 50.0, 1e-12);
+  EXPECT_NEAR(model.SurplusShare(20.0), 0.9244 - 0.5, 1e-12);
+}
+
+TEST(RepaymentModelTest, RepaymentProbabilityIsPhiOfFiveX) {
+  credit::RepaymentModel model;
+  double x = model.SurplusShare(50.0);
+  EXPECT_NEAR(model.RepaymentProbability(50.0),
+              rng::StandardNormalCdf(5.0 * x), 1e-12);
+}
+
+TEST(RepaymentModelTest, InsolventHouseholdNeverRepays) {
+  credit::RepaymentModel model;
+  // x <= 0 iff z <= 10 / 0.9244 ~ 10.82.
+  EXPECT_DOUBLE_EQ(model.RepaymentProbability(10.0), 0.0);
+  rng::Random random(203);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(model.SimulateRepayment(10.0, true, &random));
+  }
+}
+
+TEST(RepaymentModelTest, NoOfferMeansNoRepayment) {
+  credit::RepaymentModel model;
+  rng::Random random(204);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(model.SimulateRepayment(100.0, false, &random));
+  }
+}
+
+TEST(RepaymentModelTest, RicherHouseholdsRepayMoreOften) {
+  credit::RepaymentModel model;
+  EXPECT_LT(model.RepaymentProbability(13.0),
+            model.RepaymentProbability(20.0));
+  EXPECT_LT(model.RepaymentProbability(20.0),
+            model.RepaymentProbability(60.0));
+  EXPECT_GT(model.RepaymentProbability(60.0), 0.999);
+}
+
+TEST(RepaymentModelTest, ExplicitAmountOverridesMultiple) {
+  credit::RepaymentModel model;
+  // $50K flat mortgage for a $20K-income household: interest 1.08, so
+  // x = (20 - 10 - 1.08) / 20.
+  EXPECT_NEAR(model.SurplusShareForAmount(20.0, 50.0),
+              (20.0 - 10.0 - 0.0216 * 50.0) / 20.0, 1e-12);
+}
+
+TEST(RepaymentModelTest, SimulationFrequencyMatchesProbability) {
+  credit::RepaymentModel model;
+  rng::Random random(205);
+  double p = model.RepaymentProbability(16.0);
+  int repaid = 0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) {
+    repaid += model.SimulateRepayment(16.0, true, &random) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(repaid) / draws, p, 0.01);
+}
+
+// --- ADR filter (paper equation (12)) ---------------------------------------
+
+TEST(AdrFilterTest, StartsAtZero) {
+  credit::AdrFilter filter({Race::kWhiteAlone, Race::kBlackAlone});
+  EXPECT_DOUBLE_EQ(filter.UserAdr(0), 0.0);
+  EXPECT_EQ(filter.UserOffers(0), 0);
+}
+
+TEST(AdrFilterTest, CountsDefaultsOverOffers) {
+  credit::AdrFilter filter({Race::kWhiteAlone});
+  filter.Update(0, true, true);    // Offer, repaid.
+  filter.Update(0, true, false);   // Offer, default.
+  filter.Update(0, false, false);  // No offer: ignored.
+  filter.Update(0, true, true);    // Offer, repaid.
+  EXPECT_NEAR(filter.UserAdr(0), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(filter.UserOffers(0), 3);
+}
+
+TEST(AdrFilterTest, DenialFreezesAdr) {
+  credit::AdrFilter filter({Race::kWhiteAlone});
+  filter.Update(0, true, false);
+  double before = filter.UserAdr(0);
+  for (int k = 0; k < 10; ++k) filter.Update(0, false, false);
+  EXPECT_DOUBLE_EQ(filter.UserAdr(0), before);
+}
+
+TEST(AdrFilterTest, RaceAggregateAveragesMembers) {
+  credit::AdrFilter filter(
+      {Race::kWhiteAlone, Race::kWhiteAlone, Race::kBlackAlone});
+  filter.Update(0, true, false);  // White user ADR 1.
+  filter.Update(1, true, true);   // White user ADR 0.
+  filter.Update(2, true, false);  // Black user ADR 1.
+  EXPECT_DOUBLE_EQ(filter.RaceAdr(Race::kWhiteAlone), 0.5);
+  EXPECT_DOUBLE_EQ(filter.RaceAdr(Race::kBlackAlone), 1.0);
+  EXPECT_DOUBLE_EQ(filter.RaceAdr(Race::kAsianAlone), 0.0);  // Absent race.
+  EXPECT_NEAR(filter.OverallAdr(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(AdrFilterTest, PooledAggregateWeightsByOffers) {
+  credit::AdrFilter filter({Race::kWhiteAlone, Race::kWhiteAlone});
+  // User 0: 1 offer, 1 default. User 1: 3 offers, 0 defaults.
+  filter.Update(0, true, false);
+  for (int k = 0; k < 3; ++k) filter.Update(1, true, true);
+  EXPECT_DOUBLE_EQ(filter.RaceAdr(Race::kWhiteAlone), 0.5);
+  EXPECT_DOUBLE_EQ(filter.PooledRaceAdr(Race::kWhiteAlone), 0.25);
+}
+
+TEST(AdrFilterTest, ForgettingFactorDiscountsOldDefaults) {
+  credit::AdrFilter forgetting({Race::kWhiteAlone}, 0.5);
+  forgetting.Update(0, true, false);  // Old default.
+  forgetting.Update(0, true, true);
+  forgetting.Update(0, true, true);
+  credit::AdrFilter accumulating({Race::kWhiteAlone}, 1.0);
+  accumulating.Update(0, true, false);
+  accumulating.Update(0, true, true);
+  accumulating.Update(0, true, true);
+  EXPECT_LT(forgetting.UserAdr(0), accumulating.UserAdr(0));
+  EXPECT_NEAR(accumulating.UserAdr(0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(AdrFilterTest, SnapshotMatchesPerUserQueries) {
+  credit::AdrFilter filter({Race::kWhiteAlone, Race::kBlackAlone});
+  filter.Update(0, true, false);
+  filter.Update(1, true, true);
+  auto snapshot = filter.UserAdrSnapshot();
+  EXPECT_DOUBLE_EQ(snapshot[0], 1.0);
+  EXPECT_DOUBLE_EQ(snapshot[1], 0.0);
+}
+
+// --- Population --------------------------------------------------------------
+
+TEST(PopulationTest, RaceSharesApproximatelyMatchPaper) {
+  rng::Random random(301);
+  credit::Population population(20000, &random);
+  double white_share =
+      static_cast<double>(population.CountRace(Race::kWhiteAlone)) / 20000.0;
+  EXPECT_NEAR(white_share, 0.8406, 0.02);
+  double black_share =
+      static_cast<double>(population.CountRace(Race::kBlackAlone)) / 20000.0;
+  EXPECT_NEAR(black_share, 0.1235, 0.02);
+}
+
+TEST(PopulationTest, IncomeCodeThreshold) {
+  rng::Random random(302);
+  credit::Population population(100, &random);
+  credit::IncomeModel model;
+  population.ResampleIncomes(2010, model, &random);
+  for (size_t i = 0; i < population.size(); ++i) {
+    double code = population.IncomeCode(i, 15.0);
+    EXPECT_EQ(code, population.income(i) >= 15.0 ? 1.0 : 0.0);
+  }
+}
+
+TEST(PopulationTest, ResamplingChangesIncomes) {
+  rng::Random random(303);
+  credit::Population population(100, &random);
+  credit::IncomeModel model;
+  population.ResampleIncomes(2005, model, &random);
+  double first = population.income(0);
+  population.ResampleIncomes(2006, model, &random);
+  // At least one income must change (almost surely all do).
+  bool changed = false;
+  for (size_t i = 0; i < population.size(); ++i) {
+    if (population.income(i) != first) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+// --- Lending policies ---------------------------------------------------------
+
+TEST(LendingPolicyTest, ApproveAllSizesMortgageByIncome) {
+  credit::ApproveAllPolicy policy(3.5);
+  credit::LendingDecision decision =
+      policy.Decide({40.0, 1.0, 0.9, true});
+  EXPECT_TRUE(decision.approved);
+  EXPECT_DOUBLE_EQ(decision.mortgage_amount, 140.0);
+}
+
+TEST(LendingPolicyTest, ScorecardPolicyUsesAdrAndCode) {
+  ml::Scorecard card({{"History", "x ADR", -8.17}, {"Income", ">15K", 5.77}},
+                     0.4);
+  credit::ScorecardPolicy policy(card, 3.5);
+  // Good applicant: approved with 3.5x income.
+  credit::LendingDecision good = policy.Decide({50.0, 1.0, 0.1, false});
+  EXPECT_TRUE(good.approved);
+  EXPECT_DOUBLE_EQ(good.mortgage_amount, 175.0);
+  // Poor applicant (code 0): score <= 0 < 0.4, declined.
+  credit::LendingDecision poor = policy.Decide({12.0, 0.0, 0.0, false});
+  EXPECT_FALSE(poor.approved);
+  EXPECT_DOUBLE_EQ(poor.mortgage_amount, 0.0);
+}
+
+TEST(LendingPolicyTest, FlatLimitDeclinesPastDefaulters) {
+  credit::FlatLimitPolicy policy(50.0);
+  EXPECT_TRUE(policy.Decide({12.0, 0.0, 0.0, false}).approved);
+  EXPECT_FALSE(policy.Decide({120.0, 1.0, 0.1, true}).approved);
+  EXPECT_DOUBLE_EQ(policy.Decide({12.0, 0.0, 0.0, false}).mortgage_amount,
+                   50.0);
+}
+
+TEST(LendingPolicyTest, IncomeMultipleApprovesEveryone) {
+  credit::IncomeMultiplePolicy policy(3.0);
+  credit::LendingDecision decision = policy.Decide({20.0, 1.0, 0.9, true});
+  EXPECT_TRUE(decision.approved);
+  EXPECT_DOUBLE_EQ(decision.mortgage_amount, 60.0);
+}
+
+// --- The closed loop -----------------------------------------------------------
+
+credit::CreditLoopOptions SmallLoopOptions(uint64_t seed) {
+  credit::CreditLoopOptions options;
+  options.num_users = 200;
+  options.seed = seed;
+  return options;
+}
+
+TEST(CreditLoopTest, ResultShapes) {
+  credit::CreditScoringLoop loop(SmallLoopOptions(1));
+  credit::CreditLoopResult result = loop.Run();
+  EXPECT_EQ(result.years.size(), 19u);  // 2002..2020.
+  EXPECT_EQ(result.years.front(), 2002);
+  EXPECT_EQ(result.years.back(), 2020);
+  EXPECT_EQ(result.user_adr.size(), 200u);
+  EXPECT_EQ(result.user_adr[0].size(), 19u);
+  EXPECT_EQ(result.race_adr.size(), credit::kNumRaces);
+  EXPECT_EQ(result.race_adr[0].size(), 19u);
+  EXPECT_EQ(result.overall_adr.size(), 19u);
+  EXPECT_EQ(result.races.size(), 200u);
+}
+
+TEST(CreditLoopTest, DeterministicInSeed) {
+  credit::CreditScoringLoop a(SmallLoopOptions(7));
+  credit::CreditScoringLoop b(SmallLoopOptions(7));
+  credit::CreditLoopResult ra = a.Run();
+  credit::CreditLoopResult rb = b.Run();
+  EXPECT_EQ(ra.user_adr, rb.user_adr);
+  EXPECT_EQ(ra.race_adr, rb.race_adr);
+}
+
+TEST(CreditLoopTest, DifferentSeedsDiffer) {
+  credit::CreditLoopResult ra =
+      credit::CreditScoringLoop(SmallLoopOptions(7)).Run();
+  credit::CreditLoopResult rb =
+      credit::CreditScoringLoop(SmallLoopOptions(8)).Run();
+  EXPECT_NE(ra.user_adr, rb.user_adr);
+}
+
+TEST(CreditLoopTest, WarmupApprovesEveryone) {
+  credit::CreditScoringLoop loop(SmallLoopOptions(2));
+  credit::CreditLoopResult result = loop.Run();
+  for (size_t r = 0; r < credit::kNumRaces; ++r) {
+    if (result.race_approval[r].empty()) continue;
+    // Every race with members is fully approved in the warm-up years.
+    if (result.race_adr[r][0] > 0.0 || result.race_approval[r][0] > 0.0) {
+      EXPECT_DOUBLE_EQ(result.race_approval[r][0], 1.0);
+      EXPECT_DOUBLE_EQ(result.race_approval[r][1], 1.0);
+    }
+  }
+}
+
+TEST(CreditLoopTest, ScorecardSignsMatchTableOne) {
+  credit::CreditScoringLoop loop(SmallLoopOptions(3));
+  credit::CreditLoopResult result = loop.Run();
+  ASSERT_FALSE(result.scorecards.empty());
+  for (const credit::ScorecardSnapshot& card : result.scorecards) {
+    EXPECT_LT(card.history_weight, 0.0)
+        << "History factor must penalise defaults (Table I: -8.17)";
+    EXPECT_GT(card.income_weight, 0.0)
+        << "Income factor must reward income (Table I: +5.77)";
+  }
+}
+
+TEST(CreditLoopTest, AdrSeriesStayInUnitInterval) {
+  credit::CreditScoringLoop loop(SmallLoopOptions(4));
+  credit::CreditLoopResult result = loop.Run();
+  for (const auto& series : result.user_adr) {
+    for (double adr : series) {
+      EXPECT_GE(adr, 0.0);
+      EXPECT_LE(adr, 1.0);
+    }
+  }
+}
+
+TEST(CreditLoopTest, RaceAdrSettlesToLowLevels) {
+  // The paper's Figure 3: all races dwindle to a similar low ADR level.
+  credit::CreditLoopOptions options = SmallLoopOptions(5);
+  options.num_users = 1000;
+  credit::CreditScoringLoop loop(options);
+  credit::CreditLoopResult result = loop.Run();
+  for (size_t r = 0; r < credit::kNumRaces; ++r) {
+    double final_adr = result.race_adr[r].back();
+    EXPECT_GT(final_adr, 0.0) << RaceName(static_cast<Race>(r));
+    EXPECT_LT(final_adr, 0.15) << RaceName(static_cast<Race>(r));
+  }
+}
+
+TEST(CreditLoopTest, ForgettingFilterAblationRuns) {
+  credit::CreditLoopOptions options = SmallLoopOptions(6);
+  options.forgetting_factor = 0.8;
+  credit::CreditLoopResult result =
+      credit::CreditScoringLoop(options).Run();
+  EXPECT_EQ(result.user_adr.size(), options.num_users);
+}
+
+TEST(CreditLoopTest, LastYearOnlyTrainingAblationRuns) {
+  credit::CreditLoopOptions options = SmallLoopOptions(7);
+  options.accumulate_history = false;
+  credit::CreditLoopResult result =
+      credit::CreditScoringLoop(options).Run();
+  EXPECT_FALSE(result.scorecards.empty());
+}
+
+// --- Parameterized sweeps -------------------------------------------------------
+
+class CutoffSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CutoffSweep, LoopRunsAndKeepsAdrBoundedForAnyCutoff) {
+  credit::CreditLoopOptions options = SmallLoopOptions(11);
+  options.cutoff = GetParam();
+  credit::CreditLoopResult result =
+      credit::CreditScoringLoop(options).Run();
+  for (size_t r = 0; r < credit::kNumRaces; ++r) {
+    EXPECT_LE(result.race_adr[r].back(), 1.0);
+    EXPECT_GE(result.race_adr[r].back(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, CutoffSweep,
+                         ::testing::Values(-1.0, 0.0, 0.4, 1.0, 3.0));
+
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweep, FinalOverallAdrIsStableAcrossSeeds) {
+  // Equal impact across trials: the long-run overall ADR level should not
+  // vary wildly with the randomness (initial conditions).
+  credit::CreditLoopOptions options = SmallLoopOptions(GetParam());
+  options.num_users = 500;
+  credit::CreditLoopResult result =
+      credit::CreditScoringLoop(options).Run();
+  EXPECT_GT(result.overall_adr.back(), 0.0);
+  EXPECT_LT(result.overall_adr.back(), 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(100, 200, 300, 400, 500));
+
+}  // namespace
+}  // namespace eqimpact

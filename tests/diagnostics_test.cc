@@ -1,0 +1,252 @@
+// Unit tests for the run-length diagnostics (autocorrelation, effective
+// sample size), the compliance-report assessment, and the
+// affordability-based lending extensions.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/compliance_report.h"
+#include "credit/lending_policy.h"
+#include "credit/repayment_model.h"
+#include "rng/random.h"
+#include "stats/autocorrelation.h"
+
+namespace eqimpact {
+namespace {
+
+// --- Autocorrelation ---------------------------------------------------------
+
+TEST(AutocorrelationTest, LagZeroIsOne) {
+  std::vector<double> series{1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> acf = stats::Autocorrelation(series, 2);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+}
+
+TEST(AutocorrelationTest, IidSeriesHasNearZeroAcf) {
+  rng::Random random(1);
+  std::vector<double> series;
+  for (int i = 0; i < 20000; ++i) series.push_back(random.Normal());
+  std::vector<double> acf = stats::Autocorrelation(series, 5);
+  for (size_t lag = 1; lag <= 5; ++lag) {
+    EXPECT_NEAR(acf[lag], 0.0, 0.03) << "lag " << lag;
+  }
+}
+
+TEST(AutocorrelationTest, AlternatingSeriesHasMinusOneAtLagOne) {
+  std::vector<double> series;
+  for (int i = 0; i < 1000; ++i) series.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  std::vector<double> acf = stats::Autocorrelation(series, 2);
+  EXPECT_NEAR(acf[1], -1.0, 0.01);
+  EXPECT_NEAR(acf[2], 1.0, 0.01);
+}
+
+TEST(AutocorrelationTest, ConstantSeriesIsHandled) {
+  std::vector<double> series(100, 3.0);
+  std::vector<double> acf = stats::Autocorrelation(series, 3);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+  EXPECT_DOUBLE_EQ(acf[1], 0.0);
+}
+
+TEST(AutocorrelationTest, PersistentSeriesHasPositiveAcf) {
+  // AR(1) with coefficient 0.9: rho(k) ~ 0.9^k.
+  rng::Random random(2);
+  std::vector<double> series;
+  double x = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    x = 0.9 * x + random.Normal();
+    series.push_back(x);
+  }
+  std::vector<double> acf = stats::Autocorrelation(series, 3);
+  EXPECT_NEAR(acf[1], 0.9, 0.03);
+  EXPECT_NEAR(acf[2], 0.81, 0.04);
+}
+
+TEST(EffectiveSampleSizeTest, IidSeriesKeepsFullSize) {
+  rng::Random random(3);
+  std::vector<double> series;
+  for (int i = 0; i < 10000; ++i) series.push_back(random.Normal());
+  double tau = stats::IntegratedAutocorrelationTime(series);
+  EXPECT_NEAR(tau, 1.0, 0.2);
+  EXPECT_GT(stats::EffectiveSampleSize(series), 8000.0);
+}
+
+TEST(EffectiveSampleSizeTest, CorrelatedSeriesShrinks) {
+  // AR(1) rho = 0.9 has tau = (1 + rho) / (1 - rho) = 19.
+  rng::Random random(4);
+  std::vector<double> series;
+  double x = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    x = 0.9 * x + random.Normal();
+    series.push_back(x);
+  }
+  double tau = stats::IntegratedAutocorrelationTime(series);
+  EXPECT_GT(tau, 10.0);
+  EXPECT_LT(tau, 30.0);
+  EXPECT_LT(stats::EffectiveSampleSize(series), 12000.0);
+}
+
+TEST(TimeAverageErrorTest, ShrinksWithLength) {
+  rng::Random random(5);
+  std::vector<double> shorter, longer;
+  for (int i = 0; i < 50000; ++i) {
+    double draw = random.Normal();
+    if (i < 500) shorter.push_back(draw);
+    longer.push_back(draw);
+  }
+  EXPECT_GT(stats::TimeAverageStandardError(shorter),
+            stats::TimeAverageStandardError(longer));
+  // For i.i.d. standard normals the SE is ~1/sqrt(n).
+  EXPECT_NEAR(stats::TimeAverageStandardError(longer),
+              1.0 / std::sqrt(50000.0), 2e-3);
+}
+
+// --- Compliance report ---------------------------------------------------------
+
+core::ComplianceInputs FairInputs() {
+  core::ComplianceInputs inputs;
+  rng::Random random(11);
+  for (int i = 0; i < 12; ++i) {
+    std::vector<double> series;
+    for (int k = 0; k < 3000; ++k) {
+      series.push_back(random.Bernoulli(0.4) ? 1.0 : 0.0);
+    }
+    inputs.user_outcomes.push_back(std::move(series));
+    inputs.class_of.push_back(i % 3);
+  }
+  inputs.class_names = {"alpha", "beta", "gamma"};
+  return inputs;
+}
+
+TEST(ComplianceTest, FairLoopPassesAllImpactChecks) {
+  core::ComplianceVerdict verdict = core::AssessCompliance(FairInputs());
+  EXPECT_TRUE(verdict.impact_overall.equal_impact);
+  EXPECT_TRUE(verdict.equal_impact_across_classes);
+  for (const auto& report : verdict.impact_by_class) {
+    EXPECT_TRUE(report.equal_impact);
+  }
+  // Stochastic responses: strict equal treatment must fail.
+  EXPECT_FALSE(verdict.treatment.constant_action);
+  for (double limit : verdict.class_mean_limits) {
+    EXPECT_NEAR(limit, 0.4, 0.05);
+  }
+}
+
+TEST(ComplianceTest, DisparateImpactIsFlagged) {
+  core::ComplianceInputs inputs;
+  for (int i = 0; i < 6; ++i) {
+    // Class 0 users settle at 0.8, class 1 users at 0.2.
+    double level = i < 3 ? 0.8 : 0.2;
+    inputs.user_outcomes.push_back(std::vector<double>(2000, level));
+    inputs.class_of.push_back(i < 3 ? 0 : 1);
+  }
+  inputs.class_names = {"group-a", "group-b"};
+  core::ComplianceVerdict verdict = core::AssessCompliance(inputs);
+  EXPECT_FALSE(verdict.equal_impact_across_classes);
+  EXPECT_NEAR(verdict.between_class_gap, 0.6, 1e-9);
+  // Within each class the users coincide.
+  EXPECT_TRUE(verdict.impact_by_class[0].equal_impact);
+  EXPECT_TRUE(verdict.impact_by_class[1].equal_impact);
+}
+
+TEST(ComplianceTest, RenderedReportMentionsClassesAndVerdicts) {
+  core::ComplianceVerdict verdict = core::AssessCompliance(FairInputs());
+  std::string report =
+      core::RenderComplianceReport(verdict, {"alpha", "beta", "gamma"});
+  EXPECT_NE(report.find("alpha"), std::string::npos);
+  EXPECT_NE(report.find("gamma"), std::string::npos);
+  EXPECT_NE(report.find("Equal impact"), std::string::npos);
+  EXPECT_NE(report.find("PASS"), std::string::npos);
+}
+
+// --- Affordability extensions ----------------------------------------------------
+
+TEST(AffordabilityTest, MaxMortgageInvertsRepaymentProbability) {
+  credit::RepaymentModel model;
+  for (double income : {20.0, 40.0, 80.0}) {
+    for (double target : {0.8, 0.9, 0.95}) {
+      double amount = model.MaxAffordableMortgage(income, target);
+      ASSERT_GT(amount, 0.0) << income << " " << target;
+      EXPECT_NEAR(model.RepaymentProbabilityForAmount(income, amount), target,
+                  1e-9)
+          << income << " " << target;
+    }
+  }
+}
+
+TEST(AffordabilityTest, LargerLoansAreRiskier) {
+  credit::RepaymentModel model;
+  double amount = model.MaxAffordableMortgage(30.0, 0.9);
+  EXPECT_LT(model.RepaymentProbabilityForAmount(30.0, amount * 1.5), 0.9);
+  EXPECT_GT(model.RepaymentProbabilityForAmount(30.0, amount * 0.5), 0.9);
+}
+
+TEST(AffordabilityTest, DestituteHouseholdCannotBorrow) {
+  credit::RepaymentModel model;
+  // Income below the living cost: no loan is affordable.
+  EXPECT_DOUBLE_EQ(model.MaxAffordableMortgage(9.0, 0.9), 0.0);
+}
+
+TEST(AffordabilityTest, HigherTargetMeansSmallerLoan) {
+  credit::RepaymentModel model;
+  double lenient = model.MaxAffordableMortgage(40.0, 0.8);
+  double strict = model.MaxAffordableMortgage(40.0, 0.99);
+  EXPECT_GT(lenient, strict);
+}
+
+TEST(AffordabilityPolicyTest, CapsAtIncomeMultiple) {
+  credit::RepaymentModel model;
+  credit::AffordabilityCappedPolicy policy(&model, 0.9, 3.5);
+  // A wealthy applicant could afford far more than 3.5x income at 90%;
+  // the cap binds.
+  credit::LendingDecision decision = policy.Decide({200.0, 1.0, 0.0, false});
+  EXPECT_TRUE(decision.approved);
+  EXPECT_DOUBLE_EQ(decision.mortgage_amount, 700.0);
+}
+
+TEST(AffordabilityPolicyTest, ShrinksLoansForLowIncomes) {
+  credit::RepaymentModel model;
+  credit::AffordabilityCappedPolicy policy(&model, 0.9, 3.5);
+  credit::LendingDecision decision = policy.Decide({14.0, 0.0, 0.0, false});
+  ASSERT_TRUE(decision.approved);
+  EXPECT_LT(decision.mortgage_amount, 3.5 * 14.0);
+  EXPECT_GT(decision.mortgage_amount, 0.0);
+  // The shrunk loan meets the target.
+  EXPECT_GE(model.RepaymentProbabilityForAmount(14.0,
+                                                decision.mortgage_amount),
+            0.9 - 1e-9);
+}
+
+TEST(AffordabilityPolicyTest, DeclinesWhenNothingIsAffordable) {
+  credit::RepaymentModel model;
+  credit::AffordabilityCappedPolicy policy(&model, 0.9, 3.5);
+  credit::LendingDecision decision = policy.Decide({10.0, 0.0, 0.0, false});
+  EXPECT_FALSE(decision.approved);
+  EXPECT_DOUBLE_EQ(decision.mortgage_amount, 0.0);
+}
+
+class AffordabilityTargetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AffordabilityTargetSweep, ApprovedLoansAlwaysMeetTheTarget) {
+  const double target = GetParam();
+  credit::RepaymentModel model;
+  credit::AffordabilityCappedPolicy policy(&model, target, 3.5);
+  rng::Random random(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    double income = random.UniformDouble(5.0, 300.0);
+    credit::LendingDecision decision =
+        policy.Decide({income, income >= 15.0 ? 1.0 : 0.0, 0.0, false});
+    if (!decision.approved) continue;
+    EXPECT_GE(model.RepaymentProbabilityForAmount(income,
+                                                  decision.mortgage_amount),
+              target - 1e-9)
+        << "income " << income;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, AffordabilityTargetSweep,
+                         ::testing::Values(0.5, 0.8, 0.9, 0.99));
+
+}  // namespace
+}  // namespace eqimpact

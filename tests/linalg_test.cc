@@ -1,0 +1,320 @@
+// Unit tests for the linalg module: vectors, matrices, factorisations and
+// the eigen/stationary-distribution solvers.
+
+#include <cmath>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+#include "linalg/vector.h"
+#include "rng/random.h"
+
+namespace eqimpact {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(VectorTest, ConstructionAndAccess) {
+  Vector v(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  v[1] = 2.5;
+  EXPECT_DOUBLE_EQ(v[1], 2.5);
+}
+
+TEST(VectorTest, BracedInitialization) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(VectorTest, Arithmetic) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, -1.0};
+  Vector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 4.0);
+  EXPECT_DOUBLE_EQ(sum[1], 1.0);
+  Vector diff = a - b;
+  EXPECT_DOUBLE_EQ(diff[0], -2.0);
+  Vector scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled[1], 4.0);
+  Vector divided = b / 2.0;
+  EXPECT_DOUBLE_EQ(divided[0], 1.5);
+}
+
+TEST(VectorTest, NormsAndReductions) {
+  Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(v.Norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(v.NormInf(), 4.0);
+  EXPECT_DOUBLE_EQ(v.Sum(), -1.0);
+  EXPECT_DOUBLE_EQ(v.Mean(), -0.5);
+}
+
+TEST(VectorTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(Dot(Vector{1.0, 2.0, 3.0}, Vector{4.0, 5.0, 6.0}), 32.0);
+}
+
+TEST(VectorTest, MaxAbsDiffAndAllClose) {
+  Vector a{1.0, 2.0};
+  Vector b{1.1, 1.8};
+  EXPECT_NEAR(MaxAbsDiff(a, b), 0.2, 1e-12);
+  EXPECT_TRUE(AllClose(a, b, 0.21));
+  EXPECT_FALSE(AllClose(a, b, 0.19));
+  EXPECT_FALSE(AllClose(a, Vector{1.0}, 1.0));
+}
+
+TEST(VectorTest, ToStringRendersEntries) {
+  EXPECT_EQ((Vector{1.0, 2.5}).ToString(), "[1, 2.5]");
+}
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.0);
+}
+
+TEST(MatrixTest, NestedBracedInitialization) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  Matrix eye = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 1), 0.0);
+  Matrix diag = Matrix::Diagonal(Vector{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(diag(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(diag(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(diag(0, 1), 0.0);
+}
+
+TEST(MatrixTest, RowAndColumnExtraction) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.Row(0)[1], 2.0);
+  EXPECT_DOUBLE_EQ(m.Col(0)[1], 3.0);
+  m.SetRow(1, Vector{9.0, 8.0});
+  EXPECT_DOUBLE_EQ(m(1, 0), 9.0);
+}
+
+TEST(MatrixTest, Product) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Vector x{1.0, 1.0};
+  Vector y = a * x;
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(MatrixTest, LeftMultiplication) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Vector v{1.0, 2.0};
+  Vector y = MultiplyLeft(v, a);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 10.0);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, PowerBySquaring) {
+  Matrix a{{1.0, 1.0}, {0.0, 1.0}};
+  Matrix p = Pow(a, 5);
+  EXPECT_DOUBLE_EQ(p(0, 1), 5.0);
+  Matrix p0 = Pow(a, 0);
+  EXPECT_TRUE(AllClose(p0, Matrix::Identity(2), 0.0));
+}
+
+TEST(MatrixTest, RowStochasticCheck) {
+  Matrix good{{0.5, 0.5}, {0.1, 0.9}};
+  EXPECT_TRUE(good.IsRowStochastic());
+  Matrix bad_sum{{0.5, 0.6}, {0.1, 0.9}};
+  EXPECT_FALSE(bad_sum.IsRowStochastic());
+  Matrix negative{{1.5, -0.5}, {0.1, 0.9}};
+  EXPECT_FALSE(negative.IsRowStochastic());
+}
+
+TEST(LuTest, SolvesKnownSystem) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  std::optional<Vector> x = Solve(a, Vector{3.0, 5.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 0.8, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.4, 1e-12);
+}
+
+TEST(LuTest, DetectsSingularMatrix) {
+  Matrix singular{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_FALSE(Solve(singular, Vector{1.0, 2.0}).has_value());
+  linalg::LuDecomposition lu(singular);
+  EXPECT_FALSE(lu.ok());
+  EXPECT_DOUBLE_EQ(lu.Determinant(), 0.0);
+}
+
+TEST(LuTest, DeterminantOfKnownMatrix) {
+  Matrix a{{4.0, 3.0}, {6.0, 3.0}};
+  linalg::LuDecomposition lu(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu.Determinant(), -6.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantTracksRowSwaps) {
+  // A permutation matrix with a single swap has determinant -1.
+  Matrix p{{0.0, 1.0}, {1.0, 0.0}};
+  linalg::LuDecomposition lu(p);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu.Determinant(), -1.0, 1e-12);
+}
+
+TEST(LuTest, InverseTimesOriginalIsIdentity) {
+  Matrix a{{1.0, 2.0, 0.0}, {0.0, 1.0, 1.0}, {1.0, 0.0, 1.0}};
+  std::optional<Matrix> inv = Inverse(a);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_TRUE(AllClose(a * *inv, Matrix::Identity(3), 1e-12));
+}
+
+TEST(SpdTest, CholeskySolveMatchesLu) {
+  Matrix a{{4.0, 1.0, 0.0}, {1.0, 3.0, 1.0}, {0.0, 1.0, 2.0}};
+  Vector b{1.0, 2.0, 3.0};
+  std::optional<Vector> chol = SolveSpd(a, b);
+  std::optional<Vector> lu = Solve(a, b);
+  ASSERT_TRUE(chol.has_value());
+  ASSERT_TRUE(lu.has_value());
+  EXPECT_TRUE(AllClose(*chol, *lu, 1e-10));
+}
+
+TEST(SpdTest, RejectsIndefiniteMatrix) {
+  Matrix indefinite{{1.0, 2.0}, {2.0, 1.0}};  // Eigenvalues 3 and -1.
+  EXPECT_FALSE(SolveSpd(indefinite, Vector{1.0, 1.0}).has_value());
+}
+
+TEST(PowerIterationTest, DiagonalDominantEigenpair) {
+  Matrix a = Matrix::Diagonal(Vector{3.0, 1.0, 0.5});
+  linalg::PowerIterationResult result = PowerIteration(a);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.eigenvalue, 3.0, 1e-9);
+  EXPECT_NEAR(std::fabs(result.eigenvector[0]), 1.0, 1e-6);
+}
+
+TEST(PowerIterationTest, NegativeDominantEigenvalue) {
+  Matrix a = Matrix::Diagonal(Vector{-2.0, 1.0});
+  EXPECT_NEAR(linalg::SpectralRadius(a), 2.0, 1e-8);
+}
+
+TEST(PowerIterationTest, ZeroMatrix) {
+  Matrix a(2, 2);
+  EXPECT_NEAR(linalg::SpectralRadius(a), 0.0, 1e-12);
+}
+
+TEST(SpectralRadiusTest, RotationLikeMatrixStaysBounded) {
+  // Schur-stable matrix: spectral radius below 1 even though entries are
+  // not small.
+  Matrix a{{0.5, 0.4}, {-0.4, 0.5}};
+  double rho = linalg::SpectralRadius(a);
+  EXPECT_LT(rho, 1.0);
+  EXPECT_GT(rho, 0.5);
+}
+
+TEST(StationaryTest, TwoStateChainClosedForm) {
+  // P = [[1-a, a], [b, 1-b]] has stationary [b/(a+b), a/(a+b)].
+  double alpha = 0.3, beta = 0.1;
+  Matrix p{{1.0 - alpha, alpha}, {beta, 1.0 - beta}};
+  std::optional<Vector> pi = linalg::StationaryDistribution(p);
+  ASSERT_TRUE(pi.has_value());
+  EXPECT_NEAR((*pi)[0], beta / (alpha + beta), 1e-12);
+  EXPECT_NEAR((*pi)[1], alpha / (alpha + beta), 1e-12);
+}
+
+TEST(StationaryTest, WorksForPeriodicChain) {
+  // The two-cycle is periodic: power iteration of distributions would
+  // oscillate, but the direct solve must return [0.5, 0.5].
+  Matrix p{{0.0, 1.0}, {1.0, 0.0}};
+  std::optional<Vector> pi = linalg::StationaryDistribution(p);
+  ASSERT_TRUE(pi.has_value());
+  EXPECT_NEAR((*pi)[0], 0.5, 1e-12);
+}
+
+TEST(StationaryTest, IterativeVersionMatchesDirectOnAperiodicChain) {
+  Matrix p{{0.9, 0.1, 0.0}, {0.2, 0.7, 0.1}, {0.1, 0.3, 0.6}};
+  std::optional<Vector> direct = linalg::StationaryDistribution(p);
+  Vector uniform{1.0 / 3, 1.0 / 3, 1.0 / 3};
+  std::optional<Vector> iterated =
+      linalg::StationaryDistributionByIteration(p, uniform);
+  ASSERT_TRUE(direct.has_value());
+  ASSERT_TRUE(iterated.has_value());
+  EXPECT_TRUE(AllClose(*direct, *iterated, 1e-9));
+}
+
+TEST(StationaryTest, IterativeVersionFailsOnPeriodicChainFromAsymmetricStart) {
+  Matrix p{{0.0, 1.0}, {1.0, 0.0}};
+  Vector start{1.0, 0.0};
+  EXPECT_FALSE(
+      linalg::StationaryDistributionByIteration(p, start, 1000).has_value());
+}
+
+// --- Parameterized property sweeps ----------------------------------------
+
+class RandomSolveSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RandomSolveSweep, LuSolvesRandomDiagonallyDominantSystems) {
+  const size_t n = GetParam();
+  rng::Random random(5000 + n);
+  Matrix a(n, n);
+  Vector x_true(n);
+  for (size_t r = 0; r < n; ++r) {
+    double off_sum = 0.0;
+    for (size_t c = 0; c < n; ++c) {
+      if (r == c) continue;
+      a(r, c) = random.UniformDouble(-1.0, 1.0);
+      off_sum += std::fabs(a(r, c));
+    }
+    a(r, r) = off_sum + 1.0;  // Strict diagonal dominance: non-singular.
+    x_true[r] = random.UniformDouble(-5.0, 5.0);
+  }
+  Vector b = a * x_true;
+  std::optional<Vector> x = Solve(a, b);
+  ASSERT_TRUE(x.has_value()) << "n=" << n;
+  EXPECT_TRUE(AllClose(*x, x_true, 1e-8)) << "n=" << n;
+}
+
+TEST_P(RandomSolveSweep, StationaryDistributionIsInvariant) {
+  const size_t n = GetParam();
+  rng::Random random(6000 + n);
+  Matrix p(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    double total = 0.0;
+    for (size_t c = 0; c < n; ++c) {
+      p(r, c) = random.UniformDouble(0.05, 1.0);  // Strictly positive.
+      total += p(r, c);
+    }
+    for (size_t c = 0; c < n; ++c) p(r, c) /= total;
+  }
+  std::optional<Vector> pi = linalg::StationaryDistribution(p);
+  ASSERT_TRUE(pi.has_value()) << "n=" << n;
+  EXPECT_NEAR(pi->Sum(), 1.0, 1e-10);
+  EXPECT_TRUE(AllClose(MultiplyLeft(*pi, p), *pi, 1e-10)) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, RandomSolveSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 40));
+
+}  // namespace
+}  // namespace eqimpact

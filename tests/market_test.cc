@@ -1,0 +1,276 @@
+// Unit tests for the matching-market closed loop (the paper's two-sided
+// market instantiation), the Gini statistic, the drift monitor, and the
+// impact-equalizer intervention.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/drift_monitor.h"
+#include "core/impact_equalizer.h"
+#include "market/matching_market.h"
+#include "rng/random.h"
+#include "stats/time_series.h"
+
+namespace eqimpact {
+namespace {
+
+using market::MatchingMarketOptions;
+using market::MatchingMarketResult;
+using market::MatchingRule;
+using market::RunMatchingMarket;
+
+// --- Gini ---------------------------------------------------------------------
+
+TEST(GiniTest, EqualValuesGiveZero) {
+  EXPECT_NEAR(stats::GiniCoefficient({2.0, 2.0, 2.0, 2.0}), 0.0, 1e-12);
+}
+
+TEST(GiniTest, SingleWinnerApproachesOne) {
+  std::vector<double> values(100, 0.0);
+  values[0] = 1.0;
+  EXPECT_NEAR(stats::GiniCoefficient(values), 0.99, 1e-9);
+}
+
+TEST(GiniTest, KnownSmallSample) {
+  // {0, 1}: Gini = 1/2.
+  EXPECT_NEAR(stats::GiniCoefficient({0.0, 1.0}), 0.5, 1e-12);
+}
+
+TEST(GiniTest, ScaleInvariance) {
+  std::vector<double> values{1.0, 2.0, 5.0, 9.0};
+  double base = stats::GiniCoefficient(values);
+  for (double& v : values) v *= 7.0;
+  EXPECT_NEAR(stats::GiniCoefficient(values), base, 1e-12);
+}
+
+TEST(GiniTest, AllZerosGiveZero) {
+  EXPECT_DOUBLE_EQ(stats::GiniCoefficient({0.0, 0.0}), 0.0);
+}
+
+// --- Matching market -----------------------------------------------------------
+
+MatchingMarketOptions SmallMarket(uint64_t seed) {
+  MatchingMarketOptions options;
+  options.num_workers = 100;
+  options.capacity_fraction = 0.5;
+  options.rounds = 600;
+  options.seed = seed;
+  return options;
+}
+
+TEST(MatchingMarketTest, CapacityIsRespected) {
+  MatchingMarketResult result =
+      RunMatchingMarket(MatchingRule::kUniformRandom, SmallMarket(1));
+  EXPECT_NEAR(result.mean_match_rate, 0.5, 1e-9);
+  EXPECT_EQ(result.match_rate.size(), 100u);
+}
+
+TEST(MatchingMarketTest, LotteryGivesEqualImpact) {
+  MatchingMarketResult result =
+      RunMatchingMarket(MatchingRule::kUniformRandom, SmallMarket(2));
+  // Every equally skilled worker gets ~the capacity fraction.
+  EXPECT_LT(result.match_rate_gini, 0.05);
+  EXPECT_LT(stats::CoincidenceGap(result.match_rate), 0.2);
+}
+
+TEST(MatchingMarketTest, PureExploitationLocksIn) {
+  // Identical skills, yet top-score matching concentrates access: the
+  // loop's own feedback produces the inequality.
+  MatchingMarketResult result =
+      RunMatchingMarket(MatchingRule::kTopScore, SmallMarket(3));
+  EXPECT_GT(result.match_rate_gini, 0.3);
+  // Some workers work almost always, some almost never.
+  EXPECT_GT(stats::CoincidenceGap(result.match_rate), 0.9);
+}
+
+TEST(MatchingMarketTest, ExplorationRestoresEquality) {
+  MatchingMarketOptions options = SmallMarket(4);
+  options.exploration = 0.3;
+  MatchingMarketResult explored =
+      RunMatchingMarket(MatchingRule::kEpsilonGreedy, options);
+  MatchingMarketResult exploited =
+      RunMatchingMarket(MatchingRule::kTopScore, SmallMarket(4));
+  EXPECT_LT(explored.match_rate_gini, exploited.match_rate_gini);
+}
+
+TEST(MatchingMarketTest, MoreExplorationMoreEquality) {
+  double previous_gini = 1.0;
+  for (double exploration : {0.05, 0.2, 0.5, 1.0}) {
+    MatchingMarketOptions options = SmallMarket(5);
+    options.exploration = exploration;
+    MatchingMarketResult result =
+        RunMatchingMarket(MatchingRule::kEpsilonGreedy, options);
+    EXPECT_LE(result.match_rate_gini, previous_gini + 0.05)
+        << "exploration " << exploration;
+    previous_gini = result.match_rate_gini;
+  }
+}
+
+TEST(MatchingMarketTest, DeterministicInSeed) {
+  MatchingMarketResult a =
+      RunMatchingMarket(MatchingRule::kTopScore, SmallMarket(6));
+  MatchingMarketResult b =
+      RunMatchingMarket(MatchingRule::kTopScore, SmallMarket(6));
+  EXPECT_EQ(a.match_rate, b.match_rate);
+}
+
+TEST(MatchingMarketTest, InitialConditionDependenceUnderExploitation) {
+  // Different seeds = different early luck. With identical skills the
+  // *set* of locked-in winners changes with the seed: the per-worker
+  // limits depend on initial conditions (ergodicity lost), even though
+  // the aggregate (mean match rate) is pinned by capacity.
+  MatchingMarketResult a =
+      RunMatchingMarket(MatchingRule::kTopScore, SmallMarket(7));
+  MatchingMarketResult b =
+      RunMatchingMarket(MatchingRule::kTopScore, SmallMarket(8));
+  EXPECT_NEAR(a.mean_match_rate, b.mean_match_rate, 1e-9);
+  double max_worker_gap = 0.0;
+  for (size_t i = 0; i < a.match_rate.size(); ++i) {
+    max_worker_gap = std::max(max_worker_gap,
+                              std::fabs(a.match_rate[i] - b.match_rate[i]));
+  }
+  EXPECT_GT(max_worker_gap, 0.5);
+}
+
+TEST(MatchingMarketTest, HeterogeneousSkillRewardsSkillUnderExploitation) {
+  MatchingMarketOptions options = SmallMarket(9);
+  options.heterogeneous_skill = true;
+  options.exploration = 0.2;
+  MatchingMarketResult result =
+      RunMatchingMarket(MatchingRule::kEpsilonGreedy, options);
+  // Correlation between skill and match rate should be positive.
+  double mean_skill = 0.0, mean_rate = 0.0;
+  for (size_t i = 0; i < result.skill.size(); ++i) {
+    mean_skill += result.skill[i];
+    mean_rate += result.match_rate[i];
+  }
+  mean_skill /= static_cast<double>(result.skill.size());
+  mean_rate /= static_cast<double>(result.skill.size());
+  double covariance = 0.0;
+  for (size_t i = 0; i < result.skill.size(); ++i) {
+    covariance += (result.skill[i] - mean_skill) *
+                  (result.match_rate[i] - mean_rate);
+  }
+  EXPECT_GT(covariance, 0.0);
+}
+
+// --- Drift monitor ---------------------------------------------------------------
+
+TEST(DriftMonitorTest, FirstIngestGivesNoMeasurement) {
+  core::DriftMonitor monitor(0.1);
+  EXPECT_FALSE(monitor.Ingest({1.0, 2.0, 3.0}).has_value());
+  EXPECT_EQ(monitor.num_steps(), 1u);
+}
+
+TEST(DriftMonitorTest, StationaryStreamRaisesNoAlert) {
+  core::DriftMonitor monitor(0.2);
+  rng::Random random(11);
+  for (int step = 0; step < 10; ++step) {
+    std::vector<double> sample;
+    for (int i = 0; i < 500; ++i) sample.push_back(random.Normal());
+    monitor.Ingest(std::move(sample));
+  }
+  EXPECT_FALSE(monitor.AnyAlert());
+  EXPECT_LT(monitor.MaxDriftFromReference(), 0.2);
+}
+
+TEST(DriftMonitorTest, ShiftedStreamIsDetected) {
+  core::DriftMonitor monitor(0.2);
+  rng::Random random(12);
+  std::vector<double> base;
+  for (int i = 0; i < 500; ++i) base.push_back(random.Normal());
+  monitor.Ingest(base);
+  std::vector<double> shifted;
+  for (int i = 0; i < 500; ++i) shifted.push_back(random.Normal() + 2.0);
+  auto measurement = monitor.Ingest(std::move(shifted));
+  ASSERT_TRUE(measurement.has_value());
+  EXPECT_TRUE(measurement->drift_alert);
+  EXPECT_GT(measurement->ks_to_previous, 0.5);
+  EXPECT_TRUE(monitor.AnyAlert());
+}
+
+TEST(DriftMonitorTest, GradualDriftAccumulatesAgainstReference) {
+  // Small per-step shifts that never trip the consecutive alert still
+  // accumulate against the reference — the slow feedback-loop drift the
+  // closed-loop view makes visible.
+  core::DriftMonitor monitor(0.5);
+  rng::Random random(13);
+  for (int step = 0; step < 12; ++step) {
+    std::vector<double> sample;
+    for (int i = 0; i < 800; ++i) {
+      sample.push_back(random.Normal() + 0.25 * step);
+    }
+    monitor.Ingest(std::move(sample));
+  }
+  EXPECT_FALSE(monitor.AnyAlert());  // No single step jumped.
+  EXPECT_GT(monitor.MaxDriftFromReference(), 0.8);
+}
+
+// --- Impact equalizer -----------------------------------------------------------
+
+TEST(ImpactEqualizerTest, StartsNeutral) {
+  core::ImpactEqualizer equalizer(3, 0.5, -1.0, 1.0);
+  for (double offset : equalizer.offsets()) EXPECT_DOUBLE_EQ(offset, 0.0);
+  EXPECT_FALSE(equalizer.Converged(0.1));
+}
+
+TEST(ImpactEqualizerTest, RaisesOffsetsForHighImpactClasses) {
+  core::ImpactEqualizer equalizer(2, 0.5, -1.0, 1.0);
+  equalizer.Observe({0.8, 0.2});  // Class 0 above average.
+  EXPECT_GT(equalizer.offsets()[0], 0.0);
+  EXPECT_LT(equalizer.offsets()[1], 0.0);
+}
+
+TEST(ImpactEqualizerTest, OffsetsAreClipped) {
+  core::ImpactEqualizer equalizer(2, 10.0, -0.5, 0.5);
+  equalizer.Observe({1.0, 0.0});
+  EXPECT_DOUBLE_EQ(equalizer.offsets()[0], 0.5);
+  EXPECT_DOUBLE_EQ(equalizer.offsets()[1], -0.5);
+}
+
+TEST(ImpactEqualizerTest, ClosesGapOnMonotoneResponse) {
+  // Synthetic monotone plant: class impact m_c = base_c - offset_c.
+  core::ImpactEqualizer equalizer(3, 0.4, -2.0, 2.0);
+  std::vector<double> base{0.9, 0.5, 0.2};
+  double gap = 1.0;
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    std::vector<double> impacts(3);
+    for (size_t c = 0; c < 3; ++c) {
+      impacts[c] = base[c] - equalizer.offsets()[c];
+    }
+    gap = equalizer.Observe(impacts);
+  }
+  EXPECT_LT(gap, 0.01);
+  EXPECT_TRUE(equalizer.Converged(0.01));
+  EXPECT_EQ(equalizer.steps(), 100u);
+}
+
+TEST(ImpactEqualizerTest, EqualImpactsLeaveOffsetsUnchanged) {
+  core::ImpactEqualizer equalizer(2, 0.5, -1.0, 1.0);
+  equalizer.Observe({0.4, 0.4});
+  EXPECT_DOUBLE_EQ(equalizer.offsets()[0], 0.0);
+  EXPECT_DOUBLE_EQ(equalizer.offsets()[1], 0.0);
+  EXPECT_TRUE(equalizer.Converged(1e-9));
+}
+
+TEST(ImpactEqualizerTest, EqualizesTheMatchingMarket) {
+  // Use the equalizer to tune per-run exploration until the market's
+  // match-rate inequality (impact gap across the worker deciles) falls.
+  // One-dimensional control: treat "gini" as the gap and exploration as
+  // a single offset steered upward while inequality persists.
+  double exploration = 0.05;
+  double gini = 1.0;
+  for (int iteration = 0; iteration < 12 && gini > 0.1; ++iteration) {
+    MatchingMarketOptions options = SmallMarket(100 + iteration);
+    options.exploration = exploration;
+    gini = RunMatchingMarket(MatchingRule::kEpsilonGreedy, options)
+               .match_rate_gini;
+    exploration = std::min(1.0, exploration + 0.1 * gini);
+  }
+  EXPECT_LT(gini, 0.25);
+}
+
+}  // namespace
+}  // namespace eqimpact

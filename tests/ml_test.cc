@@ -1,0 +1,313 @@
+// Unit tests for the ml module: datasets, logistic regression, metrics
+// and the Table-I-style scorecard.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector.h"
+#include "ml/dataset.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "ml/scorecard.h"
+#include "rng/random.h"
+
+namespace eqimpact {
+namespace {
+
+using linalg::Vector;
+
+TEST(SigmoidTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(ml::Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(ml::Sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-15);
+  EXPECT_NEAR(ml::Sigmoid(-2.0), 1.0 - ml::Sigmoid(2.0), 1e-15);
+}
+
+TEST(SigmoidTest, SaturatesWithoutOverflow) {
+  EXPECT_NEAR(ml::Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(ml::Sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(DatasetTest, AddAndAccess) {
+  ml::Dataset data(2);
+  data.Add(Vector{1.0, 0.0}, 1.0);
+  data.Add(Vector{0.0, 1.0}, 0.0);
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.num_positive(), 1u);
+  EXPECT_TRUE(data.HasBothClasses());
+  EXPECT_DOUBLE_EQ(data.label(0), 1.0);
+  EXPECT_DOUBLE_EQ(data.features(1)[1], 1.0);
+}
+
+TEST(DatasetTest, SingleClassDetection) {
+  ml::Dataset data(1);
+  data.Add(Vector{1.0}, 1.0);
+  data.Add(Vector{2.0}, 1.0);
+  EXPECT_FALSE(data.HasBothClasses());
+}
+
+TEST(DatasetTest, MatrixAndLabelSnapshots) {
+  ml::Dataset data(2);
+  data.Add(Vector{1.0, 2.0}, 0.0);
+  data.Add(Vector{3.0, 4.0}, 1.0);
+  linalg::Matrix x = data.FeatureMatrix();
+  EXPECT_EQ(x.rows(), 2u);
+  EXPECT_DOUBLE_EQ(x(1, 0), 3.0);
+  Vector y = data.LabelVector();
+  EXPECT_DOUBLE_EQ(y[1], 1.0);
+}
+
+// Generates data from a ground-truth logistic model.
+ml::Dataset SyntheticLogisticData(const Vector& true_weights,
+                                  double intercept, size_t n,
+                                  rng::Random* random) {
+  ml::Dataset data(true_weights.size());
+  for (size_t i = 0; i < n; ++i) {
+    Vector x(true_weights.size());
+    for (size_t j = 0; j < x.size(); ++j) {
+      x[j] = random->UniformDouble(-2.0, 2.0);
+    }
+    double p = ml::Sigmoid(Dot(x, true_weights) + intercept);
+    data.Add(x, random->Bernoulli(p) ? 1.0 : 0.0);
+  }
+  return data;
+}
+
+TEST(LogisticRegressionTest, RefusesSingleClassData) {
+  ml::Dataset data(1);
+  data.Add(Vector{1.0}, 1.0);
+  ml::LogisticRegression model;
+  ml::FitResult result = model.Fit(data);
+  EXPECT_FALSE(result.success);
+  EXPECT_FALSE(model.fitted());
+}
+
+TEST(LogisticRegressionTest, RecoversKnownWeights) {
+  rng::Random random(101);
+  Vector true_weights{1.5, -2.0};
+  ml::LogisticRegressionOptions options;
+  options.fit_intercept = true;
+  options.l2_penalty = 1e-6;
+  ml::Dataset data =
+      SyntheticLogisticData(true_weights, 0.5, 20000, &random);
+  ml::LogisticRegression model(options);
+  ml::FitResult result = model.Fit(data);
+  ASSERT_TRUE(result.success);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(model.weights()[0], 1.5, 0.1);
+  EXPECT_NEAR(model.weights()[1], -2.0, 0.1);
+  EXPECT_NEAR(model.intercept(), 0.5, 0.1);
+}
+
+TEST(LogisticRegressionTest, NoInterceptByDefault) {
+  rng::Random random(102);
+  ml::Dataset data = SyntheticLogisticData(Vector{1.0}, 0.0, 5000, &random);
+  ml::LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).success);
+  EXPECT_DOUBLE_EQ(model.intercept(), 0.0);
+}
+
+TEST(LogisticRegressionTest, SurvivesPerfectSeparation) {
+  // Perfectly separable data: unpenalised ML diverges; the ridge keeps
+  // the weights finite and the fit must succeed.
+  ml::Dataset data(1);
+  for (int i = 1; i <= 50; ++i) {
+    data.Add(Vector{static_cast<double>(i)}, 1.0);
+    data.Add(Vector{static_cast<double>(-i)}, 0.0);
+  }
+  ml::LogisticRegressionOptions options;
+  options.l2_penalty = 1e-3;
+  ml::LogisticRegression model(options);
+  ml::FitResult result = model.Fit(data);
+  ASSERT_TRUE(result.success);
+  EXPECT_TRUE(std::isfinite(model.weights()[0]));
+  EXPECT_GT(model.weights()[0], 0.0);
+}
+
+TEST(LogisticRegressionTest, PredictionsAreCalibratedProbabilities) {
+  rng::Random random(103);
+  Vector true_weights{2.0};
+  ml::Dataset data = SyntheticLogisticData(true_weights, 0.0, 30000, &random);
+  ml::LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).success);
+  // Empirical positive rate among examples scored near p must be near p.
+  for (double target : {0.3, 0.5, 0.7}) {
+    double hits = 0.0, total = 0.0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      double p = model.PredictProbability(data.features(i));
+      if (std::fabs(p - target) < 0.05) {
+        hits += data.label(i);
+        total += 1.0;
+      }
+    }
+    ASSERT_GT(total, 100.0);
+    EXPECT_NEAR(hits / total, target, 0.06);
+  }
+}
+
+TEST(LogisticRegressionTest, DecisionFunctionIsLinear) {
+  rng::Random random(104);
+  ml::Dataset data = SyntheticLogisticData(Vector{1.0, 1.0}, 0.0, 2000,
+                                           &random);
+  ml::LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).success);
+  double a = model.DecisionFunction(Vector{1.0, 0.0});
+  double b = model.DecisionFunction(Vector{0.0, 1.0});
+  double ab = model.DecisionFunction(Vector{1.0, 1.0});
+  EXPECT_NEAR(ab, a + b, 1e-9);
+}
+
+TEST(MetricsTest, LogLossOfPerfectPredictionsIsSmall) {
+  double loss = ml::LogLoss({1.0, 0.0}, {1.0 - 1e-13, 1e-13});
+  EXPECT_LT(loss, 1e-9);
+}
+
+TEST(MetricsTest, LogLossOfCoinFlip) {
+  EXPECT_NEAR(ml::LogLoss({1.0, 0.0}, {0.5, 0.5}), std::log(2.0), 1e-12);
+}
+
+TEST(MetricsTest, AccuracyThresholding) {
+  std::vector<double> labels{1.0, 0.0, 1.0, 0.0};
+  std::vector<double> probabilities{0.9, 0.2, 0.4, 0.6};
+  EXPECT_DOUBLE_EQ(ml::Accuracy(labels, probabilities), 0.5);
+  EXPECT_DOUBLE_EQ(ml::Accuracy(labels, probabilities, 0.35), 0.75);
+}
+
+TEST(MetricsTest, AucPerfectRanking) {
+  EXPECT_DOUBLE_EQ(
+      ml::AreaUnderRoc({0.0, 0.0, 1.0, 1.0}, {0.1, 0.2, 0.8, 0.9}), 1.0);
+}
+
+TEST(MetricsTest, AucReversedRanking) {
+  EXPECT_DOUBLE_EQ(
+      ml::AreaUnderRoc({1.0, 1.0, 0.0, 0.0}, {0.1, 0.2, 0.8, 0.9}), 0.0);
+}
+
+TEST(MetricsTest, AucWithTiesIsHalfCredit) {
+  EXPECT_DOUBLE_EQ(ml::AreaUnderRoc({0.0, 1.0}, {0.5, 0.5}), 0.5);
+}
+
+TEST(MetricsTest, AucSingleClassIsHalf) {
+  EXPECT_DOUBLE_EQ(ml::AreaUnderRoc({1.0, 1.0}, {0.3, 0.7}), 0.5);
+}
+
+// --- Scorecard --------------------------------------------------------------
+
+ml::Scorecard PaperScorecard() {
+  // Table I: History x (-8.17), Income > $15K (+5.77); cut-off 0.4.
+  return ml::Scorecard(
+      {{"History", "x Average Default Rate", -8.17},
+       {"Income", "> $15K", 5.77}},
+      0.4);
+}
+
+TEST(ScorecardTest, PaperWorkedExample) {
+  // "A user with annual income $50K and an average default rate 0.1 would
+  // be given a score of -8.17 x 0.1 + 5.77 = 4.953" -> approved (> 0.4).
+  ml::Scorecard card = PaperScorecard();
+  Vector user{0.1, 1.0};  // [ADR, income code].
+  EXPECT_NEAR(card.Score(user), 4.953, 1e-12);
+  EXPECT_TRUE(card.Approve(user));
+}
+
+TEST(ScorecardTest, LowIncomeHighAdrIsDeclined) {
+  ml::Scorecard card = PaperScorecard();
+  // Income code 0, any positive ADR: score <= 0 < 0.4.
+  EXPECT_FALSE(card.Approve(Vector{0.2, 0.0}));
+}
+
+TEST(ScorecardTest, ApprovalBoundaryIsStrict) {
+  ml::Scorecard card({{"F", "unit", 1.0}}, 1.0);
+  EXPECT_FALSE(card.Approve(Vector{1.0}));   // Score == cutoff: declined.
+  EXPECT_TRUE(card.Approve(Vector{1.001}));  // Above: approved.
+}
+
+TEST(ScorecardTest, HighAdrOvercomesIncomePoints) {
+  ml::Scorecard card = PaperScorecard();
+  // ADR above (5.77 - 0.4) / 8.17 ~ 0.657 pushes a high earner below the
+  // cut-off.
+  EXPECT_TRUE(card.Approve(Vector{0.65, 1.0}));
+  EXPECT_FALSE(card.Approve(Vector{0.66, 1.0}));
+}
+
+TEST(ScorecardTest, FromFittedModel) {
+  rng::Random random(105);
+  ml::Dataset data(2);
+  for (int i = 0; i < 4000; ++i) {
+    double adr = random.UniformDouble();
+    double code = random.Bernoulli(0.5) ? 1.0 : 0.0;
+    double p = ml::Sigmoid(-3.0 * adr + 2.0 * code);
+    data.Add(Vector{adr, code}, random.Bernoulli(p) ? 1.0 : 0.0);
+  }
+  ml::LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).success);
+  ml::Scorecard card = ml::Scorecard::FromModel(
+      model, {{"History", "x ADR", 0.0}, {"Income", "code", 0.0}}, 0.4);
+  EXPECT_LT(card.factor(0).score, 0.0);  // History factor is negative.
+  EXPECT_GT(card.factor(1).score, 0.0);  // Income factor is positive.
+  EXPECT_DOUBLE_EQ(card.Score(Vector{0.0, 0.0}), model.intercept());
+}
+
+TEST(ScorecardTest, TableRenderingContainsFactors) {
+  std::string table = PaperScorecard().ToTableString();
+  EXPECT_NE(table.find("History"), std::string::npos);
+  EXPECT_NE(table.find("Income"), std::string::npos);
+  EXPECT_NE(table.find("-8.17"), std::string::npos);
+  EXPECT_NE(table.find("+5.77"), std::string::npos);
+}
+
+// --- Parameterized sweeps ---------------------------------------------------
+
+struct WeightRecoveryCase {
+  double w0;
+  double w1;
+};
+
+class WeightRecoverySweep
+    : public ::testing::TestWithParam<WeightRecoveryCase> {};
+
+TEST_P(WeightRecoverySweep, IrlsRecoversGroundTruth) {
+  const WeightRecoveryCase test_case = GetParam();
+  rng::Random random(
+      static_cast<uint64_t>(7000 + test_case.w0 * 10 + test_case.w1));
+  Vector truth{test_case.w0, test_case.w1};
+  ml::LogisticRegressionOptions options;
+  options.l2_penalty = 1e-6;
+  ml::Dataset data = SyntheticLogisticData(truth, 0.0, 20000, &random);
+  ml::LogisticRegression model(options);
+  ASSERT_TRUE(model.Fit(data).success);
+  EXPECT_NEAR(model.weights()[0], test_case.w0, 0.15);
+  EXPECT_NEAR(model.weights()[1], test_case.w1, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Weights, WeightRecoverySweep,
+    ::testing::Values(WeightRecoveryCase{0.5, 0.5},
+                      WeightRecoveryCase{-1.0, 1.0},
+                      WeightRecoveryCase{2.0, -0.5},
+                      WeightRecoveryCase{-2.0, -2.0},
+                      WeightRecoveryCase{0.0, 1.5}));
+
+class RidgeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RidgeSweep, StrongerRidgeShrinksWeights) {
+  rng::Random random(7100);
+  ml::Dataset data = SyntheticLogisticData(Vector{3.0}, 0.0, 5000, &random);
+  ml::LogisticRegressionOptions weak_options;
+  weak_options.l2_penalty = 1e-6;
+  ml::LogisticRegression weak(weak_options);
+  ASSERT_TRUE(weak.Fit(data).success);
+
+  ml::LogisticRegressionOptions strong_options;
+  strong_options.l2_penalty = GetParam();
+  ml::LogisticRegression strong(strong_options);
+  ASSERT_TRUE(strong.Fit(data).success);
+  EXPECT_LT(std::fabs(strong.weights()[0]), std::fabs(weak.weights()[0]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Penalties, RidgeSweep,
+                         ::testing::Values(0.01, 0.1, 1.0));
+
+}  // namespace
+}  // namespace eqimpact

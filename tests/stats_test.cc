@@ -1,0 +1,257 @@
+// Unit tests for the stats module: streaming statistics, time-series
+// diagnostics, histograms and cross-trial aggregation.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/aggregate.h"
+#include "stats/histogram.h"
+#include "stats/running_stats.h"
+#include "stats/time_series.h"
+
+namespace eqimpact {
+namespace {
+
+TEST(RunningStatsTest, EmptyAccumulator) {
+  stats::RunningStats acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  stats::RunningStats acc;
+  acc.Add(4.0);
+  EXPECT_EQ(acc.count(), 1);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Min(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.Max(), 4.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  stats::RunningStats acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(x);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 5.0);
+  EXPECT_NEAR(acc.Variance(), 32.0 / 7.0, 1e-12);  // Unbiased.
+  EXPECT_DOUBLE_EQ(acc.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.Max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesPooledComputation) {
+  stats::RunningStats left, right, pooled;
+  for (int i = 0; i < 50; ++i) {
+    double x = 0.1 * i * i - 2.0 * i;
+    (i % 2 == 0 ? left : right).Add(x);
+    pooled.Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), pooled.count());
+  EXPECT_NEAR(left.Mean(), pooled.Mean(), 1e-10);
+  EXPECT_NEAR(left.Variance(), pooled.Variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.Min(), pooled.Min());
+  EXPECT_DOUBLE_EQ(left.Max(), pooled.Max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  stats::RunningStats filled, empty;
+  filled.Add(1.0);
+  filled.Add(3.0);
+  stats::RunningStats copy = filled;
+  copy.Merge(empty);
+  EXPECT_DOUBLE_EQ(copy.Mean(), 2.0);
+  empty.Merge(filled);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 2.0);
+}
+
+TEST(CesaroTest, ConstantSeriesIsItsOwnAverage) {
+  std::vector<double> averages = stats::CesaroAverages({2.0, 2.0, 2.0});
+  for (double a : averages) EXPECT_DOUBLE_EQ(a, 2.0);
+}
+
+TEST(CesaroTest, KnownPrefixAverages) {
+  std::vector<double> averages = stats::CesaroAverages({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(averages[0], 1.0);
+  EXPECT_DOUBLE_EQ(averages[1], 1.5);
+  EXPECT_DOUBLE_EQ(averages[2], 2.0);
+  EXPECT_DOUBLE_EQ(averages[3], 2.5);
+}
+
+TEST(CesaroTest, AlternatingSeriesConvergesToMidpoint) {
+  std::vector<double> series;
+  for (int i = 0; i < 1000; ++i) series.push_back(i % 2 == 0 ? 0.0 : 1.0);
+  std::vector<double> averages = stats::CesaroAverages(series);
+  EXPECT_NEAR(averages.back(), 0.5, 1e-3);
+}
+
+TEST(HasSettledTest, FlatTailSettles) {
+  std::vector<double> series{5.0, 3.0, 1.0, 1.0, 1.0, 1.0};
+  EXPECT_TRUE(stats::HasSettled(series, 4, 1e-9));
+}
+
+TEST(HasSettledTest, MovingTailDoesNot) {
+  std::vector<double> series{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  EXPECT_FALSE(stats::HasSettled(series, 4, 0.5));
+}
+
+TEST(HasSettledTest, ShortSeriesNeverSettles) {
+  EXPECT_FALSE(stats::HasSettled({1.0, 1.0}, 3, 1.0));
+}
+
+TEST(CoincidenceGapTest, KnownGaps) {
+  EXPECT_DOUBLE_EQ(stats::CoincidenceGap({}), 0.0);
+  EXPECT_DOUBLE_EQ(stats::CoincidenceGap({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stats::CoincidenceGap({1.0, 4.0, 2.0}), 3.0);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> values{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats::Quantile(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(stats::Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::Quantile(values, 1.0), 5.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStatistics) {
+  std::vector<double> values{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(stats::Quantile(values, 0.25), 2.5);
+}
+
+TEST(QuantileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(stats::Quantile({7.0}, 0.9), 7.0);
+}
+
+TEST(KsTest, IdenticalSamplesHaveZeroDistance) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(stats::KsStatistic(a, a), 0.0);
+}
+
+TEST(KsTest, DisjointSamplesHaveDistanceOne) {
+  EXPECT_DOUBLE_EQ(stats::KsStatistic({1.0, 2.0}, {10.0, 11.0}), 1.0);
+}
+
+TEST(KsTest, KnownPartialOverlap) {
+  // F_a jumps at 1, 2; F_b jumps at 2, 3. Max gap is 0.5 just before 2.
+  EXPECT_NEAR(stats::KsStatistic({1.0, 2.0}, {2.0, 3.0}), 0.5, 1e-12);
+}
+
+TEST(HistogramTest, BinAssignment) {
+  stats::Histogram h(0.0, 1.0, 4);
+  h.Add(0.1);   // Bin 0.
+  h.Add(0.30);  // Bin 1.
+  h.Add(0.99);  // Bin 3.
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(1), 1);
+  EXPECT_EQ(h.count(2), 0);
+  EXPECT_EQ(h.count(3), 1);
+  EXPECT_EQ(h.total_count(), 3);
+}
+
+TEST(HistogramTest, ClampsOutOfRangeValues) {
+  stats::Histogram h(0.0, 1.0, 2);
+  h.Add(-5.0);
+  h.Add(7.0);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(1), 1);
+}
+
+TEST(HistogramTest, UpperBoundGoesToLastBin) {
+  stats::Histogram h(0.0, 1.0, 2);
+  h.Add(1.0);
+  EXPECT_EQ(h.count(1), 1);
+}
+
+TEST(HistogramTest, FractionsAndDensities) {
+  stats::Histogram h(0.0, 2.0, 2);
+  h.AddAll({0.5, 0.6, 1.5, 1.6});
+  EXPECT_DOUBLE_EQ(h.Fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.Density(0), 0.5);  // Fraction / bin width 1.0.
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.BinCenter(1), 1.5);
+}
+
+TEST(HistogramTest, AsciiChartHasOneLinePerBin) {
+  stats::Histogram h(0.0, 1.0, 3);
+  h.AddAll({0.1, 0.5, 0.9, 0.95});
+  std::string chart = h.ToAsciiChart(10);
+  int lines = 0;
+  for (char c : chart) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 3);
+}
+
+TEST(AggregateTest, EnvelopeOfIdenticalSeriesHasZeroStd) {
+  std::vector<std::vector<double>> series{{1.0, 2.0}, {1.0, 2.0}};
+  stats::SeriesEnvelope env = stats::AggregateEnvelope(series);
+  EXPECT_DOUBLE_EQ(env.mean[0], 1.0);
+  EXPECT_DOUBLE_EQ(env.mean[1], 2.0);
+  EXPECT_DOUBLE_EQ(env.std_dev[0], 0.0);
+}
+
+TEST(AggregateTest, EnvelopeMeanAndStd) {
+  std::vector<std::vector<double>> series{{0.0}, {2.0}};
+  stats::SeriesEnvelope env = stats::AggregateEnvelope(series);
+  EXPECT_DOUBLE_EQ(env.mean[0], 1.0);
+  EXPECT_NEAR(env.std_dev[0], std::sqrt(2.0), 1e-12);
+}
+
+TEST(AggregateTest, CrossSectionSelectsColumn) {
+  std::vector<std::vector<double>> series{{1.0, 2.0}, {3.0, 4.0}};
+  std::vector<double> cross = stats::CrossSection(series, 1);
+  EXPECT_EQ(cross.size(), 2u);
+  EXPECT_DOUBLE_EQ(cross[0], 2.0);
+  EXPECT_DOUBLE_EQ(cross[1], 4.0);
+}
+
+TEST(AggregateTest, QuantileFanBracketsTheBundle) {
+  std::vector<std::vector<double>> series;
+  for (int i = 0; i < 11; ++i) {
+    series.push_back({static_cast<double>(i), static_cast<double>(10 - i)});
+  }
+  std::vector<std::vector<double>> fan =
+      stats::QuantileFan(series, {0.0, 0.5, 1.0});
+  EXPECT_DOUBLE_EQ(fan[0][0], 0.0);   // Min at step 0.
+  EXPECT_DOUBLE_EQ(fan[1][0], 5.0);   // Median.
+  EXPECT_DOUBLE_EQ(fan[2][0], 10.0);  // Max.
+  EXPECT_DOUBLE_EQ(fan[1][1], 5.0);   // Median preserved at step 1.
+}
+
+// --- Parameterized sweeps ---------------------------------------------------
+
+class QuantileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileSweep, QuantileIsMonotoneInP) {
+  std::vector<double> values{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  double p = GetParam();
+  double q_lo = stats::Quantile(values, p * 0.9);
+  double q_hi = stats::Quantile(values, std::min(1.0, p * 1.1));
+  EXPECT_LE(q_lo, q_hi);
+  double q = stats::Quantile(values, p);
+  EXPECT_GE(q, 1.0);
+  EXPECT_LE(q, 9.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, QuantileSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           1.0));
+
+class CesaroSettleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CesaroSettleSweep, CesaroAveragesOfBernoulliLikeSeriesSettle) {
+  // Deterministic pseudo-Bernoulli pattern with long-run mean 1/3: the
+  // Cesaro averages must settle and land near 1/3 for any phase offset.
+  int phase = GetParam();
+  std::vector<double> series;
+  for (int i = 0; i < 3000; ++i) {
+    series.push_back((i + phase) % 3 == 0 ? 1.0 : 0.0);
+  }
+  std::vector<double> averages = stats::CesaroAverages(series);
+  EXPECT_TRUE(stats::HasSettled(averages, 50, 0.01));
+  EXPECT_NEAR(averages.back(), 1.0 / 3.0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Phases, CesaroSettleSweep,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace eqimpact

@@ -1,0 +1,137 @@
+// Unit tests for the Jacobi symmetric eigensolver and the exact spectral
+// norm built on it.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "linalg/symmetric_eigen.h"
+#include "linalg/vector.h"
+#include "rng/random.h"
+
+namespace eqimpact {
+namespace {
+
+using linalg::JacobiEigen;
+using linalg::Matrix;
+using linalg::SpectralNorm;
+using linalg::SymmetricEigenResult;
+using linalg::Vector;
+
+TEST(JacobiEigenTest, DiagonalMatrixIsItsOwnDecomposition) {
+  Matrix a = Matrix::Diagonal(Vector{3.0, -1.0, 2.0});
+  SymmetricEigenResult result = JacobiEigen(a);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(result.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(result.eigenvalues[2], -1.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  SymmetricEigenResult result = JacobiEigen(a);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(result.eigenvalues[1], 1.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, EigenvectorsAreOrthonormal) {
+  Matrix a{{4.0, 1.0, 0.5}, {1.0, 3.0, 0.2}, {0.5, 0.2, 1.0}};
+  SymmetricEigenResult result = JacobiEigen(a);
+  ASSERT_TRUE(result.converged);
+  Matrix gram = result.eigenvectors.Transposed() * result.eigenvectors;
+  EXPECT_TRUE(AllClose(gram, Matrix::Identity(3), 1e-10));
+}
+
+TEST(JacobiEigenTest, ReconstructsTheMatrix) {
+  Matrix a{{4.0, 1.0, 0.5}, {1.0, 3.0, 0.2}, {0.5, 0.2, 1.0}};
+  SymmetricEigenResult result = JacobiEigen(a);
+  ASSERT_TRUE(result.converged);
+  Matrix lambda = Matrix::Diagonal(result.eigenvalues);
+  Matrix reconstructed =
+      result.eigenvectors * lambda * result.eigenvectors.Transposed();
+  EXPECT_TRUE(AllClose(reconstructed, a, 1e-10));
+}
+
+TEST(JacobiEigenTest, EigenpairsSatisfyDefinition) {
+  Matrix a{{5.0, 2.0}, {2.0, 1.0}};
+  SymmetricEigenResult result = JacobiEigen(a);
+  ASSERT_TRUE(result.converged);
+  for (size_t j = 0; j < 2; ++j) {
+    Vector v = result.eigenvectors.Col(j);
+    Vector av = a * v;
+    Vector lv = result.eigenvalues[j] * v;
+    EXPECT_TRUE(AllClose(av, lv, 1e-10)) << "eigenpair " << j;
+  }
+}
+
+TEST(SpectralNormTest, DiagonalMatrix) {
+  EXPECT_NEAR(SpectralNorm(Matrix::Diagonal(Vector{-3.0, 2.0})), 3.0, 1e-12);
+}
+
+TEST(SpectralNormTest, RotationHasNormOne) {
+  double c = std::cos(0.3), s = std::sin(0.3);
+  Matrix rotation{{c, -s}, {s, c}};
+  EXPECT_NEAR(SpectralNorm(rotation), 1.0, 1e-10);
+}
+
+TEST(SpectralNormTest, RectangularMatrix) {
+  // Rank-1: [[1], [2]] has spectral norm sqrt(5).
+  Matrix a(2, 1);
+  a(0, 0) = 1.0;
+  a(1, 0) = 2.0;
+  EXPECT_NEAR(SpectralNorm(a), std::sqrt(5.0), 1e-12);
+}
+
+TEST(SpectralNormTest, BoundsMatrixVectorGrowth) {
+  rng::Random random(17);
+  Matrix a(3, 3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) a(r, c) = random.UniformDouble(-2.0, 2.0);
+  }
+  double norm = SpectralNorm(a);
+  for (int trial = 0; trial < 200; ++trial) {
+    Vector x(3);
+    for (size_t i = 0; i < 3; ++i) x[i] = random.UniformDouble(-1.0, 1.0);
+    EXPECT_LE((a * x).Norm2(), norm * x.Norm2() + 1e-9);
+  }
+}
+
+class JacobiSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(JacobiSweep, RandomSymmetricMatricesDecomposeExactly) {
+  const size_t n = GetParam();
+  rng::Random random(9000 + n);
+  Matrix a(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = r; c < n; ++c) {
+      a(r, c) = a(c, r) = random.UniformDouble(-1.0, 1.0);
+    }
+  }
+  SymmetricEigenResult result = JacobiEigen(a);
+  ASSERT_TRUE(result.converged) << "n=" << n;
+  // Eigenvalues descending.
+  for (size_t j = 0; j + 1 < n; ++j) {
+    EXPECT_GE(result.eigenvalues[j], result.eigenvalues[j + 1] - 1e-12);
+  }
+  // Reconstruction.
+  Matrix reconstructed = result.eigenvectors *
+                         Matrix::Diagonal(result.eigenvalues) *
+                         result.eigenvectors.Transposed();
+  EXPECT_TRUE(AllClose(reconstructed, a, 1e-9)) << "n=" << n;
+  // Trace preservation.
+  double trace_a = 0.0, trace_lambda = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    trace_a += a(i, i);
+    trace_lambda += result.eigenvalues[i];
+  }
+  EXPECT_NEAR(trace_a, trace_lambda, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+}  // namespace
+}  // namespace eqimpact

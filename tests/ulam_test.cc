@@ -1,0 +1,127 @@
+// Unit tests for the Ulam discretisation of the Markov operator — the
+// computable form of the paper appendix's P / P* machinery.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector.h"
+#include "markov/affine_ifs.h"
+#include "markov/affine_map.h"
+#include "markov/empirical_measure.h"
+#include "markov/ulam.h"
+#include "rng/random.h"
+
+namespace eqimpact {
+namespace {
+
+using linalg::Vector;
+using markov::AffineIfs;
+using markov::AffineMap;
+using markov::UlamApproximation;
+
+AffineIfs UniformLimitIfs() {
+  // w1 = x/2, w2 = x/2 + 1/2, p = (1/2, 1/2): the invariant measure is
+  // exactly uniform on [0, 1].
+  return AffineIfs(
+      {AffineMap::Scalar(0.5, 0.0), AffineMap::Scalar(0.5, 0.5)},
+      {0.5, 0.5});
+}
+
+TEST(UlamTest, TransitionMatrixIsRowStochastic) {
+  UlamApproximation ulam(UniformLimitIfs(), 0.0, 1.0, 32);
+  EXPECT_TRUE(ulam.chain().transition().IsRowStochastic(1e-12));
+  EXPECT_EQ(ulam.num_cells(), 32u);
+}
+
+TEST(UlamTest, CellGeometry) {
+  UlamApproximation ulam(UniformLimitIfs(), 0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(ulam.cell_width(), 0.25);
+  EXPECT_DOUBLE_EQ(ulam.CellCenter(0), 0.125);
+  EXPECT_DOUBLE_EQ(ulam.CellCenter(3), 0.875);
+}
+
+TEST(UlamTest, UniformInvariantMeasureIsRecovered) {
+  UlamApproximation ulam(UniformLimitIfs(), 0.0, 1.0, 64);
+  auto pi = ulam.InvariantCellMeasure();
+  ASSERT_TRUE(pi.has_value());
+  // Uniform measure: every cell carries 1/64.
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR((*pi)[i], 1.0 / 64.0, 1e-3) << "cell " << i;
+  }
+}
+
+TEST(UlamTest, InvariantMeanMatchesExactValue) {
+  AffineIfs ifs({AffineMap::Scalar(0.5, 0.0), AffineMap::Scalar(0.5, 1.0)},
+                {0.5, 0.5});
+  // Exact invariant mean is 1 (attractor in [0, 2]).
+  UlamApproximation ulam(ifs, 0.0, 2.0, 128);
+  auto mean = ulam.InvariantMean();
+  ASSERT_TRUE(mean.has_value());
+  EXPECT_NEAR(*mean, ifs.InvariantMean()[0], 0.01);
+}
+
+TEST(UlamTest, AdjointPropagationConvergesToInvariantMeasure) {
+  // (P*)^n nu -> mu for every initial nu: the attractivity statement of
+  // the paper's appendix, now a matrix-power computation.
+  UlamApproximation ulam(UniformLimitIfs(), 0.0, 1.0, 32);
+  auto pi = ulam.InvariantCellMeasure();
+  ASSERT_TRUE(pi.has_value());
+  // Point mass in the leftmost cell.
+  Vector nu(32);
+  nu[0] = 1.0;
+  Vector propagated = ulam.Propagate(nu, 60);
+  EXPECT_LT(markov::TotalVariationDistance(propagated, *pi), 1e-6);
+  // And from the rightmost cell.
+  Vector nu2(32);
+  nu2[31] = 1.0;
+  Vector propagated2 = ulam.Propagate(nu2, 60);
+  EXPECT_LT(markov::TotalVariationDistance(propagated2, *pi), 1e-6);
+}
+
+TEST(UlamTest, AgreesWithChaosGameSimulation) {
+  AffineIfs ifs({AffineMap::Scalar(0.4, 0.1), AffineMap::Scalar(0.6, 0.4)},
+                {0.3, 0.7});
+  UlamApproximation ulam(ifs, 0.0, 1.5, 150);
+  auto ulam_mean = ulam.InvariantMean();
+  ASSERT_TRUE(ulam_mean.has_value());
+
+  rng::Random random(5);
+  markov::EmpiricalMeasure chaos =
+      ApproximateInvariantMeasure(ifs, 0.5, 50000, 1000, 1, &random);
+  EXPECT_NEAR(*ulam_mean, chaos.Mean(), 0.02);
+  EXPECT_NEAR(*ulam_mean, ifs.InvariantMean()[0], 0.02);
+}
+
+TEST(UlamTest, MassEscapingTheWindowIsClamped) {
+  // A map pushing mass right of the window: rows must stay stochastic
+  // with the excess in the last cell.
+  AffineIfs ifs({AffineMap::Scalar(0.5, 2.0)}, {1.0});  // Fixed point 4.
+  UlamApproximation ulam(ifs, 0.0, 1.0, 8);             // Window misses it.
+  EXPECT_TRUE(ulam.chain().transition().IsRowStochastic(1e-12));
+  auto pi = ulam.InvariantCellMeasure();
+  ASSERT_TRUE(pi.has_value());
+  // Everything accumulates in the last cell.
+  EXPECT_NEAR((*pi)[7], 1.0, 1e-9);
+}
+
+class UlamResolutionSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(UlamResolutionSweep, MeanErrorShrinksWithResolution) {
+  const size_t cells = GetParam();
+  AffineIfs ifs({AffineMap::Scalar(0.5, 0.0), AffineMap::Scalar(0.5, 1.0)},
+                {0.25, 0.75});
+  // Exact mean: m = 0.5 m + 0.75 => m = 1.5.
+  UlamApproximation ulam(ifs, 0.0, 2.0, cells);
+  auto mean = ulam.InvariantMean();
+  ASSERT_TRUE(mean.has_value());
+  // Coarse grids are allowed a proportionally larger error.
+  double budget = 4.0 / static_cast<double>(cells);
+  EXPECT_NEAR(*mean, 1.5, budget) << "cells " << cells;
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, UlamResolutionSweep,
+                         ::testing::Values(8, 16, 32, 64, 128, 256));
+
+}  // namespace
+}  // namespace eqimpact
