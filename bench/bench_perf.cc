@@ -1,206 +1,365 @@
-// Google-Benchmark micro-benchmarks of the library's hot paths: RNG
-// throughput, the normal CDF (on the repayment hot path), logistic IRLS
-// training, closed-loop trial throughput, Markov-operator application and
-// stationary-distribution solves. Build in Release for meaningful numbers.
+// Performance benchmark with machine-readable JSON output, so the perf
+// trajectory can be tracked across PRs (BENCH_*.json).
+//
+// Two sections:
+//
+//  * "multi_trial_scaling" — the headline closed-loop workload:
+//    sim::RunMultiTrial dispatched through the runtime layer at thread
+//    counts 1, 2, ..., hardware_concurrency. Reports wall time,
+//    trials/sec, speedup over the sequential run, and a determinism
+//    checksum proving every thread count produced bitwise-identical
+//    results.
+//
+//  * "micro" — single-thread timings of the library's hot paths (RNG
+//    throughput, normal CDF, logistic IRLS, one closed-loop trial,
+//    Markov/linalg kernels) replacing the earlier google-benchmark
+//    micro-suite with a dependency-free harness.
+//
+// Usage: bench_perf [num_trials] [num_users] [max_threads]
+// (defaults 32, 200, hardware_concurrency)
+// Output: a single JSON object on stdout; progress notes on stderr.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "credit/credit_loop.h"
 #include "linalg/eigen.h"
 #include "linalg/matrix.h"
 #include "linalg/symmetric_eigen.h"
+#include "market/matching_market.h"
 #include "markov/affine_ifs.h"
 #include "markov/affine_map.h"
 #include "markov/coupling.h"
-#include "markov/ulam.h"
 #include "markov/markov_chain.h"
-#include "market/matching_market.h"
+#include "markov/ulam.h"
 #include "ml/dataset.h"
 #include "ml/logistic_regression.h"
 #include "rng/normal.h"
 #include "rng/random.h"
+#include "runtime/thread_pool.h"
+#include "sim/multi_trial.h"
 
 namespace {
 
-using eqimpact::linalg::Matrix;
-using eqimpact::linalg::Vector;
+using Clock = std::chrono::steady_clock;
 
-void BM_Pcg32Next(benchmark::State& state) {
-  eqimpact::rng::Pcg32 gen(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(gen.Next());
-  }
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
 }
-BENCHMARK(BM_Pcg32Next);
 
-void BM_UniformDouble(benchmark::State& state) {
-  eqimpact::rng::Random random(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(random.UniformDouble());
+/// Order-dependent FNV-1a digest of a MultiTrialResult: values must be
+/// mixed in slot order (trial 0, 1, ...) for equal results to produce
+/// equal digests — slot order is part of the determinism contract. Any
+/// bitwise difference in any trial's series changes the digest.
+uint64_t Digest(const eqimpact::sim::MultiTrialResult& result) {
+  uint64_t hash = 1469598103934665603ULL;
+  auto mix = [&hash](uint64_t v) {
+    hash ^= v;
+    hash *= 1099511628211ULL;
+  };
+  auto mix_double = [&mix](double value) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value), "need 64-bit double");
+    std::memcpy(&bits, &value, sizeof(bits));
+    mix(bits);
+  };
+  for (const auto& trial : result.trials) {
+    for (const auto& series : trial.user_adr) {
+      for (double value : series) mix_double(value);
+    }
+    for (double value : trial.overall_adr) mix_double(value);
   }
+  for (const auto& envelope : result.race_envelopes) {
+    for (double value : envelope.mean) mix_double(value);
+  }
+  return hash;
 }
-BENCHMARK(BM_UniformDouble);
 
-void BM_StandardNormalCdf(benchmark::State& state) {
-  double x = -4.0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(eqimpact::rng::StandardNormalCdf(x));
-    x += 1e-6;
+/// Median-of-3 wall time of `fn` in seconds.
+double TimeIt(const std::function<void()>& fn) {
+  double best = 0.0;
+  std::vector<double> samples;
+  for (int rep = 0; rep < 3; ++rep) {
+    Clock::time_point start = Clock::now();
+    fn();
+    samples.push_back(SecondsSince(start));
   }
+  // Median of three.
+  double lo = std::min(std::min(samples[0], samples[1]), samples[2]);
+  double hi = std::max(std::max(samples[0], samples[1]), samples[2]);
+  best = samples[0] + samples[1] + samples[2] - lo - hi;
+  return best;
 }
-BENCHMARK(BM_StandardNormalCdf);
 
-void BM_NormalDraw(benchmark::State& state) {
-  eqimpact::rng::Random random(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(random.Normal());
-  }
+struct MicroResult {
+  std::string name;
+  double seconds = 0.0;
+  double items_per_sec = 0.0;
+};
+
+MicroResult Micro(const std::string& name, size_t items,
+                  const std::function<void()>& fn) {
+  MicroResult r;
+  r.name = name;
+  r.seconds = TimeIt(fn);
+  r.items_per_sec = r.seconds > 0.0 ? static_cast<double>(items) / r.seconds
+                                    : 0.0;
+  std::fprintf(stderr, "  micro %-24s %.4fs\n", name.c_str(), r.seconds);
+  return r;
 }
-BENCHMARK(BM_NormalDraw);
 
-void BM_LogisticFitIrls(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  eqimpact::rng::Random random(7);
-  eqimpact::ml::Dataset data(2);
-  for (int i = 0; i < n; ++i) {
-    double adr = random.UniformDouble();
-    double code = random.Bernoulli(0.5) ? 1.0 : 0.0;
-    double p = eqimpact::ml::Sigmoid(-4.0 * adr + 3.0 * code);
-    data.Add(Vector{adr, code}, random.Bernoulli(p) ? 1.0 : 0.0);
-  }
-  for (auto _ : state) {
+std::vector<MicroResult> RunMicroSuite() {
+  std::vector<MicroResult> out;
+
+  out.push_back(Micro("pcg32_next", 10000000, [] {
+    eqimpact::rng::Pcg32 gen(1);
+    uint64_t sink = 0;
+    for (int i = 0; i < 10000000; ++i) sink += gen.Next();
+    if (sink == 42) std::fprintf(stderr, "!");  // Defeat dead-code elim.
+  }));
+
+  out.push_back(Micro("uniform_double", 10000000, [] {
+    eqimpact::rng::Random random(1);
+    double sink = 0.0;
+    for (int i = 0; i < 10000000; ++i) sink += random.UniformDouble();
+    if (sink < 0.0) std::fprintf(stderr, "!");
+  }));
+
+  out.push_back(Micro("normal_draw", 5000000, [] {
+    eqimpact::rng::Random random(1);
+    double sink = 0.0;
+    for (int i = 0; i < 5000000; ++i) sink += random.Normal();
+    if (sink > 1e18) std::fprintf(stderr, "!");
+  }));
+
+  out.push_back(Micro("normal_cdf", 5000000, [] {
+    double sink = 0.0, x = -4.0;
+    for (int i = 0; i < 5000000; ++i) {
+      sink += eqimpact::rng::StandardNormalCdf(x);
+      x += 1e-6;
+    }
+    if (sink < 0.0) std::fprintf(stderr, "!");
+  }));
+
+  out.push_back(Micro("logistic_irls_1k", 1000, [] {
+    eqimpact::rng::Random random(7);
+    eqimpact::ml::Dataset data(2);
+    for (int i = 0; i < 1000; ++i) {
+      double adr = random.UniformDouble();
+      double code = random.Bernoulli(0.5) ? 1.0 : 0.0;
+      double p = eqimpact::ml::Sigmoid(-4.0 * adr + 3.0 * code);
+      data.Add(eqimpact::linalg::Vector{adr, code},
+               random.Bernoulli(p) ? 1.0 : 0.0);
+    }
     eqimpact::ml::LogisticRegression model;
-    benchmark::DoNotOptimize(model.Fit(data));
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_LogisticFitIrls)->Arg(1000)->Arg(10000);
+    model.Fit(data);
+  }));
 
-void BM_CreditLoopTrial(benchmark::State& state) {
-  eqimpact::credit::CreditLoopOptions options;
-  options.num_users = static_cast<size_t>(state.range(0));
-  options.seed = 3;
-  eqimpact::credit::CreditScoringLoop loop(options);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(loop.Run());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0) * 19);
-}
-BENCHMARK(BM_CreditLoopTrial)->Arg(200)->Arg(1000);
+  out.push_back(Micro("credit_loop_trial_1k", 1000 * 19, [] {
+    eqimpact::credit::CreditLoopOptions options;
+    options.num_users = 1000;
+    options.seed = 3;
+    eqimpact::credit::CreditScoringLoop loop(options);
+    loop.Run();
+  }));
 
-void BM_MarkovChainStep(benchmark::State& state) {
-  eqimpact::markov::MarkovChain chain(
-      Matrix{{0.6, 0.3, 0.1}, {0.2, 0.5, 0.3}, {0.1, 0.2, 0.7}});
-  eqimpact::rng::Random random(5);
-  size_t s = 0;
-  for (auto _ : state) {
-    s = chain.Step(s, &random);
-    benchmark::DoNotOptimize(s);
-  }
-}
-BENCHMARK(BM_MarkovChainStep);
+  out.push_back(Micro("markov_chain_step", 5000000, [] {
+    eqimpact::markov::MarkovChain chain(eqimpact::linalg::Matrix{
+        {0.6, 0.3, 0.1}, {0.2, 0.5, 0.3}, {0.1, 0.2, 0.7}});
+    eqimpact::rng::Random random(5);
+    size_t s = 0;
+    for (int i = 0; i < 5000000; ++i) s = chain.Step(s, &random);
+    if (s > 3) std::fprintf(stderr, "!");
+  }));
 
-void BM_StationaryDistribution(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  eqimpact::rng::Random random(9);
-  Matrix p(n, n);
-  for (size_t r = 0; r < n; ++r) {
-    double total = 0.0;
-    for (size_t c = 0; c < n; ++c) {
-      p(r, c) = random.UniformDouble(0.01, 1.0);
-      total += p(r, c);
+  out.push_back(Micro("stationary_dist_32", 32 * 32, [] {
+    eqimpact::rng::Random random(9);
+    eqimpact::linalg::Matrix p(32, 32);
+    for (size_t r = 0; r < 32; ++r) {
+      double total = 0.0;
+      for (size_t c = 0; c < 32; ++c) {
+        p(r, c) = random.UniformDouble(0.01, 1.0);
+        total += p(r, c);
+      }
+      for (size_t c = 0; c < 32; ++c) p(r, c) /= total;
     }
-    for (size_t c = 0; c < n; ++c) p(r, c) /= total;
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(eqimpact::linalg::StationaryDistribution(p));
-  }
-}
-BENCHMARK(BM_StationaryDistribution)->Arg(8)->Arg(32)->Arg(128);
+    eqimpact::linalg::StationaryDistribution(p);
+  }));
 
-void BM_AffineIfsTrajectory(benchmark::State& state) {
-  eqimpact::markov::AffineIfs ifs(
-      {eqimpact::markov::AffineMap::Scalar(0.5, 0.0),
-       eqimpact::markov::AffineMap::Scalar(0.5, 1.0)},
-      {0.5, 0.5});
-  eqimpact::rng::Random random(11);
-  Vector x{0.0};
-  for (auto _ : state) {
-    x = ifs.Step(x, &random);
-    benchmark::DoNotOptimize(x);
-  }
-}
-BENCHMARK(BM_AffineIfsTrajectory);
-
-void BM_JacobiEigen(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  eqimpact::rng::Random random(15);
-  Matrix a(n, n);
-  for (size_t r = 0; r < n; ++r) {
-    for (size_t c = r; c < n; ++c) {
-      a(r, c) = a(c, r) = random.UniformDouble(-1.0, 1.0);
+  out.push_back(Micro("jacobi_eigen_64", 64 * 64, [] {
+    eqimpact::rng::Random random(15);
+    eqimpact::linalg::Matrix a(64, 64);
+    for (size_t r = 0; r < 64; ++r) {
+      for (size_t c = r; c < 64; ++c) {
+        a(r, c) = a(c, r) = random.UniformDouble(-1.0, 1.0);
+      }
     }
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(eqimpact::linalg::JacobiEigen(a));
-  }
-}
-BENCHMARK(BM_JacobiEigen)->Arg(4)->Arg(16)->Arg(64);
+    eqimpact::linalg::JacobiEigen(a);
+  }));
 
-void BM_UlamBuildAndSolve(benchmark::State& state) {
-  const size_t cells = static_cast<size_t>(state.range(0));
-  eqimpact::markov::AffineIfs ifs(
-      {eqimpact::markov::AffineMap::Scalar(0.5, 0.0),
-       eqimpact::markov::AffineMap::Scalar(0.5, 0.5)},
-      {0.5, 0.5});
-  for (auto _ : state) {
-    eqimpact::markov::UlamApproximation ulam(ifs, 0.0, 1.0, cells);
-    benchmark::DoNotOptimize(ulam.InvariantCellMeasure());
-  }
-}
-BENCHMARK(BM_UlamBuildAndSolve)->Arg(16)->Arg(64)->Arg(128);
+  out.push_back(Micro("affine_ifs_step", 1000000, [] {
+    eqimpact::markov::AffineIfs ifs(
+        {eqimpact::markov::AffineMap::Scalar(0.5, 0.0),
+         eqimpact::markov::AffineMap::Scalar(0.5, 1.0)},
+        {0.5, 0.5});
+    eqimpact::rng::Random random(11);
+    eqimpact::linalg::Vector x{0.0};
+    for (int i = 0; i < 1000000; ++i) x = ifs.Step(x, &random);
+    if (x[0] > 1e9) std::fprintf(stderr, "!");
+  }));
 
-void BM_SynchronousCoupling(benchmark::State& state) {
-  eqimpact::markov::AffineIfs ifs(
-      {eqimpact::markov::AffineMap::Scalar(0.5, 0.0),
-       eqimpact::markov::AffineMap::Scalar(0.5, 1.0)},
-      {0.5, 0.5});
-  eqimpact::rng::Random random(16);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SynchronousCoupling(
-        ifs, Vector{-10.0}, Vector{10.0}, 100, 1e-12, &random));
-  }
-}
-BENCHMARK(BM_SynchronousCoupling);
+  out.push_back(Micro("ulam_build_solve_64", 64, [] {
+    eqimpact::markov::AffineIfs ifs(
+        {eqimpact::markov::AffineMap::Scalar(0.5, 0.0),
+         eqimpact::markov::AffineMap::Scalar(0.5, 0.5)},
+        {0.5, 0.5});
+    eqimpact::markov::UlamApproximation ulam(ifs, 0.0, 1.0, 64);
+    ulam.InvariantCellMeasure();
+  }));
 
-void BM_MatchingMarketRun(benchmark::State& state) {
-  eqimpact::market::MatchingMarketOptions options;
-  options.num_workers = static_cast<size_t>(state.range(0));
-  options.rounds = 200;
-  options.seed = 17;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(RunMatchingMarket(
-        eqimpact::market::MatchingRule::kEpsilonGreedy, options));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0) * 200);
-}
-BENCHMARK(BM_MatchingMarketRun)->Arg(100)->Arg(400);
-
-void BM_SpectralRadius(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  eqimpact::rng::Random random(13);
-  Matrix a(n, n);
-  for (size_t r = 0; r < n; ++r) {
-    for (size_t c = 0; c < n; ++c) {
-      a(r, c) = random.UniformDouble(-0.5, 0.5) / static_cast<double>(n);
+  out.push_back(Micro("synchronous_coupling", 100, [] {
+    eqimpact::markov::AffineIfs ifs(
+        {eqimpact::markov::AffineMap::Scalar(0.5, 0.0),
+         eqimpact::markov::AffineMap::Scalar(0.5, 1.0)},
+        {0.5, 0.5});
+    eqimpact::rng::Random random(16);
+    for (int i = 0; i < 100; ++i) {
+      SynchronousCoupling(ifs, eqimpact::linalg::Vector{-10.0},
+                          eqimpact::linalg::Vector{10.0}, 100, 1e-12,
+                          &random);
     }
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(eqimpact::linalg::SpectralRadius(a));
-  }
+  }));
+
+  out.push_back(Micro("matching_market_400", 400 * 200, [] {
+    eqimpact::market::MatchingMarketOptions options;
+    options.num_workers = 400;
+    options.rounds = 200;
+    options.seed = 17;
+    RunMatchingMarket(eqimpact::market::MatchingRule::kEpsilonGreedy,
+                      options);
+  }));
+
+  out.push_back(Micro("spectral_radius_64", 64 * 64, [] {
+    eqimpact::rng::Random random(13);
+    eqimpact::linalg::Matrix a(64, 64);
+    for (size_t r = 0; r < 64; ++r) {
+      for (size_t c = 0; c < 64; ++c) {
+        a(r, c) = random.UniformDouble(-0.5, 0.5) / 64.0;
+      }
+    }
+    eqimpact::linalg::SpectralRadius(a);
+  }));
+
+  return out;
 }
-BENCHMARK(BM_SpectralRadius)->Arg(4)->Arg(16)->Arg(64);
+
+struct ScalingPoint {
+  size_t num_threads = 0;
+  double seconds = 0.0;
+  double trials_per_sec = 0.0;
+  double speedup = 1.0;
+  uint64_t digest = 0;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  long num_trials = 32;
+  long num_users = 200;
+  long max_threads =
+      static_cast<long>(eqimpact::runtime::ThreadPool::HardwareConcurrency());
+  if (argc > 1) num_trials = std::atol(argv[1]);
+  if (argc > 2) num_users = std::atol(argv[2]);
+  // Optional override of the sweep ceiling (e.g. to demonstrate
+  // oversubscription or to pin CI to a fixed thread count).
+  if (argc > 3) max_threads = std::atol(argv[3]);
+  if (num_trials <= 0 || num_users <= 0 || max_threads <= 0) {
+    std::fprintf(stderr,
+                 "usage: bench_perf [num_trials] [num_users] [max_threads]\n"
+                 "       all arguments must be positive integers\n");
+    return 2;
+  }
+  const size_t hw = static_cast<size_t>(max_threads);
+
+  eqimpact::sim::MultiTrialOptions options;
+  options.num_trials = static_cast<size_t>(num_trials);
+  options.loop.num_users = static_cast<size_t>(num_users);
+  options.master_seed = 42;
+
+  // Thread counts: 1, 2, 4, ... up to hardware concurrency (always
+  // including hw itself).
+  std::vector<size_t> thread_counts;
+  for (size_t t = 1; t < hw; t *= 2) thread_counts.push_back(t);
+  thread_counts.push_back(hw);
+
+  std::vector<ScalingPoint> scaling;
+  double sequential_seconds = 0.0;
+  for (size_t threads : thread_counts) {
+    options.num_threads = threads;
+    eqimpact::sim::MultiTrialResult result;
+    ScalingPoint point;
+    point.num_threads = threads;
+    point.seconds =
+        TimeIt([&options, &result] { result = RunMultiTrial(options); });
+    point.trials_per_sec = static_cast<double>(num_trials) / point.seconds;
+    point.digest = Digest(result);
+    if (threads == 1) sequential_seconds = point.seconds;
+    point.speedup =
+        point.seconds > 0.0 ? sequential_seconds / point.seconds : 0.0;
+    scaling.push_back(point);
+    std::fprintf(stderr,
+                 "  multi_trial threads=%zu %.3fs (%.2f trials/s, %.2fx)\n",
+                 threads, point.seconds, point.trials_per_sec, point.speedup);
+  }
+
+  bool deterministic = true;
+  for (const ScalingPoint& point : scaling) {
+    if (point.digest != scaling.front().digest) deterministic = false;
+  }
+
+  std::vector<MicroResult> micro = RunMicroSuite();
+
+  // Emit the JSON document on stdout.
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"bench_perf\",\n");
+  std::printf("  \"hardware_concurrency\": %zu,\n",
+              eqimpact::runtime::ThreadPool::HardwareConcurrency());
+  std::printf("  \"max_threads_swept\": %zu,\n", hw);
+  std::printf("  \"multi_trial_scaling\": {\n");
+  std::printf("    \"num_trials\": %ld,\n", num_trials);
+  std::printf("    \"num_users\": %ld,\n", num_users);
+  std::printf("    \"deterministic_across_thread_counts\": %s,\n",
+              deterministic ? "true" : "false");
+  std::printf("    \"digest\": \"%016" PRIx64 "\",\n",
+              scaling.front().digest);
+  std::printf("    \"runs\": [\n");
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    const ScalingPoint& p = scaling[i];
+    std::printf(
+        "      {\"num_threads\": %zu, \"wall_seconds\": %.6f, "
+        "\"trials_per_sec\": %.3f, \"speedup\": %.3f}%s\n",
+        p.num_threads, p.seconds, p.trials_per_sec, p.speedup,
+        i + 1 < scaling.size() ? "," : "");
+  }
+  std::printf("    ]\n");
+  std::printf("  },\n");
+  std::printf("  \"micro\": [\n");
+  for (size_t i = 0; i < micro.size(); ++i) {
+    std::printf(
+        "    {\"name\": \"%s\", \"wall_seconds\": %.6f, "
+        "\"items_per_sec\": %.1f}%s\n",
+        micro[i].name.c_str(), micro[i].seconds, micro[i].items_per_sec,
+        i + 1 < micro.size() ? "," : "");
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
+  return deterministic ? 0 : 1;
+}

@@ -60,17 +60,30 @@ int main() {
   options.burn_in = 1000;
   std::vector<bool> start_a{true, true, true, false, false, false};
   std::vector<bool> start_b{false, false, false, true, true, true};
+  // The four runs (2 controllers x 2 initial conditions) are independent
+  // trials; dispatch them through the parallel runtime in one study.
+  std::vector<sim::EnsembleStudySpec> specs;
   for (auto kind : {sim::EnsembleControllerKind::kStableRandomized,
                     sim::EnsembleControllerKind::kIntegralHysteresis}) {
-    const char* name =
-        kind == sim::EnsembleControllerKind::kStableRandomized
-            ? "stable-randomized"
-            : "integral-hysteresis";
-    rng::Random ra(10), rb(11);
-    sim::EnsembleRunResult run_a =
-        RunEnsembleControl(kind, options, start_a, 0.5, &ra);
-    sim::EnsembleRunResult run_b =
-        RunEnsembleControl(kind, options, start_b, 0.5, &rb);
+    for (int which = 0; which < 2; ++which) {
+      sim::EnsembleStudySpec spec;
+      spec.kind = kind;
+      spec.initial_on = which == 0 ? start_a : start_b;
+      spec.initial_signal = 0.5;
+      // Paired design: both controllers share the noise stream of their
+      // initial condition, isolating the controller contrast.
+      spec.seed_index = which;
+      specs.push_back(spec);
+    }
+  }
+  sim::EnsembleStudyOptions study;
+  study.ensemble = options;
+  study.master_seed = 10;
+  std::vector<sim::EnsembleRunResult> runs = RunEnsembleStudy(specs, study);
+  for (size_t pair = 0; pair < 2; ++pair) {
+    const char* name = pair == 0 ? "stable-randomized" : "integral-hysteresis";
+    const sim::EnsembleRunResult& run_a = runs[2 * pair];
+    const sim::EnsembleRunResult& run_b = runs[2 * pair + 1];
     double cross_gap = 0.0;
     for (size_t i = 0; i < options.num_agents; ++i) {
       cross_gap = std::max(cross_gap,

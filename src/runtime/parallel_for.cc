@@ -1,0 +1,52 @@
+#include "runtime/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "base/check.h"
+#include "runtime/thread_pool.h"
+
+namespace eqimpact {
+namespace runtime {
+
+size_t EffectiveNumThreads(const ParallelForOptions& options) {
+  return options.num_threads == 0 ? ThreadPool::HardwareConcurrency()
+                                  : options.num_threads;
+}
+
+void ParallelFor(size_t count, const std::function<void(size_t)>& body,
+                 const ParallelForOptions& options) {
+  EQIMPACT_CHECK(body != nullptr);
+  if (count == 0) return;
+
+  const size_t num_threads = std::min(EffectiveNumThreads(options), count);
+  if (num_threads == 1) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // Dynamic scheduling: each worker pulls the next unclaimed index. This
+  // balances uneven per-iteration cost (e.g. trials with different
+  // rejection-sampling paths) without any per-iteration task allocation.
+  std::atomic<size_t> cursor(0);
+  std::atomic<bool> cancelled(false);
+  ThreadPool pool(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) {
+    pool.Submit([&cursor, &cancelled, &body, count] {
+      for (;;) {
+        const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count || cancelled.load(std::memory_order_relaxed)) return;
+        try {
+          body(i);
+        } catch (...) {
+          cancelled.store(true, std::memory_order_relaxed);
+          throw;  // Captured by the pool, rethrown from Wait().
+        }
+      }
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace runtime
+}  // namespace eqimpact

@@ -1,0 +1,47 @@
+#ifndef EQIMPACT_RUNTIME_PARALLEL_FOR_H_
+#define EQIMPACT_RUNTIME_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace eqimpact {
+namespace runtime {
+
+/// Options for `ParallelFor`.
+struct ParallelForOptions {
+  /// Worker threads to use. 0 = ThreadPool::HardwareConcurrency();
+  /// 1 = run inline on the calling thread (no pool, no locking).
+  size_t num_threads = 0;
+};
+
+/// Runs `body(i)` for every i in [0, count), distributing iterations
+/// across `options.num_threads` workers.
+///
+/// Determinism contract: every iteration index is executed exactly once,
+/// so a body that only reads shared immutable state and writes to a slot
+/// owned by its index (e.g. `results[i] = Compute(i)`) produces output
+/// bitwise-identical to the sequential loop regardless of thread count.
+/// Iterations are handed out dynamically (an atomic cursor), so the
+/// iteration -> thread assignment is NOT deterministic; per-iteration
+/// state such as RNG streams must be derived from the index (see
+/// seed_sequence.h), never from the worker thread.
+///
+/// Exceptions thrown by the body are propagated to the caller (first one
+/// wins) after all in-flight iterations finish; remaining unstarted
+/// iterations are abandoned.
+///
+/// Cost note: each call spawns (and joins) its own ThreadPool, so the
+/// per-call overhead is a few thread creations — negligible for trial
+/// workloads (>= milliseconds per iteration) but not for fine-grained
+/// inner loops. A persistent/caller-owned pool is a planned follow-up
+/// (see ROADMAP "parallelise within a trial").
+void ParallelFor(size_t count, const std::function<void(size_t)>& body,
+                 const ParallelForOptions& options = ParallelForOptions());
+
+/// Effective worker count `ParallelFor` would use for this options value.
+size_t EffectiveNumThreads(const ParallelForOptions& options);
+
+}  // namespace runtime
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_RUNTIME_PARALLEL_FOR_H_

@@ -1,0 +1,16 @@
+#include "runtime/seed_sequence.h"
+
+#include "rng/random.h"
+
+namespace eqimpact {
+namespace runtime {
+
+uint64_t SeedSequence::Seed(uint64_t index) const {
+  // Delegates to the splitmix64-based mixer so that seeds derived through
+  // a SeedSequence are bitwise-identical to historical direct calls to
+  // rng::DeriveSeed — existing recorded experiment outputs stay valid.
+  return rng::DeriveSeed(master_, index);
+}
+
+}  // namespace runtime
+}  // namespace eqimpact

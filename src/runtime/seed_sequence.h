@@ -1,0 +1,51 @@
+#ifndef EQIMPACT_RUNTIME_SEED_SEQUENCE_H_
+#define EQIMPACT_RUNTIME_SEED_SEQUENCE_H_
+
+#include <cstdint>
+
+namespace eqimpact {
+namespace runtime {
+
+/// Derives statistically independent per-task seeds from one master seed.
+///
+/// This promotes the library-wide `rng::DeriveSeed(master, index)`
+/// convention ("trial t runs with seed DeriveSeed(master_seed, t)") into
+/// a first-class object that parallel dispatch can hand to each task:
+///
+///   runtime::SeedSequence seeds(options.master_seed);
+///   runtime::ParallelFor(n, [&](size_t t) {
+///     rng::Random random(seeds.Seed(t));   // one Random per trial
+///     ...
+///   });
+///
+/// `Seed(i)` is a pure function of (master, i) — splitmix64-derived, via
+/// rng::DeriveSeed — so the stream a task receives depends only on its
+/// index, never on which worker thread ran it or in what order. That is
+/// the property that makes parallel execution bitwise-identical to
+/// sequential.
+///
+/// `Child(i)` opens a nested namespace of seeds for task i's own
+/// sub-streams (e.g. a trial that itself needs race/income/repayment
+/// streams), guaranteed disjoint from sibling tasks' namespaces.
+class SeedSequence {
+ public:
+  explicit SeedSequence(uint64_t master) : master_(master) {}
+
+  /// The i-th derived seed. Pure; thread-safe.
+  uint64_t Seed(uint64_t index) const;
+
+  /// A nested sequence rooted at the i-th derived seed.
+  SeedSequence Child(uint64_t index) const {
+    return SeedSequence(Seed(index));
+  }
+
+  uint64_t master() const { return master_; }
+
+ private:
+  uint64_t master_;
+};
+
+}  // namespace runtime
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_RUNTIME_SEED_SEQUENCE_H_

@@ -1,0 +1,65 @@
+#ifndef EQIMPACT_RUNTIME_THREAD_POOL_H_
+#define EQIMPACT_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace eqimpact {
+namespace runtime {
+
+/// Fixed-size worker pool executing `std::function<void()>` tasks.
+///
+/// The pool is the low-level primitive of the runtime layer; simulation
+/// code should normally go through `ParallelFor` (parallel_for.h), which
+/// handles partitioning, the degenerate single-thread case, and exception
+/// propagation. Submitted tasks must not submit further tasks to the same
+/// pool and then block on them (no nested blocking submission).
+///
+/// Exceptions thrown by a task are caught and rethrown from `Wait()`
+/// (first one wins; subsequent ones are dropped). The destructor joins
+/// all workers after draining the queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. Requires num_threads >= 1.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks on task execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw,
+  /// rethrows the first captured exception (and clears it, so the pool
+  /// is reusable afterwards).
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Threads the hardware supports; never returns 0 (falls back to 1
+  /// when std::thread::hardware_concurrency is unavailable).
+  static size_t HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;  // Queued + currently executing tasks.
+  bool shutting_down_ = false;
+  std::exception_ptr first_exception_;
+};
+
+}  // namespace runtime
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_RUNTIME_THREAD_POOL_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "base/check.h"
+#include "runtime/parallel_for.h"
+#include "runtime/seed_sequence.h"
 
 namespace eqimpact {
 namespace sim {
@@ -72,6 +74,30 @@ EnsembleRunResult RunEnsembleControl(EnsembleControllerKind kind,
   result.aggregate_average /= static_cast<double>(counted);
   result.final_signal = signal;
   return result;
+}
+
+std::vector<EnsembleRunResult> RunEnsembleStudy(
+    const std::vector<EnsembleStudySpec>& specs,
+    const EnsembleStudyOptions& options) {
+  std::vector<EnsembleRunResult> results(specs.size());
+  const runtime::SeedSequence seeds(options.master_seed);
+  runtime::ParallelForOptions dispatch;
+  dispatch.num_threads = options.num_threads;
+  runtime::ParallelFor(
+      specs.size(),
+      [&specs, &options, &seeds, &results](size_t i) {
+        const uint64_t seed_index =
+            specs[i].seed_index < 0
+                ? i
+                : static_cast<uint64_t>(specs[i].seed_index);
+        rng::Random random(seeds.Seed(seed_index));
+        results[i] =
+            RunEnsembleControl(specs[i].kind, options.ensemble,
+                               specs[i].initial_on, specs[i].initial_signal,
+                               &random);
+      },
+      dispatch);
+  return results;
 }
 
 }  // namespace sim

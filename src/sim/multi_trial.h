@@ -15,8 +15,15 @@ namespace sim {
 struct MultiTrialOptions {
   credit::CreditLoopOptions loop;
   size_t num_trials = 5;
-  /// Trial t runs with seed DeriveSeed(master_seed, t).
+  /// Trial t runs with seed runtime::SeedSequence(master_seed).Seed(t)
+  /// (the library-wide DeriveSeed convention).
   uint64_t master_seed = 42;
+  /// Worker threads for trial dispatch. 0 = hardware concurrency,
+  /// 1 = sequential. Trials are independent (one rng::Random stream per
+  /// trial, derived from the trial index) and each writes into its own
+  /// preallocated slot, so the result is bitwise-identical for every
+  /// thread count.
+  size_t num_threads = 0;
 };
 
 /// Results of a multi-trial experiment, pre-aggregated for the paper's

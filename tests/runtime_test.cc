@@ -1,0 +1,221 @@
+// Unit tests for the runtime layer: thread pool, parallel_for, seed
+// sequence, and the parallel-vs-sequential determinism contract of
+// sim::RunMultiTrial.
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/random.h"
+#include "runtime/parallel_for.h"
+#include "runtime/seed_sequence.h"
+#include "runtime/thread_pool.h"
+#include "sim/ensemble_control.h"
+#include "sim/multi_trial.h"
+
+namespace eqimpact {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
+  runtime::ThreadPool pool(4);
+  std::atomic<int> counter(0);
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  runtime::ThreadPool pool(2);
+  pool.Wait();  // Must not hang.
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, IsReusableAcrossWaves) {
+  runtime::ThreadPool pool(3);
+  std::atomic<int> counter(0);
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, PropagatesTaskException) {
+  runtime::ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The exception is cleared: the pool keeps working afterwards.
+  std::atomic<int> counter(0);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(runtime::ThreadPool::HardwareConcurrency(), 1u);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (size_t threads : {1u, 2u, 8u}) {
+    std::vector<int> visits(1000, 0);
+    runtime::ParallelForOptions options;
+    options.num_threads = threads;
+    runtime::ParallelFor(
+        visits.size(), [&visits](size_t i) { visits[i] += 1; }, options);
+    EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 1000)
+        << "threads=" << threads;
+    for (int v : visits) EXPECT_EQ(v, 1);
+  }
+}
+
+TEST(ParallelForTest, ZeroCountIsANoOp) {
+  std::atomic<int> counter(0);
+  runtime::ParallelFor(0, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ParallelForTest, SlotWritesAreDeterministic) {
+  auto run = [](size_t threads) {
+    std::vector<uint64_t> out(200);
+    runtime::ParallelForOptions options;
+    options.num_threads = threads;
+    runtime::ParallelFor(
+        out.size(),
+        [&out](size_t i) {
+          rng::Random random(runtime::SeedSequence(7).Seed(i));
+          out[i] = random.UniformInt(1u << 30);
+        },
+        options);
+    return out;
+  };
+  std::vector<uint64_t> sequential = run(1);
+  EXPECT_EQ(run(2), sequential);
+  EXPECT_EQ(run(8), sequential);
+}
+
+TEST(ParallelForTest, PropagatesBodyException) {
+  runtime::ParallelForOptions options;
+  options.num_threads = 4;
+  EXPECT_THROW(runtime::ParallelFor(
+                   100,
+                   [](size_t i) {
+                     if (i == 42) throw std::runtime_error("bad index");
+                   },
+                   options),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, SequentialPathPropagatesException) {
+  runtime::ParallelForOptions options;
+  options.num_threads = 1;
+  EXPECT_THROW(runtime::ParallelFor(
+                   10,
+                   [](size_t i) {
+                     if (i == 3) throw std::logic_error("sequential");
+                   },
+                   options),
+               std::logic_error);
+}
+
+TEST(SeedSequenceTest, MatchesDeriveSeedConvention) {
+  runtime::SeedSequence seeds(42);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(seeds.Seed(i), rng::DeriveSeed(42, i));
+  }
+}
+
+TEST(SeedSequenceTest, ChildrenAreDistinct) {
+  runtime::SeedSequence seeds(123);
+  std::set<uint64_t> unique;
+  for (uint64_t i = 0; i < 1000; ++i) unique.insert(seeds.Seed(i));
+  EXPECT_EQ(unique.size(), 1000u);
+}
+
+TEST(SeedSequenceTest, ChildOpensNestedNamespace) {
+  runtime::SeedSequence seeds(9);
+  runtime::SeedSequence child = seeds.Child(3);
+  EXPECT_EQ(child.master(), seeds.Seed(3));
+  // A child's streams differ from the parent's.
+  EXPECT_NE(child.Seed(0), seeds.Seed(0));
+}
+
+// The headline determinism contract: RunMultiTrial produces bitwise-
+// identical results at every thread count. Small cohorts keep this fast.
+TEST(MultiTrialParallelTest, BitwiseIdenticalAcrossThreadCounts) {
+  sim::MultiTrialOptions options;
+  options.num_trials = 6;
+  options.loop.num_users = 40;
+  options.master_seed = 42;
+
+  options.num_threads = 1;
+  sim::MultiTrialResult sequential = RunMultiTrial(options);
+
+  for (size_t threads : {2u, 8u}) {
+    options.num_threads = threads;
+    sim::MultiTrialResult parallel = RunMultiTrial(options);
+
+    ASSERT_EQ(parallel.trials.size(), sequential.trials.size());
+    EXPECT_EQ(parallel.years, sequential.years);
+    EXPECT_EQ(parallel.pooled_races, sequential.pooled_races);
+    EXPECT_EQ(parallel.pooled_user_adr, sequential.pooled_user_adr);
+    for (size_t t = 0; t < sequential.trials.size(); ++t) {
+      EXPECT_EQ(parallel.trials[t].user_adr, sequential.trials[t].user_adr)
+          << "trial " << t << " threads " << threads;
+      EXPECT_EQ(parallel.trials[t].race_adr, sequential.trials[t].race_adr);
+      EXPECT_EQ(parallel.trials[t].overall_adr,
+                sequential.trials[t].overall_adr);
+    }
+    ASSERT_EQ(parallel.race_envelopes.size(),
+              sequential.race_envelopes.size());
+    for (size_t r = 0; r < sequential.race_envelopes.size(); ++r) {
+      EXPECT_EQ(parallel.race_envelopes[r].mean,
+                sequential.race_envelopes[r].mean);
+      EXPECT_EQ(parallel.race_envelopes[r].std_dev,
+                sequential.race_envelopes[r].std_dev);
+    }
+  }
+}
+
+TEST(EnsembleStudyTest, BitwiseIdenticalAcrossThreadCounts) {
+  std::vector<sim::EnsembleStudySpec> specs;
+  for (int i = 0; i < 6; ++i) {
+    sim::EnsembleStudySpec spec;
+    spec.kind = (i % 2 == 0) ? sim::EnsembleControllerKind::kStableRandomized
+                             : sim::EnsembleControllerKind::kIntegralHysteresis;
+    spec.initial_on.assign(10, false);
+    for (int j = 0; j < i; ++j) spec.initial_on[j] = true;
+    specs.push_back(spec);
+  }
+  sim::EnsembleStudyOptions options;
+  options.ensemble.steps = 500;
+  options.ensemble.burn_in = 100;
+  options.master_seed = 7;
+
+  options.num_threads = 1;
+  std::vector<sim::EnsembleRunResult> sequential =
+      sim::RunEnsembleStudy(specs, options);
+  options.num_threads = 4;
+  std::vector<sim::EnsembleRunResult> parallel =
+      sim::RunEnsembleStudy(specs, options);
+
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(parallel[i].per_agent_average, sequential[i].per_agent_average);
+    EXPECT_EQ(parallel[i].aggregate_fraction,
+              sequential[i].aggregate_fraction);
+    EXPECT_EQ(parallel[i].aggregate_average, sequential[i].aggregate_average);
+    EXPECT_EQ(parallel[i].final_signal, sequential[i].final_signal);
+  }
+}
+
+}  // namespace
+}  // namespace eqimpact
