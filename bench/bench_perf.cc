@@ -1,22 +1,32 @@
 // Performance benchmark with machine-readable JSON output, so the perf
-// trajectory can be tracked across PRs (BENCH_*.json).
+// trajectory can be tracked across PRs (BENCH_*.json, checked by
+// scripts/check_bench_regression.py in CI).
 //
-// Two sections:
+// Three sections:
 //
 //  * "multi_trial_scaling" — the headline closed-loop workload:
 //    sim::RunMultiTrial dispatched through the runtime layer at thread
 //    counts 1, 2, ..., hardware_concurrency. Reports wall time,
 //    trials/sec, speedup over the sequential run, and a determinism
 //    checksum proving every thread count produced bitwise-identical
-//    results.
+//    results (raw series + streaming accumulator).
+//
+//  * "within_trial_scaling" — one large-cohort trial (default 10^6
+//    users) with the per-user series disabled: the batch engine's
+//    chunked passes sweep thread counts while the per-year cross-
+//    sections stream into a stats::AdrAccumulator. Proves the
+//    within-trial determinism contract (equal digest at every thread
+//    count) and that the run is memory-bounded (peak RSS reported; the
+//    raw series for 10^6 users x 19 years would be ~150 MB/trial).
 //
 //  * "micro" — single-thread timings of the library's hot paths (RNG
 //    throughput, normal CDF, logistic IRLS, one closed-loop trial,
 //    Markov/linalg kernels) replacing the earlier google-benchmark
 //    micro-suite with a dependency-free harness.
 //
-// Usage: bench_perf [num_trials] [num_users] [max_threads]
-// (defaults 32, 200, hardware_concurrency)
+// Usage: bench_perf [num_trials] [num_users] [max_threads] [within_users]
+// (defaults 32, 200, hardware_concurrency, 1000000; within_users 0 skips
+// the within-trial section)
 // Output: a single JSON object on stdout; progress notes on stderr.
 
 #include <algorithm>
@@ -29,6 +39,10 @@
 #include <functional>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "credit/credit_loop.h"
 #include "linalg/eigen.h"
@@ -46,6 +60,7 @@
 #include "rng/random.h"
 #include "runtime/thread_pool.h"
 #include "sim/multi_trial.h"
+#include "stats/adr_accumulator.h"
 
 namespace {
 
@@ -55,37 +70,80 @@ double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// Order-dependent FNV-1a digest of a MultiTrialResult: values must be
-/// mixed in slot order (trial 0, 1, ...) for equal results to produce
-/// equal digests — slot order is part of the determinism contract. Any
-/// bitwise difference in any trial's series changes the digest.
-uint64_t Digest(const eqimpact::sim::MultiTrialResult& result) {
-  uint64_t hash = 1469598103934665603ULL;
-  auto mix = [&hash](uint64_t v) {
-    hash ^= v;
-    hash *= 1099511628211ULL;
-  };
-  auto mix_double = [&mix](double value) {
+/// Peak resident set size in MB (0 when the platform has no getrusage).
+double PeakRssMb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // Linux reports ru_maxrss in KB (macOS in bytes; close enough for a
+    // bound report — CI runs Linux).
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+  }
+#endif
+  return 0.0;
+}
+
+/// Order-dependent FNV-1a mixer: values must be mixed in slot order for
+/// equal results to produce equal digests — slot order is part of the
+/// determinism contract. Any bitwise difference changes the digest.
+class Fnv1a {
+ public:
+  void Mix(uint64_t v) {
+    hash_ ^= v;
+    hash_ *= 1099511628211ULL;
+  }
+  void MixDouble(double value) {
     uint64_t bits;
     static_assert(sizeof(bits) == sizeof(value), "need 64-bit double");
     std::memcpy(&bits, &value, sizeof(bits));
-    mix(bits);
-  };
-  for (const auto& trial : result.trials) {
-    for (const auto& series : trial.user_adr) {
-      for (double value : series) mix_double(value);
+    Mix(bits);
+  }
+  void MixSeries(const std::vector<double>& series) {
+    for (double value : series) MixDouble(value);
+  }
+  void MixAccumulator(const eqimpact::stats::AdrAccumulator& adr) {
+    for (size_t k = 0; k < adr.num_steps(); ++k) {
+      for (size_t g = 0; g < adr.num_groups(); ++g) {
+        const eqimpact::stats::RunningStats& stats = adr.stats(k, g);
+        Mix(static_cast<uint64_t>(stats.count()));
+        MixDouble(stats.Mean());
+        MixDouble(stats.Variance());
+        for (size_t b = 0; b < adr.num_bins(); ++b) {
+          Mix(static_cast<uint64_t>(adr.bin_count(k, g, b)));
+        }
+      }
     }
-    for (double value : trial.overall_adr) mix_double(value);
+  }
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 1469598103934665603ULL;
+};
+
+uint64_t Digest(const eqimpact::sim::MultiTrialResult& result) {
+  Fnv1a digest;
+  for (const auto& trial : result.trials) {
+    for (const auto& series : trial.user_adr) digest.MixSeries(series);
+    digest.MixSeries(trial.overall_adr);
   }
   for (const auto& envelope : result.race_envelopes) {
-    for (double value : envelope.mean) mix_double(value);
+    digest.MixSeries(envelope.mean);
   }
-  return hash;
+  digest.MixAccumulator(result.pooled_adr);
+  return digest.hash();
+}
+
+uint64_t Digest(const eqimpact::credit::CreditLoopResult& result,
+                const eqimpact::stats::AdrAccumulator& adr) {
+  Fnv1a digest;
+  digest.MixSeries(result.overall_adr);
+  for (const auto& series : result.race_adr) digest.MixSeries(series);
+  digest.MixAccumulator(adr);
+  return digest.hash();
 }
 
 /// Median-of-3 wall time of `fn` in seconds.
 double TimeIt(const std::function<void()>& fn) {
-  double best = 0.0;
   std::vector<double> samples;
   for (int rep = 0; rep < 3; ++rep) {
     Clock::time_point start = Clock::now();
@@ -95,8 +153,7 @@ double TimeIt(const std::function<void()>& fn) {
   // Median of three.
   double lo = std::min(std::min(samples[0], samples[1]), samples[2]);
   double hi = std::max(std::max(samples[0], samples[1]), samples[2]);
-  best = samples[0] + samples[1] + samples[2] - lo - hi;
-  return best;
+  return samples[0] + samples[1] + samples[2] - lo - hi;
 }
 
 struct MicroResult {
@@ -152,12 +209,13 @@ std::vector<MicroResult> RunMicroSuite() {
   out.push_back(Micro("logistic_irls_1k", 1000, [] {
     eqimpact::rng::Random random(7);
     eqimpact::ml::Dataset data(2);
+    data.Reserve(1000);
     for (int i = 0; i < 1000; ++i) {
       double adr = random.UniformDouble();
       double code = random.Bernoulli(0.5) ? 1.0 : 0.0;
       double p = eqimpact::ml::Sigmoid(-4.0 * adr + 3.0 * code);
-      data.Add(eqimpact::linalg::Vector{adr, code},
-               random.Bernoulli(p) ? 1.0 : 0.0);
+      double row[2] = {adr, code};
+      data.AddRow(row, random.Bernoulli(p) ? 1.0 : 0.0);
     }
     eqimpact::ml::LogisticRegression model;
     model.Fit(data);
@@ -264,10 +322,39 @@ std::vector<MicroResult> RunMicroSuite() {
 struct ScalingPoint {
   size_t num_threads = 0;
   double seconds = 0.0;
-  double trials_per_sec = 0.0;
+  double items_per_sec = 0.0;
   double speedup = 1.0;
   uint64_t digest = 0;
 };
+
+std::vector<size_t> ThreadCounts(size_t max_threads) {
+  // 1, 2, 4, ... up to max_threads (always including max_threads itself).
+  std::vector<size_t> counts;
+  for (size_t t = 1; t < max_threads; t *= 2) counts.push_back(t);
+  counts.push_back(max_threads);
+  return counts;
+}
+
+void PrintScalingRuns(const std::vector<ScalingPoint>& scaling,
+                      const char* rate_key) {
+  std::printf("    \"runs\": [\n");
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    const ScalingPoint& p = scaling[i];
+    std::printf(
+        "      {\"num_threads\": %zu, \"wall_seconds\": %.6f, "
+        "\"%s\": %.3f, \"speedup\": %.3f}%s\n",
+        p.num_threads, p.seconds, rate_key, p.items_per_sec, p.speedup,
+        i + 1 < scaling.size() ? "," : "");
+  }
+  std::printf("    ]\n");
+}
+
+bool AllDigestsEqual(const std::vector<ScalingPoint>& scaling) {
+  for (const ScalingPoint& point : scaling) {
+    if (point.digest != scaling.front().digest) return false;
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -276,29 +363,34 @@ int main(int argc, char** argv) {
   long num_users = 200;
   long max_threads =
       static_cast<long>(eqimpact::runtime::ThreadPool::HardwareConcurrency());
+  long within_users = 1000000;
   if (argc > 1) num_trials = std::atol(argv[1]);
   if (argc > 2) num_users = std::atol(argv[2]);
   // Optional override of the sweep ceiling (e.g. to demonstrate
   // oversubscription or to pin CI to a fixed thread count).
   if (argc > 3) max_threads = std::atol(argv[3]);
-  if (num_trials <= 0 || num_users <= 0 || max_threads <= 0) {
-    std::fprintf(stderr,
-                 "usage: bench_perf [num_trials] [num_users] [max_threads]\n"
-                 "       all arguments must be positive integers\n");
+  // Cohort size of the within-trial section; 0 skips it.
+  if (argc > 4) within_users = std::atol(argv[4]);
+  if (num_trials <= 0 || num_users <= 0 || max_threads <= 0 ||
+      within_users < 0) {
+    std::fprintf(
+        stderr,
+        "usage: bench_perf [num_trials] [num_users] [max_threads] "
+        "[within_users]\n"
+        "       the first three must be positive; within_users >= 0\n");
     return 2;
   }
   const size_t hw = static_cast<size_t>(max_threads);
+  const std::vector<size_t> thread_counts = ThreadCounts(hw);
 
+  // --- Section 1: multi-trial scaling (trial-level parallelism). -------
   eqimpact::sim::MultiTrialOptions options;
   options.num_trials = static_cast<size_t>(num_trials);
   options.loop.num_users = static_cast<size_t>(num_users);
   options.master_seed = 42;
-
-  // Thread counts: 1, 2, 4, ... up to hardware concurrency (always
-  // including hw itself).
-  std::vector<size_t> thread_counts;
-  for (size_t t = 1; t < hw; t *= 2) thread_counts.push_back(t);
-  thread_counts.push_back(hw);
+  // Raw series stay on for this small workload so the digest covers the
+  // exact per-user trajectories in addition to the streaming aggregate.
+  options.keep_raw_series = true;
 
   std::vector<ScalingPoint> scaling;
   double sequential_seconds = 0.0;
@@ -309,7 +401,7 @@ int main(int argc, char** argv) {
     point.num_threads = threads;
     point.seconds =
         TimeIt([&options, &result] { result = RunMultiTrial(options); });
-    point.trials_per_sec = static_cast<double>(num_trials) / point.seconds;
+    point.items_per_sec = static_cast<double>(num_trials) / point.seconds;
     point.digest = Digest(result);
     if (threads == 1) sequential_seconds = point.seconds;
     point.speedup =
@@ -317,15 +409,63 @@ int main(int argc, char** argv) {
     scaling.push_back(point);
     std::fprintf(stderr,
                  "  multi_trial threads=%zu %.3fs (%.2f trials/s, %.2fx)\n",
-                 threads, point.seconds, point.trials_per_sec, point.speedup);
+                 threads, point.seconds, point.items_per_sec, point.speedup);
   }
+  const bool multi_deterministic = AllDigestsEqual(scaling);
 
-  bool deterministic = true;
-  for (const ScalingPoint& point : scaling) {
-    if (point.digest != scaling.front().digest) deterministic = false;
+  // --- Section 2: within-trial scaling (chunk-level parallelism). ------
+  // One large-cohort trial, per-user series disabled; the per-year
+  // cross-sections stream into an accumulator. One rep per thread count
+  // (the cohort is large enough to swamp timer noise).
+  std::vector<ScalingPoint> within;
+  bool within_deterministic = true;
+  size_t within_years = 0;
+  if (within_users > 0) {
+    eqimpact::credit::CreditLoopOptions loop_options;
+    loop_options.num_users = static_cast<size_t>(within_users);
+    loop_options.seed = 42;
+    loop_options.keep_user_adr = false;
+    within_years = static_cast<size_t>(loop_options.last_year -
+                                       loop_options.first_year) +
+                   1;
+    const double user_years = static_cast<double>(within_users) *
+                              static_cast<double>(within_years);
+    double within_sequential = 0.0;
+    for (size_t threads : thread_counts) {
+      loop_options.num_threads = threads;
+      eqimpact::credit::CreditScoringLoop loop(loop_options);
+      eqimpact::stats::AdrAccumulator adr(eqimpact::credit::kNumRaces,
+                                          within_years, 64);
+      Clock::time_point start = Clock::now();
+      eqimpact::credit::CreditLoopResult result = loop.Run(
+          [&adr](const eqimpact::credit::YearSnapshot& snapshot) {
+            adr.AddCrossSection(snapshot.step, snapshot.user_adr,
+                                snapshot.race_ids);
+          });
+      ScalingPoint point;
+      point.num_threads = threads;
+      point.seconds = SecondsSince(start);
+      point.items_per_sec = user_years / point.seconds;
+      point.digest = Digest(result, adr);
+      if (threads == 1) within_sequential = point.seconds;
+      point.speedup =
+          point.seconds > 0.0 ? within_sequential / point.seconds : 0.0;
+      within.push_back(point);
+      std::fprintf(
+          stderr,
+          "  within_trial threads=%zu %.3fs (%.0f user-years/s, %.2fx)\n",
+          threads, point.seconds, point.items_per_sec, point.speedup);
+      if (result.user_adr.empty() == false) {
+        std::fprintf(stderr, "  ERROR: streaming run materialized series\n");
+        return 2;
+      }
+    }
+    within_deterministic = AllDigestsEqual(within);
   }
 
   std::vector<MicroResult> micro = RunMicroSuite();
+
+  const bool deterministic = multi_deterministic && within_deterministic;
 
   // Emit the JSON document on stdout.
   std::printf("{\n");
@@ -337,20 +477,24 @@ int main(int argc, char** argv) {
   std::printf("    \"num_trials\": %ld,\n", num_trials);
   std::printf("    \"num_users\": %ld,\n", num_users);
   std::printf("    \"deterministic_across_thread_counts\": %s,\n",
-              deterministic ? "true" : "false");
+              multi_deterministic ? "true" : "false");
   std::printf("    \"digest\": \"%016" PRIx64 "\",\n",
               scaling.front().digest);
-  std::printf("    \"runs\": [\n");
-  for (size_t i = 0; i < scaling.size(); ++i) {
-    const ScalingPoint& p = scaling[i];
-    std::printf(
-        "      {\"num_threads\": %zu, \"wall_seconds\": %.6f, "
-        "\"trials_per_sec\": %.3f, \"speedup\": %.3f}%s\n",
-        p.num_threads, p.seconds, p.trials_per_sec, p.speedup,
-        i + 1 < scaling.size() ? "," : "");
-  }
-  std::printf("    ]\n");
+  PrintScalingRuns(scaling, "trials_per_sec");
   std::printf("  },\n");
+  if (!within.empty()) {
+    std::printf("  \"within_trial_scaling\": {\n");
+    std::printf("    \"num_users\": %ld,\n", within_users);
+    std::printf("    \"num_years\": %zu,\n", within_years);
+    std::printf("    \"streaming\": true,\n");
+    std::printf("    \"deterministic_across_thread_counts\": %s,\n",
+                within_deterministic ? "true" : "false");
+    std::printf("    \"digest\": \"%016" PRIx64 "\",\n",
+                within.front().digest);
+    std::printf("    \"peak_rss_mb\": %.1f,\n", PeakRssMb());
+    PrintScalingRuns(within, "user_years_per_sec");
+    std::printf("  },\n");
+  }
   std::printf("  \"micro\": [\n");
   for (size_t i = 0; i < micro.size(); ++i) {
     std::printf(

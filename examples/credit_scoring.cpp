@@ -29,6 +29,9 @@ int main() {
   options.loop.num_users = 1000;
   options.num_trials = 5;
   options.master_seed = 42;
+  // The per-user audit below needs the raw ADR series, which the
+  // streaming default no longer materializes.
+  options.keep_raw_series = true;
   eqimpact::sim::MultiTrialResult result =
       eqimpact::sim::RunMultiTrial(options);
 

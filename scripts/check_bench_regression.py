@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Compares a fresh bench_perf JSON against the committed snapshot.
+
+Usage: check_bench_regression.py FRESH_JSON SNAPSHOT_JSON
+
+Checks, in order of severity:
+
+1. Determinism digests (HARD FAIL, exit 1). The multi-trial and
+   within-trial sections carry an FNV-1a digest over every simulated
+   series; the digest is a pure function of the workload parameters
+   (num_trials, num_users) and the simulation code, and is independent of
+   thread count and machine. A mismatch at equal parameters means the
+   simulation's numerical behaviour changed — which must be a deliberate,
+   snapshot-refreshing change, never an accident. Sections whose
+   parameters differ from the snapshot's are skipped (the digest is not
+   comparable). The digest can differ across libm/compiler versions
+   (last-ULP changes in exp/erfc), so when a toolchain bump — not a code
+   change — moves it, set EQIMPACT_BENCH_DIGEST_WARN_ONLY=1 to downgrade
+   the mismatch to a warning for the commit that refreshes the snapshot.
+
+2. Intra-run determinism flags (HARD FAIL, exit 1): the fresh run must
+   report deterministic_across_thread_counts == true in every section.
+
+3. Throughput (WARN only, exit 0): wall-clock rates are machine- and
+   load-dependent, so regressions beyond the threshold (default 25%) are
+   reported as warnings, not failures. Micro benchmarks and the scaling
+   sections' sequential rates are compared by name.
+"""
+
+import json
+import os
+import sys
+
+REGRESSION_THRESHOLD = 0.25  # Warn when a rate drops by more than this.
+DIGEST_WARN_ONLY = os.environ.get("EQIMPACT_BENCH_DIGEST_WARN_ONLY") == "1"
+
+
+def fail(message):
+    print(f"FAIL: {message}")
+    return 1
+
+
+def sequential_rate(section, key):
+    for run in section.get("runs", []):
+        if run.get("num_threads") == 1:
+            return run.get(key)
+    return None
+
+
+def compare_digests(fresh, snapshot, section, params):
+    """Returns (errors, notes) for one scaling section."""
+    f = fresh.get(section)
+    s = snapshot.get(section)
+    if f is None or s is None:
+        return 0, [f"{section}: absent from fresh or snapshot, skipped"]
+    for param in params:
+        if f.get(param) != s.get(param):
+            return 0, [
+                f"{section}: {param} differs "
+                f"({f.get(param)} vs {s.get(param)}), digest not comparable"
+            ]
+    if f.get("digest") != s.get("digest"):
+        message = (
+            f"{section}: determinism digest mismatch at equal "
+            f"parameters ({f.get('digest')} vs snapshot "
+            f"{s.get('digest')}) — the simulation changed; if "
+            "intentional, refresh the BENCH snapshot in the same commit "
+            "(toolchain-only drift: re-run with "
+            "EQIMPACT_BENCH_DIGEST_WARN_ONLY=1)"
+        )
+        if DIGEST_WARN_ONLY:
+            return 0, [f"WARN-ONLY {message}"]
+        return fail(message), []
+    return 0, [f"{section}: digest OK ({f.get('digest')})"]
+
+
+def check_rate(name, fresh_rate, snapshot_rate, warnings):
+    if not fresh_rate or not snapshot_rate:
+        return
+    ratio = fresh_rate / snapshot_rate
+    if ratio < 1.0 - REGRESSION_THRESHOLD:
+        warnings.append(
+            f"{name}: {fresh_rate:.1f} vs snapshot {snapshot_rate:.1f} "
+            f"({(1.0 - ratio) * 100.0:.0f}% slower)"
+        )
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    with open(argv[1]) as f:
+        fresh = json.load(f)
+    with open(argv[2]) as f:
+        snapshot = json.load(f)
+
+    errors = 0
+    notes = []
+
+    # 1. Digests at matching workload parameters.
+    e, n = compare_digests(
+        fresh, snapshot, "multi_trial_scaling", ["num_trials", "num_users"]
+    )
+    errors += e
+    notes += n
+    e, n = compare_digests(
+        fresh, snapshot, "within_trial_scaling", ["num_users", "num_years"]
+    )
+    errors += e
+    notes += n
+
+    # 2. The fresh run must itself be thread-count deterministic.
+    for section in ("multi_trial_scaling", "within_trial_scaling"):
+        if section in fresh and not fresh[section].get(
+            "deterministic_across_thread_counts", True
+        ):
+            errors += fail(f"{section}: fresh run is not deterministic")
+
+    # 3. Throughput trend (warnings only).
+    warnings = []
+    check_rate(
+        "multi_trial trials/sec (1 thread)",
+        sequential_rate(fresh.get("multi_trial_scaling", {}), "trials_per_sec"),
+        sequential_rate(
+            snapshot.get("multi_trial_scaling", {}), "trials_per_sec"
+        ),
+        warnings,
+    )
+    check_rate(
+        "within_trial user-years/sec (1 thread)",
+        sequential_rate(
+            fresh.get("within_trial_scaling", {}), "user_years_per_sec"
+        ),
+        sequential_rate(
+            snapshot.get("within_trial_scaling", {}), "user_years_per_sec"
+        ),
+        warnings,
+    )
+    snapshot_micro = {
+        m["name"]: m.get("items_per_sec")
+        for m in snapshot.get("micro", [])
+    }
+    for micro in fresh.get("micro", []):
+        check_rate(
+            f"micro {micro['name']}",
+            micro.get("items_per_sec"),
+            snapshot_micro.get(micro["name"]),
+            warnings,
+        )
+
+    for note in notes:
+        print(f"note: {note}")
+    for warning in warnings:
+        print(f"WARNING (>{REGRESSION_THRESHOLD:.0%} regression): {warning}")
+    if errors:
+        return 1
+    print(
+        f"bench trend check passed "
+        f"({len(warnings)} throughput warning(s), 0 digest errors)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,7 +1,5 @@
 #include "credit/adr_filter.h"
 
-#include "base/check.h"
-
 namespace eqimpact {
 namespace credit {
 
@@ -13,21 +11,11 @@ AdrFilter::AdrFilter(std::vector<Race> races, double forgetting_factor)
       offer_count_(races_.size(), 0) {
   EQIMPACT_CHECK(!races_.empty());
   EQIMPACT_CHECK(forgetting_factor_ > 0.0 && forgetting_factor_ <= 1.0);
-}
-
-void AdrFilter::Update(size_t i, bool offered, bool repaid) {
-  EQIMPACT_CHECK_LT(i, races_.size());
-  if (!offered) return;
-  offer_weight_[i] = forgetting_factor_ * offer_weight_[i] + 1.0;
-  default_weight_[i] =
-      forgetting_factor_ * default_weight_[i] + (repaid ? 0.0 : 1.0);
-  ++offer_count_[i];
-}
-
-double AdrFilter::UserAdr(size_t i) const {
-  EQIMPACT_CHECK_LT(i, races_.size());
-  if (offer_weight_[i] <= 0.0) return 0.0;
-  return default_weight_[i] / offer_weight_[i];
+  for (Race race : races_) {
+    size_t id = static_cast<size_t>(race);
+    EQIMPACT_CHECK_LT(id, kNumRaces);
+    ++race_counts_[id];
+  }
 }
 
 int64_t AdrFilter::UserOffers(size_t i) const {
@@ -52,6 +40,27 @@ double AdrFilter::OverallAdr() const {
   return sum / static_cast<double>(races_.size());
 }
 
+AdrFilter::Summary AdrFilter::Summarize() const {
+  // One pass instead of one per race plus one overall; the per-race sums
+  // accumulate in user-index order, exactly like RaceAdr/OverallAdr.
+  double race_sum[kNumRaces] = {0.0, 0.0, 0.0};
+  double overall_sum = 0.0;
+  for (size_t i = 0; i < races_.size(); ++i) {
+    double adr = UserAdr(i);
+    race_sum[static_cast<size_t>(races_[i])] += adr;
+    overall_sum += adr;
+  }
+  Summary summary;
+  for (size_t r = 0; r < kNumRaces; ++r) {
+    summary.race_adr[r] =
+        race_counts_[r] == 0
+            ? 0.0
+            : race_sum[r] / static_cast<double>(race_counts_[r]);
+  }
+  summary.overall_adr = overall_sum / static_cast<double>(races_.size());
+  return summary;
+}
+
 double AdrFilter::PooledRaceAdr(Race race) const {
   double offers = 0.0;
   double defaults = 0.0;
@@ -64,9 +73,14 @@ double AdrFilter::PooledRaceAdr(Race race) const {
 }
 
 std::vector<double> AdrFilter::UserAdrSnapshot() const {
-  std::vector<double> snapshot(races_.size());
-  for (size_t i = 0; i < races_.size(); ++i) snapshot[i] = UserAdr(i);
+  std::vector<double> snapshot;
+  SnapshotInto(&snapshot);
   return snapshot;
+}
+
+void AdrFilter::SnapshotInto(std::vector<double>* out) const {
+  out->resize(races_.size());
+  for (size_t i = 0; i < races_.size(); ++i) (*out)[i] = UserAdr(i);
 }
 
 }  // namespace credit

@@ -1,10 +1,12 @@
 #ifndef EQIMPACT_CREDIT_ADR_FILTER_H_
 #define EQIMPACT_CREDIT_ADR_FILTER_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "base/check.h"
 #include "credit/race.h"
 
 namespace eqimpact {
@@ -18,6 +20,11 @@ namespace credit {
 ///   ADR_i(k) = (#defaults of i up to k) / (#offers to i up to k),
 /// and 0 before the first offer. The race-wise rate ADR_s(k) is the mean
 /// of ADR_i(k) over users of race s.
+///
+/// Storage is structure-of-arrays (parallel weight/count vectors); the
+/// per-user `Update`/`UserAdr` pair is inline and touches only user i's
+/// slots, so the batch engine may update disjoint index ranges from
+/// different threads concurrently.
 ///
 /// An optional forgetting factor turns the accumulating average into an
 /// exponentially weighted one — an ablation of the paper's filter choice
@@ -34,10 +41,21 @@ class AdrFilter {
   /// Records the outcome of user `i` at the current step: whether a
   /// mortgage was offered and whether it was repaid. Non-offers leave the
   /// user's ADR unchanged (no repayment event takes place).
-  void Update(size_t i, bool offered, bool repaid);
+  void Update(size_t i, bool offered, bool repaid) {
+    EQIMPACT_CHECK_LT(i, races_.size());
+    if (!offered) return;
+    offer_weight_[i] = forgetting_factor_ * offer_weight_[i] + 1.0;
+    default_weight_[i] =
+        forgetting_factor_ * default_weight_[i] + (repaid ? 0.0 : 1.0);
+    ++offer_count_[i];
+  }
 
   /// ADR_i after all updates so far (0 before any offer).
-  double UserAdr(size_t i) const;
+  double UserAdr(size_t i) const {
+    EQIMPACT_CHECK_LT(i, races_.size());
+    if (offer_weight_[i] <= 0.0) return 0.0;
+    return default_weight_[i] / offer_weight_[i];
+  }
 
   /// Number of offers user `i` has received.
   int64_t UserOffers(size_t i) const;
@@ -48,6 +66,16 @@ class AdrFilter {
   /// Mean of UserAdr over all users.
   double OverallAdr() const;
 
+  /// Every per-year aggregate of the loop in one pass over the users.
+  struct Summary {
+    /// Mean of UserAdr per race, indexed by Race enum value (0 for an
+    /// absent race).
+    std::array<double, kNumRaces> race_adr;
+    /// Mean of UserAdr over all users.
+    double overall_adr = 0.0;
+  };
+  Summary Summarize() const;
+
   /// Pooled variant of the race aggregate: total defaults / total offers
   /// within the race (0 before any offer). Exposed for the filter
   /// ablation; the paper's figures use RaceAdr.
@@ -55,6 +83,11 @@ class AdrFilter {
 
   /// Snapshot of every user's ADR.
   std::vector<double> UserAdrSnapshot() const;
+
+  /// Writes the snapshot into `out` (resized to num_users), reusing its
+  /// capacity — the engine's per-year cross-section without a fresh
+  /// allocation.
+  void SnapshotInto(std::vector<double>* out) const;
 
  private:
   std::vector<Race> races_;
@@ -64,6 +97,7 @@ class AdrFilter {
   std::vector<double> offer_weight_;
   std::vector<double> default_weight_;
   std::vector<int64_t> offer_count_;
+  size_t race_counts_[kNumRaces] = {0, 0, 0};
 };
 
 }  // namespace credit

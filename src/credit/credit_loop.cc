@@ -1,15 +1,18 @@
 #include "credit/credit_loop.h"
 
+#include <algorithm>
+#include <array>
 #include <memory>
 #include <optional>
 
 #include "base/check.h"
-#include "credit/lending_policy.h"
 #include "credit/population.h"
-#include "linalg/vector.h"
 #include "ml/dataset.h"
 #include "ml/scorecard.h"
 #include "rng/random.h"
+#include "runtime/parallel_for.h"
+#include "runtime/seed_sequence.h"
+#include "runtime/thread_pool.h"
 
 namespace eqimpact {
 namespace credit {
@@ -17,6 +20,9 @@ namespace {
 
 // Independent RNG stream indices derived from the master seed, so that
 // e.g. changing the repayment draws does not perturb the sampled cohort.
+// The race stream seeds one sequential generator (sampling the cohort is
+// a one-time cost); the income and repayment streams are roots of nested
+// per-(year, chunk) sub-streams — see the chunk passes below.
 enum StreamIndex : uint64_t {
   kRaceStream = 0,
   kIncomeStream = 1,
@@ -32,6 +38,22 @@ std::vector<ml::ScorecardFactor> TableOneTemplates() {
   };
 }
 
+// What one chunk of the scoring sweep yields: per-race offer counts and
+// the approved users' training examples, in user-index order. Merged
+// sequentially in chunk order, so the folded history is identical at
+// every thread count.
+struct ChunkYield {
+  std::array<size_t, kNumRaces> race_offers = {0, 0, 0};
+  std::vector<double> rows;    // (adr, income code) pairs, row-major.
+  std::vector<double> labels;  // 1 repaid, 0 default.
+
+  void Clear() {
+    race_offers = {0, 0, 0};
+    rows.clear();
+    labels.clear();
+  }
+};
+
 }  // namespace
 
 CreditScoringLoop::CreditScoringLoop(CreditLoopOptions options)
@@ -39,114 +61,224 @@ CreditScoringLoop::CreditScoringLoop(CreditLoopOptions options)
   EQIMPACT_CHECK_GT(options_.num_users, 0u);
   EQIMPACT_CHECK_LE(options_.first_year, options_.last_year);
   EQIMPACT_CHECK_GE(options_.warmup_steps, 1u);
+  EQIMPACT_CHECK_GT(options_.users_per_chunk, 0u);
 }
 
-CreditLoopResult CreditScoringLoop::Run() const {
+CreditLoopResult CreditScoringLoop::Run() const { return Run(YearObserver()); }
+
+CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
+  const size_t num_users = options_.num_users;
   const size_t num_years =
       static_cast<size_t>(options_.last_year - options_.first_year) + 1;
+  const size_t chunk_size = options_.users_per_chunk;
+  const size_t num_chunks = (num_users + chunk_size - 1) / chunk_size;
 
-  rng::Random race_rng(rng::DeriveSeed(options_.seed, kRaceStream));
-  rng::Random income_rng(rng::DeriveSeed(options_.seed, kIncomeStream));
-  rng::Random repayment_rng(rng::DeriveSeed(options_.seed, kRepaymentStream));
+  const runtime::SeedSequence seeds(options_.seed);
+  rng::Random race_rng(seeds.Seed(kRaceStream));
+  const runtime::SeedSequence income_streams = seeds.Child(kIncomeStream);
+  const runtime::SeedSequence repayment_streams =
+      seeds.Child(kRepaymentStream);
 
-  IncomeModel income_model;
-  Population population(options_.num_users, &race_rng);
-  RepaymentModel repayment(options_.repayment);
+  const IncomeModel income_model;
+  Population population(num_users, &race_rng);
+  const RepaymentModel repayment(options_.repayment);
   AdrFilter filter(population.races(), options_.forgetting_factor);
+  const std::vector<uint8_t>& race_ids = population.race_ids();
+
+  // Within-trial dispatch: one persistent pool for the whole trial (the
+  // per-year passes are far too fine-grained to spawn threads per call).
+  // With one thread or one chunk everything runs inline on this thread.
+  runtime::ParallelForOptions dispatch;
+  dispatch.num_threads = options_.num_threads;
+  const size_t num_workers =
+      std::min(runtime::EffectiveNumThreads(dispatch), num_chunks);
+  std::unique_ptr<runtime::ThreadPool> pool;
+  if (num_workers > 1) {
+    pool = std::make_unique<runtime::ThreadPool>(num_workers);
+    dispatch.pool = pool.get();
+  } else {
+    dispatch.num_threads = 1;
+  }
 
   CreditLoopResult result;
   result.years.reserve(num_years);
   result.races = population.races();
-  result.user_adr.assign(options_.num_users, {});
+  if (options_.keep_user_adr) {
+    result.user_adr.assign(num_users, {});
+    for (auto& series : result.user_adr) series.reserve(num_years);
+  }
   result.race_adr.assign(kNumRaces, {});
   result.race_approval.assign(kNumRaces, {});
+  for (size_t r = 0; r < kNumRaces; ++r) {
+    result.race_adr[r].reserve(num_years);
+    result.race_approval[r].reserve(num_years);
+  }
+  result.overall_adr.reserve(num_years);
 
   // Training examples accumulated by the loop's filter block: features
   // [ADR_i(k-1), income code at k] with label y_i(k), recorded only for
   // offered mortgages (repayment is unobservable otherwise).
   ml::Dataset history(2);
-  std::vector<bool> ever_defaulted(options_.num_users, false);
-
   std::optional<ml::Scorecard> current_scorecard;
-  const ApproveAllPolicy warmup_policy(options_.repayment.income_multiple);
+  const std::vector<ml::ScorecardFactor> factor_templates =
+      TableOneTemplates();
+  // One trainer for the whole trial: the yearly refit warm-starts from
+  // last year's weights, which on the slowly growing history cuts the
+  // Newton iterations to a couple per year.
+  ml::LogisticRegressionOptions trainer_options = options_.logistic;
+  trainer_options.warm_start = true;
+  ml::LogisticRegression trainer(trainer_options);
+
+  // Hot-path scalars hoisted out of the sweep.
+  const double income_multiple = options_.repayment.income_multiple;
+  const double code_threshold = options_.income_code_threshold;
+
+  // Reused per-year buffers.
+  std::vector<double> uniforms(num_users);
+  std::vector<ChunkYield> yields(num_chunks);
+  std::vector<double> adr_snapshot;
+  const std::vector<double>& incomes = population.incomes();
 
   for (size_t k = 0; k < num_years; ++k) {
     const int year = options_.first_year + static_cast<int>(k);
     result.years.push_back(year);
-    population.ResampleIncomes(year, income_model, &income_rng);
 
-    // Retrain the AI system once the warm-up has produced data.
-    if (k >= options_.warmup_steps) {
-      ml::Dataset* training = &history;
-      if (training->HasBothClasses()) {
-        ml::LogisticRegression model(options_.logistic);
-        ml::FitResult fit = model.Fit(*training);
-        if (fit.success) {
-          current_scorecard = ml::Scorecard::FromModel(
-              model, TableOneTemplates(), options_.cutoff);
-          result.scorecards.push_back(ScorecardSnapshot{
-              year, model.weights()[0], model.weights()[1],
-              model.intercept()});
-        }
+    // Pass 1 — pre-draw: resample every income for this year and draw one
+    // repayment uniform per user, chunk by chunk. Each chunk owns RNG
+    // streams derived from (stream root, year, chunk index), so the
+    // filled arrays depend only on (seed, users_per_chunk), never on
+    // which worker ran the chunk. Drawing the uniform unconditionally
+    // (the legacy path drew only for approved users with positive
+    // repayment probability) is what decouples the draws from the
+    // decisions and makes the scoring sweep embarrassingly parallel.
+    const YearIncomeSampler sampler(income_model, year);
+    const runtime::SeedSequence income_year = income_streams.Child(k);
+    const runtime::SeedSequence repayment_year = repayment_streams.Child(k);
+    runtime::ParallelFor(
+        num_chunks,
+        [&](size_t c) {
+          const size_t begin = c * chunk_size;
+          const size_t end = std::min(begin + chunk_size, num_users);
+          rng::Random income_rng(income_year.Seed(c));
+          rng::Random repayment_rng(repayment_year.Seed(c));
+          population.ResampleIncomesRange(sampler, begin, end, &income_rng);
+          for (size_t i = begin; i < end; ++i) {
+            uniforms[i] = repayment_rng.UniformDouble();
+          }
+        },
+        dispatch);
+
+    // Retrain the AI system once the warm-up has produced data. If the
+    // fit is impossible (single-class history) or fails, the previous
+    // scorecard — or the warm-up policy if none exists — stays in force.
+    if (k >= options_.warmup_steps && history.HasBothClasses()) {
+      ml::FitResult fit = trainer.Fit(history);
+      if (fit.success) {
+        current_scorecard = ml::Scorecard::FromModel(trainer, factor_templates,
+                                                     options_.cutoff);
+        result.scorecards.push_back(ScorecardSnapshot{
+            year, trainer.weights()[0], trainer.weights()[1],
+            trainer.intercept()});
       }
-      // If the fit was impossible (single-class history) the previous
-      // scorecard — or the warm-up policy if none exists — stays in force.
     }
 
-    const LendingPolicy* policy;
-    std::unique_ptr<ScorecardPolicy> scorecard_policy;
-    if (k < options_.warmup_steps || !current_scorecard.has_value()) {
-      policy = &warmup_policy;
-    } else {
-      scorecard_policy = std::make_unique<ScorecardPolicy>(
-          *current_scorecard, options_.repayment.income_multiple);
-      policy = scorecard_policy.get();
-    }
+    // The year's policy, reduced to scalars: during warm-up (or before
+    // the first successful fit) everyone is approved; afterwards the
+    // scorecard test s(x) > cutoff runs inline. Both policies size the
+    // mortgage at income_multiple x income, and neither consults
+    // has_defaulted, so the sweep needs no default-history array.
+    const bool use_scorecard =
+        k >= options_.warmup_steps && current_scorecard.has_value();
+    const double base_points =
+        use_scorecard ? current_scorecard->base_points() : 0.0;
+    const double history_weight =
+        use_scorecard ? current_scorecard->factor(0).score : 0.0;
+    const double income_weight =
+        use_scorecard ? current_scorecard->factor(1).score : 0.0;
+    const double cutoff = options_.cutoff;
 
-    // One pass through the loop: decide, act, filter.
+    // Pass 2 — scoring sweep: decide, act, filter. Each user touches only
+    // their own filter slots and each chunk only its own yield, so chunks
+    // run concurrently; the pre-drawn uniform makes the repayment action
+    // a pure function of (income, uniform).
+    runtime::ParallelFor(
+        num_chunks,
+        [&](size_t c) {
+          const size_t begin = c * chunk_size;
+          const size_t end = std::min(begin + chunk_size, num_users);
+          ChunkYield& yield = yields[c];
+          yield.Clear();
+          for (size_t i = begin; i < end; ++i) {
+            const double income = incomes[i];
+            const double code = income >= code_threshold ? 1.0 : 0.0;
+            const double adr_before = filter.UserAdr(i);
+            if (use_scorecard) {
+              // Scorecard::Score's exact evaluation order; pinned to
+              // ScorecardPolicy::Decide by
+              // CreditLoopTest.InlineApprovalRuleMatchesScorecardPolicy.
+              const double score =
+                  (base_points + history_weight * adr_before) +
+                  income_weight * code;
+              if (!(score > cutoff)) continue;  // Declined: ADR frozen.
+            }
+            const double p = repayment.RepaymentProbabilityForAmount(
+                income, income_multiple * income);
+            const bool repaid = p > 0.0 && uniforms[i] < p;
+            filter.Update(i, true, repaid);
+            ++yield.race_offers[race_ids[i]];
+            yield.rows.push_back(adr_before);
+            yield.rows.push_back(code);
+            yield.labels.push_back(repaid ? 1.0 : 0.0);
+          }
+        },
+        dispatch);
+
+    // Merge the chunk yields in chunk (= user) order and fold this year's
+    // observations into the training history via the move path.
+    std::array<size_t, kNumRaces> race_offers = {0, 0, 0};
+    size_t approved_total = 0;
+    for (const ChunkYield& yield : yields) {
+      approved_total += yield.labels.size();
+      for (size_t r = 0; r < kNumRaces; ++r) {
+        race_offers[r] += yield.race_offers[r];
+      }
+    }
     ml::Dataset this_year(2);
-    std::vector<size_t> race_offers(kNumRaces, 0);
-    for (size_t i = 0; i < options_.num_users; ++i) {
-      const double income = population.income(i);
-      const double code =
-          population.IncomeCode(i, options_.income_code_threshold);
-      const double adr_before = filter.UserAdr(i);
-
-      Applicant applicant{income, code, adr_before, ever_defaulted[i]};
-      LendingDecision decision = policy->Decide(applicant);
-
-      bool repaid = repayment.SimulateRepaymentForAmount(
-          income, decision.mortgage_amount, decision.approved,
-          &repayment_rng);
-      filter.Update(i, decision.approved, repaid);
-
-      if (decision.approved) {
-        ++race_offers[static_cast<size_t>(population.race(i))];
-        if (!repaid) ever_defaulted[i] = true;
-        this_year.Add(linalg::Vector{adr_before, code}, repaid ? 1.0 : 0.0);
-      }
+    this_year.Reserve(approved_total);
+    for (const ChunkYield& yield : yields) {
+      this_year.AddBatch(yield.rows.data(), yield.labels.data(),
+                         yield.labels.size());
+    }
+    if (!options_.accumulate_history) {
+      history = std::move(this_year);
+    } else {
+      history.Append(std::move(this_year));
     }
 
-    // Fold this year's observations into the training history.
-    if (!options_.accumulate_history) history = ml::Dataset(2);
-    for (size_t e = 0; e < this_year.size(); ++e) {
-      history.Add(this_year.features(e), this_year.label(e));
-    }
-
-    // Record the year's aggregates.
-    for (size_t i = 0; i < options_.num_users; ++i) {
-      result.user_adr[i].push_back(filter.UserAdr(i));
-    }
+    // Record the year's aggregates — one fused pass over the filter.
+    const AdrFilter::Summary summary = filter.Summarize();
     for (size_t r = 0; r < kNumRaces; ++r) {
-      Race race = static_cast<Race>(r);
-      result.race_adr[r].push_back(filter.RaceAdr(race));
-      size_t members = population.CountRace(race);
+      result.race_adr[r].push_back(summary.race_adr[r]);
+      const size_t members = population.CountRace(static_cast<Race>(r));
       result.race_approval[r].push_back(
           members == 0 ? 0.0
                        : static_cast<double>(race_offers[r]) /
                              static_cast<double>(members));
     }
-    result.overall_adr.push_back(filter.OverallAdr());
+    result.overall_adr.push_back(summary.overall_adr);
+
+    if (options_.keep_user_adr || observer) {
+      filter.SnapshotInto(&adr_snapshot);
+      if (options_.keep_user_adr) {
+        for (size_t i = 0; i < num_users; ++i) {
+          result.user_adr[i].push_back(adr_snapshot[i]);
+        }
+      }
+      if (observer) {
+        observer(
+            YearSnapshot{k, year, adr_snapshot, result.races, race_ids});
+      }
+    }
   }
   return result;
 }

@@ -2,6 +2,7 @@
 #define EQIMPACT_CREDIT_CREDIT_LOOP_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "credit/adr_filter.h"
@@ -35,11 +36,29 @@ struct CreditLoopOptions {
   /// Behavioural model parameters (equations (10)-(11)).
   RepaymentModelOptions repayment;
   /// Scorecard trainer configuration. Defaults (no intercept, small
-  /// ridge) match Table I's two-factor structure.
+  /// ridge) match Table I's two-factor structure. `warm_start` is
+  /// managed by the loop itself (always on: the yearly refit resumes
+  /// from last year's weights); the other fields are honoured as given.
   ml::LogisticRegressionOptions logistic;
   /// Master seed; one trial per seed. Different seeds = the paper's
   /// independent trials with "a new batch of 1000 users".
   uint64_t seed = 0;
+
+  /// Users per batch chunk — the unit of work *and* of RNG sub-stream
+  /// derivation of the engine's per-year passes. Output is a pure
+  /// function of (seed, users_per_chunk) and bitwise-independent of
+  /// num_threads; changing the chunk size relayouts the income/repayment
+  /// streams, i.e. acts like a different seed.
+  size_t users_per_chunk = 4096;
+  /// Worker threads for the within-trial chunk passes. 1 (default) runs
+  /// sequentially with zero dispatch overhead; 0 = hardware concurrency.
+  size_t num_threads = 1;
+  /// Record the full per-user ADR series in the result (the raw material
+  /// of Figures 4/5). Disable for very large cohorts and consume the
+  /// per-year cross-sections through the Run(observer) overload instead:
+  /// the engine then holds O(num_users) state, not
+  /// O(num_users x num_years).
+  bool keep_user_adr = true;
 };
 
 /// Fitted scorecard parameters of one retraining step.
@@ -59,7 +78,8 @@ struct CreditLoopResult {
   std::vector<int> years;
   /// Race of every user.
   std::vector<Race> races;
-  /// ADR_i(k): one series per user over the years (Figures 4, 5).
+  /// ADR_i(k): one series per user over the years (Figures 4, 5). Empty
+  /// when CreditLoopOptions::keep_user_adr is false.
   std::vector<std::vector<double>> user_adr;
   /// ADR_s(k): one series per race, indexed by Race enum (Figure 3).
   std::vector<std::vector<double>> race_adr;
@@ -71,6 +91,26 @@ struct CreditLoopResult {
   std::vector<ScorecardSnapshot> scorecards;
 };
 
+/// One simulated year's cross-section, handed to a YearObserver after the
+/// year's filter update. References stay valid only for the duration of
+/// the callback.
+struct YearSnapshot {
+  /// Year index k (0-based) and calendar year.
+  size_t step = 0;
+  int year = 0;
+  /// ADR_i(k) of every user.
+  const std::vector<double>& user_adr;
+  /// Race of every user (constant across years), as the enum and as
+  /// dense ids (for group-indexed consumers like stats::AdrAccumulator).
+  const std::vector<Race>& races;
+  const std::vector<uint8_t>& race_ids;
+};
+
+/// Streaming consumer of per-year cross-sections — the memory-bounded
+/// alternative to CreditLoopResult::user_adr (e.g. a
+/// stats::AdrAccumulator fill).
+using YearObserver = std::function<void(const YearSnapshot&)>;
+
 /// The paper's credit-scoring closed loop (Figure 1 instantiated for
 /// Section VII): incomes are redrawn every year from the census model,
 /// the logistic scorecard is refit on the accumulated (income code,
@@ -78,6 +118,14 @@ struct CreditLoopResult {
 /// Gaussian repayment model, and the accumulating filter updates every
 /// user's average default rate, which is in turn next year's training
 /// input — closing the loop.
+///
+/// The implementation is a batch structure-of-arrays engine: each year
+/// runs two chunked passes over contiguous arrays (incomes + pre-drawn
+/// repayment uniforms, then a branch-light decide/act/filter sweep with
+/// the scorecard weights hoisted into scalars). Chunks carry RNG
+/// sub-streams derived from (stream, year, chunk index), so the passes
+/// parallelise over options().num_threads workers with output
+/// bitwise-identical to the sequential run.
 class CreditScoringLoop {
  public:
   explicit CreditScoringLoop(CreditLoopOptions options = CreditLoopOptions());
@@ -85,8 +133,12 @@ class CreditScoringLoop {
   const CreditLoopOptions& options() const { return options_; }
 
   /// Runs one full trial and returns its record. Deterministic in
-  /// options().seed.
+  /// options().seed (and users_per_chunk; never in num_threads).
   CreditLoopResult Run() const;
+
+  /// Runs one full trial, additionally invoking `observer` once per year
+  /// (from the calling thread) with that year's ADR cross-section.
+  CreditLoopResult Run(const YearObserver& observer) const;
 
  private:
   CreditLoopOptions options_;

@@ -103,6 +103,32 @@ double IncomeModel::SampleIncome(int year, Race race,
                                kBracketUpperEdges[bracket]);
 }
 
+YearIncomeSampler::YearIncomeSampler(const IncomeModel& model, int year) {
+  for (size_t r = 0; r < kNumRaces; ++r) {
+    std::vector<double> shares =
+        model.BracketShares(year, static_cast<Race>(r));
+    double running = 0.0;
+    for (size_t b = 0; b < kNumIncomeBrackets; ++b) {
+      running += shares[b];
+      cumulative_[r][b] = running;
+    }
+    // Guard the CDF walk against rounding: the last entry must cover 1.
+    cumulative_[r][kNumIncomeBrackets - 1] = 1.0;
+  }
+}
+
+double YearIncomeSampler::Sample(Race race, rng::Random* random) const {
+  const double* cdf = cumulative_[static_cast<size_t>(race)];
+  double u = random->UniformDouble();
+  size_t bracket = 0;
+  while (u >= cdf[bracket]) ++bracket;
+  if (bracket == kNumIncomeBrackets - 1) {
+    return random->Pareto(kBracketLowerEdges[bracket], IncomeModel::kTailAlpha);
+  }
+  return random->UniformDouble(kBracketLowerEdges[bracket],
+                               kBracketUpperEdges[bracket]);
+}
+
 int LoadIncomeSharesCsv(const std::string& path, IncomeModel* model) {
   EQIMPACT_CHECK(model != nullptr);
   std::ifstream in(path);

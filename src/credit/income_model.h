@@ -85,6 +85,29 @@ class IncomeModel {
   std::vector<Override> overrides_;
 };
 
+/// Per-year sampling tables hoisted out of the per-household draw.
+///
+/// `IncomeModel::SampleIncome` resolves overrides and interpolates the
+/// bracket shares on every call — fine for one-off draws, ruinous inside
+/// the closed loop, which redraws every household's income every year.
+/// A YearIncomeSampler snapshots the cumulative bracket distribution of
+/// every race for one year at construction; `Sample` is then a
+/// branch-light CDF walk consuming exactly two uniforms (bracket, then
+/// position within the bracket or Pareto tail), safe to share across
+/// threads (const after construction, all state in the caller's RNG).
+class YearIncomeSampler {
+ public:
+  YearIncomeSampler(const IncomeModel& model, int year);
+
+  /// Samples one household income in thousands of dollars, distributed
+  /// exactly as IncomeModel::SampleIncome for the snapshot year.
+  double Sample(Race race, rng::Random* random) const;
+
+ private:
+  // cumulative_[r][b] = P(bracket <= b) for race r.
+  double cumulative_[kNumRaces][kNumIncomeBrackets];
+};
+
 /// Loads bracket-share overrides from a CSV file into `model`.
 ///
 /// Expected format (header optional, lines starting with '#' ignored):

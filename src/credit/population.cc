@@ -12,8 +12,12 @@ Population::Population(size_t num_users, rng::Random* random) {
                              std::end(kRaceShares2002));
   rng::Categorical race_distribution(shares);
   races_.reserve(num_users);
+  race_ids_.reserve(num_users);
   for (size_t i = 0; i < num_users; ++i) {
-    races_.push_back(static_cast<Race>(race_distribution.Sample(random)));
+    size_t id = race_distribution.Sample(random);
+    races_.push_back(static_cast<Race>(id));
+    race_ids_.push_back(static_cast<uint8_t>(id));
+    ++race_counts_[id];
   }
   incomes_.assign(num_users, 0.0);
 }
@@ -25,10 +29,19 @@ Race Population::race(size_t i) const {
 
 void Population::ResampleIncomes(int year, const IncomeModel& model,
                                  rng::Random* random) {
-  for (size_t i = 0; i < races_.size(); ++i) {
-    incomes_[i] = model.SampleIncome(year, races_[i], random);
-  }
+  const YearIncomeSampler sampler(model, year);
+  ResampleIncomesRange(sampler, 0, races_.size(), random);
   incomes_sampled_ = true;
+}
+
+void Population::ResampleIncomesRange(const YearIncomeSampler& sampler,
+                                      size_t begin, size_t end,
+                                      rng::Random* random) {
+  EQIMPACT_CHECK_LE(begin, end);
+  EQIMPACT_CHECK_LE(end, races_.size());
+  for (size_t i = begin; i < end; ++i) {
+    incomes_[i] = sampler.Sample(races_[i], random);
+  }
 }
 
 double Population::income(size_t i) const {
@@ -42,11 +55,9 @@ double Population::IncomeCode(size_t i, double threshold) const {
 }
 
 size_t Population::CountRace(Race race) const {
-  size_t count = 0;
-  for (Race r : races_) {
-    if (r == race) ++count;
-  }
-  return count;
+  size_t id = static_cast<size_t>(race);
+  EQIMPACT_CHECK_LT(id, kNumRaces);
+  return race_counts_[id];
 }
 
 }  // namespace credit

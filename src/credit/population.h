@@ -2,6 +2,7 @@
 #define EQIMPACT_CREDIT_POPULATION_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "credit/income_model.h"
@@ -11,7 +12,10 @@
 namespace eqimpact {
 namespace credit {
 
-/// A cohort of N households (the paper's "users").
+/// A cohort of N households (the paper's "users"), stored
+/// structure-of-arrays: contiguous race ids and incomes so the batch
+/// engine's per-year passes stream through memory instead of chasing
+/// per-user objects.
 ///
 /// Races are sampled once at construction from the 2002 CPS shares
 /// [0.1235, 0.8406, 0.0359]; incomes are resampled every year from the
@@ -28,23 +32,44 @@ class Population {
   const std::vector<Race>& races() const { return races_; }
   Race race(size_t i) const;
 
+  /// Races as dense ids, index-aligned with races(). The batch engine's
+  /// per-chunk counters index by this.
+  const std::vector<uint8_t>& race_ids() const { return race_ids_; }
+
   /// Resamples every household's income for `year`.
   void ResampleIncomes(int year, const IncomeModel& model,
                        rng::Random* random);
 
+  /// Resamples incomes for the index range [begin, end) only, using a
+  /// pre-built year sampler — the batch engine's chunked parallel path.
+  /// Concurrent calls on disjoint ranges are safe; each chunk brings its
+  /// own RNG stream so results are independent of the dispatch order.
+  /// Does NOT mark the cohort as sampled for `income(i)` (no single
+  /// range covers everyone): range callers read `incomes()` directly;
+  /// only the full-cohort ResampleIncomes flips the validity flag.
+  void ResampleIncomesRange(const YearIncomeSampler& sampler, size_t begin,
+                            size_t end, rng::Random* random);
+
   /// Income of household `i` in thousands of dollars; CHECK-fails before
-  /// the first ResampleIncomes.
+  /// the first resample.
   double income(size_t i) const;
+
+  /// All incomes, index-aligned with races(). Zero before the first
+  /// resample.
+  const std::vector<double>& incomes() const { return incomes_; }
 
   /// The visible income code 1{income >= threshold} (paper: threshold 15).
   double IncomeCode(size_t i, double threshold) const;
 
-  /// Number of households of `race`.
+  /// Number of households of `race` (cached; races are fixed at
+  /// construction).
   size_t CountRace(Race race) const;
 
  private:
   std::vector<Race> races_;
+  std::vector<uint8_t> race_ids_;
   std::vector<double> incomes_;
+  size_t race_counts_[kNumRaces] = {0, 0, 0};
   bool incomes_sampled_ = false;
 };
 

@@ -1,5 +1,7 @@
 #include "ml/dataset.h"
 
+#include <utility>
+
 #include "base/check.h"
 
 namespace eqimpact {
@@ -9,17 +11,58 @@ Dataset::Dataset(size_t num_features) : num_features_(num_features) {
   EQIMPACT_CHECK_GT(num_features, 0u);
 }
 
+void Dataset::Reserve(size_t num_examples) {
+  data_.reserve(num_examples * num_features_);
+  labels_.reserve(num_examples);
+}
+
 void Dataset::Add(const linalg::Vector& features, double label) {
   EQIMPACT_CHECK_EQ(features.size(), num_features_);
+  AddRow(features.data().data(), label);
+}
+
+void Dataset::AddRow(const double* features, double label) {
   EQIMPACT_CHECK(label == 0.0 || label == 1.0);
-  rows_.push_back(features);
+  data_.insert(data_.end(), features, features + num_features_);
   labels_.push_back(label);
   if (label == 1.0) ++num_positive_;
 }
 
-const linalg::Vector& Dataset::features(size_t i) const {
-  EQIMPACT_CHECK_LT(i, rows_.size());
-  return rows_[i];
+void Dataset::AddBatch(const double* features, const double* labels,
+                       size_t count) {
+  data_.insert(data_.end(), features, features + count * num_features_);
+  labels_.reserve(labels_.size() + count);
+  for (size_t i = 0; i < count; ++i) {
+    EQIMPACT_CHECK(labels[i] == 0.0 || labels[i] == 1.0);
+    labels_.push_back(labels[i]);
+    if (labels[i] == 1.0) ++num_positive_;
+  }
+}
+
+void Dataset::Append(Dataset&& other) {
+  EQIMPACT_CHECK_EQ(other.num_features_, num_features_);
+  if (empty()) {
+    data_ = std::move(other.data_);
+    labels_ = std::move(other.labels_);
+    num_positive_ = other.num_positive_;
+  } else {
+    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+    labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+    num_positive_ += other.num_positive_;
+  }
+  other.data_.clear();
+  other.labels_.clear();
+  other.num_positive_ = 0;
+}
+
+const double* Dataset::row(size_t i) const {
+  EQIMPACT_CHECK_LT(i, labels_.size());
+  return &data_[i * num_features_];
+}
+
+linalg::Vector Dataset::features(size_t i) const {
+  const double* r = row(i);
+  return linalg::Vector(std::vector<double>(r, r + num_features_));
 }
 
 double Dataset::label(size_t i) const {
@@ -29,7 +72,10 @@ double Dataset::label(size_t i) const {
 
 linalg::Matrix Dataset::FeatureMatrix() const {
   linalg::Matrix x(size(), num_features_);
-  for (size_t r = 0; r < size(); ++r) x.SetRow(r, rows_[r]);
+  for (size_t r = 0; r < size(); ++r) {
+    const double* source = row(r);
+    for (size_t c = 0; c < num_features_; ++c) x(r, c) = source[c];
+  }
   return x;
 }
 

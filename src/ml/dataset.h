@@ -12,23 +12,46 @@ namespace ml {
 
 /// Binary-classification training set: feature rows plus 0/1 labels.
 ///
-/// Rows are appended one at a time as the closed loop accumulates history
-/// (the paper's filter feeds (income code, trailing ADR, repayment) tuples
-/// into retraining); `FeatureMatrix` snapshots the rows for a solver.
+/// Rows are stored row-major in one contiguous buffer (structure-of-arrays
+/// friendly: solvers iterate `row(i)` pointers with no per-example
+/// indirection or allocation). The closed loop appends a year of
+/// observations at a time and folds it into its history via the
+/// `Append(Dataset&&)` move path, so accumulating 10^7 examples costs one
+/// amortised memcpy per year rather than one heap node per example.
 class Dataset {
  public:
   /// Dataset for feature dimension `num_features`.
   explicit Dataset(size_t num_features);
 
+  /// Pre-sizes the storage for `num_examples` rows.
+  void Reserve(size_t num_examples);
+
   /// Appends one example. CHECK-fails unless features.size() matches and
   /// label is 0 or 1.
   void Add(const linalg::Vector& features, double label);
+
+  /// Appends one example from a raw feature pointer (`num_features()`
+  /// contiguous doubles). CHECK-fails unless label is 0 or 1.
+  void AddRow(const double* features, double label);
+
+  /// Appends `count` examples stored row-major in `features` with their
+  /// `labels`. CHECK-fails on a non-0/1 label.
+  void AddBatch(const double* features, const double* labels, size_t count);
+
+  /// Moves every example of `other` (same num_features; CHECK-fails
+  /// otherwise) to the end of this dataset. `other` is left empty.
+  void Append(Dataset&& other);
 
   size_t num_features() const { return num_features_; }
   size_t size() const { return labels_.size(); }
   bool empty() const { return labels_.empty(); }
 
-  const linalg::Vector& features(size_t i) const;
+  /// Feature row `i` as `num_features()` contiguous doubles.
+  const double* row(size_t i) const;
+
+  /// Feature row `i` as a Vector (copy; use `row` in hot loops).
+  linalg::Vector features(size_t i) const;
+
   double label(size_t i) const;
 
   /// Number of positive (label 1) examples.
@@ -47,7 +70,7 @@ class Dataset {
 
  private:
   size_t num_features_;
-  std::vector<linalg::Vector> rows_;
+  std::vector<double> data_;  // Row-major, size() * num_features_.
   std::vector<double> labels_;
   size_t num_positive_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "ml/logistic_regression.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "base/check.h"
@@ -14,14 +15,15 @@ namespace {
 // that log() stays finite under perfect separation.
 constexpr double kProbabilityClip = 1e-12;
 
-// Builds the feature row augmented with the intercept column (a trailing
-// constant 1) when requested.
-linalg::Vector Augment(const linalg::Vector& features, bool fit_intercept) {
-  if (!fit_intercept) return features;
-  linalg::Vector augmented(features.size() + 1);
-  for (size_t i = 0; i < features.size(); ++i) augmented[i] = features[i];
-  augmented[features.size()] = 1.0;
-  return augmented;
+// Linear predictor of one raw feature row against the augmented weights
+// (trailing intercept slot when fit_intercept). The row pointer form
+// keeps the per-example solver loops free of Vector allocations — with
+// millions of accumulated loop observations those dominated the fit.
+inline double RowDot(const double* row, const double* w, size_t f,
+                     bool fit_intercept) {
+  double t = 0.0;
+  for (size_t j = 0; j < f; ++j) t += row[j] * w[j];
+  return fit_intercept ? t + w[f] : t;
 }
 
 }  // namespace
@@ -44,10 +46,12 @@ LogisticRegression::LogisticRegression(LogisticRegressionOptions options)
 
 double LogisticRegression::PenalisedLoss(
     const Dataset& data, const linalg::Vector& augmented) const {
+  const size_t f = data.num_features();
+  const double* w = augmented.data().data();
   double loss = 0.0;
   for (size_t i = 0; i < data.size(); ++i) {
-    linalg::Vector row = Augment(data.features(i), options_.fit_intercept);
-    double p = Sigmoid(linalg::Dot(row, augmented));
+    double p =
+        Sigmoid(RowDot(data.row(i), w, f, options_.fit_intercept));
     p = std::min(std::max(p, kProbabilityClip), 1.0 - kProbabilityClip);
     loss -= data.label(i) == 1.0 ? std::log(p) : std::log(1.0 - p);
   }
@@ -63,38 +67,58 @@ FitResult LogisticRegression::Fit(const Dataset& data) {
   FitResult result;
   if (!data.HasBothClasses()) return result;
 
-  const size_t d =
-      data.num_features() + (options_.fit_intercept ? 1u : 0u);
+  const size_t f = data.num_features();
+  const size_t d = f + (options_.fit_intercept ? 1u : 0u);
   const size_t n = data.size();
   linalg::Vector w(d);  // Start from zero: score 0, probability 1/2.
+  if (options_.warm_start && fitted_ && weights_.size() == f) {
+    for (size_t j = 0; j < f; ++j) w[j] = weights_[j];
+    if (options_.fit_intercept) w[f] = intercept_;
+  }
+
+  // Scratch for the per-iteration accumulation: gradient and the upper
+  // triangle of the Hessian, in plain buffers (d is tiny — 2 or 3 — so
+  // these live in registers/L1; the Matrix is only formed for the solve).
+  std::vector<double> gradient(d);
+  std::vector<double> hessian_upper(d * d);
 
   // IRLS / Newton: at each step solve (X^T S X + n*lambda I) delta =
   // X^T (y - mu) - n*lambda w with S = diag(mu (1 - mu)).
   bool irls_failed = false;
   for (int it = 0; it < options_.max_iterations; ++it) {
-    linalg::Matrix hessian(d, d);
-    linalg::Vector gradient(d);
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    std::fill(hessian_upper.begin(), hessian_upper.end(), 0.0);
+    const double* weights = w.data().data();
     for (size_t i = 0; i < n; ++i) {
-      linalg::Vector row = Augment(data.features(i), options_.fit_intercept);
-      double mu = Sigmoid(linalg::Dot(row, w));
+      const double* row = data.row(i);
+      double mu =
+          Sigmoid(RowDot(row, weights, f, options_.fit_intercept));
       double s = std::max(mu * (1.0 - mu), 1e-10);
       double residual = data.label(i) - mu;
       for (size_t r = 0; r < d; ++r) {
-        gradient[r] += row[r] * residual;
+        double xr = r < f ? row[r] : 1.0;
+        gradient[r] += xr * residual;
+        double sxr = s * xr;
         for (size_t c = r; c < d; ++c) {
-          hessian(r, c) += s * row[r] * row[c];
+          hessian_upper[r * d + c] += sxr * (c < f ? row[c] : 1.0);
         }
       }
     }
     // Symmetrise and add the ridge term (scaled by n so the penalty is per
     // the mean loss used in PenalisedLoss).
     double ridge = options_.l2_penalty * static_cast<double>(n);
+    linalg::Matrix hessian(d, d);
+    linalg::Vector newton_rhs(d);
     for (size_t r = 0; r < d; ++r) {
-      for (size_t c = 0; c < r; ++c) hessian(r, c) = hessian(c, r);
+      for (size_t c = r; c < d; ++c) {
+        hessian(r, c) = hessian_upper[r * d + c];
+        hessian(c, r) = hessian_upper[r * d + c];
+      }
       hessian(r, r) += ridge;
-      gradient[r] -= ridge * w[r];
+      newton_rhs[r] = gradient[r] - ridge * w[r];
     }
-    std::optional<linalg::Vector> delta = linalg::SolveSpd(hessian, gradient);
+    std::optional<linalg::Vector> delta =
+        linalg::SolveSpd(hessian, newton_rhs);
     if (!delta.has_value()) {
       irls_failed = true;
       break;
@@ -135,16 +159,21 @@ FitResult LogisticRegression::Fit(const Dataset& data) {
 FitResult LogisticRegression::FitGradientDescent(
     const Dataset& data, linalg::Vector* augmented) const {
   FitResult result;
+  const size_t f = data.num_features();
   const size_t d = augmented->size();
   const size_t n = data.size();
   linalg::Vector w = *augmented;
   for (int it = 0; it < options_.gradient_iterations; ++it) {
     linalg::Vector gradient(d);
+    const double* weights = w.data().data();
     for (size_t i = 0; i < n; ++i) {
-      linalg::Vector row = Augment(data.features(i), options_.fit_intercept);
-      double mu = Sigmoid(linalg::Dot(row, w));
+      const double* row = data.row(i);
+      double mu =
+          Sigmoid(RowDot(row, weights, f, options_.fit_intercept));
       double residual = data.label(i) - mu;
-      for (size_t r = 0; r < d; ++r) gradient[r] += row[r] * residual;
+      for (size_t r = 0; r < d; ++r) {
+        gradient[r] += (r < f ? row[r] : 1.0) * residual;
+      }
     }
     gradient /= static_cast<double>(n);
     for (size_t r = 0; r < d; ++r) {

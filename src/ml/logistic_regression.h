@@ -37,6 +37,12 @@ struct LogisticRegressionOptions {
   /// Gradient-descent fallback parameters.
   int gradient_iterations = 2000;
   double learning_rate = 0.5;
+
+  /// Start IRLS from the previously fitted weights instead of zero when
+  /// this model is refit (same feature dimension). The optimum is
+  /// unchanged; for the closed loop's yearly refit on a slowly growing
+  /// history, convergence drops from ~8 Newton steps to 1-2.
+  bool warm_start = false;
 };
 
 /// Result of a fit.

@@ -10,29 +10,23 @@ namespace eqimpact {
 namespace runtime {
 
 size_t EffectiveNumThreads(const ParallelForOptions& options) {
+  if (options.pool != nullptr) return options.pool->num_threads();
   return options.num_threads == 0 ? ThreadPool::HardwareConcurrency()
                                   : options.num_threads;
 }
 
-void ParallelFor(size_t count, const std::function<void(size_t)>& body,
-                 const ParallelForOptions& options) {
-  EQIMPACT_CHECK(body != nullptr);
-  if (count == 0) return;
+namespace {
 
-  const size_t num_threads = std::min(EffectiveNumThreads(options), count);
-  if (num_threads == 1) {
-    for (size_t i = 0; i < count; ++i) body(i);
-    return;
-  }
-
-  // Dynamic scheduling: each worker pulls the next unclaimed index. This
-  // balances uneven per-iteration cost (e.g. trials with different
-  // rejection-sampling paths) without any per-iteration task allocation.
+// Dynamic scheduling on `pool`: each worker pulls the next unclaimed
+// index. This balances uneven per-iteration cost (e.g. trials with
+// different rejection-sampling paths) without any per-iteration task
+// allocation.
+void DispatchOnPool(ThreadPool* pool, size_t num_workers, size_t count,
+                    const std::function<void(size_t)>& body) {
   std::atomic<size_t> cursor(0);
   std::atomic<bool> cancelled(false);
-  ThreadPool pool(num_threads);
-  for (size_t w = 0; w < num_threads; ++w) {
-    pool.Submit([&cursor, &cancelled, &body, count] {
+  for (size_t w = 0; w < num_workers; ++w) {
+    pool->Submit([&cursor, &cancelled, &body, count] {
       for (;;) {
         const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= count || cancelled.load(std::memory_order_relaxed)) return;
@@ -45,7 +39,28 @@ void ParallelFor(size_t count, const std::function<void(size_t)>& body,
       }
     });
   }
-  pool.Wait();
+  pool->Wait();
+}
+
+}  // namespace
+
+void ParallelFor(size_t count, const std::function<void(size_t)>& body,
+                 const ParallelForOptions& options) {
+  EQIMPACT_CHECK(body != nullptr);
+  if (count == 0) return;
+
+  const size_t num_threads = std::min(EffectiveNumThreads(options), count);
+  if (num_threads == 1 && options.pool == nullptr) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  if (options.pool != nullptr) {
+    DispatchOnPool(options.pool, num_threads, count, body);
+    return;
+  }
+  ThreadPool pool(num_threads);
+  DispatchOnPool(&pool, num_threads, count, body);
 }
 
 }  // namespace runtime

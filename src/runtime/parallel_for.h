@@ -7,11 +7,23 @@
 namespace eqimpact {
 namespace runtime {
 
+class ThreadPool;
+
 /// Options for `ParallelFor`.
 struct ParallelForOptions {
   /// Worker threads to use. 0 = ThreadPool::HardwareConcurrency();
   /// 1 = run inline on the calling thread (no pool, no locking).
+  /// Ignored when `pool` is set.
   size_t num_threads = 0;
+
+  /// Caller-owned persistent pool. When set, iterations are dispatched on
+  /// this pool's workers (using all of them) instead of spawning a
+  /// throwaway pool, which removes the per-call thread-creation cost for
+  /// fine-grained inner loops (e.g. the credit engine's per-year chunk
+  /// passes). The pool must be idle when ParallelFor is called and is
+  /// idle again when it returns; ParallelFor never destroys it. Not
+  /// owned; must outlive the call.
+  ThreadPool* pool = nullptr;
 };
 
 /// Runs `body(i)` for every i in [0, count), distributing iterations
@@ -30,11 +42,13 @@ struct ParallelForOptions {
 /// wins) after all in-flight iterations finish; remaining unstarted
 /// iterations are abandoned.
 ///
-/// Cost note: each call spawns (and joins) its own ThreadPool, so the
-/// per-call overhead is a few thread creations — negligible for trial
-/// workloads (>= milliseconds per iteration) but not for fine-grained
-/// inner loops. A persistent/caller-owned pool is a planned follow-up
-/// (see ROADMAP "parallelise within a trial").
+/// Cost note: without `options.pool`, each call spawns (and joins) its
+/// own ThreadPool, so the per-call overhead is a few thread creations —
+/// negligible for trial workloads (>= milliseconds per iteration) but not
+/// for fine-grained inner loops. Callers with such loops (the credit
+/// engine's per-year chunk passes) construct one ThreadPool and pass it
+/// via `options.pool`; the dispatch then costs one Submit per worker and
+/// one Wait.
 void ParallelFor(size_t count, const std::function<void(size_t)>& body,
                  const ParallelForOptions& options = ParallelForOptions());
 

@@ -41,6 +41,7 @@ bool ExportRaceAdrCsv(const MultiTrialResult& result,
 
 bool ExportUserAdrCsv(const MultiTrialResult& result,
                       const std::string& path) {
+  if (result.pooled_user_adr.empty()) return false;
   std::vector<std::string> headers{"race"};
   for (int year : result.years) headers.push_back(TextTable::Cell(year));
   TextTable table(headers);
@@ -50,6 +51,35 @@ bool ExportUserAdrCsv(const MultiTrialResult& result,
       row.push_back(TextTable::Cell(adr, 6));
     }
     table.AddRow(row);
+  }
+  return WriteCsvFile(table, path);
+}
+
+bool ExportAdrDensityCsv(const MultiTrialResult& result,
+                         const std::string& path) {
+  const stats::AdrAccumulator& adr = result.pooled_adr;
+  if (adr.empty()) return false;
+  std::vector<std::string> headers{"year", "bin_lo", "bin_hi", "fraction"};
+  for (size_t r = 0; r < credit::kNumRaces; ++r) {
+    headers.push_back(RaceName(static_cast<credit::Race>(r)) + " count");
+  }
+  TextTable table(headers);
+  const double bin_width =
+      (adr.hi() - adr.lo()) / static_cast<double>(adr.num_bins());
+  for (size_t k = 0; k < adr.num_steps(); ++k) {
+    for (size_t b = 0; b < adr.num_bins(); ++b) {
+      std::vector<std::string> row{
+          TextTable::Cell(result.years[k]),
+          TextTable::Cell(adr.lo() + static_cast<double>(b) * bin_width, 4),
+          TextTable::Cell(adr.lo() + static_cast<double>(b + 1) * bin_width,
+                          4),
+          TextTable::Cell(adr.StepBinFraction(k, b), 6)};
+      for (size_t r = 0; r < credit::kNumRaces; ++r) {
+        // int64 straight to string: pooled counts can exceed int range.
+        row.push_back(std::to_string(adr.bin_count(k, r, b)));
+      }
+      table.AddRow(row);
+    }
   }
   return WriteCsvFile(table, path);
 }

@@ -24,9 +24,18 @@ bool ExportRaceAdrCsv(const MultiTrialResult& result,
                       const std::string& path);
 
 /// Exports the pooled user ADR series (Figures 4/5 raw data) as CSV with
-/// one row per user series: race, then ADR per year.
+/// one row per user series: race, then ADR per year. Requires a run with
+/// MultiTrialOptions::keep_raw_series; returns false when the raw pool
+/// was not materialized (use ExportAdrDensityCsv for the streaming
+/// aggregate instead).
 bool ExportUserAdrCsv(const MultiTrialResult& result,
                       const std::string& path);
+
+/// Exports the streaming pooled-ADR aggregate (always available) as CSV:
+/// one row per (year, bin) with the race-blind density fraction and the
+/// per-race bin counts.
+bool ExportAdrDensityCsv(const MultiTrialResult& result,
+                         const std::string& path);
 
 }  // namespace sim
 }  // namespace eqimpact

@@ -1,5 +1,8 @@
 #include "sim/multi_trial.h"
 
+#include <cstdint>
+#include <utility>
+
 #include "base/check.h"
 #include "runtime/parallel_for.h"
 #include "runtime/seed_sequence.h"
@@ -9,27 +12,45 @@ namespace sim {
 
 MultiTrialResult RunMultiTrial(const MultiTrialOptions& options) {
   EQIMPACT_CHECK_GT(options.num_trials, 0u);
+  EQIMPACT_CHECK_GT(options.adr_bins, 0u);
   MultiTrialResult result;
 
+  const size_t num_years = static_cast<size_t>(options.loop.last_year -
+                                               options.loop.first_year) +
+                           1;
+
   // Trials are embarrassingly parallel: each gets its own seed stream
-  // derived from the trial index and writes into its own preallocated
-  // slot, so parallel output is bitwise-identical to sequential.
+  // derived from the trial index, writes into its own preallocated slot,
+  // and streams its years into its own ADR accumulator, so parallel
+  // output is bitwise-identical to sequential.
   result.trials.resize(options.num_trials);
+  std::vector<stats::AdrAccumulator> trial_adr(
+      options.num_trials,
+      stats::AdrAccumulator(credit::kNumRaces, num_years, options.adr_bins));
   const runtime::SeedSequence seeds(options.master_seed);
   runtime::ParallelForOptions dispatch;
   dispatch.num_threads = options.num_threads;
   runtime::ParallelFor(
       options.num_trials,
-      [&options, &seeds, &result](size_t t) {
+      [&options, &seeds, &result, &trial_adr](size_t t) {
         credit::CreditLoopOptions loop_options = options.loop;
         loop_options.seed = seeds.Seed(t);
+        loop_options.keep_user_adr = options.keep_raw_series;
         credit::CreditScoringLoop loop(loop_options);
-        result.trials[t] = loop.Run();
+        stats::AdrAccumulator& adr = trial_adr[t];
+        result.trials[t] =
+            loop.Run([&adr](const credit::YearSnapshot& snapshot) {
+              adr.AddCrossSection(snapshot.step, snapshot.user_adr,
+                                  snapshot.race_ids);
+            });
       },
       dispatch);
 
-  // Aggregation happens strictly after the join.
+  // Aggregation happens strictly after the join, in trial-slot order.
   result.years = result.trials[0].years;
+  for (stats::AdrAccumulator& adr : trial_adr) {
+    result.pooled_adr.Merge(adr);
+  }
 
   // Figure 3 envelopes: per race, the trials' ADR_s(k) series.
   result.race_envelopes.reserve(credit::kNumRaces);
@@ -42,11 +63,14 @@ MultiTrialResult RunMultiTrial(const MultiTrialOptions& options) {
     result.race_envelopes.push_back(stats::AggregateEnvelope(across_trials));
   }
 
-  // Figures 4/5 pool: every user series from every trial.
-  for (const credit::CreditLoopResult& trial : result.trials) {
-    for (size_t i = 0; i < trial.user_adr.size(); ++i) {
-      result.pooled_user_adr.push_back(trial.user_adr[i]);
-      result.pooled_races.push_back(trial.races[i]);
+  // Raw Figures 4/5 pool: every user series from every trial — only when
+  // the caller opted into materializing them.
+  if (options.keep_raw_series) {
+    for (const credit::CreditLoopResult& trial : result.trials) {
+      for (size_t i = 0; i < trial.user_adr.size(); ++i) {
+        result.pooled_user_adr.push_back(trial.user_adr[i]);
+        result.pooled_races.push_back(trial.races[i]);
+      }
     }
   }
   return result;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "credit/credit_loop.h"
+#include "stats/adr_accumulator.h"
 #include "stats/aggregate.h"
 
 namespace eqimpact {
@@ -13,6 +14,9 @@ namespace sim {
 /// Configuration of a multi-trial credit-scoring experiment (the paper's
 /// "five trials ... with each trial using a new batch of 1000 users").
 struct MultiTrialOptions {
+  /// Per-trial loop configuration. `loop.num_threads` parallelises
+  /// *within* each trial (chunked user passes); `loop.keep_user_adr` is
+  /// overridden by `keep_raw_series` below.
   credit::CreditLoopOptions loop;
   size_t num_trials = 5;
   /// Trial t runs with seed runtime::SeedSequence(master_seed).Seed(t)
@@ -24,20 +28,39 @@ struct MultiTrialOptions {
   /// preallocated slot, so the result is bitwise-identical for every
   /// thread count.
   size_t num_threads = 0;
+
+  /// Keep the raw per-user ADR series: every trial's
+  /// CreditLoopResult::user_adr plus the pooled_user_adr/pooled_races
+  /// pool below. Off (the default), per-user series are never
+  /// materialized — the pooled distribution lives only in `pooled_adr`,
+  /// whose memory is O(num_races x num_years x adr_bins) regardless of
+  /// cohort size or trial count. Opt in for the raw-series CSV export or
+  /// exact quantiles on small runs.
+  bool keep_raw_series = false;
+
+  /// Histogram resolution of the streaming pooled-ADR accumulator.
+  size_t adr_bins = 64;
 };
 
 /// Results of a multi-trial experiment, pre-aggregated for the paper's
 /// figures.
 struct MultiTrialResult {
-  /// Full per-trial records.
+  /// Full per-trial records (user_adr populated only under
+  /// keep_raw_series).
   std::vector<credit::CreditLoopResult> trials;
   /// Simulated years.
   std::vector<int> years;
   /// Figure 3: per-race mean +/- std of ADR_s(k) across trials, indexed
   /// by Race enum value.
   std::vector<stats::SeriesEnvelope> race_envelopes;
-  /// All user ADR series from all trials pooled (num_trials x num_users
-  /// series), with their races — the raw material of Figures 4 and 5.
+  /// Figures 4/5: the pooled distribution of ADR_i(k) over all users of
+  /// all trials, streamed per year into per-race moments + histograms
+  /// (groups indexed by Race enum value). Always populated; accumulated
+  /// per trial and merged in trial order, so it is bitwise-identical at
+  /// every thread count.
+  stats::AdrAccumulator pooled_adr;
+  /// Raw pool of all user ADR series with their races (num_trials x
+  /// num_users entries) — only under keep_raw_series; empty otherwise.
   std::vector<std::vector<double>> pooled_user_adr;
   std::vector<credit::Race> pooled_races;
 };

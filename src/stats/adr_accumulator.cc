@@ -1,0 +1,169 @@
+#include "stats/adr_accumulator.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace eqimpact {
+namespace stats {
+
+AdrAccumulator::AdrAccumulator(size_t num_groups, size_t num_steps,
+                               size_t num_bins, double lo, double hi)
+    : num_groups_(num_groups),
+      num_steps_(num_steps),
+      num_bins_(num_bins),
+      lo_(lo),
+      hi_(hi) {
+  EQIMPACT_CHECK_GT(num_groups, 0u);
+  EQIMPACT_CHECK_GT(num_steps, 0u);
+  EQIMPACT_CHECK_GT(num_bins, 0u);
+  EQIMPACT_CHECK_LT(lo, hi);
+  bin_width_ = (hi - lo) / static_cast<double>(num_bins);
+  stats_.assign(num_steps * num_groups, RunningStats());
+  bin_counts_.assign(num_steps * num_groups * num_bins, 0);
+}
+
+size_t AdrAccumulator::CellIndex(size_t k, size_t g) const {
+  EQIMPACT_CHECK_LT(k, num_steps_);
+  EQIMPACT_CHECK_LT(g, num_groups_);
+  return k * num_groups_ + g;
+}
+
+size_t AdrAccumulator::BinIndex(double value) const {
+  // Clamp-then-bin, matching stats::Histogram::Add.
+  double clamped = std::clamp(value, lo_, hi_);
+  size_t bin = static_cast<size_t>((clamped - lo_) / bin_width_);
+  return std::min(bin, num_bins_ - 1);
+}
+
+void AdrAccumulator::Add(size_t k, size_t g, double value) {
+  size_t cell = CellIndex(k, g);
+  stats_[cell].Add(value);
+  ++bin_counts_[cell * num_bins_ + BinIndex(value)];
+}
+
+void AdrAccumulator::AddCrossSection(size_t k,
+                                     const std::vector<double>& values,
+                                     const std::vector<uint8_t>& groups) {
+  EQIMPACT_CHECK_EQ(values.size(), groups.size());
+  EQIMPACT_CHECK_LT(k, num_steps_);
+  RunningStats* step_stats = &stats_[k * num_groups_];
+  int64_t* step_bins = &bin_counts_[k * num_groups_ * num_bins_];
+  for (size_t i = 0; i < values.size(); ++i) {
+    size_t g = groups[i];
+    EQIMPACT_CHECK_LT(g, num_groups_);
+    step_stats[g].Add(values[i]);
+    ++step_bins[g * num_bins_ + BinIndex(values[i])];
+  }
+}
+
+void AdrAccumulator::Merge(const AdrAccumulator& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  EQIMPACT_CHECK_EQ(num_groups_, other.num_groups_);
+  EQIMPACT_CHECK_EQ(num_steps_, other.num_steps_);
+  EQIMPACT_CHECK_EQ(num_bins_, other.num_bins_);
+  EQIMPACT_CHECK_EQ(lo_, other.lo_);
+  EQIMPACT_CHECK_EQ(hi_, other.hi_);
+  for (size_t c = 0; c < stats_.size(); ++c) stats_[c].Merge(other.stats_[c]);
+  for (size_t b = 0; b < bin_counts_.size(); ++b) {
+    bin_counts_[b] += other.bin_counts_[b];
+  }
+}
+
+const RunningStats& AdrAccumulator::stats(size_t k, size_t g) const {
+  return stats_[CellIndex(k, g)];
+}
+
+int64_t AdrAccumulator::StepCount(size_t k) const {
+  int64_t total = 0;
+  for (size_t g = 0; g < num_groups_; ++g) total += count(k, g);
+  return total;
+}
+
+int64_t AdrAccumulator::bin_count(size_t k, size_t g, size_t b) const {
+  EQIMPACT_CHECK_LT(b, num_bins_);
+  return bin_counts_[CellIndex(k, g) * num_bins_ + b];
+}
+
+int64_t AdrAccumulator::StepBinCount(size_t k, size_t b) const {
+  int64_t total = 0;
+  for (size_t g = 0; g < num_groups_; ++g) total += bin_count(k, g, b);
+  return total;
+}
+
+double AdrAccumulator::StepBinFraction(size_t k, size_t b) const {
+  int64_t total = StepCount(k);
+  if (total == 0) return 0.0;
+  return static_cast<double>(StepBinCount(k, b)) /
+         static_cast<double>(total);
+}
+
+double AdrAccumulator::QuantileFromBins(double p, const int64_t* bins,
+                                        int64_t total, double min_value,
+                                        double max_value) const {
+  if (total == 0) return 0.0;
+  if (p <= 0.0) return min_value;
+  if (p >= 1.0) return max_value;
+  double target = p * static_cast<double>(total);
+  int64_t seen = 0;
+  for (size_t b = 0; b < num_bins_; ++b) {
+    if (bins[b] == 0) continue;
+    double within = target - static_cast<double>(seen);
+    seen += bins[b];
+    if (static_cast<double>(seen) >= target) {
+      double fraction = within / static_cast<double>(bins[b]);
+      double estimate =
+          lo_ + (static_cast<double>(b) + fraction) * bin_width_;
+      return std::clamp(estimate, min_value, max_value);
+    }
+  }
+  return max_value;
+}
+
+double AdrAccumulator::ApproxQuantile(size_t k, size_t g, double p) const {
+  size_t cell = CellIndex(k, g);
+  const RunningStats& cell_stats = stats_[cell];
+  if (cell_stats.count() == 0) return 0.0;
+  // The cell's bins are contiguous in bin_counts_; no copy needed.
+  return QuantileFromBins(p, &bin_counts_[cell * num_bins_],
+                          cell_stats.count(), cell_stats.Min(),
+                          cell_stats.Max());
+}
+
+double AdrAccumulator::StepApproxQuantile(size_t k, double p) const {
+  int64_t total = StepCount(k);
+  if (total == 0) return 0.0;
+  std::vector<int64_t> bins(num_bins_);
+  double min_value = hi_;
+  double max_value = lo_;
+  for (size_t g = 0; g < num_groups_; ++g) {
+    const RunningStats& cell_stats = stats(k, g);
+    if (cell_stats.count() > 0) {
+      min_value = std::min(min_value, cell_stats.Min());
+      max_value = std::max(max_value, cell_stats.Max());
+    }
+    for (size_t b = 0; b < num_bins_; ++b) {
+      bins[b] += bin_count(k, g, b);
+    }
+  }
+  return QuantileFromBins(p, bins.data(), total, min_value, max_value);
+}
+
+SeriesEnvelope AdrAccumulator::GroupEnvelope(size_t g) const {
+  SeriesEnvelope envelope;
+  envelope.mean.reserve(num_steps_);
+  envelope.std_dev.reserve(num_steps_);
+  for (size_t k = 0; k < num_steps_; ++k) {
+    const RunningStats& cell_stats = stats(k, g);
+    envelope.mean.push_back(cell_stats.Mean());
+    envelope.std_dev.push_back(cell_stats.StdDev());
+  }
+  return envelope;
+}
+
+}  // namespace stats
+}  // namespace eqimpact

@@ -1,0 +1,117 @@
+#ifndef EQIMPACT_STATS_ADR_ACCUMULATOR_H_
+#define EQIMPACT_STATS_ADR_ACCUMULATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stats/aggregate.h"
+#include "stats/running_stats.h"
+
+namespace eqimpact {
+namespace stats {
+
+/// Streaming aggregate of a bundle of bounded per-step series, grouped by
+/// a small categorical attribute (the credit loop's race).
+///
+/// This replaces materializing num_trials x num_users x num_steps raw
+/// values (the Figures 4/5 pool) with O(num_groups x num_steps x
+/// num_bins) state: per (group, step) Welford moments plus a fixed-bin
+/// histogram over [lo, hi]. It answers everything the figure benches need
+/// — per-group envelopes (Figure 4's quantile fan, approximated from the
+/// histogram with exact min/max), group-blind per-step densities
+/// (Figure 5) — in memory bounded independently of the number of users
+/// and trials.
+///
+/// Observations are clamped into [lo, hi] for binning (matching
+/// stats::Histogram), while the moments see the raw value. Merging is
+/// supported for parallel reduction: per-trial accumulators merged in
+/// trial order give results bitwise-identical at every thread count.
+class AdrAccumulator {
+ public:
+  /// Empty (shape-less) accumulator. Assign or Merge a shaped
+  /// accumulator before use: with zero steps/groups, per-cell queries
+  /// (count, stats, bin_count, ApproxQuantile, ...) CHECK-fail on their
+  /// index bounds; only empty() and the per-step totals over zero groups
+  /// are meaningful.
+  AdrAccumulator() = default;
+
+  /// Accumulator over `num_steps` steps with values grouped into
+  /// `num_groups` categories, binned into `num_bins` equal-width bins
+  /// spanning [lo, hi]. CHECK-fails unless all three sizes are positive
+  /// and lo < hi.
+  AdrAccumulator(size_t num_groups, size_t num_steps, size_t num_bins,
+                 double lo = 0.0, double hi = 1.0);
+
+  size_t num_groups() const { return num_groups_; }
+  size_t num_steps() const { return num_steps_; }
+  size_t num_bins() const { return num_bins_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  bool empty() const { return stats_.empty(); }
+
+  /// Accumulates one observation of group `g` at step `k`.
+  void Add(size_t k, size_t g, double value);
+
+  /// Accumulates a full cross-section at step `k`: values[i] belongs to
+  /// group groups[i]. CHECK-fails on length mismatch.
+  void AddCrossSection(size_t k, const std::vector<double>& values,
+                       const std::vector<uint8_t>& groups);
+
+  /// Merges `other` into this accumulator. CHECK-fails unless the shapes
+  /// (groups, steps, bins, range) match. Merge order affects the
+  /// floating-point moments, so parallel reductions must merge in a fixed
+  /// order (e.g. trial index) to stay deterministic.
+  void Merge(const AdrAccumulator& other);
+
+  /// Welford moments of (step `k`, group `g`).
+  const RunningStats& stats(size_t k, size_t g) const;
+
+  /// Observation count at (step, group) / at step `k` over all groups.
+  int64_t count(size_t k, size_t g) const { return stats(k, g).count(); }
+  int64_t StepCount(size_t k) const;
+
+  /// Histogram count of (step `k`, group `g`, bin `b`).
+  int64_t bin_count(size_t k, size_t g, size_t b) const;
+
+  /// Group-blind histogram count / fraction of bin `b` at step `k`
+  /// (Figure 5's per-year density row; fraction is 0 when the step is
+  /// empty).
+  int64_t StepBinCount(size_t k, size_t b) const;
+  double StepBinFraction(size_t k, size_t b) const;
+
+  /// Approximate p-quantile (p in [0, 1]) of group `g` at step `k`,
+  /// linearly interpolated within the histogram bin containing the
+  /// target rank and clamped to the exact observed [min, max]; p = 0 and
+  /// p = 1 return the exact min/max. Returns 0 when the cell is empty.
+  double ApproxQuantile(size_t k, size_t g, double p) const;
+
+  /// Group-blind variant of ApproxQuantile over all groups at step `k`.
+  double StepApproxQuantile(size_t k, double p) const;
+
+  /// Per-step mean +/- std envelope of group `g` over all observations
+  /// (users pooled across trials) — the streaming analogue of
+  /// AggregateEnvelope over the group's raw series bundle.
+  SeriesEnvelope GroupEnvelope(size_t g) const;
+
+ private:
+  size_t CellIndex(size_t k, size_t g) const;
+  size_t BinIndex(double value) const;
+  double QuantileFromBins(double p, const int64_t* bins, int64_t total,
+                          double min_value, double max_value) const;
+
+  size_t num_groups_ = 0;
+  size_t num_steps_ = 0;
+  size_t num_bins_ = 0;
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+  double bin_width_ = 0.0;
+  // Indexed [k * num_groups_ + g]; bins additionally by * num_bins_ + b.
+  std::vector<RunningStats> stats_;
+  std::vector<int64_t> bin_counts_;
+};
+
+}  // namespace stats
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_STATS_ADR_ACCUMULATOR_H_

@@ -7,15 +7,7 @@
 namespace eqimpact {
 namespace stats {
 
-namespace {
-constexpr double kInf = std::numeric_limits<double>::infinity();
-}  // namespace
-
 void RunningStats::Add(double x) {
-  if (count_ == 0) {
-    min_ = kInf;
-    max_ = -kInf;
-  }
   ++count_;
   double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);

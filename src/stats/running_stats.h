@@ -2,6 +2,7 @@
 #define EQIMPACT_STATS_RUNNING_STATS_H_
 
 #include <cstdint>
+#include <limits>
 
 namespace eqimpact {
 namespace stats {
@@ -39,8 +40,8 @@ class RunningStats {
   int64_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
-  double min_;
-  double max_;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
 };
 
 }  // namespace stats

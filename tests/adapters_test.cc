@@ -100,11 +100,27 @@ TEST(CsvExportTest, FailsOnUnwritablePath) {
   EXPECT_FALSE(sim::WriteCsvFile(table, "/nonexistent-dir/x/y.csv"));
 }
 
+TEST(CsvExportTest, UserAdrExportRequiresRawSeries) {
+  sim::MultiTrialOptions options;
+  options.loop.num_users = 20;
+  options.num_trials = 2;
+  options.master_seed = 5;
+  // Default streaming run: the raw pool is absent, the density export
+  // still works from the accumulator.
+  sim::MultiTrialResult result = sim::RunMultiTrial(options);
+  std::string user_path = ::testing::TempDir() + "/eqimpact_nouser.csv";
+  EXPECT_FALSE(sim::ExportUserAdrCsv(result, user_path));
+  std::string density_path = ::testing::TempDir() + "/eqimpact_density.csv";
+  EXPECT_TRUE(sim::ExportAdrDensityCsv(result, density_path));
+  std::remove(density_path.c_str());
+}
+
 TEST(CsvExportTest, ExportsMultiTrialResults) {
   sim::MultiTrialOptions options;
   options.loop.num_users = 50;
   options.num_trials = 2;
   options.master_seed = 5;
+  options.keep_raw_series = true;
   sim::MultiTrialResult result = sim::RunMultiTrial(options);
 
   std::string race_path = ::testing::TempDir() + "/eqimpact_race.csv";

@@ -481,6 +481,100 @@ TEST(CreditLoopTest, RaceAdrSettlesToLowLevels) {
   }
 }
 
+TEST(CreditLoopTest, InlineApprovalRuleMatchesScorecardPolicy) {
+  // The batch engine hoists the scorecard into scalars and tests
+  // (base + w_history * adr) + w_income * code > cutoff inline
+  // (credit_loop.cc, pass 2). Pin that formula — evaluation order,
+  // strict '>', and the income-multiple sizing — to ScorecardPolicy so
+  // any change to Scorecard/ScorecardPolicy semantics fails here and
+  // flags the engine copy.
+  ml::Scorecard card(
+      {{"History", "x ADR", -8.17}, {"Income", ">15K", 5.77}}, 0.4, 0.25);
+  credit::ScorecardPolicy policy(card, 3.5);
+  const double base = card.base_points();
+  const double w_history = card.factor(0).score;
+  const double w_income = card.factor(1).score;
+  for (double adr = 0.0; adr <= 1.0; adr += 0.01) {
+    for (double code : {0.0, 1.0}) {
+      for (double income : {12.0, 50.0}) {
+        const bool inline_approved =
+            (base + w_history * adr) + w_income * code > card.cutoff();
+        credit::LendingDecision decision =
+            policy.Decide({income, code, adr, false});
+        ASSERT_EQ(decision.approved, inline_approved)
+            << "adr=" << adr << " code=" << code;
+        if (decision.approved) {
+          EXPECT_DOUBLE_EQ(decision.mortgage_amount, 3.5 * income);
+        } else {
+          EXPECT_DOUBLE_EQ(decision.mortgage_amount, 0.0);
+        }
+      }
+    }
+  }
+  // Boundary: a score exactly at the cut-off is declined (strict '>').
+  ml::Scorecard flat({{"History", "x ADR", 0.0}, {"Income", ">15K", 0.0}},
+                     0.0, 0.0);
+  credit::ScorecardPolicy flat_policy(flat, 3.5);
+  EXPECT_FALSE(flat_policy.Decide({50.0, 1.0, 0.5, false}).approved);
+}
+
+TEST(CreditLoopTest, StreamingModeKeepsNoPerUserSeries) {
+  // keep_user_adr = false is the memory-bounded large-cohort mode: the
+  // aggregate series are unchanged, but no per-user series exists.
+  credit::CreditLoopOptions options = SmallLoopOptions(9);
+  credit::CreditLoopResult full = credit::CreditScoringLoop(options).Run();
+  options.keep_user_adr = false;
+  credit::CreditLoopResult streaming =
+      credit::CreditScoringLoop(options).Run();
+  EXPECT_TRUE(streaming.user_adr.empty());
+  EXPECT_EQ(streaming.race_adr, full.race_adr);
+  EXPECT_EQ(streaming.overall_adr, full.overall_adr);
+  EXPECT_EQ(streaming.races, full.races);
+}
+
+TEST(CreditLoopTest, YearObserverSeesEveryCrossSection) {
+  // The observer receives exactly the per-year columns of user_adr, so a
+  // streaming consumer loses nothing against the materialized series.
+  credit::CreditLoopOptions options = SmallLoopOptions(10);
+  credit::CreditLoopResult reference =
+      credit::CreditScoringLoop(options).Run();
+
+  options.keep_user_adr = false;
+  size_t calls = 0;
+  bool all_match = true;
+  credit::CreditScoringLoop(options).Run(
+      [&](const credit::YearSnapshot& snapshot) {
+        EXPECT_EQ(snapshot.user_adr.size(), options.num_users);
+        EXPECT_EQ(snapshot.year,
+                  reference.years[snapshot.step]);
+        for (size_t i = 0; i < snapshot.user_adr.size(); ++i) {
+          if (snapshot.user_adr[i] !=
+              reference.user_adr[i][snapshot.step]) {
+            all_match = false;
+          }
+        }
+        ++calls;
+      });
+  EXPECT_EQ(calls, reference.years.size());
+  EXPECT_TRUE(all_match);
+}
+
+TEST(CreditLoopTest, ChunkSizeIsPartOfTheStreamLayout) {
+  // users_per_chunk relayouts the RNG sub-streams: it may change the
+  // realisation (like a new seed) but never the validity of the run.
+  credit::CreditLoopOptions options = SmallLoopOptions(12);
+  options.users_per_chunk = 64;
+  credit::CreditLoopResult chunked =
+      credit::CreditScoringLoop(options).Run();
+  EXPECT_EQ(chunked.user_adr.size(), options.num_users);
+  for (const auto& series : chunked.user_adr) {
+    for (double adr : series) {
+      EXPECT_GE(adr, 0.0);
+      EXPECT_LE(adr, 1.0);
+    }
+  }
+}
+
 TEST(CreditLoopTest, ForgettingFilterAblationRuns) {
   credit::CreditLoopOptions options = SmallLoopOptions(6);
   options.forgetting_factor = 0.8;

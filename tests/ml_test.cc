@@ -2,6 +2,7 @@
 // and the Table-I-style scorecard.
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -45,6 +46,56 @@ TEST(DatasetTest, SingleClassDetection) {
   data.Add(Vector{1.0}, 1.0);
   data.Add(Vector{2.0}, 1.0);
   EXPECT_FALSE(data.HasBothClasses());
+}
+
+TEST(DatasetTest, RawRowAccessMatchesFeatures) {
+  ml::Dataset data(3);
+  data.Add(Vector{1.0, 2.0, 3.0}, 0.0);
+  data.Add(Vector{4.0, 5.0, 6.0}, 1.0);
+  const double* row = data.row(1);
+  EXPECT_DOUBLE_EQ(row[0], 4.0);
+  EXPECT_DOUBLE_EQ(row[2], 6.0);
+  EXPECT_DOUBLE_EQ(data.features(1)[2], 6.0);
+}
+
+TEST(DatasetTest, AddRowAndAddBatch) {
+  ml::Dataset data(2);
+  data.Reserve(3);
+  const double row[2] = {0.5, 1.0};
+  data.AddRow(row, 1.0);
+  const double batch[4] = {0.1, 0.0, 0.2, 1.0};
+  const double labels[2] = {0.0, 1.0};
+  data.AddBatch(batch, labels, 2);
+  EXPECT_EQ(data.size(), 3u);
+  EXPECT_EQ(data.num_positive(), 2u);
+  EXPECT_DOUBLE_EQ(data.row(1)[0], 0.1);
+  EXPECT_DOUBLE_EQ(data.row(2)[1], 1.0);
+  EXPECT_DOUBLE_EQ(data.label(2), 1.0);
+}
+
+TEST(DatasetTest, AppendMovesExamplesAndEmptiesSource) {
+  ml::Dataset history(2);
+  history.Add(Vector{1.0, 0.0}, 0.0);
+  ml::Dataset year(2);
+  year.Add(Vector{2.0, 1.0}, 1.0);
+  year.Add(Vector{3.0, 0.0}, 1.0);
+  history.Append(std::move(year));
+  EXPECT_EQ(history.size(), 3u);
+  EXPECT_EQ(history.num_positive(), 2u);
+  EXPECT_DOUBLE_EQ(history.row(1)[0], 2.0);
+  EXPECT_DOUBLE_EQ(history.label(2), 1.0);
+  EXPECT_TRUE(year.empty());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(year.num_positive(), 0u);
+}
+
+TEST(DatasetTest, AppendIntoEmptyStealsStorage) {
+  ml::Dataset history(2);
+  ml::Dataset year(2);
+  year.Add(Vector{2.0, 1.0}, 1.0);
+  history.Append(std::move(year));
+  EXPECT_EQ(history.size(), 1u);
+  EXPECT_TRUE(history.HasBothClasses() == false);
+  EXPECT_DOUBLE_EQ(history.row(0)[1], 1.0);
 }
 
 TEST(DatasetTest, MatrixAndLabelSnapshots) {

@@ -11,12 +11,14 @@
 
 #include <gtest/gtest.h>
 
+#include "credit/credit_loop.h"
 #include "rng/random.h"
 #include "runtime/parallel_for.h"
 #include "runtime/seed_sequence.h"
 #include "runtime/thread_pool.h"
 #include "sim/ensemble_control.h"
 #include "sim/multi_trial.h"
+#include "stats/adr_accumulator.h"
 
 namespace eqimpact {
 namespace {
@@ -126,6 +128,41 @@ TEST(ParallelForTest, SequentialPathPropagatesException) {
                std::logic_error);
 }
 
+TEST(ParallelForTest, ReusesCallerOwnedPoolAcrossCalls) {
+  runtime::ThreadPool pool(3);
+  runtime::ParallelForOptions options;
+  options.pool = &pool;
+  EXPECT_EQ(runtime::EffectiveNumThreads(options), 3u);
+  std::atomic<int> counter(0);
+  for (int wave = 0; wave < 4; ++wave) {
+    runtime::ParallelFor(
+        50, [&counter](size_t) { counter.fetch_add(1); }, options);
+  }
+  EXPECT_EQ(counter.load(), 200);
+  // The pool is idle afterwards and still usable directly.
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 201);
+}
+
+TEST(ParallelForTest, CallerOwnedPoolPropagatesException) {
+  runtime::ThreadPool pool(2);
+  runtime::ParallelForOptions options;
+  options.pool = &pool;
+  EXPECT_THROW(runtime::ParallelFor(
+                   100,
+                   [](size_t i) {
+                     if (i == 7) throw std::runtime_error("pooled");
+                   },
+                   options),
+               std::runtime_error);
+  // The pool survives the failed dispatch.
+  std::atomic<int> counter(0);
+  runtime::ParallelFor(
+      10, [&counter](size_t) { counter.fetch_add(1); }, options);
+  EXPECT_EQ(counter.load(), 10);
+}
+
 TEST(SeedSequenceTest, MatchesDeriveSeedConvention) {
   runtime::SeedSequence seeds(42);
   for (uint64_t i = 0; i < 100; ++i) {
@@ -148,6 +185,24 @@ TEST(SeedSequenceTest, ChildOpensNestedNamespace) {
   EXPECT_NE(child.Seed(0), seeds.Seed(0));
 }
 
+// Bitwise equality of two streaming accumulators, cell by cell.
+void ExpectAccumulatorsEqual(const stats::AdrAccumulator& a,
+                             const stats::AdrAccumulator& b) {
+  ASSERT_EQ(a.num_groups(), b.num_groups());
+  ASSERT_EQ(a.num_steps(), b.num_steps());
+  ASSERT_EQ(a.num_bins(), b.num_bins());
+  for (size_t k = 0; k < a.num_steps(); ++k) {
+    for (size_t g = 0; g < a.num_groups(); ++g) {
+      EXPECT_EQ(a.count(k, g), b.count(k, g));
+      EXPECT_EQ(a.stats(k, g).Mean(), b.stats(k, g).Mean());
+      EXPECT_EQ(a.stats(k, g).Variance(), b.stats(k, g).Variance());
+      for (size_t bin = 0; bin < a.num_bins(); ++bin) {
+        EXPECT_EQ(a.bin_count(k, g, bin), b.bin_count(k, g, bin));
+      }
+    }
+  }
+}
+
 // The headline determinism contract: RunMultiTrial produces bitwise-
 // identical results at every thread count. Small cohorts keep this fast.
 TEST(MultiTrialParallelTest, BitwiseIdenticalAcrossThreadCounts) {
@@ -155,6 +210,7 @@ TEST(MultiTrialParallelTest, BitwiseIdenticalAcrossThreadCounts) {
   options.num_trials = 6;
   options.loop.num_users = 40;
   options.master_seed = 42;
+  options.keep_raw_series = true;
 
   options.num_threads = 1;
   sim::MultiTrialResult sequential = RunMultiTrial(options);
@@ -182,7 +238,66 @@ TEST(MultiTrialParallelTest, BitwiseIdenticalAcrossThreadCounts) {
       EXPECT_EQ(parallel.race_envelopes[r].std_dev,
                 sequential.race_envelopes[r].std_dev);
     }
+    // The streaming pool merges per-trial accumulators in slot order, so
+    // it is bitwise-stable too.
+    ExpectAccumulatorsEqual(parallel.pooled_adr, sequential.pooled_adr);
   }
+}
+
+// The within-trial contract: the credit engine's chunked passes give the
+// same trial at 1, 2 and 8 intra-trial threads. A small chunk size makes
+// the 500-user cohort span 8 chunks so multi-chunk scheduling is
+// genuinely exercised.
+TEST(MultiTrialParallelTest, WithinTrialBitwiseIdenticalAcrossThreadCounts) {
+  credit::CreditLoopOptions options;
+  options.num_users = 500;
+  options.users_per_chunk = 64;
+  options.seed = 11;
+
+  options.num_threads = 1;
+  credit::CreditLoopResult sequential =
+      credit::CreditScoringLoop(options).Run();
+
+  for (size_t threads : {2u, 8u}) {
+    options.num_threads = threads;
+    credit::CreditLoopResult parallel =
+        credit::CreditScoringLoop(options).Run();
+    EXPECT_EQ(parallel.user_adr, sequential.user_adr)
+        << "threads " << threads;
+    EXPECT_EQ(parallel.race_adr, sequential.race_adr);
+    EXPECT_EQ(parallel.race_approval, sequential.race_approval);
+    EXPECT_EQ(parallel.overall_adr, sequential.overall_adr);
+    EXPECT_EQ(parallel.races, sequential.races);
+    ASSERT_EQ(parallel.scorecards.size(), sequential.scorecards.size());
+    for (size_t s = 0; s < sequential.scorecards.size(); ++s) {
+      EXPECT_EQ(parallel.scorecards[s].history_weight,
+                sequential.scorecards[s].history_weight);
+      EXPECT_EQ(parallel.scorecards[s].income_weight,
+                sequential.scorecards[s].income_weight);
+    }
+  }
+}
+
+// Trial-level and within-trial parallelism compose without breaking the
+// contract: 2 trial workers x 2 intra-trial workers equals sequential.
+TEST(MultiTrialParallelTest, NestedParallelismStaysDeterministic) {
+  sim::MultiTrialOptions options;
+  options.num_trials = 3;
+  options.loop.num_users = 300;
+  options.loop.users_per_chunk = 64;
+  options.master_seed = 5;
+  options.keep_raw_series = true;
+
+  options.num_threads = 1;
+  options.loop.num_threads = 1;
+  sim::MultiTrialResult sequential = RunMultiTrial(options);
+
+  options.num_threads = 2;
+  options.loop.num_threads = 2;
+  sim::MultiTrialResult nested = RunMultiTrial(options);
+
+  EXPECT_EQ(nested.pooled_user_adr, sequential.pooled_user_adr);
+  ExpectAccumulatorsEqual(nested.pooled_adr, sequential.pooled_adr);
 }
 
 TEST(EnsembleStudyTest, BitwiseIdenticalAcrossThreadCounts) {

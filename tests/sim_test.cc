@@ -8,6 +8,10 @@
 #include "sim/ensemble_control.h"
 #include "sim/multi_trial.h"
 #include "sim/text_table.h"
+#include "stats/adr_accumulator.h"
+#include "stats/aggregate.h"
+#include "stats/histogram.h"
+#include "stats/running_stats.h"
 #include "stats/time_series.h"
 
 namespace eqimpact {
@@ -21,18 +25,76 @@ sim::MultiTrialOptions SmallMultiTrial() {
   return options;
 }
 
-TEST(MultiTrialTest, ShapesAndPooling) {
+TEST(MultiTrialTest, ShapesAndStreamingPool) {
   sim::MultiTrialResult result = sim::RunMultiTrial(SmallMultiTrial());
   EXPECT_EQ(result.trials.size(), 3u);
   EXPECT_EQ(result.years.size(), 19u);
   EXPECT_EQ(result.race_envelopes.size(), credit::kNumRaces);
   EXPECT_EQ(result.race_envelopes[0].mean.size(), 19u);
+  // By default no raw per-user series is materialized anywhere — the
+  // pooled distribution lives in the streaming accumulator only.
+  EXPECT_TRUE(result.pooled_user_adr.empty());
+  EXPECT_TRUE(result.pooled_races.empty());
+  for (const auto& trial : result.trials) {
+    EXPECT_TRUE(trial.user_adr.empty());
+  }
+  ASSERT_FALSE(result.pooled_adr.empty());
+  EXPECT_EQ(result.pooled_adr.num_steps(), 19u);
+  EXPECT_EQ(result.pooled_adr.num_groups(), credit::kNumRaces);
+  for (size_t k = 0; k < 19; ++k) {
+    EXPECT_EQ(result.pooled_adr.StepCount(k), 300);  // 3 trials x 100.
+  }
+}
+
+TEST(MultiTrialTest, KeepRawSeriesOptInPoolsEverySeries) {
+  sim::MultiTrialOptions options = SmallMultiTrial();
+  options.keep_raw_series = true;
+  sim::MultiTrialResult result = sim::RunMultiTrial(options);
   EXPECT_EQ(result.pooled_user_adr.size(), 300u);  // 3 trials x 100 users.
   EXPECT_EQ(result.pooled_races.size(), 300u);
+  EXPECT_EQ(result.trials[0].user_adr.size(), 100u);
+}
+
+TEST(MultiTrialTest, AccumulatorMatchesRawPooledSeries) {
+  // The streaming accumulator must agree with the raw Figures 4/5 pool:
+  // same per-(race, year) counts, moments, extremes, and bin fractions.
+  sim::MultiTrialOptions options = SmallMultiTrial();
+  options.keep_raw_series = true;
+  options.adr_bins = 10;
+  sim::MultiTrialResult result = sim::RunMultiTrial(options);
+  const stats::AdrAccumulator& adr = result.pooled_adr;
+
+  for (size_t k = 0; k < result.years.size(); ++k) {
+    for (size_t r = 0; r < credit::kNumRaces; ++r) {
+      stats::RunningStats reference;
+      for (size_t i = 0; i < result.pooled_user_adr.size(); ++i) {
+        if (result.pooled_races[i] == static_cast<credit::Race>(r)) {
+          reference.Add(result.pooled_user_adr[i][k]);
+        }
+      }
+      EXPECT_EQ(adr.count(k, r), reference.count());
+      if (reference.count() == 0) continue;
+      EXPECT_NEAR(adr.stats(k, r).Mean(), reference.Mean(), 1e-9);
+      EXPECT_NEAR(adr.stats(k, r).StdDev(), reference.StdDev(), 1e-9);
+      EXPECT_DOUBLE_EQ(adr.stats(k, r).Min(), reference.Min());
+      EXPECT_DOUBLE_EQ(adr.stats(k, r).Max(), reference.Max());
+      EXPECT_DOUBLE_EQ(adr.ApproxQuantile(k, r, 0.0), reference.Min());
+      EXPECT_DOUBLE_EQ(adr.ApproxQuantile(k, r, 1.0), reference.Max());
+    }
+    // Race-blind density row vs a histogram over the raw cross-section.
+    stats::Histogram histogram(0.0, 1.0, 10);
+    histogram.AddAll(stats::CrossSection(result.pooled_user_adr, k));
+    for (size_t b = 0; b < 10; ++b) {
+      EXPECT_EQ(adr.StepBinCount(k, b), histogram.count(b));
+      EXPECT_DOUBLE_EQ(adr.StepBinFraction(k, b), histogram.Fraction(b));
+    }
+  }
 }
 
 TEST(MultiTrialTest, TrialsUseDistinctSeeds) {
-  sim::MultiTrialResult result = sim::RunMultiTrial(SmallMultiTrial());
+  sim::MultiTrialOptions options = SmallMultiTrial();
+  options.keep_raw_series = true;
+  sim::MultiTrialResult result = sim::RunMultiTrial(options);
   EXPECT_NE(result.trials[0].user_adr, result.trials[1].user_adr);
   EXPECT_NE(result.trials[1].user_adr, result.trials[2].user_adr);
 }

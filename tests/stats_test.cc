@@ -1,11 +1,14 @@
 // Unit tests for the stats module: streaming statistics, time-series
 // diagnostics, histograms and cross-trial aggregation.
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "rng/random.h"
+#include "stats/adr_accumulator.h"
 #include "stats/aggregate.h"
 #include "stats/histogram.h"
 #include "stats/running_stats.h"
@@ -252,6 +255,134 @@ TEST_P(CesaroSettleSweep, CesaroAveragesOfBernoulliLikeSeriesSettle) {
 
 INSTANTIATE_TEST_SUITE_P(Phases, CesaroSettleSweep,
                          ::testing::Values(0, 1, 2));
+
+// --- Streaming grouped per-step accumulator ---------------------------------
+
+TEST(AdrAccumulatorTest, DefaultIsEmptyShell) {
+  stats::AdrAccumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_EQ(acc.num_groups(), 0u);
+}
+
+TEST(AdrAccumulatorTest, MomentsMatchRunningStats) {
+  stats::AdrAccumulator acc(2, 3, 10);
+  stats::RunningStats reference;
+  const std::vector<double> values{0.1, 0.4, 0.4, 0.9, 0.25};
+  for (double v : values) {
+    acc.Add(1, 0, v);
+    reference.Add(v);
+  }
+  EXPECT_EQ(acc.count(1, 0), reference.count());
+  EXPECT_DOUBLE_EQ(acc.stats(1, 0).Mean(), reference.Mean());
+  EXPECT_DOUBLE_EQ(acc.stats(1, 0).StdDev(), reference.StdDev());
+  EXPECT_DOUBLE_EQ(acc.stats(1, 0).Min(), 0.1);
+  EXPECT_DOUBLE_EQ(acc.stats(1, 0).Max(), 0.9);
+  // Other cells untouched.
+  EXPECT_EQ(acc.count(0, 0), 0);
+  EXPECT_EQ(acc.count(1, 1), 0);
+  EXPECT_EQ(acc.StepCount(1), 5);
+}
+
+TEST(AdrAccumulatorTest, BinningMatchesHistogram) {
+  stats::AdrAccumulator acc(1, 1, 10);
+  stats::Histogram histogram(0.0, 1.0, 10);
+  const std::vector<double> values{-0.5, 0.0, 0.05, 0.1, 0.55, 0.999,
+                                   1.0,  1.5, 0.3,  0.3};
+  for (double v : values) {
+    acc.Add(0, 0, v);
+    histogram.Add(v);
+  }
+  for (size_t b = 0; b < 10; ++b) {
+    EXPECT_EQ(acc.bin_count(0, 0, b), histogram.count(b)) << "bin " << b;
+    EXPECT_DOUBLE_EQ(acc.StepBinFraction(0, b), histogram.Fraction(b));
+  }
+}
+
+TEST(AdrAccumulatorTest, CrossSectionRoutesByGroup) {
+  stats::AdrAccumulator acc(3, 2, 4);
+  acc.AddCrossSection(0, {0.1, 0.9, 0.5}, {0, 2, 0});
+  EXPECT_EQ(acc.count(0, 0), 2);
+  EXPECT_EQ(acc.count(0, 1), 0);
+  EXPECT_EQ(acc.count(0, 2), 1);
+  EXPECT_DOUBLE_EQ(acc.stats(0, 2).Mean(), 0.9);
+}
+
+TEST(AdrAccumulatorTest, QuantilesExactAtExtremesAndMonotone) {
+  stats::AdrAccumulator acc(1, 1, 64);
+  rng::Random random(99);
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(random.UniformDouble());
+    acc.Add(0, 0, values.back());
+  }
+  std::sort(values.begin(), values.end());
+  EXPECT_DOUBLE_EQ(acc.ApproxQuantile(0, 0, 0.0), values.front());
+  EXPECT_DOUBLE_EQ(acc.ApproxQuantile(0, 0, 1.0), values.back());
+  // Inner quantiles land within one bin width of the exact order
+  // statistic, and the fan is monotone in p.
+  double previous = -1.0;
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    double approx = acc.ApproxQuantile(0, 0, p);
+    double exact = values[static_cast<size_t>(p * 1999.0)];
+    EXPECT_NEAR(approx, exact, 1.0 / 64.0 + 1e-12) << "p=" << p;
+    EXPECT_GE(approx, previous);
+    previous = approx;
+  }
+  // The group-blind variant coincides with the single group's.
+  EXPECT_DOUBLE_EQ(acc.StepApproxQuantile(0, 0.5),
+                   acc.ApproxQuantile(0, 0, 0.5));
+}
+
+TEST(AdrAccumulatorTest, MergeMatchesSingleAccumulation) {
+  stats::AdrAccumulator merged(2, 2, 8);
+  stats::AdrAccumulator a(2, 2, 8);
+  stats::AdrAccumulator b(2, 2, 8);
+  stats::AdrAccumulator reference(2, 2, 8);
+  rng::Random random(7);
+  for (int i = 0; i < 500; ++i) {
+    size_t k = i % 2;
+    size_t g = (i / 2) % 2;
+    double v = random.UniformDouble();
+    (i < 250 ? a : b).Add(k, g, v);
+    reference.Add(k, g, v);
+  }
+  merged.Merge(a);
+  merged.Merge(b);
+  for (size_t k = 0; k < 2; ++k) {
+    for (size_t g = 0; g < 2; ++g) {
+      EXPECT_EQ(merged.count(k, g), reference.count(k, g));
+      EXPECT_NEAR(merged.stats(k, g).Mean(), reference.stats(k, g).Mean(),
+                  1e-12);
+      EXPECT_NEAR(merged.stats(k, g).Variance(),
+                  reference.stats(k, g).Variance(), 1e-12);
+      for (size_t bin = 0; bin < 8; ++bin) {
+        EXPECT_EQ(merged.bin_count(k, g, bin),
+                  reference.bin_count(k, g, bin));
+      }
+    }
+  }
+}
+
+TEST(AdrAccumulatorTest, MergeIntoEmptyAdoptsShape) {
+  stats::AdrAccumulator target;  // Shape-less.
+  stats::AdrAccumulator source(1, 2, 4);
+  source.Add(0, 0, 0.5);
+  target.Merge(source);
+  EXPECT_EQ(target.num_steps(), 2u);
+  EXPECT_EQ(target.count(0, 0), 1);
+}
+
+TEST(AdrAccumulatorTest, GroupEnvelopeTracksPerStepMoments) {
+  stats::AdrAccumulator acc(2, 3, 4);
+  for (double v : {0.2, 0.4}) acc.Add(0, 1, v);
+  for (double v : {0.6, 0.8}) acc.Add(2, 1, v);
+  stats::SeriesEnvelope envelope = acc.GroupEnvelope(1);
+  ASSERT_EQ(envelope.mean.size(), 3u);
+  EXPECT_NEAR(envelope.mean[0], 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(envelope.mean[1], 0.0);  // Empty step.
+  EXPECT_NEAR(envelope.mean[2], 0.7, 1e-12);
+  EXPECT_NEAR(envelope.std_dev[0], acc.stats(0, 1).StdDev(), 1e-15);
+}
 
 }  // namespace
 }  // namespace eqimpact
