@@ -19,14 +19,23 @@
 //    count) and that the run is memory-bounded (peak RSS reported; the
 //    raw series for 10^6 users x 19 years would be ~150 MB/trial).
 //
+//  * "fit_scaling" — the yearly scorecard refit at accumulated-history
+//    scale (default 12 * 10^6 rows, the order of a 10^6-user trial's
+//    19-year decision history): one raw-row IRLS fit (the PR 2 baseline)
+//    against the sufficient-statistics path (ml::BinnedDataset build +
+//    grouped fit), with the grouped fit swept over thread counts and a
+//    digest over the coefficients proving they are bitwise-identical at
+//    every thread count.
+//
 //  * "micro" — single-thread timings of the library's hot paths (RNG
 //    throughput, normal CDF, logistic IRLS, one closed-loop trial,
 //    Markov/linalg kernels) replacing the earlier google-benchmark
 //    micro-suite with a dependency-free harness.
 //
 // Usage: bench_perf [num_trials] [num_users] [max_threads] [within_users]
-// (defaults 32, 200, hardware_concurrency, 1000000; within_users 0 skips
-// the within-trial section)
+// [fit_rows]
+// (defaults 32, 200, hardware_concurrency, 1000000, 12000000;
+// within_users 0 / fit_rows 0 skip the respective section)
 // Output: a single JSON object on stdout; progress notes on stderr.
 
 #include <algorithm>
@@ -54,6 +63,7 @@
 #include "markov/coupling.h"
 #include "markov/markov_chain.h"
 #include "markov/ulam.h"
+#include "ml/binned_dataset.h"
 #include "ml/dataset.h"
 #include "ml/logistic_regression.h"
 #include "rng/normal.h"
@@ -327,6 +337,41 @@ struct ScalingPoint {
   uint64_t digest = 0;
 };
 
+/// Synthesizes a training set with the credit loop's feature geometry:
+/// ADR values are rationals d/o with o in 1..19 (exact repeats, as the
+/// accumulating filter produces), the income code is 0/1, and labels
+/// follow a ground-truth logistic model. Deterministic in `seed`.
+eqimpact::ml::Dataset SyntheticLoopHistory(size_t num_rows, uint64_t seed) {
+  eqimpact::rng::Random random(seed);
+  eqimpact::ml::Dataset data(2);
+  data.Reserve(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    const int offers = 1 + static_cast<int>(random.UniformInt(19));
+    const double code = random.Bernoulli(0.62) ? 1.0 : 0.0;
+    const double default_p = code == 1.0 ? 0.05 : 0.32;
+    int defaults = 0;
+    for (int o = 0; o < offers; ++o) {
+      if (random.Bernoulli(default_p)) ++defaults;
+    }
+    const double adr =
+        static_cast<double>(defaults) / static_cast<double>(offers);
+    const double repay_p =
+        eqimpact::ml::Sigmoid(5.2 * code - 7.9 * adr + 0.8);
+    const double row[2] = {adr, code};
+    data.AddRow(row, random.Bernoulli(repay_p) ? 1.0 : 0.0);
+  }
+  return data;
+}
+
+uint64_t CoefficientDigest(const eqimpact::ml::LogisticRegression& model) {
+  Fnv1a digest;
+  for (size_t j = 0; j < model.weights().size(); ++j) {
+    digest.MixDouble(model.weights()[j]);
+  }
+  digest.MixDouble(model.intercept());
+  return digest.hash();
+}
+
 std::vector<size_t> ThreadCounts(size_t max_threads) {
   // 1, 2, 4, ... up to max_threads (always including max_threads itself).
   std::vector<size_t> counts;
@@ -364,6 +409,7 @@ int main(int argc, char** argv) {
   long max_threads =
       static_cast<long>(eqimpact::runtime::ThreadPool::HardwareConcurrency());
   long within_users = 1000000;
+  long fit_rows = 12000000;
   if (argc > 1) num_trials = std::atol(argv[1]);
   if (argc > 2) num_users = std::atol(argv[2]);
   // Optional override of the sweep ceiling (e.g. to demonstrate
@@ -371,13 +417,15 @@ int main(int argc, char** argv) {
   if (argc > 3) max_threads = std::atol(argv[3]);
   // Cohort size of the within-trial section; 0 skips it.
   if (argc > 4) within_users = std::atol(argv[4]);
+  // Accumulated-history size of the fit_scaling section; 0 skips it.
+  if (argc > 5) fit_rows = std::atol(argv[5]);
   if (num_trials <= 0 || num_users <= 0 || max_threads <= 0 ||
-      within_users < 0) {
+      within_users < 0 || fit_rows < 0) {
     std::fprintf(
         stderr,
         "usage: bench_perf [num_trials] [num_users] [max_threads] "
-        "[within_users]\n"
-        "       the first three must be positive; within_users >= 0\n");
+        "[within_users] [fit_rows]\n"
+        "       the first three must be positive; the last two >= 0\n");
     return 2;
   }
   const size_t hw = static_cast<size_t>(max_threads);
@@ -462,10 +510,83 @@ int main(int argc, char** argv) {
     }
     within_deterministic = AllDigestsEqual(within);
   }
+  // Sampled before fit_scaling materializes its raw baseline dataset, so
+  // this reflects the streaming trial alone (getrusage peaks are
+  // process-wide high-water marks).
+  const double within_peak_rss = PeakRssMb();
+
+  // --- Section 3: fit scaling (sufficient-statistics refit). -----------
+  // The PR 2 baseline refit the scorecard by raw-row IRLS over the
+  // accumulated history; here the same history collapses into weighted
+  // (ADR, code) groups and the grouped fit sweeps thread counts. Thread
+  // counts 2..8 are swept even on 1-core machines (oversubscribed): the
+  // timing is then meaningless but the coefficient digest still proves
+  // the ordered reduction's thread-count invariance.
+  std::vector<ScalingPoint> fit_runs;
+  bool fit_deterministic = true;
+  size_t fit_groups = 0;
+  int raw_fit_iterations = 0;
+  double raw_fit_seconds = 0.0;
+  double binned_build_seconds = 0.0;
+  if (fit_rows > 0) {
+    eqimpact::ml::Dataset raw =
+        SyntheticLoopHistory(static_cast<size_t>(fit_rows), 2024);
+    eqimpact::ml::LogisticRegressionOptions fit_options;
+    raw_fit_seconds = TimeIt([&raw, &fit_options, &raw_fit_iterations] {
+      eqimpact::ml::LogisticRegression model(fit_options);
+      raw_fit_iterations = model.Fit(raw).iterations;
+    });
+    std::fprintf(stderr, "  fit_scaling raw %.3fs (%d iterations)\n",
+                 raw_fit_seconds, raw_fit_iterations);
+
+    eqimpact::ml::BinnedDataset binned(1);  // Replaced by the build below.
+    binned_build_seconds = TimeIt([&raw, &binned] {
+      binned = eqimpact::ml::BinnedDataset::FromDataset(raw);
+    });
+    fit_groups = binned.num_groups();
+    std::fprintf(stderr, "  fit_scaling build %.3fs (%zu groups)\n",
+                 binned_build_seconds, fit_groups);
+
+    std::vector<size_t> fit_threads{1, 2, 4, 8};
+    if (hw > 8) fit_threads.push_back(hw);
+    // A chunk size far below the group count (a few hundred groups)
+    // makes the sweep genuinely fan out: every multi-thread point runs a
+    // real multi-chunk ordered reduction, so equal digests actually
+    // prove the thread-count invariance.
+    fit_options.rows_per_chunk = 8;
+    double fit_sequential = 0.0;
+    for (size_t threads : fit_threads) {
+      fit_options.num_threads = threads;
+      // One grouped fit is microseconds; time a batch of cold refits.
+      constexpr int kReps = 2000;
+      eqimpact::ml::LogisticRegression model(fit_options);
+      ScalingPoint point;
+      point.num_threads = threads;
+      point.seconds = TimeIt([&binned, &fit_options] {
+        for (int rep = 0; rep < kReps; ++rep) {
+          eqimpact::ml::LogisticRegression cold(fit_options);
+          cold.Fit(binned);
+        }
+      }) / kReps;
+      model.Fit(binned);
+      point.digest = CoefficientDigest(model);
+      point.items_per_sec =
+          point.seconds > 0.0 ? 1.0 / point.seconds : 0.0;
+      if (threads == 1) fit_sequential = point.seconds;
+      point.speedup =
+          point.seconds > 0.0 ? fit_sequential / point.seconds : 0.0;
+      fit_runs.push_back(point);
+      std::fprintf(stderr,
+                   "  fit_scaling threads=%zu %.6fs/fit (%.0f fits/s)\n",
+                   threads, point.seconds, point.items_per_sec);
+    }
+    fit_deterministic = AllDigestsEqual(fit_runs);
+  }
 
   std::vector<MicroResult> micro = RunMicroSuite();
 
-  const bool deterministic = multi_deterministic && within_deterministic;
+  const bool deterministic =
+      multi_deterministic && within_deterministic && fit_deterministic;
 
   // Emit the JSON document on stdout.
   std::printf("{\n");
@@ -491,8 +612,38 @@ int main(int argc, char** argv) {
                 within_deterministic ? "true" : "false");
     std::printf("    \"digest\": \"%016" PRIx64 "\",\n",
                 within.front().digest);
-    std::printf("    \"peak_rss_mb\": %.1f,\n", PeakRssMb());
+    std::printf("    \"peak_rss_mb\": %.1f,\n", within_peak_rss);
     PrintScalingRuns(within, "user_years_per_sec");
+    std::printf("  },\n");
+  }
+  if (!fit_runs.empty()) {
+    const double binned_fit_seconds = fit_runs.front().seconds;
+    std::printf("  \"fit_scaling\": {\n");
+    std::printf("    \"num_rows\": %ld,\n", fit_rows);
+    std::printf("    \"num_groups\": %zu,\n", fit_groups);
+    std::printf("    \"raw_fit_seconds\": %.6f,\n", raw_fit_seconds);
+    std::printf("    \"raw_fit_iterations\": %d,\n", raw_fit_iterations);
+    std::printf("    \"raw_rows_per_sec\": %.1f,\n",
+                raw_fit_seconds > 0.0
+                    ? static_cast<double>(fit_rows) / raw_fit_seconds
+                    : 0.0);
+    std::printf("    \"binned_build_seconds\": %.6f,\n",
+                binned_build_seconds);
+    std::printf("    \"binned_fit_seconds\": %.6f,\n", binned_fit_seconds);
+    std::printf("    \"speedup_vs_raw\": %.1f,\n",
+                binned_fit_seconds > 0.0
+                    ? raw_fit_seconds / binned_fit_seconds
+                    : 0.0);
+    std::printf("    \"speedup_vs_raw_including_build\": %.1f,\n",
+                binned_build_seconds + binned_fit_seconds > 0.0
+                    ? raw_fit_seconds /
+                          (binned_build_seconds + binned_fit_seconds)
+                    : 0.0);
+    std::printf("    \"deterministic_across_thread_counts\": %s,\n",
+                fit_deterministic ? "true" : "false");
+    std::printf("    \"digest\": \"%016" PRIx64 "\",\n",
+                fit_runs.front().digest);
+    PrintScalingRuns(fit_runs, "fits_per_sec");
     std::printf("  },\n");
   }
   std::printf("  \"micro\": [\n");

@@ -24,7 +24,12 @@ Checks, in order of severity:
 3. Throughput (WARN only, exit 0): wall-clock rates are machine- and
    load-dependent, so regressions beyond the threshold (default 25%) are
    reported as warnings, not failures. Micro benchmarks and the scaling
-   sections' sequential rates are compared by name.
+   sections' sequential rates are compared by name; the scaling
+   sections' multi-thread sweep points are compared per thread count,
+   except when either run reports hardware_concurrency == 1 — a 1-core
+   machine oversubscribes every multi-thread point (the committed
+   snapshots are from a 1-core container), so its sweep timings carry no
+   signal and the thread-sweep comparison is skipped with a note.
 """
 
 import json
@@ -85,6 +90,24 @@ def check_rate(name, fresh_rate, snapshot_rate, warnings):
         )
 
 
+def check_thread_sweep(section_name, fresh, snapshot, rate_key, warnings):
+    """Compares a scaling section's rates per matching thread count."""
+    snapshot_runs = {
+        run.get("num_threads"): run.get(rate_key)
+        for run in snapshot.get(section_name, {}).get("runs", [])
+    }
+    for run in fresh.get(section_name, {}).get("runs", []):
+        threads = run.get("num_threads")
+        if threads == 1:
+            continue  # Sequential rates are compared separately.
+        check_rate(
+            f"{section_name} {rate_key} ({threads} threads)",
+            run.get(rate_key),
+            snapshot_runs.get(threads),
+            warnings,
+        )
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__)
@@ -108,9 +131,16 @@ def main(argv):
     )
     errors += e
     notes += n
+    e, n = compare_digests(fresh, snapshot, "fit_scaling", ["num_rows"])
+    errors += e
+    notes += n
 
     # 2. The fresh run must itself be thread-count deterministic.
-    for section in ("multi_trial_scaling", "within_trial_scaling"):
+    for section in (
+        "multi_trial_scaling",
+        "within_trial_scaling",
+        "fit_scaling",
+    ):
         if section in fresh and not fresh[section].get(
             "deterministic_across_thread_counts", True
         ):
@@ -136,6 +166,38 @@ def main(argv):
         ),
         warnings,
     )
+    check_rate(
+        "fit_scaling fits/sec (1 thread)",
+        sequential_rate(fresh.get("fit_scaling", {}), "fits_per_sec"),
+        sequential_rate(snapshot.get("fit_scaling", {}), "fits_per_sec"),
+        warnings,
+    )
+
+    # Thread-sweep points: meaningless when either side ran on one core
+    # (every multi-thread point is oversubscribed there), so suppressed.
+    if (
+        fresh.get("hardware_concurrency") == 1
+        or snapshot.get("hardware_concurrency") == 1
+    ):
+        notes.append(
+            "thread-sweep comparison skipped: hardware_concurrency == 1 "
+            f"(fresh {fresh.get('hardware_concurrency')}, snapshot "
+            f"{snapshot.get('hardware_concurrency')})"
+        )
+    else:
+        check_thread_sweep(
+            "multi_trial_scaling", fresh, snapshot, "trials_per_sec", warnings
+        )
+        check_thread_sweep(
+            "within_trial_scaling",
+            fresh,
+            snapshot,
+            "user_years_per_sec",
+            warnings,
+        )
+        check_thread_sweep(
+            "fit_scaling", fresh, snapshot, "fits_per_sec", warnings
+        )
     snapshot_micro = {
         m["name"]: m.get("items_per_sec")
         for m in snapshot.get("micro", [])

@@ -7,7 +7,7 @@
 
 #include "base/check.h"
 #include "credit/population.h"
-#include "ml/dataset.h"
+#include "ml/binned_dataset.h"
 #include "ml/scorecard.h"
 #include "rng/random.h"
 #include "runtime/parallel_for.h"
@@ -71,7 +71,7 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
   const size_t num_years =
       static_cast<size_t>(options_.last_year - options_.first_year) + 1;
   const size_t chunk_size = options_.users_per_chunk;
-  const size_t num_chunks = (num_users + chunk_size - 1) / chunk_size;
+  const size_t num_chunks = runtime::NumChunks(num_users, chunk_size);
 
   const runtime::SeedSequence seeds(options_.seed);
   rng::Random race_rng(seeds.Seed(kRaceStream));
@@ -117,16 +117,30 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
 
   // Training examples accumulated by the loop's filter block: features
   // [ADR_i(k-1), income code at k] with label y_i(k), recorded only for
-  // offered mortgages (repayment is unobservable otherwise).
-  ml::Dataset history(2);
+  // offered mortgages (repayment is unobservable otherwise). The history
+  // is held as sufficient statistics — weighted unique (ADR, code)
+  // groups — so its size is O(groups) (a few hundred under the paper's
+  // accumulating filter), never O(num_users x num_years).
+  ml::BinnedDatasetOptions history_options;
+  double adr_bin_width = options_.history_adr_bin_width;
+  if (adr_bin_width < 0.0) {
+    adr_bin_width =
+        options_.forgetting_factor == 1.0 ? 0.0 : 0x1.0p-16;
+  }
+  history_options.bin_widths = {adr_bin_width, 0.0};
+  ml::BinnedDataset history(2, history_options);
   std::optional<ml::Scorecard> current_scorecard;
   const std::vector<ml::ScorecardFactor> factor_templates =
       TableOneTemplates();
   // One trainer for the whole trial: the yearly refit warm-starts from
   // last year's weights, which on the slowly growing history cuts the
-  // Newton iterations to a couple per year.
+  // Newton iterations to a couple per year, and its chunked
+  // gradient/Hessian reduction follows the loop's thread budget on the
+  // same persistent pool as the per-year passes.
   ml::LogisticRegressionOptions trainer_options = options_.logistic;
   trainer_options.warm_start = true;
+  trainer_options.num_threads = num_workers;
+  trainer_options.pool = dispatch.pool;
   ml::LogisticRegression trainer(trainer_options);
 
   // Hot-path scalars hoisted out of the sweep.
@@ -154,11 +168,9 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
     const YearIncomeSampler sampler(income_model, year);
     const runtime::SeedSequence income_year = income_streams.Child(k);
     const runtime::SeedSequence repayment_year = repayment_streams.Child(k);
-    runtime::ParallelFor(
-        num_chunks,
-        [&](size_t c) {
-          const size_t begin = c * chunk_size;
-          const size_t end = std::min(begin + chunk_size, num_users);
+    runtime::ParallelForChunks(
+        num_users, chunk_size,
+        [&](size_t c, size_t begin, size_t end) {
           rng::Random income_rng(income_year.Seed(c));
           rng::Random repayment_rng(repayment_year.Seed(c));
           population.ResampleIncomesRange(sampler, begin, end, &income_rng);
@@ -201,11 +213,9 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
     // their own filter slots and each chunk only its own yield, so chunks
     // run concurrently; the pre-drawn uniform makes the repayment action
     // a pure function of (income, uniform).
-    runtime::ParallelFor(
-        num_chunks,
-        [&](size_t c) {
-          const size_t begin = c * chunk_size;
-          const size_t end = std::min(begin + chunk_size, num_users);
+    runtime::ParallelForChunks(
+        num_users, chunk_size,
+        [&](size_t c, size_t begin, size_t end) {
           ChunkYield& yield = yields[c];
           yield.Clear();
           for (size_t i = begin; i < end; ++i) {
@@ -233,26 +243,20 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
         },
         dispatch);
 
-    // Merge the chunk yields in chunk (= user) order and fold this year's
-    // observations into the training history via the move path.
+    // Merge the chunk yields in chunk (= user) order, weight-folding this
+    // year's observations into the grouped history. The fold order is the
+    // trial order (chunk 0, 1, ...), so group indices — and with them the
+    // fit's accumulation order — are identical at every thread count.
     std::array<size_t, kNumRaces> race_offers = {0, 0, 0};
-    size_t approved_total = 0;
     for (const ChunkYield& yield : yields) {
-      approved_total += yield.labels.size();
       for (size_t r = 0; r < kNumRaces; ++r) {
         race_offers[r] += yield.race_offers[r];
       }
     }
-    ml::Dataset this_year(2);
-    this_year.Reserve(approved_total);
+    if (!options_.accumulate_history) history.Clear();
     for (const ChunkYield& yield : yields) {
-      this_year.AddBatch(yield.rows.data(), yield.labels.data(),
-                         yield.labels.size());
-    }
-    if (!options_.accumulate_history) {
-      history = std::move(this_year);
-    } else {
-      history.Append(std::move(this_year));
+      history.AddBatch(yield.rows.data(), yield.labels.data(),
+                       yield.labels.size());
     }
 
     // Record the year's aggregates — one fused pass over the filter.

@@ -33,12 +33,25 @@ struct CreditLoopOptions {
   /// Train on the loop's entire history (true) or only on the latest
   /// year's observations (false) — a retraining-protocol ablation.
   bool accumulate_history = true;
+  /// Bin width for the ADR feature when grouping the training history
+  /// into weighted unique rows (ml::BinnedDataset). Negative (default)
+  /// = automatic: exact grouping when forgetting_factor == 1 (the
+  /// paper's accumulating filter makes every ADR a rational d/o with o
+  /// bounded by the year count, so the whole history collapses into a
+  /// few hundred exact groups regardless of cohort size), else
+  /// 2^-16 (each surrogate ADR within 2^-17 of the raw one, far below
+  /// the scorecard's resolution). 0 forces exact grouping; a positive
+  /// width forces that bin width. The income code is always exact.
+  double history_adr_bin_width = -1.0;
   /// Behavioural model parameters (equations (10)-(11)).
   RepaymentModelOptions repayment;
   /// Scorecard trainer configuration. Defaults (no intercept, small
   /// ridge) match Table I's two-factor structure. `warm_start` is
   /// managed by the loop itself (always on: the yearly refit resumes
-  /// from last year's weights); the other fields are honoured as given.
+  /// from last year's weights), and `num_threads`/`pool` are overridden
+  /// to follow the loop's own thread budget and persistent pool (set
+  /// CreditLoopOptions::num_threads to size the fit's fan-out); the
+  /// other fields are honoured as given.
   ml::LogisticRegressionOptions logistic;
   /// Master seed; one trial per seed. Different seeds = the paper's
   /// independent trials with "a new batch of 1000 users".
@@ -50,8 +63,10 @@ struct CreditLoopOptions {
   /// num_threads; changing the chunk size relayouts the income/repayment
   /// streams, i.e. acts like a different seed.
   size_t users_per_chunk = 4096;
-  /// Worker threads for the within-trial chunk passes. 1 (default) runs
-  /// sequentially with zero dispatch overhead; 0 = hardware concurrency.
+  /// Worker threads for the within-trial chunk passes and the yearly
+  /// scorecard refit (the trainer's chunked gradient/Hessian reduction
+  /// shares the same persistent pool). 1 (default) runs sequentially
+  /// with zero dispatch overhead; 0 = hardware concurrency.
   size_t num_threads = 1;
   /// Record the full per-user ADR series in the result (the raw material
   /// of Figures 4/5). Disable for very large cohorts and consume the
@@ -126,6 +141,13 @@ using YearObserver = std::function<void(const YearSnapshot&)>;
 /// sub-streams derived from (stream, year, chunk index), so the passes
 /// parallelise over options().num_threads workers with output
 /// bitwise-identical to the sequential run.
+///
+/// The training history is held as sufficient statistics, not rows: each
+/// year's observations are weight-merged into an ml::BinnedDataset of
+/// unique (ADR, code) groups (see history_adr_bin_width), so the
+/// accumulated history — the former num_users x num_years memory floor —
+/// stays O(groups), and the yearly refit runs over groups with the
+/// trainer's chunked reduction on the same worker pool.
 class CreditScoringLoop {
  public:
   explicit CreditScoringLoop(CreditLoopOptions options = CreditLoopOptions());

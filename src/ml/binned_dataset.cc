@@ -1,0 +1,193 @@
+#include "ml/binned_dataset.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "base/check.h"
+
+namespace eqimpact {
+namespace ml {
+namespace {
+
+constexpr uint32_t kNoGroup = std::numeric_limits<uint32_t>::max();
+
+// FNV-1a over the quantized key ints; the index is correctness-checked
+// by full key comparison, so the hash only needs to spread well.
+uint64_t HashKey(const int64_t* key, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t j = 0; j < n; ++j) {
+    uint64_t bits = static_cast<uint64_t>(key[j]);
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (bits >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+// Exact-mode key: the bit pattern of the double, with -0.0 folded into
+// +0.0 so the two zero representations share a group.
+int64_t ExactKey(double x) {
+  if (x == 0.0) x = 0.0;
+  int64_t bits;
+  static_assert(sizeof(bits) == sizeof(x), "need 64-bit double");
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+BinnedDataset::BinnedDataset(size_t num_features, BinnedDatasetOptions options)
+    : num_features_(num_features), options_(std::move(options)) {
+  EQIMPACT_CHECK_GT(num_features, 0u);
+  if (!options_.bin_widths.empty()) {
+    EQIMPACT_CHECK_EQ(options_.bin_widths.size(), num_features_);
+    for (double width : options_.bin_widths) {
+      EQIMPACT_CHECK(std::isfinite(width));
+      EQIMPACT_CHECK_GE(width, 0.0);
+    }
+  }
+  key_scratch_.resize(num_features_);
+  Rehash(64);
+}
+
+uint64_t BinnedDataset::KeyOf(const double* features) {
+  for (size_t j = 0; j < num_features_; ++j) {
+    const double width =
+        options_.bin_widths.empty() ? 0.0 : options_.bin_widths[j];
+    if (width == 0.0) {
+      key_scratch_[j] = ExactKey(features[j]);
+    } else {
+      // The int64 cast of a non-finite or out-of-range quotient would
+      // be UB, so the bin index must stay inside the int64 range.
+      EQIMPACT_CHECK(std::isfinite(features[j]));
+      const double bin = std::floor(features[j] / width);
+      EQIMPACT_CHECK_LT(std::fabs(bin), 9.2e18);
+      key_scratch_[j] = static_cast<int64_t>(bin);
+    }
+  }
+  return HashKey(key_scratch_.data(), num_features_);
+}
+
+void BinnedDataset::Rehash(size_t num_buckets) {
+  buckets_.assign(num_buckets, kNoGroup);
+  const size_t mask = num_buckets - 1;
+  for (size_t g = 0; g < num_groups(); ++g) {
+    const uint64_t h = HashKey(&keys_[g * num_features_], num_features_);
+    const size_t b = static_cast<size_t>(h) & mask;
+    next_[g] = buckets_[b];
+    buckets_[b] = static_cast<uint32_t>(g);
+  }
+}
+
+size_t BinnedDataset::GroupFor(uint64_t h, const double* features) {
+  const size_t b = static_cast<size_t>(h) & (buckets_.size() - 1);
+  for (uint32_t g = buckets_[b]; g != kNoGroup; g = next_[g]) {
+    if (std::memcmp(&keys_[g * num_features_], key_scratch_.data(),
+                    num_features_ * sizeof(int64_t)) == 0) {
+      return g;
+    }
+  }
+  // New group: store the quantized key and its representative row.
+  const size_t g = num_groups();
+  EQIMPACT_CHECK_LT(g, static_cast<size_t>(kNoGroup));
+  keys_.insert(keys_.end(), key_scratch_.begin(), key_scratch_.end());
+  for (size_t j = 0; j < num_features_; ++j) {
+    const double width =
+        options_.bin_widths.empty() ? 0.0 : options_.bin_widths[j];
+    rows_.push_back(width == 0.0 ? (features[j] == 0.0 ? 0.0 : features[j])
+                                 : (static_cast<double>(key_scratch_[j]) +
+                                    0.5) *
+                                       width);
+  }
+  weight_.push_back(0.0);
+  positive_.push_back(0.0);
+  next_.push_back(buckets_[b]);
+  buckets_[b] = static_cast<uint32_t>(g);
+  if (num_groups() * 4 > buckets_.size() * 3) Rehash(buckets_.size() * 2);
+  return g;
+}
+
+void BinnedDataset::AddRow(const double* features, double label,
+                           double weight) {
+  EQIMPACT_CHECK(label == 0.0 || label == 1.0);
+  EQIMPACT_CHECK_GT(weight, 0.0);
+  const size_t g = GroupFor(KeyOf(features), features);
+  weight_[g] += weight;
+  total_weight_ += weight;
+  if (label == 1.0) {
+    positive_[g] += weight;
+    total_positive_ += weight;
+  }
+  ++num_rows_absorbed_;
+}
+
+void BinnedDataset::Add(const linalg::Vector& features, double label,
+                        double weight) {
+  EQIMPACT_CHECK_EQ(features.size(), num_features_);
+  AddRow(features.data().data(), label, weight);
+}
+
+void BinnedDataset::AddBatch(const double* features, const double* labels,
+                             size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    AddRow(features + i * num_features_, labels[i], 1.0);
+  }
+}
+
+void BinnedDataset::Merge(const BinnedDataset& other) {
+  EQIMPACT_CHECK_EQ(other.num_features_, num_features_);
+  EQIMPACT_CHECK(other.options_.bin_widths == options_.bin_widths);
+  for (size_t og = 0; og < other.num_groups(); ++og) {
+    // Re-quantizing the representative reproduces the original key (it
+    // is the exact value or the bin centre of its own bin), so merged
+    // groups land in the same group a direct AddRow would have.
+    const double* row = other.row(og);
+    const size_t g = GroupFor(KeyOf(row), row);
+    weight_[g] += other.weight_[og];
+    positive_[g] += other.positive_[og];
+  }
+  total_weight_ += other.total_weight_;
+  total_positive_ += other.total_positive_;
+  num_rows_absorbed_ += other.num_rows_absorbed_;
+}
+
+BinnedDataset BinnedDataset::FromDataset(const Dataset& data,
+                                         BinnedDatasetOptions options) {
+  BinnedDataset binned(data.num_features(), std::move(options));
+  for (size_t i = 0; i < data.size(); ++i) {
+    binned.AddRow(data.row(i), data.label(i), 1.0);
+  }
+  return binned;
+}
+
+void BinnedDataset::Clear() {
+  rows_.clear();
+  keys_.clear();
+  weight_.clear();
+  positive_.clear();
+  next_.clear();
+  total_weight_ = 0.0;
+  total_positive_ = 0.0;
+  num_rows_absorbed_ = 0;
+  buckets_.assign(buckets_.size(), kNoGroup);
+}
+
+const double* BinnedDataset::row(size_t g) const {
+  EQIMPACT_CHECK_LT(g, num_groups());
+  return &rows_[g * num_features_];
+}
+
+double BinnedDataset::weight(size_t g) const {
+  EQIMPACT_CHECK_LT(g, num_groups());
+  return weight_[g];
+}
+
+double BinnedDataset::positive_weight(size_t g) const {
+  EQIMPACT_CHECK_LT(g, num_groups());
+  return positive_[g];
+}
+
+}  // namespace ml
+}  // namespace eqimpact

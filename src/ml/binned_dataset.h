@@ -1,0 +1,137 @@
+#ifndef EQIMPACT_ML_BINNED_DATASET_H_
+#define EQIMPACT_ML_BINNED_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/vector.h"
+#include "ml/dataset.h"
+
+namespace eqimpact {
+namespace ml {
+
+/// Grouping configuration of a BinnedDataset.
+struct BinnedDatasetOptions {
+  /// Per-feature bin widths, indexed by feature. Empty (the default)
+  /// groups every feature exactly; a width of 0 groups that feature by
+  /// its exact bit pattern (-0.0 is folded into +0.0); a width w > 0
+  /// groups by floor(x / w) and represents the group by the bin centre
+  /// (k + 0.5) * w, so every surrogate feature value differs from the
+  /// raw one it stands for by at most w / 2.
+  std::vector<double> bin_widths;
+};
+
+/// Sufficient-statistics view of a binary-classification training set:
+/// unique (or binned) feature rows with a total weight and a positive
+/// (label 1) weight each.
+///
+/// The credit loop's features are (trailing ADR, income code) with the
+/// code in {0, 1} and, under the paper's accumulating filter, ADR values
+/// that are rationals d/o with o bounded by the number of simulated
+/// years — so the O(num_users x num_years) decision history collapses
+/// into a few hundred weighted groups, independent of cohort size. The
+/// weighted log-likelihood over the groups equals the raw-row
+/// log-likelihood exactly when rows repeat exactly, and within the
+/// documented bin tolerance otherwise, so LogisticRegression::Fit on the
+/// grouped form recovers the raw fit's optimum.
+///
+/// Group order is first-occurrence order of the insertion sequence and
+/// is therefore deterministic for a deterministic insertion sequence;
+/// the fit's chunked accumulation relies on this (never on hash order).
+class BinnedDataset {
+ public:
+  /// Grouped dataset for feature dimension `num_features`. CHECK-fails
+  /// if options.bin_widths is non-empty with a size other than
+  /// `num_features` or holds a negative or non-finite width.
+  explicit BinnedDataset(size_t num_features,
+                         BinnedDatasetOptions options = BinnedDatasetOptions());
+
+  /// Folds one observation with the given weight into its group.
+  /// CHECK-fails unless label is 0 or 1 and weight > 0.
+  void AddRow(const double* features, double label, double weight = 1.0);
+
+  /// AddRow from a Vector (checked dimension; convenience, not hot path).
+  void Add(const linalg::Vector& features, double label, double weight = 1.0);
+
+  /// Folds `count` unit-weight examples stored row-major in `features`
+  /// with their `labels` — the credit loop's per-chunk yearly merge.
+  void AddBatch(const double* features, const double* labels, size_t count);
+
+  /// Folds every group of `other` into this dataset (same num_features
+  /// and bin widths; CHECK-fails otherwise). Groups of `other` that are
+  /// new here are appended in `other`'s group order.
+  void Merge(const BinnedDataset& other);
+
+  /// Groups an existing raw dataset (unit weights).
+  static BinnedDataset FromDataset(
+      const Dataset& data, BinnedDatasetOptions options = BinnedDatasetOptions());
+
+  /// Drops every group (the single-year retraining ablation's per-year
+  /// rebuild); keeps num_features, bin widths and capacity.
+  void Clear();
+
+  size_t num_features() const { return num_features_; }
+  size_t num_groups() const { return weight_.size(); }
+  bool empty() const { return weight_.empty(); }
+
+  /// Representative feature row of group `g` as `num_features()`
+  /// contiguous doubles: the exact value for exact features, the bin
+  /// centre for binned ones.
+  const double* row(size_t g) const;
+
+  /// Total weight of group `g` and its positive (label 1) share.
+  double weight(size_t g) const;
+  double positive_weight(size_t g) const;
+
+  /// Contiguous group storage for the fit's chunked accumulation.
+  const double* raw_rows() const { return rows_.data(); }
+  const double* raw_weights() const { return weight_.data(); }
+  const double* raw_positives() const { return positive_.data(); }
+
+  /// Sum of all weights / of the positive weights.
+  double total_weight() const { return total_weight_; }
+  double total_positive() const { return total_positive_; }
+
+  /// Raw observations folded in so far (group cardinality, not weight).
+  size_t num_rows_absorbed() const { return num_rows_absorbed_; }
+
+  /// True if both classes carry weight — a fit is only meaningful then.
+  bool HasBothClasses() const {
+    return total_positive_ > 0.0 && total_positive_ < total_weight_;
+  }
+
+  const BinnedDatasetOptions& options() const { return options_; }
+
+ private:
+  /// Quantizes `features` into key_scratch_ and returns its hash.
+  uint64_t KeyOf(const double* features);
+  /// Index of the group with the key currently in key_scratch_ (hash
+  /// `h`), appending a fresh group for `features` if absent.
+  size_t GroupFor(uint64_t h, const double* features);
+
+  size_t num_features_;
+  BinnedDatasetOptions options_;
+  std::vector<double> rows_;      // Representatives, groups x features.
+  std::vector<int64_t> keys_;     // Quantized keys, groups x features.
+  std::vector<double> weight_;    // Per-group total weight.
+  std::vector<double> positive_;  // Per-group positive weight.
+  double total_weight_ = 0.0;
+  double total_positive_ = 0.0;
+  size_t num_rows_absorbed_ = 0;
+
+  // Open-chained hash index over the quantized keys: bucket_ maps a
+  // 64-bit key hash to the first group of its chain, next_ links groups
+  // with colliding hashes. Lookup compares the quantized keys, so hash
+  // collisions stay correct; group order is untouched by the index.
+  std::vector<uint32_t> buckets_;  // Power-of-two table, kNoGroup = empty.
+  std::vector<uint32_t> next_;    // Per-group chain link.
+  std::vector<int64_t> key_scratch_;
+
+  void Rehash(size_t num_buckets);
+};
+
+}  // namespace ml
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_ML_BINNED_DATASET_H_

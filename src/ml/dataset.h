@@ -49,6 +49,12 @@ class Dataset {
   /// Feature row `i` as `num_features()` contiguous doubles.
   const double* row(size_t i) const;
 
+  /// All rows as one size() x num_features() row-major block, and all
+  /// labels as size() contiguous doubles — the solver's chunked
+  /// accumulation view (no per-row indirection).
+  const double* raw_rows() const { return data_.data(); }
+  const double* raw_labels() const { return labels_.data(); }
+
   /// Feature row `i` as a Vector (copy; use `row` in hot loops).
   linalg::Vector features(size_t i) const;
 

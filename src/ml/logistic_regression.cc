@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "base/check.h"
 #include "linalg/matrix.h"
 #include "linalg/solve.h"
+#include "ml/binned_dataset.h"
+#include "runtime/parallel_for.h"
 
 namespace eqimpact {
 namespace ml {
@@ -28,6 +31,21 @@ inline double RowDot(const double* row, const double* w, size_t f,
 
 }  // namespace
 
+// Weighted contiguous rows: row i carries total weight weights[i] (1.0
+// for every row when weights == nullptr) of which positives[i] is the
+// label-1 share (for unit-weight raw rows this is the 0/1 label itself).
+// The raw-row likelihood is the weights == nullptr special case of the
+// grouped one, so both Fit overloads share the accumulation below with
+// identical per-row arithmetic.
+struct LogisticRegression::WeightedRows {
+  const double* rows = nullptr;       // n x f, row-major.
+  const double* positives = nullptr;  // Positive weight per row.
+  const double* weights = nullptr;    // Total weight per row; nullptr = 1.
+  size_t n = 0;
+  size_t f = 0;
+  double total_weight = 0.0;
+};
+
 double Sigmoid(double t) {
   if (t >= 0.0) {
     double e = std::exp(-t);
@@ -42,20 +60,38 @@ LogisticRegression::LogisticRegression(LogisticRegressionOptions options)
   EQIMPACT_CHECK_GE(options_.l2_penalty, 0.0);
   EQIMPACT_CHECK_GT(options_.max_iterations, 0);
   EQIMPACT_CHECK_GT(options_.tolerance, 0.0);
+  EQIMPACT_CHECK_GT(options_.rows_per_chunk, 0u);
 }
 
 double LogisticRegression::PenalisedLoss(
-    const Dataset& data, const linalg::Vector& augmented) const {
-  const size_t f = data.num_features();
+    const WeightedRows& data, const linalg::Vector& augmented) const {
+  const size_t f = data.f;
+  const bool fit_intercept = options_.fit_intercept;
   const double* w = augmented.data().data();
+  runtime::ParallelForOptions dispatch;
+  dispatch.num_threads = options_.num_threads;
+  dispatch.pool = options_.pool;
+  std::vector<double> partials(
+      runtime::NumChunks(data.n, options_.rows_per_chunk), 0.0);
+  runtime::ParallelForChunks(
+      data.n, options_.rows_per_chunk,
+      [&](size_t chunk, size_t begin, size_t end) {
+        double local = 0.0;
+        for (size_t i = begin; i < end; ++i) {
+          double p = Sigmoid(
+              RowDot(data.rows + i * f, w, f, fit_intercept));
+          p = std::min(std::max(p, kProbabilityClip),
+                       1.0 - kProbabilityClip);
+          const double wt = data.weights != nullptr ? data.weights[i] : 1.0;
+          const double pos = data.positives[i];
+          local -= pos * std::log(p) + (wt - pos) * std::log(1.0 - p);
+        }
+        partials[chunk] = local;
+      },
+      dispatch);
   double loss = 0.0;
-  for (size_t i = 0; i < data.size(); ++i) {
-    double p =
-        Sigmoid(RowDot(data.row(i), w, f, options_.fit_intercept));
-    p = std::min(std::max(p, kProbabilityClip), 1.0 - kProbabilityClip);
-    loss -= data.label(i) == 1.0 ? std::log(p) : std::log(1.0 - p);
-  }
-  loss /= static_cast<double>(data.size());
+  for (double partial : partials) loss += partial;
+  loss /= data.total_weight;
   double penalty = 0.0;
   for (size_t j = 0; j < augmented.size(); ++j) {
     penalty += augmented[j] * augmented[j];
@@ -66,47 +102,101 @@ double LogisticRegression::PenalisedLoss(
 FitResult LogisticRegression::Fit(const Dataset& data) {
   FitResult result;
   if (!data.HasBothClasses()) return result;
+  WeightedRows rows;
+  rows.rows = data.raw_rows();
+  rows.positives = data.raw_labels();
+  rows.weights = nullptr;
+  rows.n = data.size();
+  rows.f = data.num_features();
+  rows.total_weight = static_cast<double>(data.size());
+  return FitImpl(rows);
+}
 
-  const size_t f = data.num_features();
-  const size_t d = f + (options_.fit_intercept ? 1u : 0u);
-  const size_t n = data.size();
+FitResult LogisticRegression::Fit(const BinnedDataset& data) {
+  FitResult result;
+  if (!data.HasBothClasses()) return result;
+  WeightedRows rows;
+  rows.rows = data.raw_rows();
+  rows.positives = data.raw_positives();
+  rows.weights = data.raw_weights();
+  rows.n = data.num_groups();
+  rows.f = data.num_features();
+  rows.total_weight = data.total_weight();
+  return FitImpl(rows);
+}
+
+FitResult LogisticRegression::FitImpl(const WeightedRows& data) {
+  FitResult result;
+  const size_t f = data.f;
+  const bool fit_intercept = options_.fit_intercept;
+  const size_t d = f + (fit_intercept ? 1u : 0u);
   linalg::Vector w(d);  // Start from zero: score 0, probability 1/2.
   if (options_.warm_start && fitted_ && weights_.size() == f) {
     for (size_t j = 0; j < f; ++j) w[j] = weights_[j];
-    if (options_.fit_intercept) w[f] = intercept_;
+    if (fit_intercept) w[f] = intercept_;
   }
 
-  // Scratch for the per-iteration accumulation: gradient and the upper
-  // triangle of the Hessian, in plain buffers (d is tiny — 2 or 3 — so
-  // these live in registers/L1; the Matrix is only formed for the solve).
+  // Per-chunk partial sums of the gradient and the upper triangle of the
+  // Hessian (stored as a dense d x d block per chunk; d is tiny — 2 or
+  // 3). Every chunk accumulates its rows in index order into its own
+  // slot and the slots are folded in chunk order below, so the reduced
+  // sums — and hence the coefficients — are bitwise-identical at every
+  // thread count (see runtime::ParallelForChunks).
+  const size_t num_chunks =
+      runtime::NumChunks(data.n, options_.rows_per_chunk);
+  const size_t stride = d + d * d;  // Gradient, then Hessian upper.
+  std::vector<double> partials(num_chunks * stride);
   std::vector<double> gradient(d);
   std::vector<double> hessian_upper(d * d);
+  runtime::ParallelForOptions dispatch;
+  dispatch.num_threads = options_.num_threads;
+  dispatch.pool = options_.pool;
 
-  // IRLS / Newton: at each step solve (X^T S X + n*lambda I) delta =
-  // X^T (y - mu) - n*lambda w with S = diag(mu (1 - mu)).
-  bool irls_failed = false;
-  for (int it = 0; it < options_.max_iterations; ++it) {
+  const auto accumulate = [&](const double* weights_ptr) {
+    runtime::ParallelForChunks(
+        data.n, options_.rows_per_chunk,
+        [&, weights_ptr](size_t chunk, size_t begin, size_t end) {
+          double* grad = &partials[chunk * stride];
+          double* hess = grad + d;
+          std::fill(grad, grad + stride, 0.0);
+          for (size_t i = begin; i < end; ++i) {
+            const double* row = data.rows + i * f;
+            const double wt =
+                data.weights != nullptr ? data.weights[i] : 1.0;
+            const double mu =
+                Sigmoid(RowDot(row, weights_ptr, f, fit_intercept));
+            const double s = wt * std::max(mu * (1.0 - mu), 1e-10);
+            const double residual = data.positives[i] - wt * mu;
+            for (size_t r = 0; r < d; ++r) {
+              const double xr = r < f ? row[r] : 1.0;
+              grad[r] += xr * residual;
+              const double sxr = s * xr;
+              for (size_t c = r; c < d; ++c) {
+                hess[r * d + c] += sxr * (c < f ? row[c] : 1.0);
+              }
+            }
+          }
+        },
+        dispatch);
     std::fill(gradient.begin(), gradient.end(), 0.0);
     std::fill(hessian_upper.begin(), hessian_upper.end(), 0.0);
-    const double* weights = w.data().data();
-    for (size_t i = 0; i < n; ++i) {
-      const double* row = data.row(i);
-      double mu =
-          Sigmoid(RowDot(row, weights, f, options_.fit_intercept));
-      double s = std::max(mu * (1.0 - mu), 1e-10);
-      double residual = data.label(i) - mu;
-      for (size_t r = 0; r < d; ++r) {
-        double xr = r < f ? row[r] : 1.0;
-        gradient[r] += xr * residual;
-        double sxr = s * xr;
-        for (size_t c = r; c < d; ++c) {
-          hessian_upper[r * d + c] += sxr * (c < f ? row[c] : 1.0);
-        }
-      }
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const double* grad = &partials[chunk * stride];
+      const double* hess = grad + d;
+      for (size_t r = 0; r < d; ++r) gradient[r] += grad[r];
+      for (size_t rc = 0; rc < d * d; ++rc) hessian_upper[rc] += hess[rc];
     }
-    // Symmetrise and add the ridge term (scaled by n so the penalty is per
-    // the mean loss used in PenalisedLoss).
-    double ridge = options_.l2_penalty * static_cast<double>(n);
+  };
+
+  // IRLS / Newton: at each step solve (X^T S X + W*lambda I) delta =
+  // X^T (y+ - w mu) - W*lambda w with S = diag(w mu (1 - mu)) and W the
+  // total weight (the raw-row count for unit weights).
+  bool irls_failed = false;
+  for (int it = 0; it < options_.max_iterations; ++it) {
+    accumulate(w.data().data());
+    // Symmetrise and add the ridge term (scaled by W so the penalty is
+    // per the mean loss used in PenalisedLoss).
+    const double ridge = options_.l2_penalty * data.total_weight;
     linalg::Matrix hessian(d, d);
     linalg::Vector newton_rhs(d);
     for (size_t r = 0; r < d; ++r) {
@@ -142,10 +232,10 @@ FitResult LogisticRegression::Fit(const Dataset& data) {
   }
 
   // Unpack weights.
-  if (options_.fit_intercept) {
-    weights_ = linalg::Vector(data.num_features());
-    for (size_t j = 0; j < data.num_features(); ++j) weights_[j] = w[j];
-    intercept_ = w[data.num_features()];
+  if (fit_intercept) {
+    weights_ = linalg::Vector(f);
+    for (size_t j = 0; j < f; ++j) weights_[j] = w[j];
+    intercept_ = w[f];
   } else {
     weights_ = w;
     intercept_ = 0.0;
@@ -157,25 +247,45 @@ FitResult LogisticRegression::Fit(const Dataset& data) {
 }
 
 FitResult LogisticRegression::FitGradientDescent(
-    const Dataset& data, linalg::Vector* augmented) const {
+    const WeightedRows& data, linalg::Vector* augmented) const {
   FitResult result;
-  const size_t f = data.num_features();
+  const size_t f = data.f;
+  const bool fit_intercept = options_.fit_intercept;
   const size_t d = augmented->size();
-  const size_t n = data.size();
   linalg::Vector w = *augmented;
+  const size_t num_chunks =
+      runtime::NumChunks(data.n, options_.rows_per_chunk);
+  std::vector<double> partials(num_chunks * d);
+  runtime::ParallelForOptions dispatch;
+  dispatch.num_threads = options_.num_threads;
+  dispatch.pool = options_.pool;
   for (int it = 0; it < options_.gradient_iterations; ++it) {
+    const double* weights_ptr = w.data().data();
+    runtime::ParallelForChunks(
+        data.n, options_.rows_per_chunk,
+        [&, weights_ptr](size_t chunk, size_t begin, size_t end) {
+          double* grad = &partials[chunk * d];
+          std::fill(grad, grad + d, 0.0);
+          for (size_t i = begin; i < end; ++i) {
+            const double* row = data.rows + i * f;
+            const double wt =
+                data.weights != nullptr ? data.weights[i] : 1.0;
+            const double mu =
+                Sigmoid(RowDot(row, weights_ptr, f, fit_intercept));
+            const double residual = data.positives[i] - wt * mu;
+            for (size_t r = 0; r < d; ++r) {
+              grad[r] += (r < f ? row[r] : 1.0) * residual;
+            }
+          }
+        },
+        dispatch);
     linalg::Vector gradient(d);
-    const double* weights = w.data().data();
-    for (size_t i = 0; i < n; ++i) {
-      const double* row = data.row(i);
-      double mu =
-          Sigmoid(RowDot(row, weights, f, options_.fit_intercept));
-      double residual = data.label(i) - mu;
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
       for (size_t r = 0; r < d; ++r) {
-        gradient[r] += (r < f ? row[r] : 1.0) * residual;
+        gradient[r] += partials[chunk * d + r];
       }
     }
-    gradient /= static_cast<double>(n);
+    gradient /= data.total_weight;
     for (size_t r = 0; r < d; ++r) {
       gradient[r] -= options_.l2_penalty * w[r];
     }

@@ -7,7 +7,13 @@
 #include "ml/dataset.h"
 
 namespace eqimpact {
+namespace runtime {
+class ThreadPool;
+}  // namespace runtime
+
 namespace ml {
+
+class BinnedDataset;
 
 /// Standard logistic sigmoid 1 / (1 + exp(-t)), numerically stable for
 /// large |t|.
@@ -43,6 +49,25 @@ struct LogisticRegressionOptions {
   /// unchanged; for the closed loop's yearly refit on a slowly growing
   /// history, convergence drops from ~8 Newton steps to 1-2.
   bool warm_start = false;
+
+  /// Worker threads for the gradient/Hessian/loss accumulation. 1 (the
+  /// default) runs sequentially; 0 = hardware concurrency. The fitted
+  /// coefficients are bitwise-identical at every thread count: rows are
+  /// accumulated in `rows_per_chunk`-sized chunks whose partial sums are
+  /// folded in chunk order (see runtime::ParallelForChunks).
+  size_t num_threads = 1;
+
+  /// Rows (raw) or groups (binned) per accumulation chunk — the unit of
+  /// the ordered reduction. Changing it regroups the floating-point sums
+  /// (a last-ULP-level change, like a different summation order); the
+  /// thread count never does.
+  size_t rows_per_chunk = 8192;
+
+  /// Optional caller-owned pool for the accumulation dispatch (see
+  /// runtime::ParallelForOptions::pool). The credit loop passes the
+  /// persistent pool its per-year passes already own, so the yearly refit
+  /// shares those workers. Not owned; must outlive every Fit call.
+  runtime::ThreadPool* pool = nullptr;
 };
 
 /// Result of a fit.
@@ -63,14 +88,29 @@ struct FitResult {
 /// the filtered loop history and derives the scorecard from its weights
 /// (Table I). Implemented from first principles — no external solver —
 /// per the reproduction ground rules.
+///
+/// Fits accept either raw rows (Dataset) or the sufficient-statistics
+/// form (BinnedDataset): a group with weight w and positive weight w+
+/// contributes w+ * log(mu) + (w - w+) * log(1 - mu) to the
+/// log-likelihood, which equals the raw-row likelihood exactly when the
+/// grouping is exact, so both forms share one weighted solver. The
+/// per-iteration accumulation is chunked through runtime::ParallelFor
+/// with an ordered reduction (options.num_threads workers), making the
+/// coefficients a pure function of the data and rows_per_chunk — never
+/// of the thread count.
 class LogisticRegression {
  public:
   explicit LogisticRegression(
       LogisticRegressionOptions options = LogisticRegressionOptions());
 
-  /// Fits on `data`. Requires both classes present (returns
+  /// Fits on raw rows. Requires both classes present (returns
   /// success = false otherwise). Refitting replaces the previous weights.
   FitResult Fit(const Dataset& data);
+
+  /// Fits on weighted unique-row groups — the O(groups) refit of the
+  /// closed loop's accumulated history. Requires both classes to carry
+  /// weight (returns success = false otherwise).
+  FitResult Fit(const BinnedDataset& data);
 
   /// True once a successful Fit has been performed.
   bool fitted() const { return fitted_; }
@@ -90,10 +130,15 @@ class LogisticRegression {
   const LogisticRegressionOptions& options() const { return options_; }
 
  private:
+  /// Contiguous weighted-row view shared by both Fit overloads; defined
+  /// in the .cc.
+  struct WeightedRows;
+
+  FitResult FitImpl(const WeightedRows& rows);
   /// Mean penalised log-loss at the given augmented weights.
-  double PenalisedLoss(const Dataset& data,
+  double PenalisedLoss(const WeightedRows& rows,
                        const linalg::Vector& augmented) const;
-  FitResult FitGradientDescent(const Dataset& data,
+  FitResult FitGradientDescent(const WeightedRows& rows,
                                linalg::Vector* augmented) const;
 
   LogisticRegressionOptions options_;

@@ -44,13 +44,37 @@ void DispatchOnPool(ThreadPool* pool, size_t num_workers, size_t count,
 
 }  // namespace
 
+size_t NumChunks(size_t count, size_t chunk_size) {
+  EQIMPACT_CHECK_GT(chunk_size, 0u);
+  return (count + chunk_size - 1) / chunk_size;
+}
+
+void ParallelForChunks(
+    size_t count, size_t chunk_size,
+    const std::function<void(size_t chunk, size_t begin, size_t end)>& body,
+    const ParallelForOptions& options) {
+  EQIMPACT_CHECK(body != nullptr);
+  const size_t num_chunks = NumChunks(count, chunk_size);
+  ParallelFor(
+      num_chunks,
+      [&body, chunk_size, count](size_t chunk) {
+        const size_t begin = chunk * chunk_size;
+        body(chunk, begin, std::min(begin + chunk_size, count));
+      },
+      options);
+}
+
 void ParallelFor(size_t count, const std::function<void(size_t)>& body,
                  const ParallelForOptions& options) {
   EQIMPACT_CHECK(body != nullptr);
   if (count == 0) return;
 
+  // One effective worker (one iteration, one-thread option, or a
+  // one-worker pool): run inline — same iteration order, no dispatch
+  // round-trip. This keeps single-chunk reductions (e.g. the grouped
+  // logistic fit over a few hundred groups) off the pool entirely.
   const size_t num_threads = std::min(EffectiveNumThreads(options), count);
-  if (num_threads == 1 && options.pool == nullptr) {
+  if (num_threads == 1) {
     for (size_t i = 0; i < count; ++i) body(i);
     return;
   }

@@ -55,6 +55,27 @@ void ParallelFor(size_t count, const std::function<void(size_t)>& body,
 /// Effective worker count `ParallelFor` would use for this options value.
 size_t EffectiveNumThreads(const ParallelForOptions& options);
 
+/// Number of `chunk_size`-sized chunks covering [0, count).
+size_t NumChunks(size_t count, size_t chunk_size);
+
+/// Runs `body(chunk, begin, end)` for every chunk [begin, end) of
+/// [0, count) with at most `chunk_size` indices each, distributing the
+/// chunks across workers like `ParallelFor`.
+///
+/// This is the library's ordered-reduction building block: a body that
+/// accumulates into a slot owned by its chunk index
+/// (`partials[chunk] = Accumulate(begin, end)`) can be folded over chunk
+/// order sequentially afterwards, giving a reduction whose result is a
+/// pure function of (count, chunk_size) — bitwise-identical at every
+/// thread count, because neither the per-chunk accumulation order nor
+/// the fold order ever depends on the worker assignment. Both the credit
+/// engine's per-year passes and the logistic trainer's gradient/Hessian
+/// accumulation reduce this way.
+void ParallelForChunks(
+    size_t count, size_t chunk_size,
+    const std::function<void(size_t chunk, size_t begin, size_t end)>& body,
+    const ParallelForOptions& options = ParallelForOptions());
+
 }  // namespace runtime
 }  // namespace eqimpact
 

@@ -15,8 +15,12 @@ namespace sim {
 /// "five trials ... with each trial using a new batch of 1000 users").
 struct MultiTrialOptions {
   /// Per-trial loop configuration. `loop.num_threads` parallelises
-  /// *within* each trial (chunked user passes); `loop.keep_user_adr` is
-  /// overridden by `keep_raw_series` below.
+  /// *within* each trial (chunked user passes and the yearly scorecard
+  /// refit's chunked reduction); `loop.keep_user_adr` is overridden by
+  /// `keep_raw_series` below. Each trial's training history is held as
+  /// weighted (ADR, code) groups (see
+  /// credit::CreditLoopOptions::history_adr_bin_width), so even a
+  /// 10^6-user trial carries no num_users x num_years training state.
   credit::CreditLoopOptions loop;
   size_t num_trials = 5;
   /// Trial t runs with seed runtime::SeedSequence(master_seed).Seed(t)

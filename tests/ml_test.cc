@@ -8,11 +8,13 @@
 #include <gtest/gtest.h>
 
 #include "linalg/vector.h"
+#include "ml/binned_dataset.h"
 #include "ml/dataset.h"
 #include "ml/logistic_regression.h"
 #include "ml/metrics.h"
 #include "ml/scorecard.h"
 #include "rng/random.h"
+#include "runtime/thread_pool.h"
 
 namespace eqimpact {
 namespace {
@@ -107,6 +109,170 @@ TEST(DatasetTest, MatrixAndLabelSnapshots) {
   EXPECT_DOUBLE_EQ(x(1, 0), 3.0);
   Vector y = data.LabelVector();
   EXPECT_DOUBLE_EQ(y[1], 1.0);
+}
+
+// --- BinnedDataset ----------------------------------------------------------
+
+TEST(BinnedDatasetTest, GroupsRepeatedRowsExactly) {
+  ml::BinnedDataset data(2);
+  const double a[2] = {0.25, 1.0};
+  const double b[2] = {0.5, 0.0};
+  data.AddRow(a, 1.0);
+  data.AddRow(b, 0.0);
+  data.AddRow(a, 0.0);
+  data.AddRow(a, 1.0);
+  EXPECT_EQ(data.num_groups(), 2u);
+  EXPECT_EQ(data.num_rows_absorbed(), 4u);
+  EXPECT_DOUBLE_EQ(data.weight(0), 3.0);
+  EXPECT_DOUBLE_EQ(data.positive_weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(data.weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(data.positive_weight(1), 0.0);
+  EXPECT_DOUBLE_EQ(data.row(0)[0], 0.25);  // Exact representative.
+  EXPECT_DOUBLE_EQ(data.row(0)[1], 1.0);
+  EXPECT_DOUBLE_EQ(data.total_weight(), 4.0);
+  EXPECT_DOUBLE_EQ(data.total_positive(), 2.0);
+  EXPECT_TRUE(data.HasBothClasses());
+}
+
+TEST(BinnedDatasetTest, GroupOrderIsFirstOccurrenceOrder) {
+  // The fit's chunked accumulation runs in group order, so the order
+  // must be the deterministic insertion order, never hash order.
+  ml::BinnedDataset data(1);
+  for (int i = 20; i > 0; --i) {
+    const double x = static_cast<double>(i);
+    data.AddRow(&x, 0.0);
+  }
+  for (size_t g = 0; g < data.num_groups(); ++g) {
+    EXPECT_DOUBLE_EQ(data.row(g)[0], static_cast<double>(20 - g));
+  }
+}
+
+TEST(BinnedDatasetTest, NegativeZeroSharesAGroupWithZero) {
+  ml::BinnedDataset data(1);
+  const double pos = 0.0;
+  const double neg = -0.0;
+  data.AddRow(&pos, 0.0);
+  data.AddRow(&neg, 1.0);
+  EXPECT_EQ(data.num_groups(), 1u);
+  EXPECT_DOUBLE_EQ(data.row(0)[0], 0.0);
+}
+
+TEST(BinnedDatasetTest, SingleClassDetection) {
+  ml::BinnedDataset data(1);
+  const double x = 1.0;
+  data.AddRow(&x, 1.0);
+  data.AddRow(&x, 1.0);
+  EXPECT_FALSE(data.HasBothClasses());
+}
+
+TEST(BinnedDatasetTest, WeightedRowsFold) {
+  ml::BinnedDataset data(1);
+  const double x = 2.0;
+  data.AddRow(&x, 1.0, 2.5);
+  data.AddRow(&x, 0.0, 0.5);
+  EXPECT_EQ(data.num_groups(), 1u);
+  EXPECT_DOUBLE_EQ(data.weight(0), 3.0);
+  EXPECT_DOUBLE_EQ(data.positive_weight(0), 2.5);
+}
+
+TEST(BinnedDatasetTest, FixedBinGroupingUsesBinCentres) {
+  // Width-0.1 bins: 0.31, 0.33, 0.39 share bin [0.3, 0.4) with centre
+  // 0.35; every surrogate is within width / 2 of the raw value.
+  ml::BinnedDatasetOptions options;
+  options.bin_widths = {0.1};
+  ml::BinnedDataset data(1, options);
+  for (double x : {0.31, 0.33, 0.39}) data.AddRow(&x, 1.0);
+  const double other = 0.41;
+  data.AddRow(&other, 0.0);
+  EXPECT_EQ(data.num_groups(), 2u);
+  EXPECT_NEAR(data.row(0)[0], 0.35, 1e-12);
+  EXPECT_NEAR(data.row(1)[0], 0.45, 1e-12);
+  EXPECT_DOUBLE_EQ(data.weight(0), 3.0);
+  for (double x : {0.31, 0.33, 0.39}) {
+    EXPECT_LE(std::fabs(x - data.row(0)[0]), 0.05);
+  }
+}
+
+TEST(BinnedDatasetTest, PerFeatureWidthsMixExactAndBinned) {
+  // ADR binned at 0.5, code exact: codes 0 and 1 never share a group.
+  ml::BinnedDatasetOptions options;
+  options.bin_widths = {0.5, 0.0};
+  ml::BinnedDataset data(2, options);
+  const double rows[4][2] = {
+      {0.1, 0.0}, {0.4, 0.0}, {0.1, 1.0}, {0.4, 1.0}};
+  for (const double* row : {rows[0], rows[1], rows[2], rows[3]}) {
+    data.AddRow(row, 1.0);
+  }
+  EXPECT_EQ(data.num_groups(), 2u);
+  EXPECT_DOUBLE_EQ(data.row(0)[1], 0.0);  // Code stays exact.
+  EXPECT_DOUBLE_EQ(data.row(1)[1], 1.0);
+}
+
+TEST(BinnedDatasetTest, MergeMatchesDirectBuild) {
+  rng::Random random(42);
+  ml::BinnedDataset direct(2);
+  ml::BinnedDataset left(2);
+  ml::BinnedDataset right(2);
+  for (int i = 0; i < 400; ++i) {
+    const double row[2] = {
+        static_cast<double>(random.UniformInt(8)) / 8.0,
+        random.Bernoulli(0.5) ? 1.0 : 0.0};
+    const double label = random.Bernoulli(0.4) ? 1.0 : 0.0;
+    direct.AddRow(row, label);
+    (i < 250 ? left : right).AddRow(row, label);
+  }
+  left.Merge(right);
+  ASSERT_EQ(left.num_groups(), direct.num_groups());
+  EXPECT_DOUBLE_EQ(left.total_weight(), direct.total_weight());
+  EXPECT_EQ(left.num_rows_absorbed(), direct.num_rows_absorbed());
+  for (size_t g = 0; g < direct.num_groups(); ++g) {
+    EXPECT_DOUBLE_EQ(left.row(g)[0], direct.row(g)[0]);
+    EXPECT_DOUBLE_EQ(left.row(g)[1], direct.row(g)[1]);
+    EXPECT_DOUBLE_EQ(left.weight(g), direct.weight(g));
+    EXPECT_DOUBLE_EQ(left.positive_weight(g), direct.positive_weight(g));
+  }
+}
+
+TEST(BinnedDatasetTest, ClearKeepsConfigurationDropsGroups) {
+  ml::BinnedDataset data(1);
+  const double x = 3.0;
+  data.AddRow(&x, 1.0);
+  data.Clear();
+  EXPECT_EQ(data.num_groups(), 0u);
+  EXPECT_DOUBLE_EQ(data.total_weight(), 0.0);
+  EXPECT_FALSE(data.HasBothClasses());
+  data.AddRow(&x, 0.0);  // Reusable after Clear.
+  EXPECT_EQ(data.num_groups(), 1u);
+}
+
+TEST(BinnedDatasetTest, FromDatasetGroupsEveryRow) {
+  ml::Dataset raw(2);
+  raw.Add(Vector{0.5, 1.0}, 1.0);
+  raw.Add(Vector{0.5, 1.0}, 0.0);
+  raw.Add(Vector{0.25, 0.0}, 0.0);
+  ml::BinnedDataset binned = ml::BinnedDataset::FromDataset(raw);
+  EXPECT_EQ(binned.num_groups(), 2u);
+  EXPECT_EQ(binned.num_rows_absorbed(), 3u);
+  EXPECT_DOUBLE_EQ(binned.total_weight(), 3.0);
+  EXPECT_DOUBLE_EQ(binned.total_positive(), 1.0);
+}
+
+TEST(BinnedDatasetTest, ManyGroupsSurviveRehashing) {
+  // More groups than the initial hash table's buckets: the index grows
+  // and every group keeps its identity and order.
+  ml::BinnedDataset data(1);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < 1000; ++i) {
+      const double x = static_cast<double>(i);
+      data.AddRow(&x, pass == 0 ? 1.0 : 0.0);
+    }
+  }
+  ASSERT_EQ(data.num_groups(), 1000u);
+  for (size_t g = 0; g < 1000; ++g) {
+    EXPECT_DOUBLE_EQ(data.row(g)[0], static_cast<double>(g));
+    EXPECT_DOUBLE_EQ(data.weight(g), 2.0);
+    EXPECT_DOUBLE_EQ(data.positive_weight(g), 1.0);
+  }
 }
 
 // Generates data from a ground-truth logistic model.
@@ -207,6 +373,183 @@ TEST(LogisticRegressionTest, DecisionFunctionIsLinear) {
   double b = model.DecisionFunction(Vector{0.0, 1.0});
   double ab = model.DecisionFunction(Vector{1.0, 1.0});
   EXPECT_NEAR(ab, a + b, 1e-9);
+}
+
+// --- Sufficient-statistics fit ----------------------------------------------
+
+// Synthetic credit-loop-shaped data: ADR rationals d/o (exact repeats)
+// and a 0/1 income code, labels from a ground-truth logistic model.
+ml::Dataset LoopShapedData(size_t n, uint64_t seed) {
+  rng::Random random(seed);
+  ml::Dataset data(2);
+  data.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int offers = 1 + static_cast<int>(random.UniformInt(10));
+    const int defaults = static_cast<int>(
+        random.UniformInt(static_cast<uint64_t>(offers) + 1));
+    const double adr =
+        static_cast<double>(defaults) / static_cast<double>(offers);
+    const double code = random.Bernoulli(0.6) ? 1.0 : 0.0;
+    const double p = ml::Sigmoid(-4.0 * adr + 3.0 * code + 0.5);
+    const double row[2] = {adr, code};
+    data.AddRow(row, random.Bernoulli(p) ? 1.0 : 0.0);
+  }
+  return data;
+}
+
+TEST(SufficientStatisticsFitTest, GroupedFitMatchesRawFitOnExactRepeats) {
+  // Exact grouping preserves the likelihood exactly, so raw-row IRLS and
+  // the grouped fit share the same optimum; both converge to it within
+  // the solver tolerance.
+  ml::Dataset raw = LoopShapedData(20000, 301);
+  ml::BinnedDataset grouped = ml::BinnedDataset::FromDataset(raw);
+  ASSERT_LT(grouped.num_groups(), 200u);  // ~2 * sum_{o<=10}(o+1) pairs.
+
+  ml::LogisticRegression raw_model;
+  ml::LogisticRegression grouped_model;
+  ml::FitResult raw_fit = raw_model.Fit(raw);
+  ml::FitResult grouped_fit = grouped_model.Fit(grouped);
+  ASSERT_TRUE(raw_fit.success);
+  ASSERT_TRUE(grouped_fit.success);
+  EXPECT_TRUE(grouped_fit.converged);
+  EXPECT_NEAR(grouped_model.weights()[0], raw_model.weights()[0], 1e-6);
+  EXPECT_NEAR(grouped_model.weights()[1], raw_model.weights()[1], 1e-6);
+  EXPECT_NEAR(grouped_fit.final_log_loss, raw_fit.final_log_loss, 1e-9);
+}
+
+TEST(SufficientStatisticsFitTest, GroupedFitMatchesRawFitWithIntercept) {
+  ml::Dataset raw = LoopShapedData(10000, 302);
+  ml::BinnedDataset grouped = ml::BinnedDataset::FromDataset(raw);
+  ml::LogisticRegressionOptions options;
+  options.fit_intercept = true;
+  ml::LogisticRegression raw_model(options);
+  ml::LogisticRegression grouped_model(options);
+  ASSERT_TRUE(raw_model.Fit(raw).success);
+  ASSERT_TRUE(grouped_model.Fit(grouped).success);
+  EXPECT_NEAR(grouped_model.weights()[0], raw_model.weights()[0], 1e-6);
+  EXPECT_NEAR(grouped_model.weights()[1], raw_model.weights()[1], 1e-6);
+  EXPECT_NEAR(grouped_model.intercept(), raw_model.intercept(), 1e-6);
+}
+
+TEST(SufficientStatisticsFitTest, BinnedFitIsWithinDocumentedTolerance) {
+  // Continuous features (no exact repeats): fixed-bin grouping perturbs
+  // each feature by at most width / 2, so the fitted coefficients drift
+  // by O(width), not more. At width 1e-3 the drift is far below the
+  // sampling noise of the fit itself.
+  rng::Random random(303);
+  ml::Dataset raw(2);
+  for (int i = 0; i < 20000; ++i) {
+    const double x0 = random.UniformDouble();
+    const double x1 = random.Bernoulli(0.5) ? 1.0 : 0.0;
+    const double p = ml::Sigmoid(-3.0 * x0 + 2.0 * x1);
+    const double row[2] = {x0, x1};
+    raw.AddRow(row, random.Bernoulli(p) ? 1.0 : 0.0);
+  }
+  ml::BinnedDatasetOptions bin_options;
+  bin_options.bin_widths = {1e-3, 0.0};
+  ml::BinnedDataset binned =
+      ml::BinnedDataset::FromDataset(raw, bin_options);
+  EXPECT_LT(binned.num_groups(), 2100u);  // ~2 codes x 1000 ADR bins.
+
+  ml::LogisticRegression raw_model;
+  ml::LogisticRegression binned_model;
+  ASSERT_TRUE(raw_model.Fit(raw).success);
+  ASSERT_TRUE(binned_model.Fit(binned).success);
+  EXPECT_NEAR(binned_model.weights()[0], raw_model.weights()[0], 0.02);
+  EXPECT_NEAR(binned_model.weights()[1], raw_model.weights()[1], 0.02);
+}
+
+TEST(SufficientStatisticsFitTest, WeightedGroupEqualsRepeatedUnitRows) {
+  // One group of weight w contributes exactly like w identical unit
+  // rows: the weighted likelihood is the sufficient-statistics identity
+  // the whole representation rests on.
+  ml::Dataset raw(1);
+  for (int i = 0; i < 4; ++i) raw.Add(Vector{1.0}, i < 3 ? 1.0 : 0.0);
+  raw.Add(Vector{-1.0}, 0.0);
+  ml::BinnedDataset grouped(1);
+  const double pos = 1.0;
+  const double neg = -1.0;
+  grouped.AddRow(&pos, 1.0, 3.0);
+  grouped.AddRow(&pos, 0.0, 1.0);
+  grouped.AddRow(&neg, 0.0, 1.0);
+  ml::LogisticRegression raw_model;
+  ml::LogisticRegression grouped_model;
+  ASSERT_TRUE(raw_model.Fit(raw).success);
+  ASSERT_TRUE(grouped_model.Fit(grouped).success);
+  EXPECT_NEAR(grouped_model.weights()[0], raw_model.weights()[0], 1e-9);
+}
+
+TEST(SufficientStatisticsFitTest, BitwiseIdenticalAcrossFitThreads) {
+  // The ordered chunk reduction makes the coefficients a pure function
+  // of the data and rows_per_chunk — never of the thread count. A small
+  // chunk size spreads the ~100 groups over many chunks so multi-chunk
+  // scheduling is genuinely exercised.
+  ml::Dataset raw = LoopShapedData(30000, 304);
+  ml::BinnedDataset grouped = ml::BinnedDataset::FromDataset(raw);
+  ASSERT_GT(grouped.num_groups(), 50u);
+
+  auto fit_weights = [&](size_t threads, const ml::BinnedDataset& data) {
+    ml::LogisticRegressionOptions options;
+    options.num_threads = threads;
+    options.rows_per_chunk = 8;
+    ml::LogisticRegression model(options);
+    ml::FitResult fit = model.Fit(data);
+    EXPECT_TRUE(fit.success);
+    return std::make_pair(model.weights(), fit.final_log_loss);
+  };
+  const auto sequential = fit_weights(1, grouped);
+  for (size_t threads : {2u, 8u}) {
+    const auto parallel = fit_weights(threads, grouped);
+    ASSERT_EQ(parallel.first.size(), sequential.first.size());
+    for (size_t j = 0; j < sequential.first.size(); ++j) {
+      EXPECT_EQ(parallel.first[j], sequential.first[j])
+          << "threads=" << threads << " weight " << j;
+    }
+    EXPECT_EQ(parallel.second, sequential.second) << "threads=" << threads;
+  }
+}
+
+TEST(SufficientStatisticsFitTest, RawRowFitAlsoThreadCountInvariant) {
+  // The same ordered reduction backs the raw-row path.
+  ml::Dataset raw = LoopShapedData(5000, 305);
+  auto fit_weights = [&](size_t threads) {
+    ml::LogisticRegressionOptions options;
+    options.num_threads = threads;
+    options.rows_per_chunk = 256;
+    ml::LogisticRegression model(options);
+    EXPECT_TRUE(model.Fit(raw).success);
+    return model.weights();
+  };
+  const Vector sequential = fit_weights(1);
+  for (size_t threads : {2u, 8u}) {
+    const Vector parallel = fit_weights(threads);
+    for (size_t j = 0; j < sequential.size(); ++j) {
+      EXPECT_EQ(parallel[j], sequential[j]) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(SufficientStatisticsFitTest, CallerOwnedPoolMatchesInlineFit) {
+  // The credit loop hands the trainer its persistent per-trial pool; the
+  // pooled dispatch must reproduce the inline fit bitwise.
+  ml::Dataset raw = LoopShapedData(8000, 306);
+  ml::BinnedDataset grouped = ml::BinnedDataset::FromDataset(raw);
+
+  ml::LogisticRegressionOptions inline_options;
+  inline_options.rows_per_chunk = 8;
+  ml::LogisticRegression inline_model(inline_options);
+  ASSERT_TRUE(inline_model.Fit(grouped).success);
+
+  runtime::ThreadPool pool(3);
+  ml::LogisticRegressionOptions pooled_options;
+  pooled_options.rows_per_chunk = 8;
+  pooled_options.pool = &pool;
+  ml::LogisticRegression pooled_model(pooled_options);
+  ASSERT_TRUE(pooled_model.Fit(grouped).success);
+
+  for (size_t j = 0; j < inline_model.weights().size(); ++j) {
+    EXPECT_EQ(pooled_model.weights()[j], inline_model.weights()[j]);
+  }
 }
 
 TEST(MetricsTest, LogLossOfPerfectPredictionsIsSmall) {

@@ -163,6 +163,70 @@ TEST(ParallelForTest, CallerOwnedPoolPropagatesException) {
   EXPECT_EQ(counter.load(), 10);
 }
 
+TEST(ParallelForChunksTest, NumChunksCoversTheRange) {
+  EXPECT_EQ(runtime::NumChunks(0, 10), 0u);
+  EXPECT_EQ(runtime::NumChunks(1, 10), 1u);
+  EXPECT_EQ(runtime::NumChunks(10, 10), 1u);
+  EXPECT_EQ(runtime::NumChunks(11, 10), 2u);
+  EXPECT_EQ(runtime::NumChunks(100, 7), 15u);
+}
+
+TEST(ParallelForChunksTest, ChunksPartitionTheRange) {
+  for (size_t threads : {1u, 2u, 8u}) {
+    std::vector<int> visits(103, 0);
+    std::vector<int> chunk_of(103, -1);
+    runtime::ParallelForOptions options;
+    options.num_threads = threads;
+    runtime::ParallelForChunks(
+        visits.size(), 10,
+        [&](size_t chunk, size_t begin, size_t end) {
+          EXPECT_EQ(begin, chunk * 10);
+          EXPECT_LE(end, visits.size());
+          EXPECT_LE(end - begin, 10u);
+          for (size_t i = begin; i < end; ++i) {
+            visits[i] += 1;
+            chunk_of[i] = static_cast<int>(chunk);
+          }
+        },
+        options);
+    for (size_t i = 0; i < visits.size(); ++i) {
+      EXPECT_EQ(visits[i], 1) << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(chunk_of[i], static_cast<int>(i / 10));
+    }
+  }
+}
+
+TEST(ParallelForChunksTest, OrderedReductionIsThreadCountInvariant) {
+  // The reduction recipe the ml fit and the credit engine rely on:
+  // per-chunk partial sums folded in chunk order are bitwise-identical
+  // at every thread count, because the chunk layout and both summation
+  // orders are fixed by (count, chunk_size) alone.
+  std::vector<double> values(10007);
+  rng::Random random(99);
+  for (double& v : values) v = random.UniformDouble(-1.0, 1.0);
+
+  auto reduce = [&values](size_t threads) {
+    constexpr size_t kChunk = 64;
+    std::vector<double> partials(runtime::NumChunks(values.size(), kChunk));
+    runtime::ParallelForOptions options;
+    options.num_threads = threads;
+    runtime::ParallelForChunks(
+        values.size(), kChunk,
+        [&](size_t chunk, size_t begin, size_t end) {
+          double local = 0.0;
+          for (size_t i = begin; i < end; ++i) local += values[i];
+          partials[chunk] = local;
+        },
+        options);
+    double total = 0.0;
+    for (double partial : partials) total += partial;
+    return total;
+  };
+  const double sequential = reduce(1);
+  EXPECT_EQ(reduce(2), sequential);   // Bitwise, not approximate.
+  EXPECT_EQ(reduce(8), sequential);
+}
+
 TEST(SeedSequenceTest, MatchesDeriveSeedConvention) {
   runtime::SeedSequence seeds(42);
   for (uint64_t i = 0; i < 100; ++i) {
