@@ -27,6 +27,12 @@
 //    digest over the coefficients proving they are bitwise-identical at
 //    every thread count.
 //
+//  * "market_scaling" — the matching-market scenario through the
+//    generic scenario/experiment API (sim::MatchingMarketScenario via
+//    sim::RunExperiment): the trial-parallel driver the market gained
+//    in PR 4, swept over thread counts with a sim::ExperimentDigest
+//    proving bitwise-identical aggregates at every thread count.
+//
 //  * "micro" — single-thread timings of the library's hot paths (RNG
 //    throughput, normal CDF, logistic IRLS, one closed-loop trial,
 //    Markov/linalg kernels) replacing the earlier google-benchmark
@@ -53,6 +59,7 @@
 #include <sys/resource.h>
 #endif
 
+#include "base/fnv1a.h"
 #include "credit/credit_loop.h"
 #include "linalg/eigen.h"
 #include "linalg/matrix.h"
@@ -69,6 +76,8 @@
 #include "rng/normal.h"
 #include "rng/random.h"
 #include "runtime/thread_pool.h"
+#include "sim/experiment.h"
+#include "sim/market_scenario.h"
 #include "sim/multi_trial.h"
 #include "stats/adr_accumulator.h"
 
@@ -93,42 +102,8 @@ double PeakRssMb() {
   return 0.0;
 }
 
-/// Order-dependent FNV-1a mixer: values must be mixed in slot order for
-/// equal results to produce equal digests — slot order is part of the
-/// determinism contract. Any bitwise difference changes the digest.
-class Fnv1a {
- public:
-  void Mix(uint64_t v) {
-    hash_ ^= v;
-    hash_ *= 1099511628211ULL;
-  }
-  void MixDouble(double value) {
-    uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(value), "need 64-bit double");
-    std::memcpy(&bits, &value, sizeof(bits));
-    Mix(bits);
-  }
-  void MixSeries(const std::vector<double>& series) {
-    for (double value : series) MixDouble(value);
-  }
-  void MixAccumulator(const eqimpact::stats::AdrAccumulator& adr) {
-    for (size_t k = 0; k < adr.num_steps(); ++k) {
-      for (size_t g = 0; g < adr.num_groups(); ++g) {
-        const eqimpact::stats::RunningStats& stats = adr.stats(k, g);
-        Mix(static_cast<uint64_t>(stats.count()));
-        MixDouble(stats.Mean());
-        MixDouble(stats.Variance());
-        for (size_t b = 0; b < adr.num_bins(); ++b) {
-          Mix(static_cast<uint64_t>(adr.bin_count(k, g, b)));
-        }
-      }
-    }
-  }
-  uint64_t hash() const { return hash_; }
-
- private:
-  uint64_t hash_ = 1469598103934665603ULL;
-};
+using Fnv1a = eqimpact::base::Fnv1a;
+using eqimpact::sim::MixAccumulator;
 
 uint64_t Digest(const eqimpact::sim::MultiTrialResult& result) {
   Fnv1a digest;
@@ -139,7 +114,7 @@ uint64_t Digest(const eqimpact::sim::MultiTrialResult& result) {
   for (const auto& envelope : result.race_envelopes) {
     digest.MixSeries(envelope.mean);
   }
-  digest.MixAccumulator(result.pooled_adr);
+  MixAccumulator(&digest, result.pooled_adr);
   return digest.hash();
 }
 
@@ -148,7 +123,7 @@ uint64_t Digest(const eqimpact::credit::CreditLoopResult& result,
   Fnv1a digest;
   digest.MixSeries(result.overall_adr);
   for (const auto& series : result.race_adr) digest.MixSeries(series);
-  digest.MixAccumulator(adr);
+  MixAccumulator(&digest, adr);
   return digest.hash();
 }
 
@@ -583,10 +558,46 @@ int main(int argc, char** argv) {
     fit_deterministic = AllDigestsEqual(fit_runs);
   }
 
+  // --- Section 4: market scaling (scenario API, trial parallelism). ----
+  // The matching-market scenario through the generic experiment driver:
+  // the trial-level parallelism (and determinism contract) the market
+  // gained with the scenario API.
+  constexpr size_t kMarketWorkers = 200;
+  constexpr size_t kMarketRounds = 200;
+  std::vector<ScalingPoint> market_runs;
+  double market_sequential = 0.0;
+  for (size_t threads : thread_counts) {
+    eqimpact::sim::MatchingMarketScenarioOptions scenario_options;
+    scenario_options.market.num_workers = kMarketWorkers;
+    scenario_options.market.rounds = kMarketRounds;
+    eqimpact::sim::MatchingMarketScenario scenario(scenario_options);
+    eqimpact::sim::ExperimentOptions experiment_options;
+    experiment_options.num_trials = static_cast<size_t>(num_trials);
+    experiment_options.master_seed = 42;
+    experiment_options.num_threads = threads;
+    eqimpact::sim::ExperimentResult market_result;
+    ScalingPoint point;
+    point.num_threads = threads;
+    point.seconds = TimeIt([&scenario, &experiment_options, &market_result] {
+      market_result =
+          eqimpact::sim::RunExperiment(&scenario, experiment_options);
+    });
+    point.items_per_sec = static_cast<double>(num_trials) / point.seconds;
+    point.digest = eqimpact::sim::ExperimentDigest(market_result);
+    if (threads == 1) market_sequential = point.seconds;
+    point.speedup =
+        point.seconds > 0.0 ? market_sequential / point.seconds : 0.0;
+    market_runs.push_back(point);
+    std::fprintf(stderr,
+                 "  market threads=%zu %.3fs (%.2f trials/s, %.2fx)\n",
+                 threads, point.seconds, point.items_per_sec, point.speedup);
+  }
+  const bool market_deterministic = AllDigestsEqual(market_runs);
+
   std::vector<MicroResult> micro = RunMicroSuite();
 
-  const bool deterministic =
-      multi_deterministic && within_deterministic && fit_deterministic;
+  const bool deterministic = multi_deterministic && within_deterministic &&
+                             fit_deterministic && market_deterministic;
 
   // Emit the JSON document on stdout.
   std::printf("{\n");
@@ -646,6 +657,16 @@ int main(int argc, char** argv) {
     PrintScalingRuns(fit_runs, "fits_per_sec");
     std::printf("  },\n");
   }
+  std::printf("  \"market_scaling\": {\n");
+  std::printf("    \"num_trials\": %ld,\n", num_trials);
+  std::printf("    \"num_workers\": %zu,\n", kMarketWorkers);
+  std::printf("    \"num_rounds\": %zu,\n", kMarketRounds);
+  std::printf("    \"deterministic_across_thread_counts\": %s,\n",
+              market_deterministic ? "true" : "false");
+  std::printf("    \"digest\": \"%016" PRIx64 "\",\n",
+              market_runs.front().digest);
+  PrintScalingRuns(market_runs, "trials_per_sec");
+  std::printf("  },\n");
   std::printf("  \"micro\": [\n");
   for (size_t i = 0; i < micro.size(); ++i) {
     std::printf(

@@ -1,0 +1,351 @@
+// Generic scenario/experiment/sweep CLI over the string-keyed scenario
+// registry: one driver for every closed-loop instantiation (credit,
+// market, ensemble, and anything registered later), emitting JSON.
+//
+// Usage:
+//   run_experiment --list
+//   run_experiment --scenario=NAME [--trials=N] [--seed=S] [--threads=T]
+//                  [--trial-threads=T] [--bins=B]
+//                  [--set name=value]... [--sweep name=v1,v2,...]...
+//
+// Without --sweep, runs one experiment and prints its aggregates; with
+// one or more --sweep axes, fans the Cartesian grid out over
+// experiments and prints one JSON row per grid point. --set assigns a
+// scenario parameter before the run (and before every sweep point).
+// Deterministic in the spec at every thread count; the digests printed
+// here certify it.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/scenario_registry.h"
+#include "sim/sweep.h"
+
+namespace {
+
+using eqimpact::sim::ExperimentOptions;
+using eqimpact::sim::ExperimentResult;
+using eqimpact::sim::Scenario;
+using eqimpact::sim::SweepOptions;
+using eqimpact::sim::SweepParameter;
+using eqimpact::sim::SweepResult;
+
+struct Assignment {
+  std::string name;
+  double value = 0.0;
+};
+
+struct CliSpec {
+  bool list = false;
+  std::string scenario;
+  ExperimentOptions experiment;
+  std::vector<Assignment> assignments;
+  std::vector<SweepParameter> sweeps;
+};
+
+bool ParseDouble(const std::string& text, double* value) {
+  char* end = nullptr;
+  *value = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0' && !text.empty();
+}
+
+/// Strict full-string parse of a non-negative integer flag value;
+/// rejects "1e3", "abc", "-2", "", and out-of-range magnitudes rather
+/// than silently truncating or clamping.
+bool ParseSize(const std::string& text, size_t* value) {
+  if (text.empty() || text[0] == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') return false;
+  *value = static_cast<size_t>(parsed);
+  return true;
+}
+
+/// Splits "name=v1,v2,..." into a sweep axis.
+bool ParseSweep(const std::string& spec, SweepParameter* parameter) {
+  const size_t equals = spec.find('=');
+  if (equals == std::string::npos || equals == 0) return false;
+  parameter->name = spec.substr(0, equals);
+  parameter->values.clear();
+  std::string rest = spec.substr(equals + 1);
+  size_t start = 0;
+  while (start <= rest.size()) {
+    size_t comma = rest.find(',', start);
+    if (comma == std::string::npos) comma = rest.size();
+    double value = 0.0;
+    if (!ParseDouble(rest.substr(start, comma - start), &value)) return false;
+    parameter->values.push_back(value);
+    start = comma + 1;
+  }
+  return !parameter->values.empty();
+}
+
+bool ParseArgs(int argc, char** argv, CliSpec* spec) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    auto parse_size_flag = [&arg, &value_of](const char* prefix,
+                                             size_t* value) {
+      if (!ParseSize(value_of(prefix), value)) {
+        std::fprintf(stderr,
+                     "error: bad %s value '%s' (want a non-negative "
+                     "integer)\n",
+                     prefix, value_of(prefix).c_str());
+        return false;
+      }
+      return true;
+    };
+    if (arg == "--list") {
+      spec->list = true;
+    } else if (arg.rfind("--scenario=", 0) == 0) {
+      spec->scenario = value_of("--scenario=");
+    } else if (arg.rfind("--trials=", 0) == 0) {
+      if (!parse_size_flag("--trials=", &spec->experiment.num_trials)) {
+        return false;
+      }
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      size_t seed = 0;
+      if (!parse_size_flag("--seed=", &seed)) return false;
+      spec->experiment.master_seed = static_cast<uint64_t>(seed);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      if (!parse_size_flag("--threads=", &spec->experiment.num_threads)) {
+        return false;
+      }
+    } else if (arg.rfind("--trial-threads=", 0) == 0) {
+      if (!parse_size_flag("--trial-threads=",
+                           &spec->experiment.trial_threads)) {
+        return false;
+      }
+    } else if (arg.rfind("--bins=", 0) == 0) {
+      if (!parse_size_flag("--bins=", &spec->experiment.impact_bins)) {
+        return false;
+      }
+    } else if (arg == "--set") {
+      const char* text = next_value("--set");
+      if (text == nullptr) return false;
+      std::string assignment = text;
+      const size_t equals = assignment.find('=');
+      Assignment parsed;
+      if (equals == std::string::npos || equals == 0 ||
+          !ParseDouble(assignment.substr(equals + 1), &parsed.value)) {
+        std::fprintf(stderr, "error: bad --set '%s' (want name=value)\n",
+                     text);
+        return false;
+      }
+      parsed.name = assignment.substr(0, equals);
+      spec->assignments.push_back(parsed);
+    } else if (arg == "--sweep") {
+      const char* text = next_value("--sweep");
+      if (text == nullptr) return false;
+      SweepParameter parameter;
+      if (!ParseSweep(text, &parameter)) {
+        std::fprintf(stderr, "error: bad --sweep '%s' (want name=v1,v2)\n",
+                     text);
+        return false;
+      }
+      spec->sweeps.push_back(std::move(parameter));
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintStringArray(const std::vector<std::string>& values) {
+  std::printf("[");
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::printf("\"%s\"%s", values[i].c_str(),
+                i + 1 < values.size() ? ", " : "");
+  }
+  std::printf("]");
+}
+
+void PrintSummary(const eqimpact::sim::EqualImpactSummary& summary,
+                  const char* indent) {
+  std::printf("%s\"group_gap\": %.9g,\n", indent, summary.group_gap);
+  std::printf("%s\"pooled_std\": %.9g,\n", indent, summary.pooled_std);
+  std::printf("%s\"pooled_mean\": %.9g", indent, summary.pooled_mean);
+}
+
+int RunSingle(Scenario* scenario, const CliSpec& spec) {
+  ExperimentResult result =
+      eqimpact::sim::RunExperiment(scenario, spec.experiment);
+  std::printf("{\n");
+  std::printf("  \"scenario\": \"%s\",\n", result.scenario.c_str());
+  std::printf("  \"num_trials\": %zu,\n", spec.experiment.num_trials);
+  std::printf("  \"master_seed\": %llu,\n",
+              static_cast<unsigned long long>(spec.experiment.master_seed));
+  std::printf("  \"group_labels\": ");
+  PrintStringArray(result.group_labels);
+  std::printf(",\n");
+  std::printf("  \"num_steps\": %zu,\n", result.step_labels.size());
+  std::printf("  \"final_group_mean\": [");
+  const size_t last = result.step_labels.size() - 1;
+  for (size_t g = 0; g < result.group_envelopes.size(); ++g) {
+    std::printf("%.9g%s", result.group_envelopes[g].mean[last],
+                g + 1 < result.group_envelopes.size() ? ", " : "");
+  }
+  std::printf("],\n");
+  std::printf("  \"metrics\": {\n");
+  for (size_t m = 0; m < result.metric_names.size(); ++m) {
+    std::printf("    \"%s\": {\"mean\": %.9g, \"std\": %.9g}%s\n",
+                result.metric_names[m].c_str(),
+                result.metric_stats[m].Mean(),
+                result.metric_stats[m].StdDev(),
+                m + 1 < result.metric_names.size() ? "," : "");
+  }
+  std::printf("  },\n");
+  std::printf("  \"summary\": {\n");
+  PrintSummary(result.summary, "    ");
+  std::printf("\n  },\n");
+  std::printf("  \"digest\": \"%016llx\"\n",
+              static_cast<unsigned long long>(
+                  eqimpact::sim::ExperimentDigest(result)));
+  std::printf("}\n");
+  return 0;
+}
+
+int RunGrid(const CliSpec& spec) {
+  eqimpact::sim::ScenarioFactory base_factory =
+      eqimpact::sim::GetScenarioFactory(spec.scenario);
+  // Every grid point starts from a fresh scenario with the --set
+  // assignments applied, then the point's sweep values on top.
+  auto factory = [&spec, &base_factory]() -> std::unique_ptr<Scenario> {
+    std::unique_ptr<Scenario> scenario = base_factory();
+    for (const Assignment& assignment : spec.assignments) {
+      if (!scenario->SetParameter(assignment.name, assignment.value)) {
+        std::fprintf(stderr, "error: scenario '%s' rejects parameter '%s' "
+                     "(unknown name or out-of-range value)\n",
+                     spec.scenario.c_str(), assignment.name.c_str());
+        std::exit(2);
+      }
+    }
+    return scenario;
+  };
+  // Validate every sweep value on a probe instance up front, so a
+  // mistyped --sweep name or an out-of-range grid value gets the same
+  // graceful diagnostic as --set instead of a mid-sweep abort.
+  {
+    std::unique_ptr<Scenario> probe = factory();
+    for (const SweepParameter& parameter : spec.sweeps) {
+      for (double value : parameter.values) {
+        if (!probe->SetParameter(parameter.name, value)) {
+          std::fprintf(stderr,
+                       "error: scenario '%s' rejects parameter '%s' = %g "
+                       "(unknown name or out-of-range value)\n",
+                       spec.scenario.c_str(), parameter.name.c_str(), value);
+          return 2;
+        }
+      }
+    }
+  }
+  SweepOptions options;
+  options.experiment = spec.experiment;
+  options.parameters = spec.sweeps;
+  SweepResult result = eqimpact::sim::RunSweep(factory, options);
+
+  std::printf("{\n");
+  std::printf("  \"scenario\": \"%s\",\n", result.scenario.c_str());
+  std::printf("  \"parameters\": ");
+  PrintStringArray(result.parameter_names);
+  std::printf(",\n");
+  std::printf("  \"metric_names\": ");
+  PrintStringArray(result.metric_names);
+  std::printf(",\n");
+  std::printf("  \"points\": [\n");
+  for (size_t p = 0; p < result.points.size(); ++p) {
+    const eqimpact::sim::SweepPoint& point = result.points[p];
+    std::printf("    {\"values\": [");
+    for (size_t v = 0; v < point.values.size(); ++v) {
+      std::printf("%.9g%s", point.values[v],
+                  v + 1 < point.values.size() ? ", " : "");
+    }
+    std::printf("], \"metric_means\": [");
+    for (size_t m = 0; m < point.metric_means.size(); ++m) {
+      std::printf("%.9g%s", point.metric_means[m],
+                  m + 1 < point.metric_means.size() ? ", " : "");
+    }
+    std::printf("],\n");
+    PrintSummary(point.summary, "     ");
+    std::printf(",\n     \"digest\": \"%016llx\"}%s\n",
+                static_cast<unsigned long long>(point.digest),
+                p + 1 < result.points.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"sweep_digest\": \"%016llx\"\n",
+              static_cast<unsigned long long>(
+                  eqimpact::sim::SweepDigest(result)));
+  std::printf("}\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliSpec spec;
+  if (!ParseArgs(argc, argv, &spec)) return 2;
+
+  if (spec.list) {
+    std::printf("{\n  \"scenarios\": [\n");
+    const std::vector<std::string> names =
+        eqimpact::sim::RegisteredScenarioNames();
+    for (size_t i = 0; i < names.size(); ++i) {
+      std::unique_ptr<Scenario> scenario =
+          eqimpact::sim::CreateScenario(names[i]);
+      std::printf("    {\"name\": \"%s\", \"groups\": ", names[i].c_str());
+      PrintStringArray(scenario->GroupLabels());
+      std::printf(", \"parameters\": ");
+      PrintStringArray(scenario->ParameterNames());
+      std::printf("}%s\n", i + 1 < names.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+  }
+
+  if (spec.scenario.empty()) {
+    std::fprintf(stderr,
+                 "usage: run_experiment --list | --scenario=NAME "
+                 "[--trials=N] [--seed=S] [--threads=T] [--trial-threads=T] "
+                 "[--bins=B] [--set name=value]... "
+                 "[--sweep name=v1,v2,...]...\n");
+    return 2;
+  }
+  if (spec.experiment.num_trials == 0 || spec.experiment.impact_bins == 0) {
+    std::fprintf(stderr, "error: --trials and --bins must be positive\n");
+    return 2;
+  }
+  std::unique_ptr<Scenario> scenario =
+      eqimpact::sim::CreateScenario(spec.scenario);
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "error: unknown scenario '%s' (try --list)\n",
+                 spec.scenario.c_str());
+    return 2;
+  }
+  for (const Assignment& assignment : spec.assignments) {
+    if (!scenario->SetParameter(assignment.name, assignment.value)) {
+      std::fprintf(stderr, "error: scenario '%s' rejects parameter '%s' "
+                     "(unknown name or out-of-range value)\n",
+                   spec.scenario.c_str(), assignment.name.c_str());
+      return 2;
+    }
+  }
+  if (spec.sweeps.empty()) return RunSingle(scenario.get(), spec);
+  return RunGrid(spec);
+}

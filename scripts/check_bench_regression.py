@@ -13,7 +13,10 @@ Checks, in order of severity:
    simulation's numerical behaviour changed — which must be a deliberate,
    snapshot-refreshing change, never an accident. Sections whose
    parameters differ from the snapshot's are skipped (the digest is not
-   comparable). The digest can differ across libm/compiler versions
+   comparable), as are sections absent from either run — so a fresh run
+   that skips legacy sections (e.g. within_users 0 / fit_rows 0) or an
+   old snapshot predating a section (market_scaling arrived in PR 4)
+   still checks cleanly. The digest can differ across libm/compiler versions
    (last-ULP changes in exp/erfc), so when a toolchain bump — not a code
    change — moves it, set EQIMPACT_BENCH_DIGEST_WARN_ONLY=1 to downgrade
    the mismatch to a warning for the commit that refreshes the snapshot.
@@ -134,12 +137,21 @@ def main(argv):
     e, n = compare_digests(fresh, snapshot, "fit_scaling", ["num_rows"])
     errors += e
     notes += n
+    e, n = compare_digests(
+        fresh,
+        snapshot,
+        "market_scaling",
+        ["num_trials", "num_workers", "num_rounds"],
+    )
+    errors += e
+    notes += n
 
     # 2. The fresh run must itself be thread-count deterministic.
     for section in (
         "multi_trial_scaling",
         "within_trial_scaling",
         "fit_scaling",
+        "market_scaling",
     ):
         if section in fresh and not fresh[section].get(
             "deterministic_across_thread_counts", True
@@ -172,6 +184,12 @@ def main(argv):
         sequential_rate(snapshot.get("fit_scaling", {}), "fits_per_sec"),
         warnings,
     )
+    check_rate(
+        "market_scaling trials/sec (1 thread)",
+        sequential_rate(fresh.get("market_scaling", {}), "trials_per_sec"),
+        sequential_rate(snapshot.get("market_scaling", {}), "trials_per_sec"),
+        warnings,
+    )
 
     # Thread-sweep points: meaningless when either side ran on one core
     # (every multi-thread point is oversubscribed there), so suppressed.
@@ -197,6 +215,9 @@ def main(argv):
         )
         check_thread_sweep(
             "fit_scaling", fresh, snapshot, "fits_per_sec", warnings
+        )
+        check_thread_sweep(
+            "market_scaling", fresh, snapshot, "trials_per_sec", warnings
         )
     snapshot_micro = {
         m["name"]: m.get("items_per_sec")

@@ -38,5 +38,15 @@ double ImpactEqualizer::Observe(const std::vector<double>& class_impacts) {
   return last_gap_;
 }
 
+ImpactEqualizer MakeEqualizer(size_t num_classes,
+                              const EqualizerInterventionOptions& options) {
+  EQIMPACT_CHECK(options.enabled());
+  EQIMPACT_CHECK_GT(options.max_offset, 0.0);
+  const double eta =
+      options.beneficial_impact ? -options.strength : options.strength;
+  return ImpactEqualizer(num_classes, eta, -options.max_offset,
+                         options.max_offset);
+}
+
 }  // namespace core
 }  // namespace eqimpact

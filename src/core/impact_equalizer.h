@@ -64,6 +64,35 @@ class ImpactEqualizer {
   size_t steps_ = 0;
 };
 
+/// Sweepable specification of an equalizer intervention — the
+/// regulator-side knob the scenario/sweep API grids over (e.g.
+/// `sim::RunSweep` fanning "equalizer_strength" over a market
+/// experiment). Plain data so a sweep point is one double assignment.
+struct EqualizerInterventionOptions {
+  /// Consensus-step size |eta|. 0 disables the intervention entirely
+  /// (scenarios must not construct an equalizer then — see enabled()).
+  double strength = 0.0;
+  /// Offsets are clipped to the symmetric interval
+  /// [-max_offset, max_offset].
+  double max_offset = 1.0;
+  /// Loop passes (rounds, years, ...) between Observe calls.
+  size_t period = 10;
+  /// Impact polarity. The raw update raises the offset of classes whose
+  /// impact sits *above* average, under the convention that a larger
+  /// offset reduces impact (ADR-style adverse impact). When the impact
+  /// is beneficial (match rates, approval rates) set this flag: the
+  /// learning rate's sign is flipped, so *under-served* classes receive
+  /// the larger offsets (e.g. bigger exploration-lottery weights).
+  bool beneficial_impact = false;
+
+  bool enabled() const { return strength > 0.0; }
+};
+
+/// Builds an ImpactEqualizer from the sweepable spec. CHECK-fails when
+/// the spec is disabled (strength == 0) — callers gate on enabled().
+ImpactEqualizer MakeEqualizer(size_t num_classes,
+                              const EqualizerInterventionOptions& options);
+
 }  // namespace core
 }  // namespace eqimpact
 

@@ -88,17 +88,25 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
   // Within-trial dispatch: one persistent pool for the whole trial (the
   // per-year passes are far too fine-grained to spawn threads per call).
   // With one thread or one chunk everything runs inline on this thread.
+  // A caller-owned pool (options().pool) replaces the engine's own, so
+  // sequential multi-trial drivers amortize one pool across trials; the
+  // worker count never affects the output.
   runtime::ParallelForOptions dispatch;
-  dispatch.num_threads = options_.num_threads;
-  const size_t num_workers =
-      std::min(runtime::EffectiveNumThreads(dispatch), num_chunks);
   std::unique_ptr<runtime::ThreadPool> pool;
-  if (num_workers > 1) {
-    pool = std::make_unique<runtime::ThreadPool>(num_workers);
-    dispatch.pool = pool.get();
+  if (options_.pool != nullptr) {
+    dispatch.pool = options_.pool;
   } else {
-    dispatch.num_threads = 1;
+    dispatch.num_threads = options_.num_threads;
+    const size_t workers =
+        std::min(runtime::EffectiveNumThreads(dispatch), num_chunks);
+    if (workers > 1) {
+      pool = std::make_unique<runtime::ThreadPool>(workers);
+      dispatch.pool = pool.get();
+    } else {
+      dispatch.num_threads = 1;
+    }
   }
+  const size_t num_workers = runtime::EffectiveNumThreads(dispatch);
 
   CreditLoopResult result;
   result.years.reserve(num_years);

@@ -66,8 +66,16 @@ struct CreditLoopOptions {
   /// Worker threads for the within-trial chunk passes and the yearly
   /// scorecard refit (the trainer's chunked gradient/Hessian reduction
   /// shares the same persistent pool). 1 (default) runs sequentially
-  /// with zero dispatch overhead; 0 = hardware concurrency.
+  /// with zero dispatch overhead; 0 = hardware concurrency. Ignored
+  /// when `pool` is set.
   size_t num_threads = 1;
+  /// Optional caller-owned persistent pool for the within-trial
+  /// dispatch (chunk passes + refit reduction), replacing the pool the
+  /// engine would otherwise construct per Run — lets a sequential
+  /// multi-trial driver amortize one pool across trials. Not owned;
+  /// must be idle when Run is called and outlive it. Never affects the
+  /// simulated output (which is thread-count invariant by design).
+  runtime::ThreadPool* pool = nullptr;
   /// Record the full per-user ADR series in the result (the raw material
   /// of Figures 4/5). Disable for very large cohorts and consume the
   /// per-year cross-sections through the Run(observer) overload instead:

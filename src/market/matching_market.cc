@@ -5,13 +5,88 @@
 
 #include "base/check.h"
 #include "rng/random.h"
+#include "runtime/seed_sequence.h"
 #include "stats/time_series.h"
 
 namespace eqimpact {
 namespace market {
+namespace {
+
+/// Draws `slots` workers from the unmatched pool without replacement,
+/// uniformly when `weights` is empty, else with probability proportional
+/// to each worker's weight (iterative roulette on the shrinking pool —
+/// O(slots * pool), deterministic in the rng stream).
+void FillExploreSlots(size_t slots, const std::vector<double>& weights,
+                      rng::Random* match_rng, std::vector<uint8_t>* matched) {
+  const size_t n = matched->size();
+  std::vector<size_t> pool;
+  pool.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!(*matched)[i]) pool.push_back(i);
+  }
+  if (weights.empty()) {
+    match_rng->Shuffle(&pool);
+    for (size_t s = 0; s < slots && s < pool.size(); ++s) {
+      (*matched)[pool[s]] = 1;
+    }
+    return;
+  }
+  double total = 0.0;
+  for (size_t i : pool) total += weights[i];
+  for (size_t s = 0; s < slots && !pool.empty(); ++s) {
+    if (total <= 0.0) {
+      // All remaining weight is zero: the rest of the lottery is uniform.
+      match_rng->Shuffle(&pool);
+      for (size_t t = 0; t + s < slots && t < pool.size(); ++t) {
+        (*matched)[pool[t]] = 1;
+      }
+      return;
+    }
+    double u = match_rng->UniformDouble() * total;
+    // If rounding leaves u beyond the accumulated sum, fall back to the
+    // last *positive-weight* entry, so a zero-weight worker is never
+    // drawn while weighted mass remains.
+    size_t pick = pool.size();
+    size_t last_positive = pool.size();
+    double cumulative = 0.0;
+    for (size_t j = 0; j < pool.size(); ++j) {
+      if (weights[pool[j]] <= 0.0) continue;
+      cumulative += weights[pool[j]];
+      last_positive = j;
+      if (u < cumulative) {
+        pick = j;
+        break;
+      }
+    }
+    if (pick == pool.size()) pick = last_positive;
+    if (pick == pool.size()) {
+      // No positive-weight entry left even though subtraction residue
+      // kept total > 0: the weighted mass is exhausted, so the rest of
+      // the lottery is uniform, exactly like the total <= 0 branch.
+      match_rng->Shuffle(&pool);
+      for (size_t t = 0; t + s < slots && t < pool.size(); ++t) {
+        (*matched)[pool[t]] = 1;
+      }
+      return;
+    }
+    const size_t worker = pool[pick];
+    (*matched)[worker] = 1;
+    total -= weights[worker];
+    pool[pick] = pool.back();
+    pool.pop_back();
+  }
+}
+
+}  // namespace
 
 MatchingMarketResult RunMatchingMarket(MatchingRule rule,
                                        const MatchingMarketOptions& options) {
+  return RunMatchingMarket(rule, options, RoundObserver());
+}
+
+MatchingMarketResult RunMatchingMarket(MatchingRule rule,
+                                       const MatchingMarketOptions& options,
+                                       const RoundObserver& observer) {
   EQIMPACT_CHECK_GT(options.num_workers, 0u);
   EQIMPACT_CHECK(options.capacity_fraction > 0.0 &&
                  options.capacity_fraction <= 1.0);
@@ -25,15 +100,19 @@ MatchingMarketResult RunMatchingMarket(MatchingRule rule,
       1, static_cast<size_t>(options.capacity_fraction *
                              static_cast<double>(n)));
 
-  rng::Random skill_rng(rng::DeriveSeed(options.seed, 0));
-  rng::Random match_rng(rng::DeriveSeed(options.seed, 1));
-  rng::Random outcome_rng(rng::DeriveSeed(options.seed, 2));
+  // Library-wide seed-derivation convention: stream 0 = skills, and one
+  // child namespace per round (matching stream 0, outcome stream 1), so
+  // each round's randomness is a pure function of (seed, round).
+  const runtime::SeedSequence seeds(options.seed);
+  rng::Random skill_rng(seeds.Seed(0));
+  const runtime::SeedSequence round_seeds = seeds.Child(1);
 
   MatchingMarketResult result;
   result.skill.resize(n);
   for (size_t i = 0; i < n; ++i) {
     result.skill[i] = options.heterogeneous_skill
-                          ? skill_rng.UniformDouble(0.3, 0.9)
+                          ? skill_rng.UniformDouble(kHeterogeneousSkillLo,
+                                                    kHeterogeneousSkillHi)
                           : options.base_skill;
   }
 
@@ -42,19 +121,28 @@ MatchingMarketResult RunMatchingMarket(MatchingRule rule,
   std::vector<double> rating_sum(n, options.prior_weight * options.prior_mean);
   std::vector<int64_t> matches(n, 0);
 
+  // Observer-steerable controls, persistent across rounds.
+  RoundControls controls;
+  controls.exploration = options.exploration;
+  std::vector<double> running_rate(n, 0.0);
+
   std::vector<size_t> order(n);
-  std::vector<bool> matched(n);
+  std::vector<uint8_t> matched(n);
   for (size_t round = 0; round < options.rounds; ++round) {
-    std::fill(matched.begin(), matched.end(), false);
+    std::fill(matched.begin(), matched.end(), 0);
+    const runtime::SeedSequence round_streams = round_seeds.Child(round);
+    rng::Random match_rng(round_streams.Seed(0));
+    rng::Random outcome_rng(round_streams.Seed(1));
 
     // How much of the capacity is allocated by reputation vs lottery.
+    const double exploration = std::clamp(controls.exploration, 0.0, 1.0);
     size_t explore_slots = 0;
     switch (rule) {
       case MatchingRule::kTopScore:
         explore_slots = 0;
         break;
       case MatchingRule::kEpsilonGreedy:
-        explore_slots = static_cast<size_t>(options.exploration *
+        explore_slots = static_cast<size_t>(exploration *
                                             static_cast<double>(capacity));
         break;
       case MatchingRule::kUniformRandom:
@@ -73,20 +161,18 @@ MatchingMarketResult RunMatchingMarket(MatchingRule rule,
                      });
     size_t filled = 0;
     for (size_t rank = 0; rank < n && filled < exploit_slots; ++rank) {
-      matched[order[rank]] = true;
+      matched[order[rank]] = 1;
       ++filled;
     }
-    // Exploration: uniform lottery over the not-yet-matched workers.
+    // Exploration: lottery over the not-yet-matched workers, uniform or
+    // weighted per the observer's controls.
     if (explore_slots > 0) {
-      std::vector<size_t> pool;
-      pool.reserve(n);
-      for (size_t i = 0; i < n; ++i) {
-        if (!matched[i]) pool.push_back(i);
+      if (!controls.explore_weights.empty()) {
+        EQIMPACT_CHECK_EQ(controls.explore_weights.size(), n);
+        for (double w : controls.explore_weights) EQIMPACT_CHECK_GE(w, 0.0);
       }
-      match_rng.Shuffle(&pool);
-      for (size_t s = 0; s < explore_slots && s < pool.size(); ++s) {
-        matched[pool[s]] = true;
-      }
+      FillExploreSlots(explore_slots, controls.explore_weights, &match_rng,
+                       &matched);
     }
 
     // Outcomes and the rating filter update (only matched workers are
@@ -97,6 +183,15 @@ MatchingMarketResult RunMatchingMarket(MatchingRule rule,
       bool success = outcome_rng.Bernoulli(result.skill[i]);
       rating_count[i] += 1.0;
       rating_sum[i] += success ? 1.0 : 0.0;
+    }
+
+    if (observer) {
+      const double denominator = static_cast<double>(round + 1);
+      for (size_t i = 0; i < n; ++i) {
+        running_rate[i] = static_cast<double>(matches[i]) / denominator;
+      }
+      RoundSnapshot snapshot{round, running_rate, result.skill, matched};
+      observer(snapshot, &controls);
     }
   }
 
@@ -111,6 +206,7 @@ MatchingMarketResult RunMatchingMarket(MatchingRule rule,
   }
   result.mean_match_rate = total_rate / static_cast<double>(n);
   result.match_rate_gini = stats::GiniCoefficient(result.match_rate);
+  result.final_exploration = std::clamp(controls.exploration, 0.0, 1.0);
   return result;
 }
 

@@ -1,0 +1,125 @@
+#include "sim/credit_scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <utility>
+
+#include "credit/race.h"
+#include "sim/text_table.h"
+
+namespace eqimpact {
+namespace sim {
+
+CreditScenario::CreditScenario(CreditScenarioOptions options)
+    : options_(std::move(options)) {}
+
+std::string CreditScenario::name() const { return "credit"; }
+
+std::vector<std::string> CreditScenario::GroupLabels() const {
+  std::vector<std::string> labels;
+  labels.reserve(credit::kNumRaces);
+  for (size_t r = 0; r < credit::kNumRaces; ++r) {
+    labels.push_back(credit::RaceName(static_cast<credit::Race>(r)));
+  }
+  return labels;
+}
+
+std::vector<std::string> CreditScenario::StepLabels() const {
+  std::vector<std::string> labels;
+  for (int year = options_.loop.first_year; year <= options_.loop.last_year;
+       ++year) {
+    labels.push_back(TextTable::Cell(year));
+  }
+  return labels;
+}
+
+std::vector<std::string> CreditScenario::MetricNames() const {
+  return {"final_overall_adr", "final_race_gap"};
+}
+
+bool CreditScenario::SetParameter(const std::string& name, double value) {
+  // Out-of-range and non-finite values are rejected here (return
+  // false) rather than deferred to a CHECK-abort or an undefined cast
+  // inside the credit engine mid-experiment.
+  if (name == "num_users") {
+    if (!CountParameterInRange(value)) return false;
+    options_.loop.num_users = static_cast<size_t>(value);
+    return true;
+  }
+  if (name == "cutoff") {
+    if (!ParameterInRange(value, 0.0, 1.0)) return false;
+    options_.loop.cutoff = value;
+    return true;
+  }
+  if (name == "forgetting_factor") {
+    if (!ParameterInRange(value, 0.0, 1.0) || value == 0.0) return false;
+    options_.loop.forgetting_factor = value;
+    return true;
+  }
+  if (name == "income_code_threshold") {
+    if (!ParameterInRange(value, 0.0, kMaxCountParameter)) return false;
+    options_.loop.income_code_threshold = value;
+    return true;
+  }
+  if (name == "accumulate_history") {
+    if (!std::isfinite(value)) return false;
+    options_.loop.accumulate_history = value != 0.0;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> CreditScenario::ParameterNames() const {
+  return {"num_users", "cutoff", "forgetting_factor", "income_code_threshold",
+          "accumulate_history"};
+}
+
+void CreditScenario::BeginExperiment(size_t num_trials) {
+  trial_records_.clear();
+  if (collect_trial_records_) trial_records_.resize(num_trials);
+}
+
+TrialOutcome CreditScenario::RunTrial(const TrialContext& context,
+                                      stats::AdrAccumulator* impacts) {
+  credit::CreditLoopOptions loop_options = options_.loop;
+  loop_options.seed = context.trial_seed;
+  loop_options.keep_user_adr = options_.keep_raw_series;
+  if (context.num_threads > 0) loop_options.num_threads = context.num_threads;
+  loop_options.pool = context.pool;  // Null under parallel trial dispatch.
+  credit::CreditScoringLoop loop(loop_options);
+  credit::CreditLoopResult record =
+      loop.Run([impacts](const credit::YearSnapshot& snapshot) {
+        impacts->AddCrossSection(snapshot.step, snapshot.user_adr,
+                                 snapshot.race_ids);
+      });
+
+  TrialOutcome outcome;
+  outcome.group_impact = record.race_adr;
+  const size_t last = record.overall_adr.size() - 1;
+  double lo = 0.0, hi = 0.0;
+  bool any = false;
+  std::vector<int64_t> race_counts(credit::kNumRaces, 0);
+  for (credit::Race race : record.races) {
+    ++race_counts[static_cast<size_t>(race)];
+  }
+  for (size_t r = 0; r < credit::kNumRaces; ++r) {
+    if (race_counts[r] == 0) continue;
+    const double value = record.race_adr[r][last];
+    if (!any) {
+      lo = hi = value;
+      any = true;
+    } else {
+      lo = std::min(lo, value);
+      hi = std::max(hi, value);
+    }
+  }
+  outcome.metrics = {record.overall_adr[last], any ? hi - lo : 0.0};
+  if (collect_trial_records_) {
+    trial_records_[context.trial_index] = std::move(record);
+  }
+  return outcome;
+}
+
+}  // namespace sim
+}  // namespace eqimpact

@@ -1,0 +1,67 @@
+#ifndef EQIMPACT_SIM_CREDIT_SCENARIO_H_
+#define EQIMPACT_SIM_CREDIT_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "credit/credit_loop.h"
+#include "sim/scenario.h"
+
+namespace eqimpact {
+namespace sim {
+
+/// Configuration of the credit scenario beyond the loop itself.
+struct CreditScenarioOptions {
+  /// Per-trial loop configuration. The trial seed and keep_user_adr are
+  /// overridden per trial; `loop.num_threads` applies within each trial
+  /// unless the experiment's trial_threads overrides it.
+  credit::CreditLoopOptions loop;
+  /// Materialize the raw per-user ADR series in each trial's record
+  /// (needed only for the raw-series CSV export / exact quantiles).
+  bool keep_raw_series = false;
+};
+
+/// The paper's Section VII credit-scoring loop as a Scenario: groups are
+/// the protected race classes, steps are the simulated years, and the
+/// streamed impact is every user's average default rate ADR_i(k) — so an
+/// experiment over this scenario is exactly the historical
+/// sim::RunMultiTrial (which is now a thin wrapper over it), bitwise
+/// included.
+class CreditScenario : public Scenario {
+ public:
+  explicit CreditScenario(CreditScenarioOptions options = {});
+
+  std::string name() const override;
+  std::vector<std::string> GroupLabels() const override;
+  std::vector<std::string> StepLabels() const override;
+  std::vector<std::string> MetricNames() const override;
+  /// "num_users", "cutoff", "forgetting_factor", "income_code_threshold"
+  /// and "accumulate_history" (0/1) are accepted.
+  bool SetParameter(const std::string& name, double value) override;
+  std::vector<std::string> ParameterNames() const override;
+  void BeginExperiment(size_t num_trials) override;
+  TrialOutcome RunTrial(const TrialContext& context,
+                        stats::AdrAccumulator* impacts) override;
+
+  const CreditScenarioOptions& options() const { return options_; }
+
+  /// Full per-trial credit records, populated (indexed by trial) only
+  /// when collection was requested before the experiment — the
+  /// RunMultiTrial compatibility path.
+  void set_collect_trial_records(bool collect) {
+    collect_trial_records_ = collect;
+  }
+  std::vector<credit::CreditLoopResult>&& TakeTrialRecords() {
+    return std::move(trial_records_);
+  }
+
+ private:
+  CreditScenarioOptions options_;
+  bool collect_trial_records_ = false;
+  std::vector<credit::CreditLoopResult> trial_records_;
+};
+
+}  // namespace sim
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_SIM_CREDIT_SCENARIO_H_

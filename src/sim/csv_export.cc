@@ -6,6 +6,89 @@
 
 namespace eqimpact {
 namespace sim {
+namespace {
+
+/// Group labels of a multi-trial result; falls back to the CPS race
+/// names for results predating the label field (default-constructed
+/// MultiTrialResult filled by hand).
+std::vector<std::string> MultiTrialGroupLabels(const MultiTrialResult& result,
+                                               size_t num_groups) {
+  if (result.group_labels.size() == num_groups) return result.group_labels;
+  std::vector<std::string> labels;
+  labels.reserve(num_groups);
+  for (size_t r = 0; r < num_groups; ++r) {
+    labels.push_back(r < credit::kNumRaces
+                         ? RaceName(static_cast<credit::Race>(r))
+                         : "GROUP " + TextTable::Cell(static_cast<int>(r)));
+  }
+  return labels;
+}
+
+/// Shared body of the envelope exports: one row per step with mean/std
+/// per group.
+bool ExportEnvelopes(const std::vector<std::string>& step_labels,
+                     const std::vector<std::string>& group_labels,
+                     const std::vector<stats::SeriesEnvelope>& envelopes,
+                     const std::string& step_header,
+                     const std::string& path) {
+  std::vector<std::string> headers{step_header};
+  for (const std::string& label : group_labels) {
+    headers.push_back(label + " mean");
+    headers.push_back(label + " std");
+  }
+  TextTable table(headers);
+  for (size_t k = 0; k < step_labels.size(); ++k) {
+    std::vector<std::string> row{step_labels[k]};
+    for (size_t g = 0; g < group_labels.size(); ++g) {
+      row.push_back(TextTable::Cell(envelopes[g].mean[k], 6));
+      row.push_back(TextTable::Cell(envelopes[g].std_dev[k], 6));
+    }
+    table.AddRow(row);
+  }
+  return WriteCsvFile(table, path);
+}
+
+/// Shared body of the density exports: one row per (step, bin).
+bool ExportDensity(const std::vector<std::string>& step_labels,
+                   const std::vector<std::string>& group_labels,
+                   const stats::AdrAccumulator& impact,
+                   const std::string& step_header, const std::string& path) {
+  if (impact.empty()) return false;
+  std::vector<std::string> headers{step_header, "bin_lo", "bin_hi",
+                                   "fraction"};
+  for (const std::string& label : group_labels) {
+    headers.push_back(label + " count");
+  }
+  TextTable table(headers);
+  const double bin_width =
+      (impact.hi() - impact.lo()) / static_cast<double>(impact.num_bins());
+  for (size_t k = 0; k < impact.num_steps(); ++k) {
+    for (size_t b = 0; b < impact.num_bins(); ++b) {
+      std::vector<std::string> row{
+          step_labels[k],
+          TextTable::Cell(
+              impact.lo() + static_cast<double>(b) * bin_width, 4),
+          TextTable::Cell(
+              impact.lo() + static_cast<double>(b + 1) * bin_width, 4),
+          TextTable::Cell(impact.StepBinFraction(k, b), 6)};
+      for (size_t g = 0; g < group_labels.size(); ++g) {
+        // int64 straight to string: pooled counts can exceed int range.
+        row.push_back(std::to_string(impact.bin_count(k, g, b)));
+      }
+      table.AddRow(row);
+    }
+  }
+  return WriteCsvFile(table, path);
+}
+
+std::vector<std::string> YearLabels(const std::vector<int>& years) {
+  std::vector<std::string> labels;
+  labels.reserve(years.size());
+  for (int year : years) labels.push_back(TextTable::Cell(year));
+  return labels;
+}
+
+}  // namespace
 
 bool WriteStringToFile(const std::string& contents, const std::string& path) {
   std::ofstream out(path, std::ios::out | std::ios::trunc);
@@ -21,22 +104,10 @@ bool WriteCsvFile(const TextTable& table, const std::string& path) {
 
 bool ExportRaceAdrCsv(const MultiTrialResult& result,
                       const std::string& path) {
-  std::vector<std::string> headers{"year"};
-  for (size_t r = 0; r < credit::kNumRaces; ++r) {
-    std::string name = RaceName(static_cast<credit::Race>(r));
-    headers.push_back(name + " mean");
-    headers.push_back(name + " std");
-  }
-  TextTable table(headers);
-  for (size_t k = 0; k < result.years.size(); ++k) {
-    std::vector<std::string> row{TextTable::Cell(result.years[k])};
-    for (size_t r = 0; r < credit::kNumRaces; ++r) {
-      row.push_back(TextTable::Cell(result.race_envelopes[r].mean[k], 6));
-      row.push_back(TextTable::Cell(result.race_envelopes[r].std_dev[k], 6));
-    }
-    table.AddRow(row);
-  }
-  return WriteCsvFile(table, path);
+  return ExportEnvelopes(
+      YearLabels(result.years),
+      MultiTrialGroupLabels(result, result.race_envelopes.size()),
+      result.race_envelopes, "year", path);
 }
 
 bool ExportUserAdrCsv(const MultiTrialResult& result,
@@ -57,31 +128,22 @@ bool ExportUserAdrCsv(const MultiTrialResult& result,
 
 bool ExportAdrDensityCsv(const MultiTrialResult& result,
                          const std::string& path) {
-  const stats::AdrAccumulator& adr = result.pooled_adr;
-  if (adr.empty()) return false;
-  std::vector<std::string> headers{"year", "bin_lo", "bin_hi", "fraction"};
-  for (size_t r = 0; r < credit::kNumRaces; ++r) {
-    headers.push_back(RaceName(static_cast<credit::Race>(r)) + " count");
-  }
-  TextTable table(headers);
-  const double bin_width =
-      (adr.hi() - adr.lo()) / static_cast<double>(adr.num_bins());
-  for (size_t k = 0; k < adr.num_steps(); ++k) {
-    for (size_t b = 0; b < adr.num_bins(); ++b) {
-      std::vector<std::string> row{
-          TextTable::Cell(result.years[k]),
-          TextTable::Cell(adr.lo() + static_cast<double>(b) * bin_width, 4),
-          TextTable::Cell(adr.lo() + static_cast<double>(b + 1) * bin_width,
-                          4),
-          TextTable::Cell(adr.StepBinFraction(k, b), 6)};
-      for (size_t r = 0; r < credit::kNumRaces; ++r) {
-        // int64 straight to string: pooled counts can exceed int range.
-        row.push_back(std::to_string(adr.bin_count(k, r, b)));
-      }
-      table.AddRow(row);
-    }
-  }
-  return WriteCsvFile(table, path);
+  return ExportDensity(
+      YearLabels(result.years),
+      MultiTrialGroupLabels(result, result.pooled_adr.num_groups()),
+      result.pooled_adr, "year", path);
+}
+
+bool ExportExperimentEnvelopesCsv(const ExperimentResult& result,
+                                  const std::string& path) {
+  return ExportEnvelopes(result.step_labels, result.group_labels,
+                         result.group_envelopes, "step", path);
+}
+
+bool ExportExperimentDensityCsv(const ExperimentResult& result,
+                                const std::string& path) {
+  return ExportDensity(result.step_labels, result.group_labels,
+                       result.pooled_impact, "step", path);
 }
 
 }  // namespace sim

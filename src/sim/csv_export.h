@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "sim/experiment.h"
 #include "sim/multi_trial.h"
 #include "sim/text_table.h"
 
@@ -17,9 +18,10 @@ bool WriteStringToFile(const std::string& contents, const std::string& path);
 /// Writes a TextTable as CSV to `path`.
 bool WriteCsvFile(const TextTable& table, const std::string& path);
 
-/// Exports the Figure 3 data (per-race mean +/- std envelopes over the
+/// Exports the Figure 3 data (per-group mean +/- std envelopes over the
 /// years) of a multi-trial run as CSV with one row per year. Columns:
-/// year, then mean and std per race in Race enum order.
+/// year, then mean and std per group under the run's scenario-defined
+/// group labels (the CPS race names for the credit scenario).
 bool ExportRaceAdrCsv(const MultiTrialResult& result,
                       const std::string& path);
 
@@ -32,10 +34,22 @@ bool ExportUserAdrCsv(const MultiTrialResult& result,
                       const std::string& path);
 
 /// Exports the streaming pooled-ADR aggregate (always available) as CSV:
-/// one row per (year, bin) with the race-blind density fraction and the
-/// per-race bin counts.
+/// one row per (year, bin) with the group-blind density fraction and the
+/// per-group bin counts, labelled with the run's group labels.
 bool ExportAdrDensityCsv(const MultiTrialResult& result,
                          const std::string& path);
+
+/// Exports a generic experiment's per-group across-trial envelopes as
+/// CSV with one row per step: step label, then mean and std per group
+/// label.
+bool ExportExperimentEnvelopesCsv(const ExperimentResult& result,
+                                  const std::string& path);
+
+/// Exports a generic experiment's pooled impact distribution as CSV:
+/// one row per (step, bin) with the group-blind density fraction and
+/// the per-group bin counts.
+bool ExportExperimentDensityCsv(const ExperimentResult& result,
+                                const std::string& path);
 
 }  // namespace sim
 }  // namespace eqimpact

@@ -13,7 +13,8 @@ EnsembleRunResult RunEnsembleControl(EnsembleControllerKind kind,
                                      const EnsembleOptions& options,
                                      const std::vector<bool>& initial_on,
                                      double initial_signal,
-                                     rng::Random* random) {
+                                     rng::Random* random,
+                                     const EnsembleStepObserver& observer) {
   EQIMPACT_CHECK_EQ(initial_on.size(), options.num_agents);
   EQIMPACT_CHECK_GT(options.steps, options.burn_in);
   EQIMPACT_CHECK(random != nullptr);
@@ -26,6 +27,12 @@ EnsembleRunResult RunEnsembleControl(EnsembleControllerKind kind,
   result.per_agent_average.assign(n, 0.0);
   result.aggregate_fraction.reserve(options.steps);
   size_t counted = 0;
+  std::vector<double> action_sum;
+  std::vector<double> running_average;
+  if (observer) {
+    action_sum.assign(n, 0.0);
+    running_average.assign(n, 0.0);
+  }
 
   for (size_t k = 0; k < options.steps; ++k) {
     // Agents respond to the broadcast.
@@ -55,6 +62,15 @@ EnsembleRunResult RunEnsembleControl(EnsembleControllerKind kind,
       }
       result.aggregate_average += fraction;
       ++counted;
+    }
+    if (observer) {
+      const double denominator = static_cast<double>(k + 1);
+      for (size_t i = 0; i < n; ++i) {
+        action_sum[i] += on[i] ? 1.0 : 0.0;
+        running_average[i] = action_sum[i] / denominator;
+      }
+      EnsembleStepSnapshot snapshot{k, running_average, fraction, signal};
+      observer(snapshot);
     }
 
     // Controller update.

@@ -2,6 +2,7 @@
 #define EQIMPACT_SIM_ENSEMBLE_CONTROL_H_
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "rng/random.h"
@@ -53,6 +54,27 @@ struct EnsembleOptions {
   size_t burn_in = 200;
 };
 
+/// Cross-section of the ensemble after one step, handed to an
+/// EnsembleStepObserver. References stay valid only for the duration of
+/// the callback.
+struct EnsembleStepSnapshot {
+  /// Step index k (0-based).
+  size_t step = 0;
+  /// Running time-average action of every agent through step k (from
+  /// step 0, no burn-in) — the equal-impact quantity r_i(k).
+  const std::vector<double>& running_average;
+  /// Aggregate fraction y(k)/N this step.
+  double aggregate_fraction = 0.0;
+  /// Broadcast value in force this step.
+  double signal = 0.0;
+};
+
+/// Streaming consumer of per-step cross-sections (e.g. a
+/// stats::AdrAccumulator fill through the scenario API). Invoked from
+/// the calling thread once per step, after the agents act.
+using EnsembleStepObserver =
+    std::function<void(const EnsembleStepSnapshot&)>;
+
 /// Result of one run.
 struct EnsembleRunResult {
   /// Per-agent time-average action r_i (after burn-in).
@@ -66,12 +88,14 @@ struct EnsembleRunResult {
 };
 
 /// Runs the loop from the given initial on/off pattern and initial
-/// broadcast value. `initial_on` must have num_agents entries.
-EnsembleRunResult RunEnsembleControl(EnsembleControllerKind kind,
-                                     const EnsembleOptions& options,
-                                     const std::vector<bool>& initial_on,
-                                     double initial_signal,
-                                     rng::Random* random);
+/// broadcast value. `initial_on` must have num_agents entries. A
+/// non-null `observer` is invoked once per step with the running
+/// per-agent averages (and does not change the simulated trajectory).
+EnsembleRunResult RunEnsembleControl(
+    EnsembleControllerKind kind, const EnsembleOptions& options,
+    const std::vector<bool>& initial_on, double initial_signal,
+    rng::Random* random,
+    const EnsembleStepObserver& observer = EnsembleStepObserver());
 
 /// One configuration in an ensemble study: a controller kind plus the
 /// initial conditions whose influence on long-run behaviour is the whole

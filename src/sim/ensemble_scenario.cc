@@ -1,0 +1,139 @@
+#include "sim/ensemble_scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "base/check.h"
+#include "sim/text_table.h"
+#include "stats/time_series.h"
+
+namespace eqimpact {
+namespace sim {
+
+EnsembleScenario::EnsembleScenario(EnsembleScenarioOptions options)
+    : options_(std::move(options)) {}
+
+std::string EnsembleScenario::name() const { return "ensemble"; }
+
+size_t EnsembleScenario::NumInitiallyOn() const {
+  const double fraction = std::clamp(options_.initial_on_fraction, 0.0, 1.0);
+  return static_cast<size_t>(
+      std::ceil(fraction * static_cast<double>(options_.ensemble.num_agents)));
+}
+
+std::vector<std::string> EnsembleScenario::GroupLabels() const {
+  return {"INITIALLY OFF", "INITIALLY ON"};
+}
+
+std::vector<std::string> EnsembleScenario::StepLabels() const {
+  std::vector<std::string> labels;
+  labels.reserve(options_.ensemble.steps);
+  for (size_t k = 0; k < options_.ensemble.steps; ++k) {
+    labels.push_back(TextTable::Cell(static_cast<int>(k)));
+  }
+  return labels;
+}
+
+std::vector<std::string> EnsembleScenario::MetricNames() const {
+  return {"coincidence_gap", "aggregate_average", "final_signal"};
+}
+
+bool EnsembleScenario::SetParameter(const std::string& name, double value) {
+  // Out-of-range and non-finite values are rejected here (return
+  // false) rather than deferred to a CHECK-abort or an undefined cast
+  // inside the control loop mid-experiment.
+  if (name == "controller") {
+    if (!ParameterInRange(value, 0.0, 1.0)) return false;
+    options_.kind =
+        static_cast<EnsembleControllerKind>(static_cast<int>(value));
+    return true;
+  }
+  if (name == "num_agents") {
+    if (!CountParameterInRange(value)) return false;
+    options_.ensemble.num_agents = static_cast<size_t>(value);
+    return true;
+  }
+  if (name == "steps") {
+    if (!CountParameterInRange(value)) return false;
+    const size_t steps = static_cast<size_t>(value);
+    options_.ensemble.steps = steps;
+    // The metric burn-in follows the horizon as a fixed fraction, so
+    // the effective configuration is a pure function of the final
+    // parameter values (no dependence on assignment history) —
+    // RunEnsembleControl requires steps > burn_in.
+    options_.ensemble.burn_in = steps / 10;
+    return true;
+  }
+  if (name == "target_fraction") {
+    if (!ParameterInRange(value, 0.0, 1.0)) return false;
+    options_.ensemble.target_fraction = value;
+    return true;
+  }
+  if (name == "gain") {
+    if (!ParameterInRange(value, 0.0, kMaxCountParameter)) return false;
+    options_.ensemble.gain = value;
+    return true;
+  }
+  if (name == "hysteresis") {
+    if (!ParameterInRange(value, 0.0, kMaxCountParameter)) return false;
+    options_.ensemble.hysteresis = value;
+    return true;
+  }
+  if (name == "initial_on_fraction") {
+    if (!ParameterInRange(value, 0.0, 1.0)) return false;
+    options_.initial_on_fraction = value;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> EnsembleScenario::ParameterNames() const {
+  return {"controller", "num_agents", "steps", "target_fraction", "gain",
+          "initial_on_fraction", "hysteresis"};
+}
+
+TrialOutcome EnsembleScenario::RunTrial(const TrialContext& context,
+                                        stats::AdrAccumulator* impacts) {
+  const size_t n = options_.ensemble.num_agents;
+  const size_t steps = options_.ensemble.steps;
+  const size_t num_on = NumInitiallyOn();
+  std::vector<bool> initial_on(n, false);
+  std::vector<uint8_t> group_ids(n, 0);
+  for (size_t i = 0; i < num_on; ++i) {
+    initial_on[i] = true;
+    group_ids[i] = 1;
+  }
+  std::vector<int64_t> group_counts(2, 0);
+  for (uint8_t g : group_ids) ++group_counts[g];
+
+  TrialOutcome outcome;
+  outcome.group_impact.assign(2, std::vector<double>(steps, 0.0));
+
+  rng::Random random(context.trial_seed);
+  EnsembleRunResult record = RunEnsembleControl(
+      options_.kind, options_.ensemble, initial_on, options_.initial_signal,
+      &random,
+      [impacts, &outcome, &group_ids,
+       &group_counts](const EnsembleStepSnapshot& snapshot) {
+        impacts->AddCrossSection(snapshot.step, snapshot.running_average,
+                                 group_ids);
+        double sums[2] = {0.0, 0.0};
+        for (size_t i = 0; i < group_ids.size(); ++i) {
+          sums[group_ids[i]] += snapshot.running_average[i];
+        }
+        for (size_t g = 0; g < 2; ++g) {
+          outcome.group_impact[g][snapshot.step] =
+              group_counts[g] > 0
+                  ? sums[g] / static_cast<double>(group_counts[g])
+                  : 0.0;
+        }
+      });
+
+  outcome.metrics = {stats::CoincidenceGap(record.per_agent_average),
+                     record.aggregate_average, record.final_signal};
+  return outcome;
+}
+
+}  // namespace sim
+}  // namespace eqimpact

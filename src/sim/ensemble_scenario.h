@@ -1,0 +1,69 @@
+#ifndef EQIMPACT_SIM_ENSEMBLE_SCENARIO_H_
+#define EQIMPACT_SIM_ENSEMBLE_SCENARIO_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/ensemble_control.h"
+#include "sim/scenario.h"
+
+namespace eqimpact {
+namespace sim {
+
+/// Configuration of the broadcast-ensemble scenario.
+struct EnsembleScenarioOptions {
+  EnsembleControllerKind kind = EnsembleControllerKind::kStableRandomized;
+  /// Shared plant/controller parameters. Scenario-friendly defaults
+  /// (500 steps) keep the per-step accumulator small; burn_in applies
+  /// only to the scalar metrics, not to the streamed running averages.
+  EnsembleOptions ensemble;
+  /// Agents [0, ceil(N * initial_on_fraction)) start ON, the rest OFF —
+  /// the two impact groups whose long-run separation is exactly the
+  /// loss of ergodicity under integral action.
+  double initial_on_fraction = 0.5;
+  double initial_signal = 0.5;
+
+  EnsembleScenarioOptions() {
+    ensemble.steps = 500;
+    ensemble.burn_in = 50;
+  }
+};
+
+/// The Section VI broadcast-ensemble control experiments as a Scenario
+/// (wrapping RunEnsembleControl): groups are the initial-condition
+/// classes (initially ON vs initially OFF), steps are the control
+/// steps, and the streamed impact is every agent's running time-average
+/// action r_i(k). Under the stable randomized broadcast the two groups'
+/// envelopes collapse onto the target (unique ergodicity); under
+/// integral action with hysteresis they stay frozen apart.
+class EnsembleScenario : public Scenario {
+ public:
+  explicit EnsembleScenario(EnsembleScenarioOptions options = {});
+
+  std::string name() const override;
+  std::vector<std::string> GroupLabels() const override;
+  std::vector<std::string> StepLabels() const override;
+  std::vector<std::string> MetricNames() const override;
+  /// "controller" (0 = stable randomized, 1 = integral hysteresis),
+  /// "num_agents", "steps", "target_fraction", "gain", "hysteresis",
+  /// "initial_on_fraction" are accepted. Setting "steps" re-derives the
+  /// metric burn-in as steps / 10, so the effective configuration
+  /// depends only on the final parameter values.
+  bool SetParameter(const std::string& name, double value) override;
+  std::vector<std::string> ParameterNames() const override;
+  TrialOutcome RunTrial(const TrialContext& context,
+                        stats::AdrAccumulator* impacts) override;
+
+  const EnsembleScenarioOptions& options() const { return options_; }
+
+ private:
+  size_t NumInitiallyOn() const;
+
+  EnsembleScenarioOptions options_;
+};
+
+}  // namespace sim
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_SIM_ENSEMBLE_SCENARIO_H_

@@ -1,0 +1,151 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "base/check.h"
+#include "base/fnv1a.h"
+#include "runtime/parallel_for.h"
+#include "runtime/seed_sequence.h"
+#include "runtime/thread_pool.h"
+
+namespace eqimpact {
+namespace sim {
+
+ExperimentResult RunExperiment(Scenario* scenario,
+                               const ExperimentOptions& options) {
+  EQIMPACT_CHECK(scenario != nullptr);
+  EQIMPACT_CHECK_GT(options.num_trials, 0u);
+  EQIMPACT_CHECK_GT(options.impact_bins, 0u);
+
+  ExperimentResult result;
+  result.scenario = scenario->name();
+  result.group_labels = scenario->GroupLabels();
+  result.step_labels = scenario->StepLabels();
+  result.metric_names = scenario->MetricNames();
+  const size_t num_groups = result.group_labels.size();
+  const size_t num_steps = result.step_labels.size();
+  EQIMPACT_CHECK_GT(num_groups, 0u);
+  EQIMPACT_CHECK_GT(num_steps, 0u);
+
+  scenario->BeginExperiment(options.num_trials);
+
+  // Trials are embarrassingly parallel: each gets its own seed stream
+  // derived from the trial index, writes into its own preallocated slot,
+  // and streams its cross-sections into its own accumulator, so parallel
+  // output is bitwise-identical to sequential.
+  result.trials.resize(options.num_trials);
+  std::vector<stats::AdrAccumulator> trial_impact(
+      options.num_trials,
+      stats::AdrAccumulator(num_groups, num_steps, options.impact_bins,
+                            scenario->impact_lo(), scenario->impact_hi()));
+  const runtime::SeedSequence seeds(options.master_seed);
+  runtime::ParallelForOptions dispatch;
+  dispatch.num_threads = options.num_threads;
+  // Concurrent trials may not share a pool, but under sequential trial
+  // dispatch with an explicit within-trial budget a single persistent
+  // pool serves every trial's inner fan-out.
+  std::unique_ptr<runtime::ThreadPool> trial_pool;
+  if (runtime::EffectiveNumThreads(dispatch) == 1 &&
+      options.trial_threads > 1) {
+    trial_pool.reset(new runtime::ThreadPool(options.trial_threads));
+  }
+  runtime::ParallelFor(
+      options.num_trials,
+      [&options, &seeds, &result, &trial_impact, &trial_pool,
+       scenario](size_t t) {
+        TrialContext context;
+        context.trial_index = t;
+        context.trial_seed = seeds.Seed(t);
+        context.num_threads = options.trial_threads;
+        context.pool = trial_pool.get();
+        result.trials[t] = scenario->RunTrial(context, &trial_impact[t]);
+      },
+      dispatch);
+
+  // Aggregation happens strictly after the join, in trial-slot order.
+  for (stats::AdrAccumulator& impact : trial_impact) {
+    result.pooled_impact.Merge(impact);
+  }
+
+  // Per-group across-trial envelopes of the group impact series.
+  result.group_envelopes.reserve(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    std::vector<std::vector<double>> across_trials;
+    across_trials.reserve(options.num_trials);
+    for (const TrialOutcome& trial : result.trials) {
+      EQIMPACT_CHECK_EQ(trial.group_impact.size(), num_groups);
+      EQIMPACT_CHECK_EQ(trial.group_impact[g].size(), num_steps);
+      across_trials.push_back(trial.group_impact[g]);
+    }
+    result.group_envelopes.push_back(stats::AggregateEnvelope(across_trials));
+  }
+
+  // Across-trial metric moments.
+  result.metric_stats.assign(result.metric_names.size(),
+                             stats::RunningStats());
+  for (const TrialOutcome& trial : result.trials) {
+    EQIMPACT_CHECK_EQ(trial.metrics.size(), result.metric_names.size());
+    for (size_t m = 0; m < trial.metrics.size(); ++m) {
+      result.metric_stats[m].Add(trial.metrics[m]);
+    }
+  }
+
+  // Final-step equal-impact diagnostics.
+  const size_t last = num_steps - 1;
+  double lo = 0.0, hi = 0.0;
+  bool any_group = false;
+  stats::RunningStats pooled;
+  for (size_t g = 0; g < num_groups; ++g) {
+    pooled.Merge(result.pooled_impact.stats(last, g));
+    if (result.pooled_impact.count(last, g) == 0) continue;  // Empty class.
+    const double mean = result.group_envelopes[g].mean[last];
+    if (!any_group) {
+      lo = hi = mean;
+      any_group = true;
+    } else {
+      lo = std::min(lo, mean);
+      hi = std::max(hi, mean);
+    }
+  }
+  result.summary.group_gap = any_group ? hi - lo : 0.0;
+  result.summary.pooled_std = pooled.StdDev();
+  result.summary.pooled_mean = pooled.Mean();
+  return result;
+}
+
+void MixAccumulator(base::Fnv1a* digest, const stats::AdrAccumulator& impact) {
+  for (size_t k = 0; k < impact.num_steps(); ++k) {
+    for (size_t g = 0; g < impact.num_groups(); ++g) {
+      const stats::RunningStats& stats = impact.stats(k, g);
+      digest->Mix(static_cast<uint64_t>(stats.count()));
+      digest->MixDouble(stats.Mean());
+      digest->MixDouble(stats.Variance());
+      for (size_t b = 0; b < impact.num_bins(); ++b) {
+        digest->Mix(static_cast<uint64_t>(impact.bin_count(k, g, b)));
+      }
+    }
+  }
+}
+
+uint64_t ExperimentDigest(const ExperimentResult& result) {
+  base::Fnv1a digest;
+  for (const stats::SeriesEnvelope& envelope : result.group_envelopes) {
+    digest.MixSeries(envelope.mean);
+    digest.MixSeries(envelope.std_dev);
+  }
+  for (const TrialOutcome& trial : result.trials) {
+    for (const std::vector<double>& series : trial.group_impact) {
+      digest.MixSeries(series);
+    }
+    digest.MixSeries(trial.metrics);
+  }
+  MixAccumulator(&digest, result.pooled_impact);
+  digest.MixDouble(result.summary.group_gap);
+  digest.MixDouble(result.summary.pooled_std);
+  digest.MixDouble(result.summary.pooled_mean);
+  return digest.hash();
+}
+
+}  // namespace sim
+}  // namespace eqimpact

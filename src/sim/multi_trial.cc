@@ -1,67 +1,33 @@
 #include "sim/multi_trial.h"
 
-#include <cstdint>
 #include <utility>
 
-#include "base/check.h"
-#include "runtime/parallel_for.h"
-#include "runtime/seed_sequence.h"
+#include "sim/credit_scenario.h"
+#include "sim/experiment.h"
 
 namespace eqimpact {
 namespace sim {
 
 MultiTrialResult RunMultiTrial(const MultiTrialOptions& options) {
-  EQIMPACT_CHECK_GT(options.num_trials, 0u);
-  EQIMPACT_CHECK_GT(options.adr_bins, 0u);
+  CreditScenarioOptions scenario_options;
+  scenario_options.loop = options.loop;
+  scenario_options.keep_raw_series = options.keep_raw_series;
+  CreditScenario scenario(scenario_options);
+  scenario.set_collect_trial_records(true);
+
+  ExperimentOptions experiment_options;
+  experiment_options.num_trials = options.num_trials;
+  experiment_options.master_seed = options.master_seed;
+  experiment_options.num_threads = options.num_threads;
+  experiment_options.impact_bins = options.adr_bins;
+  ExperimentResult experiment = RunExperiment(&scenario, experiment_options);
+
   MultiTrialResult result;
-
-  const size_t num_years = static_cast<size_t>(options.loop.last_year -
-                                               options.loop.first_year) +
-                           1;
-
-  // Trials are embarrassingly parallel: each gets its own seed stream
-  // derived from the trial index, writes into its own preallocated slot,
-  // and streams its years into its own ADR accumulator, so parallel
-  // output is bitwise-identical to sequential.
-  result.trials.resize(options.num_trials);
-  std::vector<stats::AdrAccumulator> trial_adr(
-      options.num_trials,
-      stats::AdrAccumulator(credit::kNumRaces, num_years, options.adr_bins));
-  const runtime::SeedSequence seeds(options.master_seed);
-  runtime::ParallelForOptions dispatch;
-  dispatch.num_threads = options.num_threads;
-  runtime::ParallelFor(
-      options.num_trials,
-      [&options, &seeds, &result, &trial_adr](size_t t) {
-        credit::CreditLoopOptions loop_options = options.loop;
-        loop_options.seed = seeds.Seed(t);
-        loop_options.keep_user_adr = options.keep_raw_series;
-        credit::CreditScoringLoop loop(loop_options);
-        stats::AdrAccumulator& adr = trial_adr[t];
-        result.trials[t] =
-            loop.Run([&adr](const credit::YearSnapshot& snapshot) {
-              adr.AddCrossSection(snapshot.step, snapshot.user_adr,
-                                  snapshot.race_ids);
-            });
-      },
-      dispatch);
-
-  // Aggregation happens strictly after the join, in trial-slot order.
+  result.trials = scenario.TakeTrialRecords();
   result.years = result.trials[0].years;
-  for (stats::AdrAccumulator& adr : trial_adr) {
-    result.pooled_adr.Merge(adr);
-  }
-
-  // Figure 3 envelopes: per race, the trials' ADR_s(k) series.
-  result.race_envelopes.reserve(credit::kNumRaces);
-  for (size_t r = 0; r < credit::kNumRaces; ++r) {
-    std::vector<std::vector<double>> across_trials;
-    across_trials.reserve(options.num_trials);
-    for (const credit::CreditLoopResult& trial : result.trials) {
-      across_trials.push_back(trial.race_adr[r]);
-    }
-    result.race_envelopes.push_back(stats::AggregateEnvelope(across_trials));
-  }
+  result.group_labels = std::move(experiment.group_labels);
+  result.race_envelopes = std::move(experiment.group_envelopes);
+  result.pooled_adr = std::move(experiment.pooled_impact);
 
   // Raw Figures 4/5 pool: every user series from every trial — only when
   // the caller opted into materializing them.

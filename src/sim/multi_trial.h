@@ -2,6 +2,7 @@
 #define EQIMPACT_SIM_MULTI_TRIAL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "credit/credit_loop.h"
@@ -13,6 +14,11 @@ namespace sim {
 
 /// Configuration of a multi-trial credit-scoring experiment (the paper's
 /// "five trials ... with each trial using a new batch of 1000 users").
+///
+/// This is the credit-specific compatibility surface over the generic
+/// scenario API: RunMultiTrial is a thin wrapper running a
+/// sim::CreditScenario through sim::RunExperiment (see scenario.h /
+/// experiment.h), with bitwise-identical results.
 struct MultiTrialOptions {
   /// Per-trial loop configuration. `loop.num_threads` parallelises
   /// *within* each trial (chunked user passes and the yearly scorecard
@@ -37,7 +43,7 @@ struct MultiTrialOptions {
   /// CreditLoopResult::user_adr plus the pooled_user_adr/pooled_races
   /// pool below. Off (the default), per-user series are never
   /// materialized — the pooled distribution lives only in `pooled_adr`,
-  /// whose memory is O(num_races x num_years x adr_bins) regardless of
+  /// whose memory is O(num_groups x num_years x adr_bins) regardless of
   /// cohort size or trial count. Opt in for the raw-series CSV export or
   /// exact quantiles on small runs.
   bool keep_raw_series = false;
@@ -54,14 +60,18 @@ struct MultiTrialResult {
   std::vector<credit::CreditLoopResult> trials;
   /// Simulated years.
   std::vector<int> years;
-  /// Figure 3: per-race mean +/- std of ADR_s(k) across trials, indexed
-  /// by Race enum value.
+  /// Scenario-defined labels of the impact groups, index-aligned with
+  /// `race_envelopes` and the accumulator's group axis. For the credit
+  /// scenario these are the CPS race names in Race enum order.
+  std::vector<std::string> group_labels;
+  /// Figure 3: per-group mean +/- std of ADR_s(k) across trials,
+  /// index-aligned with `group_labels`.
   std::vector<stats::SeriesEnvelope> race_envelopes;
   /// Figures 4/5: the pooled distribution of ADR_i(k) over all users of
-  /// all trials, streamed per year into per-race moments + histograms
-  /// (groups indexed by Race enum value). Always populated; accumulated
-  /// per trial and merged in trial order, so it is bitwise-identical at
-  /// every thread count.
+  /// all trials, streamed per year into per-group moments + histograms
+  /// (group axis index-aligned with `group_labels`). Always populated;
+  /// accumulated per trial and merged in trial order, so it is
+  /// bitwise-identical at every thread count.
   stats::AdrAccumulator pooled_adr;
   /// Raw pool of all user ADR series with their races (num_trials x
   /// num_users entries) — only under keep_raw_series; empty otherwise.
@@ -70,7 +80,9 @@ struct MultiTrialResult {
 };
 
 /// Runs the closed loop `num_trials` times with independent seeds and
-/// aggregates the results.
+/// aggregates the results. Compatibility wrapper over
+/// sim::RunExperiment with a sim::CreditScenario; simulation output is
+/// bitwise-identical to the historical direct implementation.
 MultiTrialResult RunMultiTrial(const MultiTrialOptions& options);
 
 }  // namespace sim

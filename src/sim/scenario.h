@@ -1,0 +1,145 @@
+#ifndef EQIMPACT_SIM_SCENARIO_H_
+#define EQIMPACT_SIM_SCENARIO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/adr_accumulator.h"
+
+namespace eqimpact {
+namespace runtime {
+class ThreadPool;
+}  // namespace runtime
+
+namespace sim {
+
+/// Everything one trial of a scenario needs from the experiment driver.
+struct TrialContext {
+  /// Slot index of this trial in [0, num_trials); results keyed by it
+  /// are deterministic regardless of dispatch order.
+  size_t trial_index = 0;
+  /// Per-trial seed, derived as SeedSequence(master_seed).Seed(index) —
+  /// the library-wide DeriveSeed convention. All of the trial's
+  /// randomness must be a pure function of this seed.
+  uint64_t trial_seed = 0;
+  /// Within-trial worker budget. 0 = scenario default (whatever its
+  /// options say); scenarios without inner parallelism ignore it.
+  size_t num_threads = 0;
+  /// Optional caller-owned persistent pool for within-trial fan-out.
+  /// Null under parallel trial dispatch (trials may not share a pool);
+  /// RunExperiment provides one when trial dispatch is sequential and
+  /// trial_threads > 1, so a scenario's inner ParallelFor calls can
+  /// reuse it instead of spawning per-call pools.
+  runtime::ThreadPool* pool = nullptr;
+};
+
+/// Generic per-trial record every scenario produces.
+struct TrialOutcome {
+  /// Group-level impact series m_g(k): group_impact[g][k], shape
+  /// num_groups x num_steps — the scenario's analogue of the credit
+  /// loop's per-race ADR curves. Aggregated across trials into the
+  /// experiment's mean +/- std envelopes (the paper's Figure 3 form).
+  std::vector<std::vector<double>> group_impact;
+  /// Scalar trial metrics, aligned with Scenario::MetricNames() (e.g.
+  /// the market's final match-rate Gini). Aggregated across trials into
+  /// per-metric mean/std.
+  std::vector<double> metrics;
+};
+
+/// One closed-loop instantiation of the paper's Figure 1, pluggable into
+/// the generic experiment/sweep drivers: the scenario owns the loop's
+/// configuration, knows its group structure (scenario-defined labels —
+/// races, skill classes, initial-condition classes, ...), and runs one
+/// trial per call, streaming per-(group, step) impact cross-sections
+/// into the driver-owned stats::AdrAccumulator.
+///
+/// Contract for RunTrial:
+///  * Determinism — the trial must be a pure function of
+///    (configuration, context.trial_seed); never of thread count,
+///    dispatch order, or wall clock. Derive all randomness from
+///    trial_seed (see runtime::SeedSequence).
+///  * Concurrency — the driver may invoke RunTrial for *different*
+///    trial indices concurrently. Mutations of scenario state must be
+///    confined to slots owned by context.trial_index (preallocate in
+///    BeginExperiment).
+///  * Streaming — every impact observation goes through `impacts`
+///    (one accumulator per trial, merged by the driver in trial order),
+///    so a trial's memory stays bounded in its cohort size.
+///
+/// Shape queries (GroupLabels, StepLabels, MetricNames, impact range)
+/// reflect the *current* parameters and are only consulted between
+/// experiments, so SetParameter may change them (e.g. the market's
+/// "rounds" changes the step count).
+class Scenario {
+ public:
+  virtual ~Scenario();
+
+  /// Registry key / display name, e.g. "credit".
+  virtual std::string name() const = 0;
+
+  /// Labels of the scenario's impact groups; the size defines the group
+  /// count and indexes TrialOutcome::group_impact and the accumulator.
+  virtual std::vector<std::string> GroupLabels() const = 0;
+
+  /// Labels of the scenario's steps (calendar years, round indices, ...);
+  /// the size defines the step count.
+  virtual std::vector<std::string> StepLabels() const = 0;
+
+  /// Names of the scalar metrics every trial emits, aligned with
+  /// TrialOutcome::metrics. Empty by default.
+  virtual std::vector<std::string> MetricNames() const;
+
+  /// Value range of the streamed impact observations (accumulator
+  /// binning range). Defaults to [0, 1] — ADRs, match rates and action
+  /// averages are all fractions.
+  virtual double impact_lo() const;
+  virtual double impact_hi() const;
+
+  /// Sets the named sweepable parameter; returns false for an unknown
+  /// name (the base implementation knows none). Values arrive as
+  /// doubles; integral parameters truncate.
+  virtual bool SetParameter(const std::string& name, double value);
+
+  /// Names SetParameter accepts, for CLI/registry introspection.
+  virtual std::vector<std::string> ParameterNames() const;
+
+  /// Called by the driver once before a batch of RunTrial calls, with
+  /// the trial count — the hook where scenarios preallocate per-trial
+  /// slots. Default no-op.
+  virtual void BeginExperiment(size_t num_trials);
+
+  /// Runs one trial. `impacts` is a driver-owned accumulator shaped
+  /// (num_groups, num_steps, bins) over [impact_lo, impact_hi]; the
+  /// trial streams its per-step cross-sections into it.
+  virtual TrialOutcome RunTrial(const TrialContext& context,
+                                stats::AdrAccumulator* impacts) = 0;
+};
+
+/// Builds one scenario instance per use site (the registry's entry
+/// type; sweeps call it once per grid point, since sweep points mutate
+/// scenario parameters and must start from a fresh instance).
+using ScenarioFactory = std::function<std::unique_ptr<Scenario>()>;
+
+/// Largest accepted value for integral (count-like) scenario
+/// parameters: comfortably inside the range where the static_cast to
+/// size_t is defined and exact, so SetParameter guards can reject
+/// anything beyond it instead of invoking undefined behavior.
+inline constexpr double kMaxCountParameter = 1e15;
+
+/// Shared SetParameter range guard: true iff `value` is a finite
+/// double inside [lo, hi]. NaN and infinities fail.
+bool ParameterInRange(double value, double lo, double hi);
+
+/// Shared SetParameter guard for count-like parameters: true iff
+/// `value` is finite and in [1, kMaxCountParameter], i.e. safely
+/// castable to a positive size_t.
+bool CountParameterInRange(double value);
+
+}  // namespace sim
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_SIM_SCENARIO_H_

@@ -1,0 +1,59 @@
+#include "sim/scenario_registry.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "sim/credit_scenario.h"
+#include "sim/ensemble_scenario.h"
+#include "sim/market_scenario.h"
+
+namespace eqimpact {
+namespace sim {
+namespace {
+
+/// Function-local registry: no static-initialization-order hazards, and
+/// the built-ins are registered explicitly here rather than through
+/// self-registering globals (which static libraries dead-strip).
+std::map<std::string, ScenarioFactory>& Registry() {
+  static std::map<std::string, ScenarioFactory>* registry = [] {
+    auto* map = new std::map<std::string, ScenarioFactory>();
+    (*map)["credit"] = [] {
+      return std::unique_ptr<Scenario>(new CreditScenario());
+    };
+    (*map)["market"] = [] {
+      return std::unique_ptr<Scenario>(new MatchingMarketScenario());
+    };
+    (*map)["ensemble"] = [] {
+      return std::unique_ptr<Scenario>(new EnsembleScenario());
+    };
+    return map;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+bool RegisterScenario(const std::string& name, ScenarioFactory factory) {
+  return Registry().emplace(name, std::move(factory)).second;
+}
+
+std::unique_ptr<Scenario> CreateScenario(const std::string& name) {
+  ScenarioFactory factory = GetScenarioFactory(name);
+  return factory ? factory() : nullptr;
+}
+
+ScenarioFactory GetScenarioFactory(const std::string& name) {
+  auto it = Registry().find(name);
+  return it == Registry().end() ? ScenarioFactory() : it->second;
+}
+
+std::vector<std::string> RegisteredScenarioNames() {
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const auto& entry : Registry()) names.push_back(entry.first);
+  return names;
+}
+
+}  // namespace sim
+}  // namespace eqimpact

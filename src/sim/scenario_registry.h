@@ -1,0 +1,37 @@
+#ifndef EQIMPACT_SIM_SCENARIO_REGISTRY_H_
+#define EQIMPACT_SIM_SCENARIO_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.h"
+
+namespace eqimpact {
+namespace sim {
+
+/// String-keyed scenario registry — the seam through which CLIs, the
+/// perf bench and future scenarios reach the experiment/sweep drivers
+/// from flag-style specs. The three built-in scenarios ("credit",
+/// "market", "ensemble") are registered on first access; additional
+/// scenarios register at runtime. Not thread-safe (register/create from
+/// one thread, as main() and tests do).
+
+/// Registers `factory` under `name`. Returns false (and leaves the
+/// existing entry) when the name is already taken.
+bool RegisterScenario(const std::string& name, ScenarioFactory factory);
+
+/// A fresh scenario instance with default configuration, or null for an
+/// unknown name.
+std::unique_ptr<Scenario> CreateScenario(const std::string& name);
+
+/// The factory registered under `name` (for RunSweep), or null.
+ScenarioFactory GetScenarioFactory(const std::string& name);
+
+/// Registered names, sorted.
+std::vector<std::string> RegisteredScenarioNames();
+
+}  // namespace sim
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_SIM_SCENARIO_REGISTRY_H_

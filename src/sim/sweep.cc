@@ -1,0 +1,85 @@
+#include "sim/sweep.h"
+
+#include <utility>
+
+#include "base/check.h"
+#include "base/fnv1a.h"
+
+namespace eqimpact {
+namespace sim {
+
+SweepResult RunSweep(const ScenarioFactory& factory,
+                     const SweepOptions& options) {
+  EQIMPACT_CHECK(factory != nullptr);
+  EQIMPACT_CHECK(!options.parameters.empty());
+  size_t num_points = 1;
+  for (const SweepParameter& parameter : options.parameters) {
+    EQIMPACT_CHECK(!parameter.values.empty());
+    num_points *= parameter.values.size();
+  }
+
+  SweepResult result;
+  result.parameter_names.reserve(options.parameters.size());
+  for (const SweepParameter& parameter : options.parameters) {
+    result.parameter_names.push_back(parameter.name);
+  }
+  result.points.reserve(num_points);
+  if (options.keep_experiments) result.experiments.reserve(num_points);
+
+  std::vector<double> values(options.parameters.size(), 0.0);
+  for (size_t index = 0; index < num_points; ++index) {
+    // Decode the row-major grid index (last parameter fastest).
+    size_t remainder = index;
+    for (size_t p = options.parameters.size(); p-- > 0;) {
+      const size_t axis = options.parameters[p].values.size();
+      values[p] = options.parameters[p].values[remainder % axis];
+      remainder /= axis;
+    }
+
+    std::unique_ptr<Scenario> scenario = factory();
+    EQIMPACT_CHECK(scenario != nullptr);
+    for (size_t p = 0; p < options.parameters.size(); ++p) {
+      EQIMPACT_CHECK(scenario->SetParameter(options.parameters[p].name,
+                                            values[p]));
+    }
+    ExperimentResult experiment =
+        RunExperiment(scenario.get(), options.experiment);
+
+    if (result.scenario.empty()) result.scenario = experiment.scenario;
+    if (result.metric_names.empty()) {
+      result.metric_names = experiment.metric_names;
+    }
+    SweepPoint point;
+    point.values = values;
+    point.summary = experiment.summary;
+    point.metric_means.reserve(experiment.metric_stats.size());
+    point.metric_stds.reserve(experiment.metric_stats.size());
+    for (const stats::RunningStats& metric : experiment.metric_stats) {
+      point.metric_means.push_back(metric.Mean());
+      point.metric_stds.push_back(metric.StdDev());
+    }
+    point.digest = ExperimentDigest(experiment);
+    result.points.push_back(std::move(point));
+    if (options.keep_experiments) {
+      result.experiments.push_back(std::move(experiment));
+    }
+  }
+  return result;
+}
+
+uint64_t SweepDigest(const SweepResult& result) {
+  base::Fnv1a digest;
+  for (const SweepPoint& point : result.points) {
+    for (double value : point.values) digest.MixDouble(value);
+    digest.Mix(point.digest);
+    digest.MixDouble(point.summary.group_gap);
+    digest.MixDouble(point.summary.pooled_std);
+    digest.MixDouble(point.summary.pooled_mean);
+    for (double mean : point.metric_means) digest.MixDouble(mean);
+    for (double std_dev : point.metric_stds) digest.MixDouble(std_dev);
+  }
+  return digest.hash();
+}
+
+}  // namespace sim
+}  // namespace eqimpact

@@ -1,0 +1,82 @@
+#ifndef EQIMPACT_SIM_SWEEP_H_
+#define EQIMPACT_SIM_SWEEP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+
+namespace eqimpact {
+namespace sim {
+
+/// One axis of a sweep grid: a scenario parameter name (anything the
+/// scenario's SetParameter accepts) and the values to fan out.
+struct SweepParameter {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Configuration of a parameter-grid sweep.
+struct SweepOptions {
+  /// Experiment run at every grid point (same trials/seed/threads at
+  /// each point, so points differ only in the swept parameters).
+  ExperimentOptions experiment;
+  /// The grid axes; the grid is their Cartesian product, iterated
+  /// row-major with the *last* parameter fastest. At least one axis
+  /// with at least one value.
+  std::vector<SweepParameter> parameters;
+  /// Keep every grid point's full ExperimentResult (off by default —
+  /// the per-point summaries/metrics are usually all a sweep needs).
+  bool keep_experiments = false;
+};
+
+/// One grid point's equal-impact read-out.
+struct SweepPoint {
+  /// Swept parameter values, aligned with SweepResult::parameter_names.
+  std::vector<double> values;
+  /// Final-step equal-impact diagnostics of the point's experiment.
+  EqualImpactSummary summary;
+  /// Across-trial mean/std of every scenario metric, aligned with
+  /// SweepResult::metric_names.
+  std::vector<double> metric_means;
+  std::vector<double> metric_stds;
+  /// ExperimentDigest of the point's experiment — equal digests across
+  /// repeat runs / thread counts certify sweep reproducibility.
+  uint64_t digest = 0;
+};
+
+/// Result of RunSweep.
+struct SweepResult {
+  std::string scenario;
+  std::vector<std::string> parameter_names;
+  std::vector<std::string> metric_names;
+  /// Row-major over the grid (last parameter fastest).
+  std::vector<SweepPoint> points;
+  /// Per-point full results, iff SweepOptions::keep_experiments.
+  std::vector<ExperimentResult> experiments;
+};
+
+/// Fans the parameter grid out over experiments: for every grid point,
+/// a fresh scenario from `factory`, the point's parameter assignments
+/// via SetParameter (CHECK-fails on a name the scenario rejects), and
+/// one RunExperiment — collecting the per-point equal-impact metrics.
+/// Points run sequentially (each experiment is itself trial-parallel),
+/// so the sweep inherits the experiment driver's bitwise determinism at
+/// every thread count.
+SweepResult RunSweep(const ScenarioFactory& factory,
+                     const SweepOptions& options);
+
+/// Order-dependent FNV-1a digest over the sweep (parameter values,
+/// per-point digests, summaries and metric aggregates). Equal digests
+/// certify same spec -> same result.
+uint64_t SweepDigest(const SweepResult& result);
+
+}  // namespace sim
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_SIM_SWEEP_H_

@@ -11,16 +11,19 @@
 namespace eqimpact {
 namespace stats {
 
-/// Streaming aggregate of a bundle of bounded per-step series, grouped by
-/// a small categorical attribute (the credit loop's race).
+/// Streaming aggregate of a bundle of bounded per-step series, grouped
+/// by a small categorical attribute. The group axis is scenario-defined
+/// (dense ids 0..num_groups-1 with labels owned by the producer): the
+/// credit loop's protected race classes, the matching market's skill
+/// classes, the broadcast ensemble's initial-condition classes, ...
 ///
-/// This replaces materializing num_trials x num_users x num_steps raw
+/// This replaces materializing num_trials x num_units x num_steps raw
 /// values (the Figures 4/5 pool) with O(num_groups x num_steps x
 /// num_bins) state: per (group, step) Welford moments plus a fixed-bin
 /// histogram over [lo, hi]. It answers everything the figure benches need
 /// — per-group envelopes (Figure 4's quantile fan, approximated from the
 /// histogram with exact min/max), group-blind per-step densities
-/// (Figure 5) — in memory bounded independently of the number of users
+/// (Figure 5) — in memory bounded independently of the number of units
 /// and trials.
 ///
 /// Observations are clamped into [lo, hi] for binning (matching

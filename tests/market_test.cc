@@ -156,6 +156,131 @@ TEST(MatchingMarketTest, HeterogeneousSkillRewardsSkillUnderExploitation) {
   EXPECT_GT(covariance, 0.0);
 }
 
+// --- Round observer + regulator controls -----------------------------------------
+
+TEST(MatchingMarketTest, ObserverStreamsEveryRound) {
+  MatchingMarketOptions options = SmallMarket(20);
+  options.rounds = 50;
+  size_t calls = 0;
+  MatchingMarketResult result = RunMatchingMarket(
+      MatchingRule::kUniformRandom, options,
+      [&calls, &options](const market::RoundSnapshot& snapshot,
+                         market::RoundControls*) {
+        EXPECT_EQ(snapshot.round, calls);
+        EXPECT_EQ(snapshot.running_match_rate.size(), options.num_workers);
+        EXPECT_EQ(snapshot.matched.size(), options.num_workers);
+        // Running rates are averages of the matchings so far.
+        for (double rate : snapshot.running_match_rate) {
+          EXPECT_GE(rate, 0.0);
+          EXPECT_LE(rate, 1.0);
+        }
+        ++calls;
+      });
+  EXPECT_EQ(calls, 50u);
+  // The final snapshot's running rates equal the result's match rates.
+  EXPECT_EQ(result.match_rate.size(), options.num_workers);
+}
+
+TEST(MatchingMarketTest, ObserverDoesNotPerturbTheSimulation) {
+  MatchingMarketOptions options = SmallMarket(21);
+  MatchingMarketResult plain =
+      RunMatchingMarket(MatchingRule::kEpsilonGreedy, options);
+  MatchingMarketResult observed = RunMatchingMarket(
+      MatchingRule::kEpsilonGreedy, options,
+      [](const market::RoundSnapshot&, market::RoundControls*) {});
+  EXPECT_EQ(plain.match_rate, observed.match_rate);
+  EXPECT_EQ(plain.reputation, observed.reputation);
+}
+
+TEST(MatchingMarketTest, ObserverSteersExploration) {
+  // A regulator that turns the lottery fully on defeats the lock-in.
+  MatchingMarketOptions options = SmallMarket(22);
+  options.exploration = 0.0;
+  MatchingMarketResult locked =
+      RunMatchingMarket(MatchingRule::kEpsilonGreedy, options);
+  MatchingMarketResult steered = RunMatchingMarket(
+      MatchingRule::kEpsilonGreedy, options,
+      [](const market::RoundSnapshot&, market::RoundControls* controls) {
+        controls->exploration = 1.0;
+      });
+  EXPECT_GT(locked.match_rate_gini, 0.3);
+  EXPECT_LT(steered.match_rate_gini, 0.1);
+  EXPECT_DOUBLE_EQ(steered.final_exploration, 1.0);
+  EXPECT_DOUBLE_EQ(locked.final_exploration, 0.0);
+}
+
+TEST(MatchingMarketTest, ExploreWeightsSteerTheLottery) {
+  // Zero weight = never drawn in the lottery: under a pure lottery
+  // with half the workers weighted out, only the other half works.
+  MatchingMarketOptions options = SmallMarket(23);
+  options.rounds = 100;
+  const size_t n = options.num_workers;
+  MatchingMarketResult result = RunMatchingMarket(
+      MatchingRule::kUniformRandom, options,
+      [n](const market::RoundSnapshot&, market::RoundControls* controls) {
+        if (!controls->explore_weights.empty()) return;
+        controls->explore_weights.assign(n, 0.0);
+        for (size_t i = n / 2; i < n; ++i) {
+          controls->explore_weights[i] = 1.0;
+        }
+      });
+  // Round 0 ran unweighted; from round 1 on only the second half can
+  // match, so the first half's rates are bounded by 1/rounds.
+  for (size_t i = 0; i < n / 2; ++i) {
+    EXPECT_LE(result.match_rate[i], 1.0 / 100.0 + 1e-12);
+  }
+  double second_half = 0.0;
+  for (size_t i = n / 2; i < n; ++i) second_half += result.match_rate[i];
+  EXPECT_NEAR(second_half / static_cast<double>(n / 2), 1.0, 0.02);
+}
+
+TEST(MatchingMarketTest, WeightedLotterySurvivesExhaustedWeightMass) {
+  // More exploration slots than positive-weight workers: after the
+  // weighted mass is drawn (subtraction can leave a tiny positive
+  // floating-point residue), the remaining slots fill uniformly — the
+  // capacity is still honoured every round, with no out-of-bounds draw.
+  MatchingMarketOptions options;
+  options.num_workers = 10;
+  options.capacity_fraction = 0.5;  // 5 slots per round.
+  options.rounds = 50;
+  options.seed = 25;
+  MatchingMarketResult result = RunMatchingMarket(
+      MatchingRule::kUniformRandom, options,
+      [](const market::RoundSnapshot& snapshot,
+         market::RoundControls* controls) {
+        if (controls->explore_weights.empty()) {
+          // 3 positive-weight workers for 5 slots.
+          controls->explore_weights.assign(10, 0.0);
+          controls->explore_weights[0] = 0.1;
+          controls->explore_weights[1] = 0.2;
+          controls->explore_weights[2] = 0.3;
+        }
+        size_t matched = 0;
+        for (uint8_t m : snapshot.matched) matched += m;
+        EXPECT_EQ(matched, 5u);
+      });
+  // The positive-weight workers match every round from round 1 on.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(result.match_rate[i], 49.0 / 50.0 - 1e-12);
+  }
+  EXPECT_NEAR(result.mean_match_rate, 0.5, 1e-12);
+}
+
+TEST(MatchingMarketTest, RoundsConsumeIndependentSubStreams) {
+  // Doubling the round count must not change the skills (stream 0) —
+  // and the library-wide convention gives every round its own child
+  // namespace, so this holds by construction.
+  MatchingMarketOptions short_run = SmallMarket(24);
+  short_run.heterogeneous_skill = true;
+  MatchingMarketOptions long_run = short_run;
+  long_run.rounds = short_run.rounds * 2;
+  MatchingMarketResult a =
+      RunMatchingMarket(MatchingRule::kEpsilonGreedy, short_run);
+  MatchingMarketResult b =
+      RunMatchingMarket(MatchingRule::kEpsilonGreedy, long_run);
+  EXPECT_EQ(a.skill, b.skill);
+}
+
 // --- Drift monitor ---------------------------------------------------------------
 
 TEST(DriftMonitorTest, FirstIngestGivesNoMeasurement) {
@@ -253,6 +378,29 @@ TEST(ImpactEqualizerTest, EqualImpactsLeaveOffsetsUnchanged) {
   EXPECT_DOUBLE_EQ(equalizer.offsets()[0], 0.0);
   EXPECT_DOUBLE_EQ(equalizer.offsets()[1], 0.0);
   EXPECT_TRUE(equalizer.Converged(1e-9));
+}
+
+TEST(ImpactEqualizerTest, SweepableInterventionSpecBuildsEqualizers) {
+  core::EqualizerInterventionOptions spec;
+  EXPECT_FALSE(spec.enabled());  // strength 0 = intervention off.
+  spec.strength = 0.5;
+  spec.max_offset = 0.8;
+  ASSERT_TRUE(spec.enabled());
+
+  // Adverse impact (the default): the high-impact class gets the larger
+  // offset (convention: a larger offset reduces impact).
+  core::ImpactEqualizer adverse = core::MakeEqualizer(2, spec);
+  adverse.Observe({0.9, 0.1});
+  EXPECT_GT(adverse.offsets()[0], 0.0);
+  EXPECT_LT(adverse.offsets()[1], 0.0);
+
+  // Beneficial impact (match rates): the sign flips, so the
+  // under-served class gets the larger offset (e.g. lottery boost).
+  spec.beneficial_impact = true;
+  core::ImpactEqualizer beneficial = core::MakeEqualizer(2, spec);
+  beneficial.Observe({0.9, 0.1});
+  EXPECT_LT(beneficial.offsets()[0], 0.0);
+  EXPECT_GT(beneficial.offsets()[1], 0.0);
 }
 
 TEST(ImpactEqualizerTest, EqualizesTheMatchingMarket) {
