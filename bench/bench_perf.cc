@@ -33,6 +33,13 @@
 //    in PR 4, swept over thread counts with a sim::ExperimentDigest
 //    proving bitwise-identical aggregates at every thread count.
 //
+//  * "simd_scaling" — the kernel layer (runtime/kernels.h +
+//    rng::Pcg32::FillUniform): every kernel timed through its scalar
+//    reference and through the active vector backend on the same
+//    inputs, the outputs compared bit for bit
+//    ("vector_matches_scalar"), and a digest over the scalar outputs
+//    pinning the kernels' numerical behaviour across PRs.
+//
 //  * "micro" — single-thread timings of the library's hot paths (RNG
 //    throughput, normal CDF, logistic IRLS, one closed-loop trial,
 //    Markov/linalg kernels) replacing the earlier google-benchmark
@@ -60,6 +67,7 @@
 #endif
 
 #include "base/fnv1a.h"
+#include "base/simd_scalar.h"
 #include "credit/credit_loop.h"
 #include "linalg/eigen.h"
 #include "linalg/matrix.h"
@@ -75,6 +83,8 @@
 #include "ml/logistic_regression.h"
 #include "rng/normal.h"
 #include "rng/random.h"
+#include "runtime/kernels.h"
+#include "runtime/simd.h"
 #include "runtime/thread_pool.h"
 #include "sim/experiment.h"
 #include "sim/market_scenario.h"
@@ -347,6 +357,217 @@ uint64_t CoefficientDigest(const eqimpact::ml::LogisticRegression& model) {
   return digest.hash();
 }
 
+// --- simd_scaling helpers. -------------------------------------------------
+
+struct SimdKernelPoint {
+  std::string name;
+  double scalar_seconds = 0.0;
+  double simd_seconds = 0.0;
+  bool matches = false;
+};
+
+struct SimdSection {
+  size_t num_values = 0;
+  bool vector_matches_scalar = true;
+  uint64_t digest = 0;
+  std::vector<SimdKernelPoint> kernels;
+};
+
+/// Times one kernel through its scalar reference and through the active
+/// dispatch on identical inputs, checks the outputs bit for bit, and
+/// mixes the scalar outputs into the section digest. `scalar_fn` and
+/// `simd_fn` must each run `reps` passes filling `out_size` doubles of
+/// their buffer; the recorded seconds are per pass.
+SimdKernelPoint SimdKernel(const std::string& name, size_t out_size,
+                           int reps,
+                           const std::function<void(double*)>& scalar_fn,
+                           const std::function<void(double*)>& simd_fn,
+                           Fnv1a* digest) {
+  std::vector<double> scalar_out(out_size, 0.0);
+  std::vector<double> simd_out(out_size, 1.0);
+  SimdKernelPoint point;
+  point.name = name;
+  point.scalar_seconds = TimeIt([&] { scalar_fn(scalar_out.data()); }) / reps;
+  point.simd_seconds = TimeIt([&] { simd_fn(simd_out.data()); }) / reps;
+  point.matches = std::memcmp(scalar_out.data(), simd_out.data(),
+                              out_size * sizeof(double)) == 0;
+  for (double value : scalar_out) digest->MixDouble(value);
+  std::fprintf(stderr,
+               "  simd %-18s scalar %.4fs  %s %.4fs  (%.2fx, %s)\n",
+               name.c_str(), point.scalar_seconds,
+               eqimpact::runtime::simd::BackendName(
+                   eqimpact::runtime::simd::ActiveBackend()),
+               point.simd_seconds,
+               point.simd_seconds > 0.0
+                   ? point.scalar_seconds / point.simd_seconds
+                   : 0.0,
+               point.matches ? "bitwise equal" : "MISMATCH");
+  return point;
+}
+
+/// The simd_scaling section body: every kernel of the layer over the
+/// same `num_values`-sized adversarial-free hot-path-like inputs,
+/// repeated kReps times per timing sample.
+SimdSection RunSimdSuite(size_t num_values) {
+  namespace kernels = eqimpact::runtime::kernels;
+  constexpr int kReps = 64;
+  const size_t n = num_values;
+
+  // Inputs with the credit hot path's shapes: positive incomes across
+  // the bracket range, ADR-like fractions, logistic-scale predictors,
+  // and weight arrays with a zero-denominator sprinkle.
+  eqimpact::rng::Random random(2026);
+  std::vector<double> income(n), adr(n), predictors(n), num(n), den(n),
+      rows(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    income[i] = random.UniformDouble(1.0, 250.0);
+    adr[i] = random.UniformDouble();
+    predictors[i] = random.UniformDouble(-30.0, 30.0);
+    num[i] = random.UniformDouble(0.0, 20.0);
+    den[i] = i % 7 == 0 ? 0.0 : random.UniformDouble(0.5, 20.0);
+    rows[2 * i] = adr[i];
+    rows[2 * i + 1] = income[i] >= 15.0 ? 1.0 : 0.0;
+  }
+  kernels::ScoreParams params;
+  params.code_threshold = 15.0;
+  params.base_points = 0.3;
+  params.adr_weight = -8.17;
+  params.code_weight = 5.77;
+  params.cutoff = 0.4;
+
+  SimdSection section;
+  section.num_values = n;
+  Fnv1a digest;
+
+  // Separate approval buffers per path: the bit-for-bit gate must cover
+  // the approved[] outputs too, not only the code[] doubles SimdKernel
+  // compares itself.
+  std::vector<unsigned char> approved_scalar(n, 2);
+  std::vector<unsigned char> approved_simd(n, 3);
+  section.kernels.push_back(SimdKernel(
+      "score_sweep", n, kReps,
+      [&](double* out) {
+        for (int r = 0; r < kReps; ++r) {
+          kernels::ScoreSweepScalar(income.data(), adr.data(), n, params,
+                                    out, approved_scalar.data());
+        }
+      },
+      [&](double* out) {
+        for (int r = 0; r < kReps; ++r) {
+          kernels::ScoreSweep(income.data(), adr.data(), n, params, out,
+                              approved_simd.data());
+        }
+      },
+      &digest));
+  section.kernels.back().matches =
+      section.kernels.back().matches && approved_scalar == approved_simd;
+  for (unsigned char approved : approved_scalar) digest.Mix(approved);
+
+  section.kernels.push_back(SimdKernel(
+      "income_code", n, kReps,
+      [&](double* out) {
+        for (int r = 0; r < kReps; ++r) {
+          kernels::IncomeCodeScalar(income.data(), n, 15.0, out);
+        }
+      },
+      [&](double* out) {
+        for (int r = 0; r < kReps; ++r) {
+          kernels::IncomeCode(income.data(), n, 15.0, out);
+        }
+      },
+      &digest));
+
+  section.kernels.push_back(SimdKernel(
+      "surplus_share", n, kReps,
+      [&](double* out) {
+        for (int r = 0; r < kReps; ++r) {
+          kernels::SurplusShareScalar(income.data(), n, 3.5, 10.0, 0.0216,
+                                      out);
+        }
+      },
+      [&](double* out) {
+        for (int r = 0; r < kReps; ++r) {
+          kernels::SurplusShare(income.data(), n, 3.5, 10.0, 0.0216, out);
+        }
+      },
+      &digest));
+
+  section.kernels.push_back(SimdKernel(
+      "guarded_ratio", n, kReps,
+      [&](double* out) {
+        for (int r = 0; r < kReps; ++r) {
+          kernels::GuardedRatioScalar(num.data(), den.data(), n, out);
+        }
+      },
+      [&](double* out) {
+        for (int r = 0; r < kReps; ++r) {
+          kernels::GuardedRatio(num.data(), den.data(), n, out);
+        }
+      },
+      &digest));
+
+  // The sigmoid's exp is a scalar libm call on both paths (the bitwise
+  // contract); only the select + divide vectorizes, so the speedup here
+  // is honest but small.
+  section.kernels.push_back(SimdKernel(
+      "sigmoid_batch", n, kReps / 8,
+      [&](double* out) {
+        for (int r = 0; r < kReps / 8; ++r) {
+          kernels::SigmoidBatchScalar(predictors.data(), n, out);
+        }
+      },
+      [&](double* out) {
+        for (int r = 0; r < kReps / 8; ++r) {
+          kernels::SigmoidBatch(predictors.data(), n, out);
+        }
+      },
+      &digest));
+
+  section.kernels.push_back(SimdKernel(
+      "linear_predictor2", n, kReps,
+      [&](double* out) {
+        for (int r = 0; r < kReps; ++r) {
+          kernels::LinearPredictor2Scalar(rows.data(), n, -8.17, 5.77, 0.3,
+                                          true, out);
+        }
+      },
+      [&](double* out) {
+        for (int r = 0; r < kReps; ++r) {
+          kernels::LinearPredictor2(rows.data(), n, -8.17, 5.77, 0.3, true,
+                                    out);
+        }
+      },
+      &digest));
+
+  // The PCG batch fill dispatches inside rng; the scalar side runs the
+  // same call under the force-scalar toggle. Fresh generators per rep
+  // keep both sides on the identical stream.
+  section.kernels.push_back(SimdKernel(
+      "fill_uniform", n, kReps,
+      [&](double* out) {
+        eqimpact::base::SetSimdForceScalarForTesting(true);
+        for (int r = 0; r < kReps; ++r) {
+          eqimpact::rng::Pcg32 gen(7, 11);
+          gen.FillUniform(out, n);
+        }
+        eqimpact::base::SetSimdForceScalarForTesting(false);
+      },
+      [&](double* out) {
+        for (int r = 0; r < kReps; ++r) {
+          eqimpact::rng::Pcg32 gen(7, 11);
+          gen.FillUniform(out, n);
+        }
+      },
+      &digest));
+
+  for (const SimdKernelPoint& point : section.kernels) {
+    section.vector_matches_scalar =
+        section.vector_matches_scalar && point.matches;
+  }
+  section.digest = digest.hash();
+  return section;
+}
+
 std::vector<size_t> ThreadCounts(size_t max_threads) {
   // 1, 2, 4, ... up to max_threads (always including max_threads itself).
   std::vector<size_t> counts;
@@ -594,10 +815,14 @@ int main(int argc, char** argv) {
   }
   const bool market_deterministic = AllDigestsEqual(market_runs);
 
+  // --- Section 5: simd scaling (kernel layer scalar vs vector). --------
+  const SimdSection simd_section = RunSimdSuite(1 << 16);
+
   std::vector<MicroResult> micro = RunMicroSuite();
 
   const bool deterministic = multi_deterministic && within_deterministic &&
-                             fit_deterministic && market_deterministic;
+                             fit_deterministic && market_deterministic &&
+                             simd_section.vector_matches_scalar;
 
   // Emit the JSON document on stdout.
   std::printf("{\n");
@@ -667,6 +892,45 @@ int main(int argc, char** argv) {
               market_runs.front().digest);
   PrintScalingRuns(market_runs, "trials_per_sec");
   std::printf("  },\n");
+  {
+    namespace simd = eqimpact::runtime::simd;
+    const simd::Backend active = simd::ActiveBackend();
+    std::printf("  \"simd_scaling\": {\n");
+    std::printf("    \"compiled_backend\": \"%s\",\n",
+                simd::BackendName(simd::CompiledBackend()));
+    std::printf("    \"active_backend\": \"%s\",\n",
+                simd::BackendName(active));
+    std::printf("    \"lanes\": %zu,\n", simd::LaneWidth(active));
+    std::printf("    \"num_values\": %zu,\n", simd_section.num_values);
+    std::printf("    \"vector_matches_scalar\": %s,\n",
+                simd_section.vector_matches_scalar ? "true" : "false");
+    std::printf("    \"digest\": \"%016" PRIx64 "\",\n",
+                simd_section.digest);
+    std::printf("    \"kernels\": [\n");
+    for (size_t i = 0; i < simd_section.kernels.size(); ++i) {
+      const SimdKernelPoint& point = simd_section.kernels[i];
+      const double scalar_rate =
+          point.scalar_seconds > 0.0
+              ? static_cast<double>(simd_section.num_values) /
+                    point.scalar_seconds
+              : 0.0;
+      const double simd_rate =
+          point.simd_seconds > 0.0
+              ? static_cast<double>(simd_section.num_values) /
+                    point.simd_seconds
+              : 0.0;
+      std::printf(
+          "      {\"name\": \"%s\", \"scalar_elems_per_sec\": %.1f, "
+          "\"simd_elems_per_sec\": %.1f, \"speedup\": %.3f}%s\n",
+          point.name.c_str(), scalar_rate, simd_rate,
+          point.simd_seconds > 0.0
+              ? point.scalar_seconds / point.simd_seconds
+              : 0.0,
+          i + 1 < simd_section.kernels.size() ? "," : "");
+    }
+    std::printf("    ]\n");
+    std::printf("  },\n");
+  }
   std::printf("  \"micro\": [\n");
   for (size_t i = 0; i < micro.size(); ++i) {
     std::printf(

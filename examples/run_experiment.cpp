@@ -5,15 +5,18 @@
 // Usage:
 //   run_experiment --list
 //   run_experiment --scenario=NAME [--trials=N] [--seed=S] [--threads=T]
-//                  [--trial-threads=T] [--bins=B]
+//                  [--trial-threads=T] [--point-threads=P] [--bins=B]
 //                  [--set name=value]... [--sweep name=v1,v2,...]...
 //
 // Without --sweep, runs one experiment and prints its aggregates; with
 // one or more --sweep axes, fans the Cartesian grid out over
 // experiments and prints one JSON row per grid point. --set assigns a
 // scenario parameter before the run (and before every sweep point).
-// Deterministic in the spec at every thread count; the digests printed
-// here certify it.
+// The three thread budgets nest: --point-threads workers run grid
+// points concurrently (sweeps only; 0 = all cores, default 1),
+// --threads parallelises each experiment's trials, --trial-threads
+// each trial's inner passes. Deterministic in the spec at every thread
+// configuration; the digests printed here certify it.
 
 #include <cerrno>
 #include <cstdio>
@@ -45,6 +48,9 @@ struct CliSpec {
   bool list = false;
   std::string scenario;
   ExperimentOptions experiment;
+  /// Cross-point workers of a --sweep run (SweepOptions convention:
+  /// 1 = sequential, 0 = hardware concurrency).
+  size_t point_threads = 1;
   std::vector<Assignment> assignments;
   std::vector<SweepParameter> sweeps;
 };
@@ -132,6 +138,10 @@ bool ParseArgs(int argc, char** argv, CliSpec* spec) {
                            &spec->experiment.trial_threads)) {
         return false;
       }
+    } else if (arg.rfind("--point-threads=", 0) == 0) {
+      if (!parse_size_flag("--point-threads=", &spec->point_threads)) {
+        return false;
+      }
     } else if (arg.rfind("--bins=", 0) == 0) {
       if (!parse_size_flag("--bins=", &spec->experiment.impact_bins)) {
         return false;
@@ -192,6 +202,8 @@ int RunSingle(Scenario* scenario, const CliSpec& spec) {
   std::printf("  \"num_trials\": %zu,\n", spec.experiment.num_trials);
   std::printf("  \"master_seed\": %llu,\n",
               static_cast<unsigned long long>(spec.experiment.master_seed));
+  std::printf("  \"num_threads\": %zu,\n", spec.experiment.num_threads);
+  std::printf("  \"trial_threads\": %zu,\n", spec.experiment.trial_threads);
   std::printf("  \"group_labels\": ");
   PrintStringArray(result.group_labels);
   std::printf(",\n");
@@ -259,10 +271,14 @@ int RunGrid(const CliSpec& spec) {
   SweepOptions options;
   options.experiment = spec.experiment;
   options.parameters = spec.sweeps;
+  options.num_point_threads = spec.point_threads;
   SweepResult result = eqimpact::sim::RunSweep(factory, options);
 
   std::printf("{\n");
   std::printf("  \"scenario\": \"%s\",\n", result.scenario.c_str());
+  std::printf("  \"num_threads\": %zu,\n", spec.experiment.num_threads);
+  std::printf("  \"trial_threads\": %zu,\n", spec.experiment.trial_threads);
+  std::printf("  \"point_threads\": %zu,\n", spec.point_threads);
   std::printf("  \"parameters\": ");
   PrintStringArray(result.parameter_names);
   std::printf(",\n");
@@ -323,7 +339,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: run_experiment --list | --scenario=NAME "
                  "[--trials=N] [--seed=S] [--threads=T] [--trial-threads=T] "
-                 "[--bins=B] [--set name=value]... "
+                 "[--point-threads=P] [--bins=B] [--set name=value]... "
                  "[--sweep name=v1,v2,...]...\n");
     return 2;
   }

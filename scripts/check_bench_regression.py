@@ -22,7 +22,14 @@ Checks, in order of severity:
    the mismatch to a warning for the commit that refreshes the snapshot.
 
 2. Intra-run determinism flags (HARD FAIL, exit 1): the fresh run must
-   report deterministic_across_thread_counts == true in every section.
+   report deterministic_across_thread_counts == true in every section,
+   and the simd_scaling section (PR 5) must report
+   vector_matches_scalar == true — a vector kernel that is not
+   bit-for-bit its scalar reference breaks the layer's contract. The
+   simd_scaling digest is checked like the other sections' (it pins the
+   kernels' numerical behaviour; it is backend-independent by the same
+   contract, so scalar-forced, SSE2 and AVX2 builds must all produce
+   it).
 
 3. Throughput (WARN only, exit 0): wall-clock rates are machine- and
    load-dependent, so regressions beyond the threshold (default 25%) are
@@ -145,6 +152,9 @@ def main(argv):
     )
     errors += e
     notes += n
+    e, n = compare_digests(fresh, snapshot, "simd_scaling", ["num_values"])
+    errors += e
+    notes += n
 
     # 2. The fresh run must itself be thread-count deterministic.
     for section in (
@@ -157,6 +167,13 @@ def main(argv):
             "deterministic_across_thread_counts", True
         ):
             errors += fail(f"{section}: fresh run is not deterministic")
+    if "simd_scaling" in fresh and not fresh["simd_scaling"].get(
+        "vector_matches_scalar", True
+    ):
+        errors += fail(
+            "simd_scaling: a vector kernel is not bitwise-equal to its "
+            "scalar reference"
+        )
 
     # 3. Throughput trend (warnings only).
     warnings = []
@@ -230,6 +247,22 @@ def main(argv):
             snapshot_micro.get(micro["name"]),
             warnings,
         )
+    # simd_scaling kernel rates, by name (warn only, like every rate; the
+    # scalar and vector paths are compared separately so a dispatch
+    # regression shows up even when the scalar reference is unchanged).
+    snapshot_kernels = {
+        k["name"]: k
+        for k in snapshot.get("simd_scaling", {}).get("kernels", [])
+    }
+    for kernel in fresh.get("simd_scaling", {}).get("kernels", []):
+        reference = snapshot_kernels.get(kernel["name"], {})
+        for rate_key in ("scalar_elems_per_sec", "simd_elems_per_sec"):
+            check_rate(
+                f"simd {kernel['name']} {rate_key}",
+                kernel.get(rate_key),
+                reference.get(rate_key),
+                warnings,
+            )
 
     for note in notes:
         print(f"note: {note}")

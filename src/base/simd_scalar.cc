@@ -1,0 +1,26 @@
+#include "base/simd_scalar.h"
+
+#include <atomic>
+
+namespace eqimpact {
+namespace base {
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+}  // namespace
+
+bool SimdForceScalar() {
+#ifdef EQIMPACT_FORCE_SCALAR
+  return true;
+#else
+  return g_force_scalar.load(std::memory_order_relaxed);
+#endif
+}
+
+void SetSimdForceScalarForTesting(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+}  // namespace base
+}  // namespace eqimpact

@@ -1,0 +1,37 @@
+#ifndef EQIMPACT_BASE_SIMD_SCALAR_H_
+#define EQIMPACT_BASE_SIMD_SCALAR_H_
+
+/// \file
+/// Process-wide switch that pins every vectorized kernel to its scalar
+/// reference lanes.
+///
+/// The kernel layer (runtime/simd.h + runtime/kernels.h and
+/// rng::Pcg32::FillUniform) promises that the vector lanes are
+/// bit-for-bit the scalar reference on every input. This switch is how
+/// that promise is *checked*: the EQIMPACT_FORCE_SCALAR compile
+/// definition (CMake option of the same name) removes the vector lanes
+/// from the build entirely, and the runtime toggle lets one test binary
+/// run the same workload through both paths and compare digests.
+///
+/// It lives in `base` — below both `rng` and `runtime` in the layer
+/// graph — because the PCG batch fill (rng) and the elementwise kernels
+/// (runtime) sit in different layers but must honour one switch.
+
+namespace eqimpact {
+namespace base {
+
+/// True when kernel dispatch must use the scalar reference lanes: either
+/// the build compiled the vector lanes out (EQIMPACT_FORCE_SCALAR) or a
+/// test toggled them off at runtime.
+bool SimdForceScalar();
+
+/// Runtime toggle for tests (a no-op in EQIMPACT_FORCE_SCALAR builds,
+/// which are scalar regardless). Takes effect for kernel calls that
+/// start after it returns; flip it only between single-threaded phases,
+/// never while kernels may be running.
+void SetSimdForceScalarForTesting(bool force);
+
+}  // namespace base
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_BASE_SIMD_SCALAR_H_

@@ -1,5 +1,7 @@
 #include "credit/adr_filter.h"
 
+#include "runtime/kernels.h"
+
 namespace eqimpact {
 namespace credit {
 
@@ -78,9 +80,17 @@ std::vector<double> AdrFilter::UserAdrSnapshot() const {
   return snapshot;
 }
 
+void AdrFilter::AdrInto(size_t begin, size_t end, double* out) const {
+  EQIMPACT_CHECK_LE(begin, end);
+  EQIMPACT_CHECK_LE(end, races_.size());
+  runtime::kernels::GuardedRatio(default_weight_.data() + begin,
+                                 offer_weight_.data() + begin, end - begin,
+                                 out);
+}
+
 void AdrFilter::SnapshotInto(std::vector<double>* out) const {
   out->resize(races_.size());
-  for (size_t i = 0; i < races_.size(); ++i) (*out)[i] = UserAdr(i);
+  AdrInto(0, races_.size(), out->data());
 }
 
 }  // namespace credit

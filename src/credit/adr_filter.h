@@ -81,6 +81,12 @@ class AdrFilter {
   /// ablation; the paper's figures use RaceAdr.
   double PooledRaceAdr(Race race) const;
 
+  /// Writes UserAdr(i) for every i in [begin, end) into
+  /// out[0..end - begin) through the vectorized guarded-ratio kernel —
+  /// bit-for-bit the per-user calls. The batch engine's per-chunk read
+  /// of the trailing ADR features and the bulk of SnapshotInto.
+  void AdrInto(size_t begin, size_t end, double* out) const;
+
   /// Snapshot of every user's ADR.
   std::vector<double> UserAdrSnapshot() const;
 

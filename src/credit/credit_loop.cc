@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <optional>
 
@@ -10,6 +11,7 @@
 #include "ml/binned_dataset.h"
 #include "ml/scorecard.h"
 #include "rng/random.h"
+#include "runtime/kernels.h"
 #include "runtime/parallel_for.h"
 #include "runtime/seed_sequence.h"
 #include "runtime/thread_pool.h"
@@ -52,6 +54,20 @@ struct ChunkYield {
     rows.clear();
     labels.clear();
   }
+};
+
+// Per-chunk scratch of the kernel passes, index-aligned within the
+// chunk. Owned by the chunk like its yield and kept across years, so
+// steady-state years run the vector kernels over warm buffers without a
+// single allocation.
+struct ChunkScratch {
+  std::vector<double> income_uniforms;  // 2 pre-drawn draws per user.
+  std::vector<double> adr;              // Trailing ADR features.
+  std::vector<double> code;             // Income codes.
+  std::vector<unsigned char> approved;  // Score-test outcomes.
+  std::vector<uint32_t> indices;        // Approved users' chunk offsets.
+  std::vector<double> dense_income;     // Approved incomes, compacted.
+  std::vector<double> probability;      // Repayment probabilities.
 };
 
 }  // namespace
@@ -152,12 +168,12 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
   ml::LogisticRegression trainer(trainer_options);
 
   // Hot-path scalars hoisted out of the sweep.
-  const double income_multiple = options_.repayment.income_multiple;
   const double code_threshold = options_.income_code_threshold;
 
   // Reused per-year buffers.
   std::vector<double> uniforms(num_users);
   std::vector<ChunkYield> yields(num_chunks);
+  std::vector<ChunkScratch> scratches(num_chunks);
   std::vector<double> adr_snapshot;
   const std::vector<double>& incomes = population.incomes();
 
@@ -173,6 +189,10 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
     // (the legacy path drew only for approved users with positive
     // repayment probability) is what decouples the draws from the
     // decisions and makes the scoring sweep embarrassingly parallel.
+    // Every draw goes through the generator's multi-stream batch fill
+    // (bit-for-bit the sequential stream): one FillUniformDouble for the
+    // chunk's 2-per-user income draws, transformed by the year sampler,
+    // and one for its repayment uniforms.
     const YearIncomeSampler sampler(income_model, year);
     const runtime::SeedSequence income_year = income_streams.Child(k);
     const runtime::SeedSequence repayment_year = repayment_streams.Child(k);
@@ -181,10 +201,14 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
         [&](size_t c, size_t begin, size_t end) {
           rng::Random income_rng(income_year.Seed(c));
           rng::Random repayment_rng(repayment_year.Seed(c));
-          population.ResampleIncomesRange(sampler, begin, end, &income_rng);
-          for (size_t i = begin; i < end; ++i) {
-            uniforms[i] = repayment_rng.UniformDouble();
-          }
+          ChunkScratch& scratch = scratches[c];
+          const size_t count = end - begin;
+          scratch.income_uniforms.resize(2 * count);
+          income_rng.FillUniformDouble(scratch.income_uniforms.data(),
+                                       2 * count);
+          population.ResampleIncomesFromUniforms(
+              sampler, begin, end, scratch.income_uniforms.data());
+          repayment_rng.FillUniformDouble(&uniforms[begin], count);
         },
         dispatch);
 
@@ -209,43 +233,77 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
     // has_defaulted, so the sweep needs no default-history array.
     const bool use_scorecard =
         k >= options_.warmup_steps && current_scorecard.has_value();
-    const double base_points =
+    runtime::kernels::ScoreParams score_params;
+    score_params.code_threshold = code_threshold;
+    score_params.base_points =
         use_scorecard ? current_scorecard->base_points() : 0.0;
-    const double history_weight =
+    score_params.adr_weight =
         use_scorecard ? current_scorecard->factor(0).score : 0.0;
-    const double income_weight =
+    score_params.code_weight =
         use_scorecard ? current_scorecard->factor(1).score : 0.0;
-    const double cutoff = options_.cutoff;
+    score_params.cutoff = options_.cutoff;
 
     // Pass 2 — scoring sweep: decide, act, filter. Each user touches only
-    // their own filter slots and each chunk only its own yield, so chunks
-    // run concurrently; the pre-drawn uniform makes the repayment action
-    // a pure function of (income, uniform).
+    // their own filter slots and each chunk only its own yield and
+    // scratch, so chunks run concurrently; the pre-drawn uniform makes
+    // the repayment action a pure function of (income, uniform). The
+    // per-user work is staged through the vector kernels: trailing ADRs
+    // and the code/score/cut-off test sweep branch-free over the SoA
+    // arrays (ScoreSweep replicates Scorecard::Score's evaluation order,
+    // pinned to ScorecardPolicy::Decide by
+    // CreditLoopTest.InlineApprovalRuleMatchesScorecardPolicy; NaN
+    // scores decline, like the legacy !(score > cutoff) test), approved
+    // incomes are compacted so the expensive normal CDF runs only for
+    // them, and a final scalar loop applies the repayment action and
+    // filter update in user order.
     runtime::ParallelForChunks(
         num_users, chunk_size,
         [&](size_t c, size_t begin, size_t end) {
           ChunkYield& yield = yields[c];
+          ChunkScratch& scratch = scratches[c];
           yield.Clear();
-          for (size_t i = begin; i < end; ++i) {
-            const double income = incomes[i];
-            const double code = income >= code_threshold ? 1.0 : 0.0;
-            const double adr_before = filter.UserAdr(i);
-            if (use_scorecard) {
-              // Scorecard::Score's exact evaluation order; pinned to
-              // ScorecardPolicy::Decide by
-              // CreditLoopTest.InlineApprovalRuleMatchesScorecardPolicy.
-              const double score =
-                  (base_points + history_weight * adr_before) +
-                  income_weight * code;
-              if (!(score > cutoff)) continue;  // Declined: ADR frozen.
+          const size_t count = end - begin;
+          scratch.adr.resize(count);
+          scratch.code.resize(count);
+          scratch.indices.resize(count);
+          scratch.dense_income.resize(count);
+          filter.AdrInto(begin, end, scratch.adr.data());
+          size_t approved_count = 0;
+          if (use_scorecard) {
+            scratch.approved.resize(count);
+            runtime::kernels::ScoreSweep(
+                incomes.data() + begin, scratch.adr.data(), count,
+                score_params, scratch.code.data(), scratch.approved.data());
+            for (size_t j = 0; j < count; ++j) {
+              if (scratch.approved[j]) {  // Declined users' ADRs freeze.
+                scratch.indices[approved_count] = static_cast<uint32_t>(j);
+                scratch.dense_income[approved_count] = incomes[begin + j];
+                ++approved_count;
+              }
             }
-            const double p = repayment.RepaymentProbabilityForAmount(
-                income, income_multiple * income);
+          } else {
+            runtime::kernels::IncomeCode(incomes.data() + begin, count,
+                                         code_threshold,
+                                         scratch.code.data());
+            for (size_t j = 0; j < count; ++j) {
+              scratch.indices[j] = static_cast<uint32_t>(j);
+              scratch.dense_income[j] = incomes[begin + j];
+            }
+            approved_count = count;
+          }
+          scratch.probability.resize(count);
+          repayment.ProbabilityBatch(scratch.dense_income.data(),
+                                     approved_count,
+                                     scratch.probability.data());
+          for (size_t t = 0; t < approved_count; ++t) {
+            const size_t j = scratch.indices[t];
+            const size_t i = begin + j;
+            const double p = scratch.probability[t];
             const bool repaid = p > 0.0 && uniforms[i] < p;
             filter.Update(i, true, repaid);
             ++yield.race_offers[race_ids[i]];
-            yield.rows.push_back(adr_before);
-            yield.rows.push_back(code);
+            yield.rows.push_back(scratch.adr[j]);
+            yield.rows.push_back(scratch.code[j]);
             yield.labels.push_back(repaid ? 1.0 : 0.0);
           }
         },

@@ -1,6 +1,7 @@
 #include "credit/income_model.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -127,6 +128,23 @@ double YearIncomeSampler::Sample(Race race, rng::Random* random) const {
   }
   return random->UniformDouble(kBracketLowerEdges[bracket],
                                kBracketUpperEdges[bracket]);
+}
+
+double YearIncomeSampler::SampleFromUniforms(Race race, double u_bracket,
+                                             double u_value) const {
+  // Sample above, with the two draws supplied: the CDF walk on
+  // u_bracket, then either rng::Random::Pareto's
+  // xm * (1 - u)^(-1/alpha) or UniformDouble(lo, hi)'s lo + (hi - lo) * u
+  // applied to u_value, operation for operation.
+  const double* cdf = cumulative_[static_cast<size_t>(race)];
+  size_t bracket = 0;
+  while (u_bracket >= cdf[bracket]) ++bracket;
+  if (bracket == kNumIncomeBrackets - 1) {
+    return kBracketLowerEdges[bracket] *
+           std::pow(1.0 - u_value, -1.0 / IncomeModel::kTailAlpha);
+  }
+  return kBracketLowerEdges[bracket] +
+         (kBracketUpperEdges[bracket] - kBracketLowerEdges[bracket]) * u_value;
 }
 
 int LoadIncomeSharesCsv(const std::string& path, IncomeModel* model) {

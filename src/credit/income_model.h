@@ -103,6 +103,15 @@ class YearIncomeSampler {
   /// exactly as IncomeModel::SampleIncome for the snapshot year.
   double Sample(Race race, rng::Random* random) const;
 
+  /// Sample from two pre-drawn uniforms — bit-for-bit what Sample would
+  /// return given the two UniformDouble() draws it consumes
+  /// (`u_bracket` picks the bracket, `u_value` the position within it or
+  /// the Pareto tail). This is the batch engine's path: it fills the
+  /// uniforms for a whole chunk through rng::Random::FillUniformDouble
+  /// and transforms them here, so the RNG stream advances identically.
+  double SampleFromUniforms(Race race, double u_bracket,
+                            double u_value) const;
+
  private:
   // cumulative_[r][b] = P(bracket <= b) for race r.
   double cumulative_[kNumRaces][kNumIncomeBrackets];

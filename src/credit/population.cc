@@ -44,6 +44,17 @@ void Population::ResampleIncomesRange(const YearIncomeSampler& sampler,
   }
 }
 
+void Population::ResampleIncomesFromUniforms(const YearIncomeSampler& sampler,
+                                             size_t begin, size_t end,
+                                             const double* uniforms) {
+  EQIMPACT_CHECK_LE(begin, end);
+  EQIMPACT_CHECK_LE(end, races_.size());
+  for (size_t i = begin; i < end; ++i) {
+    incomes_[i] = sampler.SampleFromUniforms(
+        races_[i], uniforms[2 * (i - begin)], uniforms[2 * (i - begin) + 1]);
+  }
+}
+
 double Population::income(size_t i) const {
   EQIMPACT_CHECK(incomes_sampled_);
   EQIMPACT_CHECK_LT(i, incomes_.size());

@@ -50,6 +50,17 @@ class Population {
   void ResampleIncomesRange(const YearIncomeSampler& sampler, size_t begin,
                             size_t end, rng::Random* random);
 
+  /// ResampleIncomesRange from pre-drawn uniforms: `uniforms` holds
+  /// 2 * (end - begin) draws, two per household in index order — the
+  /// exact sequence a Random would hand YearIncomeSampler::Sample — so
+  /// the sampled incomes are bit-for-bit ResampleIncomesRange's. The
+  /// batch engine fills the buffer with the vectorized
+  /// rng::Random::FillUniformDouble first; same concurrency contract as
+  /// ResampleIncomesRange.
+  void ResampleIncomesFromUniforms(const YearIncomeSampler& sampler,
+                                   size_t begin, size_t end,
+                                   const double* uniforms);
+
   /// Income of household `i` in thousands of dollars; CHECK-fails before
   /// the first resample.
   double income(size_t i) const;

@@ -2,6 +2,7 @@
 
 #include "base/check.h"
 #include "rng/normal.h"
+#include "runtime/kernels.h"
 
 namespace eqimpact {
 namespace credit {
@@ -36,6 +37,20 @@ double RepaymentModel::RepaymentProbabilityForAmount(
   double x = SurplusShareForAmount(income, mortgage_amount);
   if (x <= 0.0) return 0.0;
   return rng::StandardNormalCdf(options_.sensitivity * x);
+}
+
+void RepaymentModel::ProbabilityBatch(const double* incomes, size_t n,
+                                      double* out) const {
+  // x_i first (vectorized, same arithmetic as SurplusShareForAmount with
+  // the default income_multiple * z mortgage), then Phi(s * x_i) exactly
+  // as RepaymentProbabilityForAmount evaluates it.
+  runtime::kernels::SurplusShare(incomes, n, options_.income_multiple,
+                                 options_.living_cost, options_.annual_rate,
+                                 out);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = out[i];
+    out[i] = x <= 0.0 ? 0.0 : rng::StandardNormalCdf(options_.sensitivity * x);
+  }
 }
 
 bool RepaymentModel::SimulateRepayment(double income, bool offered,

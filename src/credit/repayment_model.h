@@ -1,6 +1,8 @@
 #ifndef EQIMPACT_CREDIT_REPAYMENT_MODEL_H_
 #define EQIMPACT_CREDIT_REPAYMENT_MODEL_H_
 
+#include <cstddef>
+
 #include "rng/random.h"
 
 namespace eqimpact {
@@ -48,6 +50,14 @@ class RepaymentModel {
   /// RepaymentProbability for an explicit mortgage amount.
   double RepaymentProbabilityForAmount(double income,
                                        double mortgage_amount) const;
+
+  /// Batched RepaymentProbability under the default mortgage size:
+  /// out[i] = RepaymentProbability(incomes[i]), bit for bit. The surplus
+  /// shares run through the vectorized runtime kernel; the normal CDF
+  /// stays a scalar libm call per positive share (vectorizing erfc would
+  /// break the bitwise contract). All incomes must be positive, as the
+  /// behavioural model requires. `out == incomes` aliasing is allowed.
+  void ProbabilityBatch(const double* incomes, size_t n, double* out) const;
 
   /// Samples the repayment action y in {0, 1} of equation (11). When
   /// `offered` is false the action is 0 ("no repayment is made").

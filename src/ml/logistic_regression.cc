@@ -8,6 +8,7 @@
 #include "linalg/matrix.h"
 #include "linalg/solve.h"
 #include "ml/binned_dataset.h"
+#include "runtime/kernels.h"
 #include "runtime/parallel_for.h"
 
 namespace eqimpact {
@@ -27,6 +28,33 @@ inline double RowDot(const double* row, const double* w, size_t f,
   double t = 0.0;
   for (size_t j = 0; j < f; ++j) t += row[j] * w[j];
   return fit_intercept ? t + w[f] : t;
+}
+
+// Rows per stack tile of the batched mean evaluation below.
+constexpr size_t kSigmoidTile = 256;
+
+// Fills mu[0..count) with Sigmoid(RowDot(row)) for the `count` rows
+// starting at `begin`, staged through the vector kernels: the
+// two-feature interleaved predictor (the credit history's (ADR, code)
+// geometry) when f == 2, scalar RowDot otherwise, then the batched
+// sigmoid over the linear predictors. Bit-for-bit the per-row
+// Sigmoid(RowDot(...)) — the kernels replicate both evaluation orders —
+// so the fitted coefficients are unchanged. `predictors` is caller
+// scratch of at least `count` (kept separate from mu: the sigmoid's
+// select pass re-reads the predictors).
+inline void SigmoidRows(const double* rows, size_t f, const double* w,
+                        bool fit_intercept, size_t begin, size_t count,
+                        double* predictors, double* mu) {
+  if (f == 2) {
+    runtime::kernels::LinearPredictor2(rows + begin * 2, count, w[0], w[1],
+                                       fit_intercept ? w[2] : 0.0,
+                                       fit_intercept, predictors);
+  } else {
+    for (size_t i = 0; i < count; ++i) {
+      predictors[i] = RowDot(rows + (begin + i) * f, w, f, fit_intercept);
+    }
+  }
+  runtime::kernels::SigmoidBatch(predictors, count, mu);
 }
 
 }  // namespace
@@ -77,14 +105,22 @@ double LogisticRegression::PenalisedLoss(
       data.n, options_.rows_per_chunk,
       [&](size_t chunk, size_t begin, size_t end) {
         double local = 0.0;
-        for (size_t i = begin; i < end; ++i) {
-          double p = Sigmoid(
-              RowDot(data.rows + i * f, w, f, fit_intercept));
-          p = std::min(std::max(p, kProbabilityClip),
-                       1.0 - kProbabilityClip);
-          const double wt = data.weights != nullptr ? data.weights[i] : 1.0;
-          const double pos = data.positives[i];
-          local -= pos * std::log(p) + (wt - pos) * std::log(1.0 - p);
+        double predictors[kSigmoidTile];
+        double mu[kSigmoidTile];
+        for (size_t i = begin; i < end;) {
+          const size_t count = std::min(kSigmoidTile, end - i);
+          SigmoidRows(data.rows, f, w, fit_intercept, i, count, predictors,
+                      mu);
+          for (size_t j = 0; j < count; ++j) {
+            const size_t row = i + j;
+            double p = std::min(std::max(mu[j], kProbabilityClip),
+                                1.0 - kProbabilityClip);
+            const double wt =
+                data.weights != nullptr ? data.weights[row] : 1.0;
+            const double pos = data.positives[row];
+            local -= pos * std::log(p) + (wt - pos) * std::log(1.0 - p);
+          }
+          i += count;
         }
         partials[chunk] = local;
       },
@@ -159,22 +195,30 @@ FitResult LogisticRegression::FitImpl(const WeightedRows& data) {
           double* grad = &partials[chunk * stride];
           double* hess = grad + d;
           std::fill(grad, grad + stride, 0.0);
-          for (size_t i = begin; i < end; ++i) {
-            const double* row = data.rows + i * f;
-            const double wt =
-                data.weights != nullptr ? data.weights[i] : 1.0;
-            const double mu =
-                Sigmoid(RowDot(row, weights_ptr, f, fit_intercept));
-            const double s = wt * std::max(mu * (1.0 - mu), 1e-10);
-            const double residual = data.positives[i] - wt * mu;
-            for (size_t r = 0; r < d; ++r) {
-              const double xr = r < f ? row[r] : 1.0;
-              grad[r] += xr * residual;
-              const double sxr = s * xr;
-              for (size_t c = r; c < d; ++c) {
-                hess[r * d + c] += sxr * (c < f ? row[c] : 1.0);
+          double predictors[kSigmoidTile];
+          double means[kSigmoidTile];
+          for (size_t i = begin; i < end;) {
+            const size_t count = std::min(kSigmoidTile, end - i);
+            SigmoidRows(data.rows, f, weights_ptr, fit_intercept, i, count,
+                        predictors, means);
+            for (size_t j = 0; j < count; ++j) {
+              const size_t index = i + j;
+              const double* row = data.rows + index * f;
+              const double wt =
+                  data.weights != nullptr ? data.weights[index] : 1.0;
+              const double mu = means[j];
+              const double s = wt * std::max(mu * (1.0 - mu), 1e-10);
+              const double residual = data.positives[index] - wt * mu;
+              for (size_t r = 0; r < d; ++r) {
+                const double xr = r < f ? row[r] : 1.0;
+                grad[r] += xr * residual;
+                const double sxr = s * xr;
+                for (size_t c = r; c < d; ++c) {
+                  hess[r * d + c] += sxr * (c < f ? row[c] : 1.0);
+                }
               }
             }
+            i += count;
           }
         },
         dispatch);
@@ -266,16 +310,24 @@ FitResult LogisticRegression::FitGradientDescent(
         [&, weights_ptr](size_t chunk, size_t begin, size_t end) {
           double* grad = &partials[chunk * d];
           std::fill(grad, grad + d, 0.0);
-          for (size_t i = begin; i < end; ++i) {
-            const double* row = data.rows + i * f;
-            const double wt =
-                data.weights != nullptr ? data.weights[i] : 1.0;
-            const double mu =
-                Sigmoid(RowDot(row, weights_ptr, f, fit_intercept));
-            const double residual = data.positives[i] - wt * mu;
-            for (size_t r = 0; r < d; ++r) {
-              grad[r] += (r < f ? row[r] : 1.0) * residual;
+          double predictors[kSigmoidTile];
+          double means[kSigmoidTile];
+          for (size_t i = begin; i < end;) {
+            const size_t count = std::min(kSigmoidTile, end - i);
+            SigmoidRows(data.rows, f, weights_ptr, fit_intercept, i, count,
+                        predictors, means);
+            for (size_t j = 0; j < count; ++j) {
+              const size_t index = i + j;
+              const double* row = data.rows + index * f;
+              const double wt =
+                  data.weights != nullptr ? data.weights[index] : 1.0;
+              const double mu = means[j];
+              const double residual = data.positives[index] - wt * mu;
+              for (size_t r = 0; r < d; ++r) {
+                grad[r] += (r < f ? row[r] : 1.0) * residual;
+              }
             }
+            i += count;
           }
         },
         dispatch);

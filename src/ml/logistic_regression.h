@@ -97,7 +97,11 @@ struct FitResult {
 /// per-iteration accumulation is chunked through runtime::ParallelFor
 /// with an ordered reduction (options.num_threads workers), making the
 /// coefficients a pure function of the data and rows_per_chunk — never
-/// of the thread count.
+/// of the thread count. Within each chunk the per-row means are staged
+/// through the SIMD kernel layer (runtime/kernels.h): linear predictors
+/// in tiles — the two-feature interleaved kernel for the credit
+/// geometry — then a batched sigmoid, both bit-for-bit the scalar
+/// per-row evaluation, so vectorization never moves a coefficient.
 class LogisticRegression {
  public:
   explicit LogisticRegression(

@@ -37,6 +37,13 @@ class Random {
     return lo + (hi - lo) * UniformDouble();
   }
 
+  /// Fills out[0..n) with the next n UniformDouble() draws — bit-for-bit
+  /// the sequential sequence, but produced through the generator's
+  /// multi-stream batch fill (rng::Pcg32::FillUniform) where the
+  /// platform supports it. The stream position afterwards is exactly as
+  /// if UniformDouble() had been called n times.
+  void FillUniformDouble(double* out, size_t n) { gen_.FillUniform(out, n); }
+
   /// Uniform integer in [0, n). Requires n > 0. Uses Lemire rejection to
   /// avoid modulo bias.
   uint64_t UniformInt(uint64_t n);

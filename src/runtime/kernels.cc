@@ -1,0 +1,599 @@
+#include "runtime/kernels.h"
+
+#include <cmath>
+
+#include "runtime/simd.h"
+
+// Same architecture probes as runtime/simd.cc: the SSE2 lane is plain
+// code (part of the x86-64 baseline ABI), the AVX2 lane is compiled via
+// the target("avx2") function attribute so it exists in default builds
+// and is entered only when ActiveBackend() says the CPU supports it.
+#if !defined(EQIMPACT_FORCE_SCALAR) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define EQIMPACT_SIMD_X86 1
+#include <immintrin.h>
+#elif !defined(EQIMPACT_FORCE_SCALAR) && defined(__aarch64__) && \
+    defined(__ARM_NEON)
+#define EQIMPACT_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace eqimpact {
+namespace runtime {
+namespace kernels {
+
+// ---------------------------------------------------------------------------
+// Scalar references. These pin the exact per-element evaluation order of
+// the call sites they were lifted from; every vector lane below must be
+// bit-for-bit equal to them (tests/simd_test.cc).
+// ---------------------------------------------------------------------------
+
+void IncomeCodeScalar(const double* income, size_t n, double threshold,
+                      double* code) {
+  for (size_t i = 0; i < n; ++i) {
+    code[i] = income[i] >= threshold ? 1.0 : 0.0;
+  }
+}
+
+void ScoreSweepScalar(const double* income, const double* adr, size_t n,
+                      const ScoreParams& params, double* code,
+                      unsigned char* approved) {
+  for (size_t i = 0; i < n; ++i) {
+    const double code_i = income[i] >= params.code_threshold ? 1.0 : 0.0;
+    code[i] = code_i;
+    const double score = (params.base_points + params.adr_weight * adr[i]) +
+                         params.code_weight * code_i;
+    approved[i] = score > params.cutoff ? 1 : 0;
+  }
+}
+
+void SurplusShareScalar(const double* income, size_t n,
+                        double income_multiple, double living_cost,
+                        double annual_rate, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const double z = income[i];
+    const double mortgage = income_multiple * z;
+    out[i] = ((z - living_cost) - annual_rate * mortgage) / z;
+  }
+}
+
+void GuardedRatioScalar(const double* num, const double* den, size_t n,
+                        double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = den[i] <= 0.0 ? 0.0 : num[i] / den[i];
+  }
+}
+
+void SigmoidBatchScalar(const double* t, size_t n, double* out) {
+  // ml::Sigmoid's two branches, verbatim.
+  for (size_t i = 0; i < n; ++i) {
+    const double v = t[i];
+    if (v >= 0.0) {
+      const double e = std::exp(-v);
+      out[i] = 1.0 / (1.0 + e);
+    } else {
+      const double e = std::exp(v);
+      out[i] = e / (1.0 + e);
+    }
+  }
+}
+
+void LinearPredictor2Scalar(const double* rows, size_t n, double w0,
+                            double w1, double bias, bool add_bias,
+                            double* out) {
+  // RowDot's accumulation: the initial zero is part of the contract
+  // (0.0 + -0.0 == +0.0, so dropping it would flip signed zeros).
+  for (size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    acc += rows[2 * i] * w0;
+    acc += rows[2 * i + 1] * w1;
+    out[i] = add_bias ? acc + bias : acc;
+  }
+}
+
+#if defined(EQIMPACT_SIMD_X86)
+
+// ---------------------------------------------------------------------------
+// SSE2 lanes (2 x double, baseline x86-64).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void IncomeCodeSse2(const double* income, size_t n, double threshold,
+                    double* code) {
+  const __m128d thr = _mm_set1_pd(threshold);
+  const __m128d one = _mm_set1_pd(1.0);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d mask = _mm_cmpge_pd(_mm_loadu_pd(income + i), thr);
+    _mm_storeu_pd(code + i, _mm_and_pd(mask, one));
+  }
+  IncomeCodeScalar(income + i, n - i, threshold, code + i);
+}
+
+void ScoreSweepSse2(const double* income, const double* adr, size_t n,
+                    const ScoreParams& params, double* code,
+                    unsigned char* approved) {
+  const __m128d thr = _mm_set1_pd(params.code_threshold);
+  const __m128d one = _mm_set1_pd(1.0);
+  const __m128d base = _mm_set1_pd(params.base_points);
+  const __m128d w_adr = _mm_set1_pd(params.adr_weight);
+  const __m128d w_code = _mm_set1_pd(params.code_weight);
+  const __m128d cutoff = _mm_set1_pd(params.cutoff);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d code_v =
+        _mm_and_pd(_mm_cmpge_pd(_mm_loadu_pd(income + i), thr), one);
+    _mm_storeu_pd(code + i, code_v);
+    const __m128d score = _mm_add_pd(
+        _mm_add_pd(base, _mm_mul_pd(w_adr, _mm_loadu_pd(adr + i))),
+        _mm_mul_pd(w_code, code_v));
+    const int bits = _mm_movemask_pd(_mm_cmpgt_pd(score, cutoff));
+    approved[i] = static_cast<unsigned char>(bits & 1);
+    approved[i + 1] = static_cast<unsigned char>((bits >> 1) & 1);
+  }
+  ScoreSweepScalar(income + i, adr + i, n - i, params, code + i,
+                   approved + i);
+}
+
+void SurplusShareSse2(const double* income, size_t n, double income_multiple,
+                      double living_cost, double annual_rate, double* out) {
+  const __m128d multiple = _mm_set1_pd(income_multiple);
+  const __m128d living = _mm_set1_pd(living_cost);
+  const __m128d rate = _mm_set1_pd(annual_rate);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d z = _mm_loadu_pd(income + i);
+    const __m128d mortgage = _mm_mul_pd(multiple, z);
+    const __m128d numer =
+        _mm_sub_pd(_mm_sub_pd(z, living), _mm_mul_pd(rate, mortgage));
+    _mm_storeu_pd(out + i, _mm_div_pd(numer, z));
+  }
+  SurplusShareScalar(income + i, n - i, income_multiple, living_cost,
+                     annual_rate, out + i);
+}
+
+void GuardedRatioSse2(const double* num, const double* den, size_t n,
+                      double* out) {
+  const __m128d zero = _mm_setzero_pd();
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d d = _mm_loadu_pd(den + i);
+    const __m128d ratio = _mm_div_pd(_mm_loadu_pd(num + i), d);
+    // den <= 0 (or the ratio where the mask is false): andnot zeroes the
+    // masked lanes, matching the scalar `? 0.0 :` exactly (+0.0).
+    _mm_storeu_pd(out + i, _mm_andnot_pd(_mm_cmple_pd(d, zero), ratio));
+  }
+  GuardedRatioScalar(num + i, den + i, n - i, out + i);
+}
+
+void SigmoidBatchSse2(const double* t, size_t n, double* out) {
+  const size_t vec = n - n % 2;
+  // Stage 1 — the exp stays scalar libm, argument exactly as ml::Sigmoid
+  // forms it (branch on v >= 0, never -fabs, so NaN payloads match).
+  for (size_t i = 0; i < vec; ++i) {
+    const double v = t[i];
+    out[i] = std::exp(v >= 0.0 ? -v : v);
+  }
+  // Stage 2 — select the numerator and divide, two lanes at a time.
+  const __m128d zero = _mm_setzero_pd();
+  const __m128d one = _mm_set1_pd(1.0);
+  for (size_t i = 0; i < vec; i += 2) {
+    const __m128d e = _mm_loadu_pd(out + i);
+    const __m128d mask = _mm_cmpge_pd(_mm_loadu_pd(t + i), zero);
+    const __m128d numer =
+        _mm_or_pd(_mm_and_pd(mask, one), _mm_andnot_pd(mask, e));
+    _mm_storeu_pd(out + i, _mm_div_pd(numer, _mm_add_pd(one, e)));
+  }
+  SigmoidBatchScalar(t + vec, n - vec, out + vec);
+}
+
+void LinearPredictor2Sse2(const double* rows, size_t n, double w0, double w1,
+                          double bias, bool add_bias, double* out) {
+  const __m128d zero = _mm_setzero_pd();
+  const __m128d w0v = _mm_set1_pd(w0);
+  const __m128d w1v = _mm_set1_pd(w1);
+  const __m128d bv = _mm_set1_pd(bias);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d r0 = _mm_loadu_pd(rows + 2 * i);      // a0 c0
+    const __m128d r1 = _mm_loadu_pd(rows + 2 * i + 2);  // a1 c1
+    const __m128d a = _mm_unpacklo_pd(r0, r1);          // a0 a1
+    const __m128d c = _mm_unpackhi_pd(r0, r1);          // c0 c1
+    __m128d acc = _mm_add_pd(zero, _mm_mul_pd(a, w0v));
+    acc = _mm_add_pd(acc, _mm_mul_pd(c, w1v));
+    if (add_bias) acc = _mm_add_pd(acc, bv);
+    _mm_storeu_pd(out + i, acc);
+  }
+  LinearPredictor2Scalar(rows + 2 * i, n - i, w0, w1, bias, add_bias,
+                         out + i);
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 lanes (4 x double). Compiled via the target attribute; only
+// entered when ActiveBackend() returned kAvx2 after the CPUID check.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) void IncomeCodeAvx2(const double* income,
+                                                    size_t n,
+                                                    double threshold,
+                                                    double* code) {
+  const __m256d thr = _mm256_set1_pd(threshold);
+  const __m256d one = _mm256_set1_pd(1.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d mask =
+        _mm256_cmp_pd(_mm256_loadu_pd(income + i), thr, _CMP_GE_OQ);
+    _mm256_storeu_pd(code + i, _mm256_and_pd(mask, one));
+  }
+  IncomeCodeScalar(income + i, n - i, threshold, code + i);
+}
+
+__attribute__((target("avx2"))) void ScoreSweepAvx2(
+    const double* income, const double* adr, size_t n,
+    const ScoreParams& params, double* code, unsigned char* approved) {
+  const __m256d thr = _mm256_set1_pd(params.code_threshold);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d base = _mm256_set1_pd(params.base_points);
+  const __m256d w_adr = _mm256_set1_pd(params.adr_weight);
+  const __m256d w_code = _mm256_set1_pd(params.code_weight);
+  const __m256d cutoff = _mm256_set1_pd(params.cutoff);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d code_v = _mm256_and_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(income + i), thr, _CMP_GE_OQ), one);
+    _mm256_storeu_pd(code + i, code_v);
+    const __m256d score = _mm256_add_pd(
+        _mm256_add_pd(base, _mm256_mul_pd(w_adr, _mm256_loadu_pd(adr + i))),
+        _mm256_mul_pd(w_code, code_v));
+    const int bits =
+        _mm256_movemask_pd(_mm256_cmp_pd(score, cutoff, _CMP_GT_OQ));
+    approved[i] = static_cast<unsigned char>(bits & 1);
+    approved[i + 1] = static_cast<unsigned char>((bits >> 1) & 1);
+    approved[i + 2] = static_cast<unsigned char>((bits >> 2) & 1);
+    approved[i + 3] = static_cast<unsigned char>((bits >> 3) & 1);
+  }
+  ScoreSweepScalar(income + i, adr + i, n - i, params, code + i,
+                   approved + i);
+}
+
+__attribute__((target("avx2"))) void SurplusShareAvx2(
+    const double* income, size_t n, double income_multiple,
+    double living_cost, double annual_rate, double* out) {
+  const __m256d multiple = _mm256_set1_pd(income_multiple);
+  const __m256d living = _mm256_set1_pd(living_cost);
+  const __m256d rate = _mm256_set1_pd(annual_rate);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d z = _mm256_loadu_pd(income + i);
+    const __m256d mortgage = _mm256_mul_pd(multiple, z);
+    const __m256d numer =
+        _mm256_sub_pd(_mm256_sub_pd(z, living), _mm256_mul_pd(rate, mortgage));
+    _mm256_storeu_pd(out + i, _mm256_div_pd(numer, z));
+  }
+  SurplusShareScalar(income + i, n - i, income_multiple, living_cost,
+                     annual_rate, out + i);
+}
+
+__attribute__((target("avx2"))) void GuardedRatioAvx2(const double* num,
+                                                      const double* den,
+                                                      size_t n, double* out) {
+  const __m256d zero = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = _mm256_loadu_pd(den + i);
+    const __m256d ratio = _mm256_div_pd(_mm256_loadu_pd(num + i), d);
+    _mm256_storeu_pd(
+        out + i,
+        _mm256_andnot_pd(_mm256_cmp_pd(d, zero, _CMP_LE_OQ), ratio));
+  }
+  GuardedRatioScalar(num + i, den + i, n - i, out + i);
+}
+
+__attribute__((target("avx2"))) void SigmoidBatchAvx2(const double* t,
+                                                      size_t n, double* out) {
+  const size_t vec = n - n % 4;
+  for (size_t i = 0; i < vec; ++i) {
+    const double v = t[i];
+    out[i] = std::exp(v >= 0.0 ? -v : v);
+  }
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  for (size_t i = 0; i < vec; i += 4) {
+    const __m256d e = _mm256_loadu_pd(out + i);
+    const __m256d mask =
+        _mm256_cmp_pd(_mm256_loadu_pd(t + i), zero, _CMP_GE_OQ);
+    const __m256d numer = _mm256_blendv_pd(e, one, mask);
+    _mm256_storeu_pd(out + i, _mm256_div_pd(numer, _mm256_add_pd(one, e)));
+  }
+  SigmoidBatchScalar(t + vec, n - vec, out + vec);
+}
+
+__attribute__((target("avx2"))) void LinearPredictor2Avx2(
+    const double* rows, size_t n, double w0, double w1, double bias,
+    bool add_bias, double* out) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d w0v = _mm256_set1_pd(w0);
+  const __m256d w1v = _mm256_set1_pd(w1);
+  const __m256d bv = _mm256_set1_pd(bias);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d r0 = _mm256_loadu_pd(rows + 2 * i);      // a0 c0 a1 c1
+    const __m256d r1 = _mm256_loadu_pd(rows + 2 * i + 4);  // a2 c2 a3 c3
+    // 256-bit unpack works per 128-bit half, so the deinterleaved lanes
+    // come out in logical order [0, 2, 1, 3]; the elementwise arithmetic
+    // does not care, and one permute restores user order at the end.
+    const __m256d a = _mm256_unpacklo_pd(r0, r1);  // a0 a2 a1 a3
+    const __m256d c = _mm256_unpackhi_pd(r0, r1);  // c0 c2 c1 c3
+    __m256d acc = _mm256_add_pd(zero, _mm256_mul_pd(a, w0v));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(c, w1v));
+    if (add_bias) acc = _mm256_add_pd(acc, bv);
+    _mm256_storeu_pd(out + i,
+                     _mm256_permute4x64_pd(acc, _MM_SHUFFLE(3, 1, 2, 0)));
+  }
+  LinearPredictor2Scalar(rows + 2 * i, n - i, w0, w1, bias, add_bias,
+                         out + i);
+}
+
+}  // namespace
+
+#elif defined(EQIMPACT_SIMD_NEON)
+
+// ---------------------------------------------------------------------------
+// NEON lanes (2 x double, AArch64).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void IncomeCodeNeon(const double* income, size_t n, double threshold,
+                    double* code) {
+  const float64x2_t thr = vdupq_n_f64(threshold);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t mask = vcgeq_f64(vld1q_f64(income + i), thr);
+    vst1q_f64(code + i, vbslq_f64(mask, one, zero));
+  }
+  IncomeCodeScalar(income + i, n - i, threshold, code + i);
+}
+
+void ScoreSweepNeon(const double* income, const double* adr, size_t n,
+                    const ScoreParams& params, double* code,
+                    unsigned char* approved) {
+  const float64x2_t thr = vdupq_n_f64(params.code_threshold);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const float64x2_t base = vdupq_n_f64(params.base_points);
+  const float64x2_t w_adr = vdupq_n_f64(params.adr_weight);
+  const float64x2_t w_code = vdupq_n_f64(params.code_weight);
+  const float64x2_t cutoff = vdupq_n_f64(params.cutoff);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t code_mask = vcgeq_f64(vld1q_f64(income + i), thr);
+    const float64x2_t code_v = vbslq_f64(code_mask, one, zero);
+    vst1q_f64(code + i, code_v);
+    const float64x2_t score =
+        vaddq_f64(vaddq_f64(base, vmulq_f64(w_adr, vld1q_f64(adr + i))),
+                  vmulq_f64(w_code, code_v));
+    const uint64x2_t approved_mask = vcgtq_f64(score, cutoff);
+    approved[i] =
+        static_cast<unsigned char>(vgetq_lane_u64(approved_mask, 0) & 1u);
+    approved[i + 1] =
+        static_cast<unsigned char>(vgetq_lane_u64(approved_mask, 1) & 1u);
+  }
+  ScoreSweepScalar(income + i, adr + i, n - i, params, code + i,
+                   approved + i);
+}
+
+void SurplusShareNeon(const double* income, size_t n, double income_multiple,
+                      double living_cost, double annual_rate, double* out) {
+  const float64x2_t multiple = vdupq_n_f64(income_multiple);
+  const float64x2_t living = vdupq_n_f64(living_cost);
+  const float64x2_t rate = vdupq_n_f64(annual_rate);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t z = vld1q_f64(income + i);
+    const float64x2_t mortgage = vmulq_f64(multiple, z);
+    const float64x2_t numer =
+        vsubq_f64(vsubq_f64(z, living), vmulq_f64(rate, mortgage));
+    vst1q_f64(out + i, vdivq_f64(numer, z));
+  }
+  SurplusShareScalar(income + i, n - i, income_multiple, living_cost,
+                     annual_rate, out + i);
+}
+
+void GuardedRatioNeon(const double* num, const double* den, size_t n,
+                      double* out) {
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t d = vld1q_f64(den + i);
+    const float64x2_t ratio = vdivq_f64(vld1q_f64(num + i), d);
+    vst1q_f64(out + i, vbslq_f64(vcleq_f64(d, zero), zero, ratio));
+  }
+  GuardedRatioScalar(num + i, den + i, n - i, out + i);
+}
+
+void SigmoidBatchNeon(const double* t, size_t n, double* out) {
+  const size_t vec = n - n % 2;
+  for (size_t i = 0; i < vec; ++i) {
+    const double v = t[i];
+    out[i] = std::exp(v >= 0.0 ? -v : v);
+  }
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  for (size_t i = 0; i < vec; i += 2) {
+    const float64x2_t e = vld1q_f64(out + i);
+    const uint64x2_t mask = vcgeq_f64(vld1q_f64(t + i), zero);
+    const float64x2_t numer = vbslq_f64(mask, one, e);
+    vst1q_f64(out + i, vdivq_f64(numer, vaddq_f64(one, e)));
+  }
+  SigmoidBatchScalar(t + vec, n - vec, out + vec);
+}
+
+void LinearPredictor2Neon(const double* rows, size_t n, double w0, double w1,
+                          double bias, bool add_bias, double* out) {
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const float64x2_t w0v = vdupq_n_f64(w0);
+  const float64x2_t w1v = vdupq_n_f64(w1);
+  const float64x2_t bv = vdupq_n_f64(bias);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2x2_t r = vld2q_f64(rows + 2 * i);  // deinterleaved a, c
+    float64x2_t acc = vaddq_f64(zero, vmulq_f64(r.val[0], w0v));
+    acc = vaddq_f64(acc, vmulq_f64(r.val[1], w1v));
+    if (add_bias) acc = vaddq_f64(acc, bv);
+    vst1q_f64(out + i, acc);
+  }
+  LinearPredictor2Scalar(rows + 2 * i, n - i, w0, w1, bias, add_bias,
+                         out + i);
+}
+
+}  // namespace
+
+#endif  // EQIMPACT_SIMD_NEON
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+void IncomeCode(const double* income, size_t n, double threshold,
+                double* code) {
+  const simd::Backend backend = simd::ActiveBackend();
+#if defined(EQIMPACT_SIMD_X86)
+  if (backend == simd::Backend::kAvx2) {
+    IncomeCodeAvx2(income, n, threshold, code);
+    return;
+  }
+  if (backend == simd::Backend::kSse2) {
+    IncomeCodeSse2(income, n, threshold, code);
+    return;
+  }
+#elif defined(EQIMPACT_SIMD_NEON)
+  if (backend == simd::Backend::kNeon) {
+    IncomeCodeNeon(income, n, threshold, code);
+    return;
+  }
+#endif
+  (void)backend;
+  IncomeCodeScalar(income, n, threshold, code);
+}
+
+void ScoreSweep(const double* income, const double* adr, size_t n,
+                const ScoreParams& params, double* code,
+                unsigned char* approved) {
+  const simd::Backend backend = simd::ActiveBackend();
+#if defined(EQIMPACT_SIMD_X86)
+  if (backend == simd::Backend::kAvx2) {
+    ScoreSweepAvx2(income, adr, n, params, code, approved);
+    return;
+  }
+  if (backend == simd::Backend::kSse2) {
+    ScoreSweepSse2(income, adr, n, params, code, approved);
+    return;
+  }
+#elif defined(EQIMPACT_SIMD_NEON)
+  if (backend == simd::Backend::kNeon) {
+    ScoreSweepNeon(income, adr, n, params, code, approved);
+    return;
+  }
+#endif
+  (void)backend;
+  ScoreSweepScalar(income, adr, n, params, code, approved);
+}
+
+void SurplusShare(const double* income, size_t n, double income_multiple,
+                  double living_cost, double annual_rate, double* out) {
+  const simd::Backend backend = simd::ActiveBackend();
+#if defined(EQIMPACT_SIMD_X86)
+  if (backend == simd::Backend::kAvx2) {
+    SurplusShareAvx2(income, n, income_multiple, living_cost, annual_rate,
+                     out);
+    return;
+  }
+  if (backend == simd::Backend::kSse2) {
+    SurplusShareSse2(income, n, income_multiple, living_cost, annual_rate,
+                     out);
+    return;
+  }
+#elif defined(EQIMPACT_SIMD_NEON)
+  if (backend == simd::Backend::kNeon) {
+    SurplusShareNeon(income, n, income_multiple, living_cost, annual_rate,
+                     out);
+    return;
+  }
+#endif
+  (void)backend;
+  SurplusShareScalar(income, n, income_multiple, living_cost, annual_rate,
+                     out);
+}
+
+void GuardedRatio(const double* num, const double* den, size_t n,
+                  double* out) {
+  const simd::Backend backend = simd::ActiveBackend();
+#if defined(EQIMPACT_SIMD_X86)
+  if (backend == simd::Backend::kAvx2) {
+    GuardedRatioAvx2(num, den, n, out);
+    return;
+  }
+  if (backend == simd::Backend::kSse2) {
+    GuardedRatioSse2(num, den, n, out);
+    return;
+  }
+#elif defined(EQIMPACT_SIMD_NEON)
+  if (backend == simd::Backend::kNeon) {
+    GuardedRatioNeon(num, den, n, out);
+    return;
+  }
+#endif
+  (void)backend;
+  GuardedRatioScalar(num, den, n, out);
+}
+
+void SigmoidBatch(const double* t, size_t n, double* out) {
+  const simd::Backend backend = simd::ActiveBackend();
+#if defined(EQIMPACT_SIMD_X86)
+  if (backend == simd::Backend::kAvx2) {
+    SigmoidBatchAvx2(t, n, out);
+    return;
+  }
+  if (backend == simd::Backend::kSse2) {
+    SigmoidBatchSse2(t, n, out);
+    return;
+  }
+#elif defined(EQIMPACT_SIMD_NEON)
+  if (backend == simd::Backend::kNeon) {
+    SigmoidBatchNeon(t, n, out);
+    return;
+  }
+#endif
+  (void)backend;
+  SigmoidBatchScalar(t, n, out);
+}
+
+void LinearPredictor2(const double* rows, size_t n, double w0, double w1,
+                      double bias, bool add_bias, double* out) {
+  const simd::Backend backend = simd::ActiveBackend();
+#if defined(EQIMPACT_SIMD_X86)
+  if (backend == simd::Backend::kAvx2) {
+    LinearPredictor2Avx2(rows, n, w0, w1, bias, add_bias, out);
+    return;
+  }
+  if (backend == simd::Backend::kSse2) {
+    LinearPredictor2Sse2(rows, n, w0, w1, bias, add_bias, out);
+    return;
+  }
+#elif defined(EQIMPACT_SIMD_NEON)
+  if (backend == simd::Backend::kNeon) {
+    LinearPredictor2Neon(rows, n, w0, w1, bias, add_bias, out);
+    return;
+  }
+#endif
+  (void)backend;
+  LinearPredictor2Scalar(rows, n, w0, w1, bias, add_bias, out);
+}
+
+}  // namespace kernels
+}  // namespace runtime
+}  // namespace eqimpact

@@ -1,0 +1,100 @@
+#ifndef EQIMPACT_RUNTIME_KERNELS_H_
+#define EQIMPACT_RUNTIME_KERNELS_H_
+
+#include <cstddef>
+
+/// \file
+/// Elementwise SIMD kernels of the library's within-trial hot paths.
+///
+/// Every kernel comes in two forms: the dispatched entry (vectorized on
+/// the active simd::Backend) and a `*Scalar` reference. The dispatched
+/// result is bit-for-bit the scalar reference on every input — NaN,
+/// inf, subnormal, signed-zero values and every tail length — which is
+/// what keeps the simulation digests invariant across backends (see
+/// runtime/simd.h for the contract and tests/simd_test.cc for the
+/// enforcement). The scalar references in turn pin down, operation by
+/// operation, the exact evaluation order of the call sites they were
+/// lifted from (the credit scoring sweep, RepaymentModel's surplus
+/// share, AdrFilter::UserAdr, ml::Sigmoid), so rebuilding those call
+/// sites on the kernels changed no digest.
+///
+/// All kernels tolerate n == 0 and have no alignment requirements.
+/// Input and output ranges must not partially overlap; `out == input`
+/// aliasing is allowed only where a kernel documents it.
+
+namespace eqimpact {
+namespace runtime {
+namespace kernels {
+
+/// code[i] = income[i] >= threshold ? 1.0 : 0.0 (NaN compares false).
+/// The credit loop's visible income code. `code == income` aliasing is
+/// allowed.
+void IncomeCode(const double* income, size_t n, double threshold,
+                double* code);
+void IncomeCodeScalar(const double* income, size_t n, double threshold,
+                      double* code);
+
+/// Scorecard weights of one simulated year, hoisted to scalars.
+struct ScoreParams {
+  double code_threshold = 0.0;  ///< Income-code threshold ($K).
+  double base_points = 0.0;     ///< Scorecard intercept.
+  double adr_weight = 0.0;      ///< Weight on the trailing ADR feature.
+  double code_weight = 0.0;     ///< Weight on the income code.
+  double cutoff = 0.0;          ///< Approval cut-off on the score.
+};
+
+/// The credit loop's branch-free scoring sweep:
+///   code[i]     = income[i] >= code_threshold ? 1.0 : 0.0
+///   score       = (base_points + adr_weight * adr[i]) + code_weight * code[i]
+///   approved[i] = score > cutoff ? 1 : 0   (NaN scores decline)
+/// The score evaluation order is ml::Scorecard::Score's, as inlined by
+/// the credit engine since PR 2.
+void ScoreSweep(const double* income, const double* adr, size_t n,
+                const ScoreParams& params, double* code,
+                unsigned char* approved);
+void ScoreSweepScalar(const double* income, const double* adr, size_t n,
+                      const ScoreParams& params, double* code,
+                      unsigned char* approved);
+
+/// The repayment model's private state (paper equation (10)):
+///   out[i] = ((income[i] - living_cost)
+///             - annual_rate * (income_multiple * income[i])) / income[i]
+/// exactly as RepaymentModel::SurplusShareForAmount evaluates it under
+/// the default mortgage size. `out == income` aliasing is allowed.
+void SurplusShare(const double* income, size_t n, double income_multiple,
+                  double living_cost, double annual_rate, double* out);
+void SurplusShareScalar(const double* income, size_t n,
+                        double income_multiple, double living_cost,
+                        double annual_rate, double* out);
+
+/// out[i] = den[i] <= 0.0 ? 0.0 : num[i] / den[i] — AdrFilter::UserAdr
+/// over contiguous weight arrays (NaN denominators fall through to the
+/// division, like the scalar comparison).
+void GuardedRatio(const double* num, const double* den, size_t n,
+                  double* out);
+void GuardedRatioScalar(const double* num, const double* den, size_t n,
+                        double* out);
+
+/// out[i] = 1 / (1 + exp(-t[i])), evaluated exactly like ml::Sigmoid
+/// (the exp stays a scalar libm call — vectorizing it would break the
+/// bitwise contract; the select and divide vectorize). Requires
+/// out != t: the mask pass re-reads t after out is filled.
+void SigmoidBatch(const double* t, size_t n, double* out);
+void SigmoidBatchScalar(const double* t, size_t n, double* out);
+
+/// Two-feature linear predictor over interleaved rows
+/// [a0, c0, a1, c1, ...] (the credit history's (ADR, code) geometry):
+///   t = 0; t += a_i * w0; t += c_i * w1; out[i] = add_bias ? t + bias : t
+/// — ml's RowDot for f == 2, accumulation order preserved (the initial
+/// zero matters for signed-zero inputs).
+void LinearPredictor2(const double* rows, size_t n, double w0, double w1,
+                      double bias, bool add_bias, double* out);
+void LinearPredictor2Scalar(const double* rows, size_t n, double w0,
+                            double w1, double bias, bool add_bias,
+                            double* out);
+
+}  // namespace kernels
+}  // namespace runtime
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_RUNTIME_KERNELS_H_

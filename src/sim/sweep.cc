@@ -1,9 +1,12 @@
 #include "sim/sweep.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "base/check.h"
 #include "base/fnv1a.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
 
 namespace eqimpact {
 namespace sim {
@@ -23,47 +26,73 @@ SweepResult RunSweep(const ScenarioFactory& factory,
   for (const SweepParameter& parameter : options.parameters) {
     result.parameter_names.push_back(parameter.name);
   }
-  result.points.reserve(num_points);
-  if (options.keep_experiments) result.experiments.reserve(num_points);
+  result.points.resize(num_points);
+  if (options.keep_experiments) result.experiments.resize(num_points);
 
-  std::vector<double> values(options.parameters.size(), 0.0);
-  for (size_t index = 0; index < num_points; ++index) {
-    // Decode the row-major grid index (last parameter fastest).
-    size_t remainder = index;
-    for (size_t p = options.parameters.size(); p-- > 0;) {
-      const size_t axis = options.parameters[p].values.size();
-      values[p] = options.parameters[p].values[remainder % axis];
-      remainder /= axis;
-    }
-
-    std::unique_ptr<Scenario> scenario = factory();
-    EQIMPACT_CHECK(scenario != nullptr);
-    for (size_t p = 0; p < options.parameters.size(); ++p) {
-      EQIMPACT_CHECK(scenario->SetParameter(options.parameters[p].name,
-                                            values[p]));
-    }
-    ExperimentResult experiment =
-        RunExperiment(scenario.get(), options.experiment);
-
-    if (result.scenario.empty()) result.scenario = experiment.scenario;
-    if (result.metric_names.empty()) {
-      result.metric_names = experiment.metric_names;
-    }
-    SweepPoint point;
-    point.values = values;
-    point.summary = experiment.summary;
-    point.metric_means.reserve(experiment.metric_stats.size());
-    point.metric_stds.reserve(experiment.metric_stats.size());
-    for (const stats::RunningStats& metric : experiment.metric_stats) {
-      point.metric_means.push_back(metric.Mean());
-      point.metric_stds.push_back(metric.StdDev());
-    }
-    point.digest = ExperimentDigest(experiment);
-    result.points.push_back(std::move(point));
-    if (options.keep_experiments) {
-      result.experiments.push_back(std::move(experiment));
-    }
+  // Cross-point dispatch. Each point owns its grid-order slots (point,
+  // optional experiment, labels), so the fan-out needs no locking and
+  // the merged result is bitwise-identical at every point-thread count.
+  runtime::ParallelForOptions dispatch;
+  dispatch.num_threads = options.num_point_threads;
+  const size_t point_workers =
+      std::min(runtime::EffectiveNumThreads(dispatch), num_points);
+  // Nested budgets: a "use all cores" trial dispatch inside every
+  // concurrent point would oversubscribe the machine point_workers
+  // times over, so the implicit budget is split across the point
+  // workers. Thread counts never affect the simulated output.
+  ExperimentOptions experiment_options = options.experiment;
+  if (point_workers > 1 && experiment_options.num_threads == 0) {
+    experiment_options.num_threads = std::max<size_t>(
+        1, runtime::ThreadPool::HardwareConcurrency() / point_workers);
   }
+
+  // Scenario name and metric names are properties of the scenario, not
+  // of the grid point; every point records its own copy and the
+  // grid-order fold below takes the first.
+  std::vector<std::string> scenario_names(num_points);
+  std::vector<std::vector<std::string>> metric_names(num_points);
+
+  runtime::ParallelFor(
+      num_points,
+      [&](size_t index) {
+        // Decode the row-major grid index (last parameter fastest).
+        std::vector<double> values(options.parameters.size(), 0.0);
+        size_t remainder = index;
+        for (size_t p = options.parameters.size(); p-- > 0;) {
+          const size_t axis = options.parameters[p].values.size();
+          values[p] = options.parameters[p].values[remainder % axis];
+          remainder /= axis;
+        }
+
+        std::unique_ptr<Scenario> scenario = factory();
+        EQIMPACT_CHECK(scenario != nullptr);
+        for (size_t p = 0; p < options.parameters.size(); ++p) {
+          EQIMPACT_CHECK(scenario->SetParameter(options.parameters[p].name,
+                                                values[p]));
+        }
+        ExperimentResult experiment =
+            RunExperiment(scenario.get(), experiment_options);
+
+        scenario_names[index] = experiment.scenario;
+        metric_names[index] = experiment.metric_names;
+        SweepPoint& point = result.points[index];
+        point.values = std::move(values);
+        point.summary = experiment.summary;
+        point.metric_means.reserve(experiment.metric_stats.size());
+        point.metric_stds.reserve(experiment.metric_stats.size());
+        for (const stats::RunningStats& metric : experiment.metric_stats) {
+          point.metric_means.push_back(metric.Mean());
+          point.metric_stds.push_back(metric.StdDev());
+        }
+        point.digest = ExperimentDigest(experiment);
+        if (options.keep_experiments) {
+          result.experiments[index] = std::move(experiment);
+        }
+      },
+      dispatch);
+
+  result.scenario = scenario_names.front();
+  result.metric_names = std::move(metric_names.front());
   return result;
 }
 

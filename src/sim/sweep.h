@@ -33,6 +33,20 @@ struct SweepOptions {
   /// Keep every grid point's full ExperimentResult (off by default —
   /// the per-point summaries/metrics are usually all a sweep needs).
   bool keep_experiments = false;
+  /// Worker threads for *cross-point* dispatch. 1 (default) runs the
+  /// grid points sequentially (the legacy behaviour); 0 = hardware
+  /// concurrency. Every point writes into its own grid-order slot and
+  /// the slots are read in grid order afterwards, so the sweep result
+  /// is bitwise-identical at every (point, trial, chunk) thread
+  /// configuration. Nested budgets: when points run in parallel and
+  /// experiment.num_threads is 0 (= hardware), each point's trial
+  /// dispatch is narrowed to hardware_concurrency / point workers
+  /// (min 1) so a wide grid does not oversubscribe the machine times
+  /// over; an explicit experiment.num_threads is honoured as given.
+  /// With point parallelism the scenario factory (and the scenarios'
+  /// SetParameter) must be safe to call concurrently — true of the
+  /// registry's built-ins.
+  size_t num_point_threads = 1;
 };
 
 /// One grid point's equal-impact read-out.
@@ -65,9 +79,11 @@ struct SweepResult {
 /// a fresh scenario from `factory`, the point's parameter assignments
 /// via SetParameter (CHECK-fails on a name the scenario rejects), and
 /// one RunExperiment — collecting the per-point equal-impact metrics.
-/// Points run sequentially (each experiment is itself trial-parallel),
-/// so the sweep inherits the experiment driver's bitwise determinism at
-/// every thread count.
+/// Points run across SweepOptions::num_point_threads workers (default
+/// sequential; each experiment is itself trial-parallel) and their
+/// results are merged in grid order, so the sweep inherits the
+/// experiment driver's bitwise determinism at every thread count on
+/// both levels.
 SweepResult RunSweep(const ScenarioFactory& factory,
                      const SweepOptions& options);
 

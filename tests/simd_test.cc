@@ -1,0 +1,430 @@
+// Tests of the SIMD kernel sublayer (runtime/simd.h, runtime/kernels.h,
+// rng::Pcg32::FillUniform) and of its determinism contract: every vector
+// lane is bit-for-bit the scalar reference on every input — NaN
+// payloads, infinities, subnormals, signed zeros — and at every tail
+// length, so simulation digests are invariant across backends and
+// across the sweep driver's cross-point thread counts.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "base/fnv1a.h"
+#include "base/simd_scalar.h"
+#include "credit/credit_loop.h"
+#include "credit/income_model.h"
+#include "credit/repayment_model.h"
+#include "gtest/gtest.h"
+#include "ml/logistic_regression.h"
+#include "rng/pcg32.h"
+#include "rng/random.h"
+#include "runtime/kernels.h"
+#include "runtime/simd.h"
+#include "sim/experiment.h"
+#include "sim/scenario_registry.h"
+#include "sim/sweep.h"
+#include "stats/adr_accumulator.h"
+
+namespace eqimpact {
+namespace {
+
+namespace kernels = runtime::kernels;
+
+// Restores the force-scalar toggle even when a test fails mid-way.
+class ScopedForceScalar {
+ public:
+  ScopedForceScalar() { base::SetSimdForceScalarForTesting(true); }
+  ~ScopedForceScalar() { base::SetSimdForceScalarForTesting(false); }
+};
+
+// Adversarial doubles: every IEEE special the kernels' compares and
+// divides could mishandle, plus hot-path-shaped ordinary values.
+std::vector<double> AdversarialValues() {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  return {0.0,
+          -0.0,
+          1.0,
+          -1.0,
+          15.0,
+          14.999999999999998,
+          42.5,
+          -42.5,
+          1e-300,
+          -1e-300,
+          std::numeric_limits<double>::denorm_min(),
+          -std::numeric_limits<double>::denorm_min(),
+          std::numeric_limits<double>::min(),
+          std::numeric_limits<double>::max(),
+          1e300,
+          -1e300,
+          inf,
+          -inf,
+          qnan,
+          -qnan,
+          0.4,
+          0.6,
+          3.5,
+          250.0};
+}
+
+// A length-n input cycling through the adversarial values, phase-shifted
+// so paired arrays do not align.
+std::vector<double> AdversarialInput(size_t n, size_t phase) {
+  const std::vector<double> values = AdversarialValues();
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = values[(i + phase) % values.size()];
+  }
+  return out;
+}
+
+// Bitwise comparison that treats equal NaN payloads as equal (memcmp).
+::testing::AssertionResult BitwiseEqual(const std::vector<double>& a,
+                                        const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "size mismatch";
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+      return ::testing::AssertionFailure()
+             << "lane " << i << ": " << a[i] << " vs " << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Every size from empty through several multiples of the widest lane
+// count (4), so every tail remainder of every backend width is hit.
+std::vector<size_t> TailSizes() {
+  std::vector<size_t> sizes;
+  for (size_t n = 0; n <= 18; ++n) sizes.push_back(n);
+  sizes.push_back(63);
+  sizes.push_back(64);
+  sizes.push_back(65);
+  sizes.push_back(1000);
+  return sizes;
+}
+
+TEST(SimdBackendTest, ActiveBackendRespectsForceScalar) {
+  EXPECT_LE(runtime::simd::LaneWidth(runtime::simd::ActiveBackend()),
+            runtime::simd::LaneWidth(runtime::simd::CompiledBackend()));
+  {
+    ScopedForceScalar scalar;
+    EXPECT_EQ(runtime::simd::ActiveBackend(),
+              runtime::simd::Backend::kScalar);
+  }
+  EXPECT_STREQ(runtime::simd::BackendName(runtime::simd::Backend::kScalar),
+               "scalar");
+  EXPECT_EQ(runtime::simd::LaneWidth(runtime::simd::Backend::kScalar), 1u);
+}
+
+TEST(SimdKernelTest, IncomeCodeBitwiseEqualOnAdversarialInputs) {
+  for (size_t n : TailSizes()) {
+    const std::vector<double> income = AdversarialInput(n, 0);
+    std::vector<double> scalar(n, -1.0), vector(n, -2.0);
+    kernels::IncomeCodeScalar(income.data(), n, 15.0, scalar.data());
+    kernels::IncomeCode(income.data(), n, 15.0, vector.data());
+    EXPECT_TRUE(BitwiseEqual(scalar, vector)) << "n=" << n;
+  }
+}
+
+TEST(SimdKernelTest, ScoreSweepBitwiseEqualOnAdversarialInputs) {
+  kernels::ScoreParams params;
+  params.code_threshold = 15.0;
+  params.base_points = 0.3;
+  params.adr_weight = -8.17;
+  params.code_weight = 5.77;
+  params.cutoff = 0.4;
+  for (size_t n : TailSizes()) {
+    const std::vector<double> income = AdversarialInput(n, 0);
+    const std::vector<double> adr = AdversarialInput(n, 7);
+    std::vector<double> code_s(n, -1.0), code_v(n, -2.0);
+    std::vector<unsigned char> approved_s(n, 9), approved_v(n, 8);
+    kernels::ScoreSweepScalar(income.data(), adr.data(), n, params,
+                              code_s.data(), approved_s.data());
+    kernels::ScoreSweep(income.data(), adr.data(), n, params, code_v.data(),
+                        approved_v.data());
+    EXPECT_TRUE(BitwiseEqual(code_s, code_v)) << "n=" << n;
+    EXPECT_EQ(approved_s, approved_v) << "n=" << n;
+  }
+  // NaN scores must decline — the legacy !(score > cutoff) semantics.
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  double code = 0.0;
+  unsigned char approved = 1;
+  const double income = 20.0;
+  kernels::ScoreSweep(&income, &qnan, 1, params, &code, &approved);
+  EXPECT_EQ(approved, 0);
+}
+
+TEST(SimdKernelTest, SurplusShareBitwiseEqualOnAdversarialInputs) {
+  for (size_t n : TailSizes()) {
+    const std::vector<double> income = AdversarialInput(n, 3);
+    std::vector<double> scalar(n), vector(n);
+    kernels::SurplusShareScalar(income.data(), n, 3.5, 10.0, 0.0216,
+                                scalar.data());
+    kernels::SurplusShare(income.data(), n, 3.5, 10.0, 0.0216,
+                          vector.data());
+    EXPECT_TRUE(BitwiseEqual(scalar, vector)) << "n=" << n;
+  }
+}
+
+TEST(SimdKernelTest, GuardedRatioBitwiseEqualOnAdversarialInputs) {
+  for (size_t n : TailSizes()) {
+    const std::vector<double> num = AdversarialInput(n, 5);
+    const std::vector<double> den = AdversarialInput(n, 11);
+    std::vector<double> scalar(n), vector(n);
+    kernels::GuardedRatioScalar(num.data(), den.data(), n, scalar.data());
+    kernels::GuardedRatio(num.data(), den.data(), n, vector.data());
+    EXPECT_TRUE(BitwiseEqual(scalar, vector)) << "n=" << n;
+  }
+}
+
+TEST(SimdKernelTest, SigmoidBatchBitwiseEqualOnAdversarialInputs) {
+  for (size_t n : TailSizes()) {
+    const std::vector<double> t = AdversarialInput(n, 9);
+    std::vector<double> scalar(n), vector(n);
+    kernels::SigmoidBatchScalar(t.data(), n, scalar.data());
+    kernels::SigmoidBatch(t.data(), n, vector.data());
+    EXPECT_TRUE(BitwiseEqual(scalar, vector)) << "n=" << n;
+  }
+}
+
+TEST(SimdKernelTest, SigmoidBatchScalarMatchesMlSigmoid) {
+  // The scalar reference must be ml::Sigmoid exactly, finite and not.
+  const std::vector<double> t = AdversarialInput(64, 2);
+  std::vector<double> batch(t.size());
+  kernels::SigmoidBatchScalar(t.data(), t.size(), batch.data());
+  for (size_t i = 0; i < t.size(); ++i) {
+    const double direct = ml::Sigmoid(t[i]);
+    EXPECT_EQ(std::memcmp(&direct, &batch[i], sizeof(double)), 0)
+        << "t=" << t[i];
+  }
+}
+
+TEST(SimdKernelTest, LinearPredictor2BitwiseEqualOnAdversarialInputs) {
+  for (size_t n : TailSizes()) {
+    const std::vector<double> rows = AdversarialInput(2 * n, 1);
+    for (bool add_bias : {false, true}) {
+      std::vector<double> scalar(n), vector(n);
+      kernels::LinearPredictor2Scalar(rows.data(), n, -8.17, 5.77, 0.3,
+                                      add_bias, scalar.data());
+      kernels::LinearPredictor2(rows.data(), n, -8.17, 5.77, 0.3, add_bias,
+                                vector.data());
+      EXPECT_TRUE(BitwiseEqual(scalar, vector))
+          << "n=" << n << " bias=" << add_bias;
+    }
+  }
+  // Signed-zero products: RowDot's initial 0.0 turns -0.0 into +0.0.
+  const std::vector<double> rows = {-0.0, -0.0};
+  double scalar = -1.0, vector = -1.0;
+  kernels::LinearPredictor2Scalar(rows.data(), 1, 1.0, 1.0, 0.0, false,
+                                  &scalar);
+  kernels::LinearPredictor2(rows.data(), 1, 1.0, 1.0, 0.0, false, &vector);
+  EXPECT_EQ(std::memcmp(&scalar, &vector, sizeof(double)), 0);
+  EXPECT_FALSE(std::signbit(scalar));
+}
+
+TEST(SimdKernelTest, ForceScalarTogglePinsDispatchToReference) {
+  // Under the toggle the dispatched entry must take the scalar path —
+  // trivially bitwise-equal — regardless of backend.
+  ScopedForceScalar scalar_only;
+  const size_t n = 37;
+  const std::vector<double> income = AdversarialInput(n, 0);
+  std::vector<double> a(n), b(n);
+  kernels::IncomeCodeScalar(income.data(), n, 15.0, a.data());
+  kernels::IncomeCode(income.data(), n, 15.0, b.data());
+  EXPECT_TRUE(BitwiseEqual(a, b));
+}
+
+TEST(SimdFillUniformTest, MatchesSequentialDrawsForAllSizes) {
+  for (size_t n = 0; n <= 70; ++n) {
+    rng::Pcg32 batch_gen(123, 77);
+    rng::Pcg32 seq_gen(123, 77);
+    std::vector<double> batch(n + 1, -1.0), sequential(n + 1, -1.0);
+    batch_gen.FillUniform(batch.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      sequential[i] =
+          static_cast<double>(seq_gen.Next64() >> 11) * 0x1.0p-53;
+    }
+    EXPECT_TRUE(BitwiseEqual(batch, sequential)) << "n=" << n;
+    // The generator state must land exactly where 2n Next() calls put
+    // it, so batch and sequential draws interleave freely.
+    for (int k = 0; k < 5; ++k) {
+      EXPECT_EQ(batch_gen.Next(), seq_gen.Next()) << "n=" << n;
+    }
+  }
+}
+
+TEST(SimdFillUniformTest, LargeFillAndRandomWrapperMatch) {
+  rng::Random batch_random(2026);
+  rng::Random seq_random(2026);
+  std::vector<double> batch(4097), sequential(4097);
+  batch_random.FillUniformDouble(batch.data(), batch.size());
+  for (double& value : sequential) value = seq_random.UniformDouble();
+  EXPECT_TRUE(BitwiseEqual(batch, sequential));
+  EXPECT_EQ(batch_random.UniformDouble(), seq_random.UniformDouble());
+}
+
+TEST(SimdFillUniformTest, AdvanceStateMatchesStepping) {
+  const uint64_t inc = 0x9E3779B97F4A7C15ULL | 1ULL;
+  uint64_t state = 0x0123456789ABCDEFULL;
+  uint64_t stepped = state;
+  for (uint64_t steps = 0; steps <= 40; ++steps) {
+    EXPECT_EQ(rng::Pcg32::AdvanceState(state, inc, steps), stepped)
+        << "steps=" << steps;
+    stepped = stepped * 6364136223846793005ULL + inc;
+  }
+}
+
+TEST(SimdFillUniformTest, ForceScalarProducesTheSameStream) {
+  std::vector<double> vector_fill(257), scalar_fill(257);
+  {
+    rng::Pcg32 gen(9, 5);
+    gen.FillUniform(vector_fill.data(), vector_fill.size());
+  }
+  {
+    ScopedForceScalar scalar_only;
+    rng::Pcg32 gen(9, 5);
+    gen.FillUniform(scalar_fill.data(), scalar_fill.size());
+  }
+  EXPECT_TRUE(BitwiseEqual(vector_fill, scalar_fill));
+}
+
+TEST(SimdIncomeSamplerTest, SampleFromUniformsMatchesSample) {
+  const credit::IncomeModel model;
+  for (int year : {2002, 2011, 2020}) {
+    const credit::YearIncomeSampler sampler(model, year);
+    for (size_t r = 0; r < credit::kNumRaces; ++r) {
+      const credit::Race race = static_cast<credit::Race>(r);
+      rng::Random direct(17 * (r + 1) + year);
+      rng::Random feeder(17 * (r + 1) + year);
+      for (int draw = 0; draw < 200; ++draw) {
+        const double expected = sampler.Sample(race, &direct);
+        const double u_bracket = feeder.UniformDouble();
+        const double u_value = feeder.UniformDouble();
+        const double actual =
+            sampler.SampleFromUniforms(race, u_bracket, u_value);
+        EXPECT_EQ(std::memcmp(&expected, &actual, sizeof(double)), 0)
+            << "year=" << year << " race=" << r << " draw=" << draw;
+      }
+    }
+  }
+}
+
+TEST(SimdRepaymentTest, ProbabilityBatchMatchesScalarModel) {
+  const credit::RepaymentModel model;
+  std::vector<double> incomes;
+  rng::Random random(5);
+  for (int i = 0; i < 999; ++i) {
+    incomes.push_back(random.UniformDouble(0.5, 260.0));
+  }
+  std::vector<double> batch(incomes.size());
+  model.ProbabilityBatch(incomes.data(), incomes.size(), batch.data());
+  for (size_t i = 0; i < incomes.size(); ++i) {
+    const double expected = model.RepaymentProbability(incomes[i]);
+    EXPECT_EQ(std::memcmp(&expected, &batch[i], sizeof(double)), 0)
+        << "income=" << incomes[i];
+  }
+}
+
+uint64_t CreditTrialDigest() {
+  credit::CreditLoopOptions options;
+  options.num_users = 400;
+  options.seed = 11;
+  options.keep_user_adr = false;
+  const size_t num_years =
+      static_cast<size_t>(options.last_year - options.first_year) + 1;
+  stats::AdrAccumulator adr(credit::kNumRaces, num_years, 32);
+  credit::CreditScoringLoop loop(options);
+  const credit::CreditLoopResult result =
+      loop.Run([&adr](const credit::YearSnapshot& snapshot) {
+        adr.AddCrossSection(snapshot.step, snapshot.user_adr,
+                            snapshot.race_ids);
+      });
+  base::Fnv1a digest;
+  digest.MixSeries(result.overall_adr);
+  for (const auto& series : result.race_adr) digest.MixSeries(series);
+  for (const auto& series : result.race_approval) digest.MixSeries(series);
+  for (const auto& snapshot : result.scorecards) {
+    digest.MixDouble(snapshot.history_weight);
+    digest.MixDouble(snapshot.income_weight);
+    digest.MixDouble(snapshot.intercept);
+  }
+  sim::MixAccumulator(&digest, adr);
+  return digest.hash();
+}
+
+TEST(SimdDigestTest, CreditLoopDigestInvariantUnderForceScalar) {
+  const uint64_t vector_digest = CreditTrialDigest();
+  uint64_t scalar_digest = 0;
+  {
+    ScopedForceScalar scalar_only;
+    scalar_digest = CreditTrialDigest();
+  }
+  EXPECT_EQ(vector_digest, scalar_digest);
+}
+
+sim::SweepOptions SmallCreditSweep() {
+  sim::SweepOptions options;
+  options.experiment.num_trials = 2;
+  options.experiment.master_seed = 3;
+  options.parameters = {{"num_users", {60.0}},
+                        {"cutoff", {0.3, 0.4, 0.5}},
+                        {"forgetting_factor", {1.0, 0.7}}};
+  return options;
+}
+
+TEST(SimdSweepTest, PointParallelSweepBitwiseIdenticalAcrossThreadCounts) {
+  sim::SweepOptions options = SmallCreditSweep();
+  const sim::ScenarioFactory factory = sim::GetScenarioFactory("credit");
+  const sim::SweepResult reference = RunSweep(factory, options);
+  ASSERT_EQ(reference.points.size(), 6u);
+  const uint64_t reference_digest = SweepDigest(reference);
+  for (size_t point_threads : {size_t{2}, size_t{8}}) {
+    options.num_point_threads = point_threads;
+    const sim::SweepResult result = RunSweep(factory, options);
+    EXPECT_EQ(SweepDigest(result), reference_digest)
+        << "point_threads=" << point_threads;
+    // Grid order must be preserved, not just the digest.
+    for (size_t p = 0; p < reference.points.size(); ++p) {
+      EXPECT_EQ(result.points[p].values, reference.points[p].values);
+      EXPECT_EQ(result.points[p].digest, reference.points[p].digest);
+    }
+    EXPECT_EQ(result.scenario, reference.scenario);
+    EXPECT_EQ(result.metric_names, reference.metric_names);
+  }
+}
+
+TEST(SimdSweepTest, PointParallelSweepInvariantUnderForceScalar) {
+  sim::SweepOptions options = SmallCreditSweep();
+  options.num_point_threads = 4;
+  const sim::ScenarioFactory factory = sim::GetScenarioFactory("credit");
+  const uint64_t vector_digest = SweepDigest(RunSweep(factory, options));
+  uint64_t scalar_digest = 0;
+  {
+    ScopedForceScalar scalar_only;
+    scalar_digest = SweepDigest(RunSweep(factory, options));
+  }
+  EXPECT_EQ(vector_digest, scalar_digest);
+}
+
+TEST(SimdSweepTest, KeepExperimentsAndNestedBudgetsUnderPointParallelism) {
+  sim::SweepOptions options = SmallCreditSweep();
+  options.num_point_threads = 3;
+  options.keep_experiments = true;
+  options.experiment.trial_threads = 2;
+  const sim::SweepResult result =
+      RunSweep(sim::GetScenarioFactory("credit"), options);
+  ASSERT_EQ(result.experiments.size(), result.points.size());
+  for (size_t p = 0; p < result.points.size(); ++p) {
+    EXPECT_EQ(sim::ExperimentDigest(result.experiments[p]),
+              result.points[p].digest);
+  }
+}
+
+}  // namespace
+}  // namespace eqimpact
