@@ -40,6 +40,19 @@
 //    ("vector_matches_scalar"), and a digest over the scalar outputs
 //    pinning the kernels' numerical behaviour across PRs.
 //
+//  * "phi_scaling" — the pinned normal-CDF kernel (PR 6): scalar
+//    reference vs active vector backend rates on hot-path-shaped
+//    inputs plus adversarial specials, a bit-for-bit gate
+//    ("vector_matches_scalar"), and the measured max ulp against
+//    libm's 0.5 * erfc(-x / sqrt 2) with its documented bound
+//    (base::phi::kMaxUlpVsLibm) — both gates feed the exit code.
+//
+//  * "fold_scaling" — the refit fold (PR 6): the same 1k-user credit
+//    trial run with the hashed BinnedDataset fold and with the dense
+//    (ADR numerator, code) -> group table, rates for both, and a
+//    digest equality gate ("dense_matches_hashed") proving the fast
+//    path changes nothing.
+//
 //  * "micro" — single-thread timings of the library's hot paths (RNG
 //    throughput, normal CDF, logistic IRLS, one closed-loop trial,
 //    Markov/linalg kernels) replacing the earlier google-benchmark
@@ -54,11 +67,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -568,6 +583,198 @@ SimdSection RunSimdSuite(size_t num_values) {
   return section;
 }
 
+// --- phi_scaling helpers. --------------------------------------------------
+
+struct PhiSection {
+  size_t num_values = 0;
+  bool vector_matches_scalar = false;
+  int64_t max_ulp_vs_libm = 0;
+  int ulp_bound = eqimpact::base::phi::kMaxUlpVsLibm;
+  double scalar_rate = 0.0;
+  double vector_rate = 0.0;
+  double libm_rate = 0.0;
+  uint64_t digest = 0;
+};
+
+/// Ulp distance between two Phi outputs. Both values are in [0, 1], so
+/// their bit patterns are non-negative and order-isomorphic; the
+/// distance is the plain integer gap.
+int64_t PhiUlpDistance(double a, double b) {
+  int64_t ia = 0, ib = 0;
+  std::memcpy(&ia, &a, sizeof(a));
+  std::memcpy(&ib, &b, sizeof(b));
+  return ia > ib ? ia - ib : ib - ia;
+}
+
+/// The phi_scaling section: NormalCdfBatch through its scalar reference
+/// and the active vector backend on identical inputs — the trial's hot
+/// range plus deep tails and the adversarial specials — gated bit for
+/// bit, with the measured max ulp against libm's historical
+/// 0.5 * erfc(-x / sqrt 2) reference checked against the documented
+/// bound (base::phi::kMaxUlpVsLibm).
+PhiSection RunPhiSuite(size_t num_values) {
+  namespace kernels = eqimpact::runtime::kernels;
+  namespace phi = eqimpact::base::phi;
+  constexpr int kReps = 16;
+  PhiSection section;
+
+  std::vector<double> x(num_values);
+  eqimpact::rng::Random random(2026);
+  // 3/4 in the repayment hot range, 1/4 across the full clamp span.
+  const size_t hot = num_values * 3 / 4;
+  for (size_t i = 0; i < hot; ++i) x[i] = random.UniformDouble(-8.0, 8.0);
+  for (size_t i = hot; i < num_values; ++i) {
+    x[i] = random.UniformDouble(-phi::kClamp, phi::kClamp);
+  }
+  // Adversarial specials at the front: branch switch points, the clamp
+  // edge, signed zero, infinities and a payloaded NaN (the bitwise gate
+  // covers them; the ulp check skips non-finite and beyond-clamp).
+  const double specials[] = {0.0,
+                             -0.0,
+                             0.46875 * phi::kSqrt2,
+                             -0.46875 * phi::kSqrt2,
+                             4.0 * phi::kSqrt2,
+                             -4.0 * phi::kSqrt2,
+                             phi::kClamp,
+                             -phi::kClamp,
+                             phi::kClamp + 1e-9,
+                             -phi::kClamp - 1e-9,
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::quiet_NaN()};
+  for (size_t i = 0; i < sizeof(specials) / sizeof(specials[0]); ++i) {
+    x[i] = specials[i];
+  }
+  section.num_values = num_values;
+
+  std::vector<double> scalar_out(num_values, 0.0);
+  std::vector<double> vector_out(num_values, 1.0);
+  const double scalar_seconds = TimeIt([&] {
+    for (int r = 0; r < kReps; ++r) {
+      kernels::NormalCdfBatchScalar(x.data(), num_values, scalar_out.data());
+    }
+  }) / kReps;
+  const double vector_seconds = TimeIt([&] {
+    for (int r = 0; r < kReps; ++r) {
+      kernels::NormalCdfBatch(x.data(), num_values, vector_out.data());
+    }
+  }) / kReps;
+  double libm_sink = 0.0;
+  const double libm_seconds = TimeIt([&] {
+    for (int r = 0; r < kReps; ++r) {
+      for (size_t i = 0; i < num_values; ++i) {
+        libm_sink += 0.5 * std::erfc(-x[i] / phi::kSqrt2);
+      }
+    }
+  }) / kReps;
+  if (libm_sink < 0.0) std::fprintf(stderr, "!");
+
+  section.vector_matches_scalar =
+      std::memcmp(scalar_out.data(), vector_out.data(),
+                  num_values * sizeof(double)) == 0;
+  for (size_t i = 0; i < num_values; ++i) {
+    if (!(x[i] >= -phi::kClamp && x[i] <= phi::kClamp)) continue;
+    const double libm = 0.5 * std::erfc(-x[i] / phi::kSqrt2);
+    const int64_t ulp = PhiUlpDistance(scalar_out[i], libm);
+    if (ulp > section.max_ulp_vs_libm) section.max_ulp_vs_libm = ulp;
+  }
+  section.scalar_rate =
+      scalar_seconds > 0.0
+          ? static_cast<double>(num_values) / scalar_seconds
+          : 0.0;
+  section.vector_rate =
+      vector_seconds > 0.0
+          ? static_cast<double>(num_values) / vector_seconds
+          : 0.0;
+  section.libm_rate =
+      libm_seconds > 0.0 ? static_cast<double>(num_values) / libm_seconds
+                         : 0.0;
+  Fnv1a digest;
+  for (double value : scalar_out) digest.MixDouble(value);
+  section.digest = digest.hash();
+  std::fprintf(stderr,
+               "  phi_scaling scalar %.1fM/s  vector %.1fM/s  libm %.1fM/s "
+               "(max ulp %" PRId64 " <= %d: %s, bitwise: %s)\n",
+               section.scalar_rate / 1e6, section.vector_rate / 1e6,
+               section.libm_rate / 1e6, section.max_ulp_vs_libm,
+               section.ulp_bound,
+               section.max_ulp_vs_libm <= section.ulp_bound ? "ok" : "FAIL",
+               section.vector_matches_scalar ? "equal" : "MISMATCH");
+  return section;
+}
+
+// --- fold_scaling helpers. -------------------------------------------------
+
+struct FoldSection {
+  size_t num_users = 0;
+  size_t num_user_years = 0;
+  bool dense_matches_hashed = false;
+  double hashed_rate = 0.0;
+  double dense_rate = 0.0;
+  uint64_t digest = 0;
+};
+
+uint64_t FoldDigest(const eqimpact::credit::CreditLoopResult& result) {
+  Fnv1a digest;
+  digest.MixSeries(result.overall_adr);
+  for (const auto& series : result.race_adr) digest.MixSeries(series);
+  for (const auto& snapshot : result.scorecards) {
+    digest.Mix(static_cast<uint64_t>(snapshot.year));
+    digest.MixDouble(snapshot.history_weight);
+    digest.MixDouble(snapshot.income_weight);
+    digest.MixDouble(snapshot.intercept);
+  }
+  return digest.hash();
+}
+
+/// The fold_scaling section: the 1k-user closed-loop trial through the
+/// hashed BinnedDataset fold and through the dense per-year
+/// (ADR numerator, code) -> group table, with a digest equality gate
+/// over the ADR series and fitted scorecards.
+FoldSection RunFoldSuite() {
+  constexpr size_t kUsers = 1000;
+  constexpr int kReps = 24;
+  FoldSection section;
+  section.num_users = kUsers;
+
+  eqimpact::credit::CreditLoopOptions options;
+  options.num_users = kUsers;
+  options.seed = 3;
+  section.num_user_years = kUsers * (static_cast<size_t>(options.last_year -
+                                                         options.first_year) +
+                                     1);
+  uint64_t digests[2] = {0, 0};
+  double rates[2] = {0.0, 0.0};
+  for (int dense = 0; dense < 2; ++dense) {
+    options.dense_history_fold = dense != 0;
+    eqimpact::credit::CreditScoringLoop(options).Run();  // Warm-up.
+    const double seconds = TimeIt([&options] {
+      for (int rep = 0; rep < kReps; ++rep) {
+        eqimpact::credit::CreditScoringLoop(options).Run();
+      }
+    }) / kReps;
+    digests[dense] =
+        FoldDigest(eqimpact::credit::CreditScoringLoop(options).Run());
+    rates[dense] =
+        seconds > 0.0
+            ? static_cast<double>(section.num_user_years) / seconds
+            : 0.0;
+  }
+  section.hashed_rate = rates[0];
+  section.dense_rate = rates[1];
+  section.dense_matches_hashed = digests[0] == digests[1];
+  section.digest = digests[1];
+  std::fprintf(stderr,
+               "  fold_scaling hashed %.2fM user-years/s  dense %.2fM "
+               "(%.2fx, digests %s)\n",
+               section.hashed_rate / 1e6, section.dense_rate / 1e6,
+               section.hashed_rate > 0.0
+                   ? section.dense_rate / section.hashed_rate
+                   : 0.0,
+               section.dense_matches_hashed ? "equal" : "MISMATCH");
+  return section;
+}
+
 std::vector<size_t> ThreadCounts(size_t max_threads) {
   // 1, 2, 4, ... up to max_threads (always including max_threads itself).
   std::vector<size_t> counts;
@@ -818,11 +1025,18 @@ int main(int argc, char** argv) {
   // --- Section 5: simd scaling (kernel layer scalar vs vector). --------
   const SimdSection simd_section = RunSimdSuite(1 << 16);
 
+  // --- Section 6: phi + fold scaling (the PR 6 hot paths). -------------
+  const PhiSection phi_section = RunPhiSuite(1 << 18);
+  const FoldSection fold_section = RunFoldSuite();
+
   std::vector<MicroResult> micro = RunMicroSuite();
 
-  const bool deterministic = multi_deterministic && within_deterministic &&
-                             fit_deterministic && market_deterministic &&
-                             simd_section.vector_matches_scalar;
+  const bool deterministic =
+      multi_deterministic && within_deterministic && fit_deterministic &&
+      market_deterministic && simd_section.vector_matches_scalar &&
+      phi_section.vector_matches_scalar &&
+      phi_section.max_ulp_vs_libm <= phi_section.ulp_bound &&
+      fold_section.dense_matches_hashed;
 
   // Emit the JSON document on stdout.
   std::printf("{\n");
@@ -931,6 +1145,31 @@ int main(int argc, char** argv) {
     std::printf("    ]\n");
     std::printf("  },\n");
   }
+  std::printf("  \"phi_scaling\": {\n");
+  std::printf("    \"num_values\": %zu,\n", phi_section.num_values);
+  std::printf("    \"vector_matches_scalar\": %s,\n",
+              phi_section.vector_matches_scalar ? "true" : "false");
+  std::printf("    \"max_ulp_vs_libm\": %" PRId64 ",\n",
+              phi_section.max_ulp_vs_libm);
+  std::printf("    \"ulp_bound\": %d,\n", phi_section.ulp_bound);
+  std::printf("    \"scalar_elems_per_sec\": %.1f,\n",
+              phi_section.scalar_rate);
+  std::printf("    \"vector_elems_per_sec\": %.1f,\n",
+              phi_section.vector_rate);
+  std::printf("    \"libm_elems_per_sec\": %.1f,\n", phi_section.libm_rate);
+  std::printf("    \"digest\": \"%016" PRIx64 "\"\n", phi_section.digest);
+  std::printf("  },\n");
+  std::printf("  \"fold_scaling\": {\n");
+  std::printf("    \"num_users\": %zu,\n", fold_section.num_users);
+  std::printf("    \"num_user_years\": %zu,\n", fold_section.num_user_years);
+  std::printf("    \"dense_matches_hashed\": %s,\n",
+              fold_section.dense_matches_hashed ? "true" : "false");
+  std::printf("    \"hashed_user_years_per_sec\": %.1f,\n",
+              fold_section.hashed_rate);
+  std::printf("    \"dense_user_years_per_sec\": %.1f,\n",
+              fold_section.dense_rate);
+  std::printf("    \"digest\": \"%016" PRIx64 "\"\n", fold_section.digest);
+  std::printf("  },\n");
   std::printf("  \"micro\": [\n");
   for (size_t i = 0; i < micro.size(); ++i) {
     std::printf(

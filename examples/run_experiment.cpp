@@ -6,7 +6,13 @@
 //   run_experiment --list
 //   run_experiment --scenario=NAME [--trials=N] [--seed=S] [--threads=T]
 //                  [--trial-threads=T] [--point-threads=P] [--bins=B]
+//                  [--force-scalar]
 //                  [--set name=value]... [--sweep name=v1,v2,...]...
+//
+// --force-scalar pins every vectorized kernel to its scalar reference
+// lanes (base::SetSimdForceScalarForTesting) before anything runs: the
+// output must be byte-identical to the vector build's — CI diffs the
+// two as a smoke test of the kernel layer's bitwise contract.
 //
 // Without --sweep, runs one experiment and prints its aggregates; with
 // one or more --sweep axes, fans the Cartesian grid out over
@@ -26,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "base/simd_scalar.h"
 #include "sim/experiment.h"
 #include "sim/scenario_registry.h"
 #include "sim/sweep.h"
@@ -46,6 +53,7 @@ struct Assignment {
 
 struct CliSpec {
   bool list = false;
+  bool force_scalar = false;
   std::string scenario;
   ExperimentOptions experiment;
   /// Cross-point workers of a --sweep run (SweepOptions convention:
@@ -119,6 +127,8 @@ bool ParseArgs(int argc, char** argv, CliSpec* spec) {
     };
     if (arg == "--list") {
       spec->list = true;
+    } else if (arg == "--force-scalar") {
+      spec->force_scalar = true;
     } else if (arg.rfind("--scenario=", 0) == 0) {
       spec->scenario = value_of("--scenario=");
     } else if (arg.rfind("--trials=", 0) == 0) {
@@ -317,6 +327,8 @@ int RunGrid(const CliSpec& spec) {
 int main(int argc, char** argv) {
   CliSpec spec;
   if (!ParseArgs(argc, argv, &spec)) return 2;
+  // Before any kernel can run, so every dispatch in the process sees it.
+  if (spec.force_scalar) eqimpact::base::SetSimdForceScalarForTesting(true);
 
   if (spec.list) {
     std::printf("{\n  \"scenarios\": [\n");
@@ -339,8 +351,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: run_experiment --list | --scenario=NAME "
                  "[--trials=N] [--seed=S] [--threads=T] [--trial-threads=T] "
-                 "[--point-threads=P] [--bins=B] [--set name=value]... "
-                 "[--sweep name=v1,v2,...]...\n");
+                 "[--point-threads=P] [--bins=B] [--force-scalar] "
+                 "[--set name=value]... [--sweep name=v1,v2,...]...\n");
     return 2;
   }
   if (spec.experiment.num_trials == 0 || spec.experiment.impact_bins == 0) {

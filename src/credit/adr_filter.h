@@ -60,6 +60,20 @@ class AdrFilter {
   /// Number of offers user `i` has received.
   int64_t UserOffers(size_t i) const;
 
+  /// Raw filter state of user `i`: the (possibly forgetting-weighted)
+  /// offer weight and default weight whose guarded ratio is UserAdr.
+  /// Under forgetting_factor == 1 both are exact small integers (offer
+  /// and default counts), which is what lets the credit engine index its
+  /// dense (offers, defaults) -> history-group table off them.
+  double UserOfferWeight(size_t i) const {
+    EQIMPACT_CHECK_LT(i, races_.size());
+    return offer_weight_[i];
+  }
+  double UserDefaultWeight(size_t i) const {
+    EQIMPACT_CHECK_LT(i, races_.size());
+    return default_weight_[i];
+  }
+
   /// Mean of UserAdr over the users of `race`; 0 if the race is absent.
   double RaceAdr(Race race) const;
 

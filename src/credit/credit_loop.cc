@@ -43,18 +43,42 @@ std::vector<ml::ScorecardFactor> TableOneTemplates() {
 // What one chunk of the scoring sweep yields: per-race offer counts and
 // the approved users' training examples, in user-index order. Merged
 // sequentially in chunk order, so the folded history is identical at
-// every thread count.
+// every thread count. The examples travel in one of two forms: raw
+// (adr, code) rows + labels for the generic hashed fold, or — on the
+// dense-fold fast path — one packed uint32 per example holding the
+// integer filter counters the ADR is the ratio of:
+//   (offers << 17) | (defaults << 2) | (code << 1) | label
+// (offers <= kMaxDenseYears < 2^15, defaults <= offers), which both
+// shrinks the yield traffic 3x and gives the merge its table index
+// without touching a double.
 struct ChunkYield {
   std::array<size_t, kNumRaces> race_offers = {0, 0, 0};
-  std::vector<double> rows;    // (adr, income code) pairs, row-major.
-  std::vector<double> labels;  // 1 repaid, 0 default.
+  std::vector<double> rows;      // (adr, income code) pairs, row-major.
+  std::vector<double> labels;    // 1 repaid, 0 default.
+  std::vector<uint32_t> packed;  // Dense-fold form (see above).
 
   void Clear() {
     race_offers = {0, 0, 0};
     rows.clear();
     labels.clear();
+    packed.clear();
   }
 };
+
+// Dense-fold packing layout and limits.
+constexpr uint32_t kPackedOffersShift = 17;
+constexpr uint32_t kPackedDefaultsShift = 2;
+constexpr uint32_t kPackedDefaultsMask = 0x7fff;
+constexpr size_t kMaxDenseYears = 32767;  // offers must fit 15 bits.
+constexpr uint32_t kNoDenseGroup = 0xffffffffu;
+
+// Index into the dense (offers, defaults, code) -> group table: pairs
+// with defaults <= offers enumerate triangularly, the code is the low
+// bit. offers here is the pre-update counter, <= year index < num_years.
+inline size_t DenseSlot(uint32_t offers, uint32_t defaults, uint32_t code) {
+  return (static_cast<size_t>(offers) * (offers + 1) / 2 + defaults) * 2 +
+         code;
+}
 
 // Per-chunk scratch of the kernel passes, index-aligned within the
 // chunk. Owned by the chunk like its yield and kept across years, so
@@ -67,6 +91,7 @@ struct ChunkScratch {
   std::vector<unsigned char> approved;  // Score-test outcomes.
   std::vector<uint32_t> indices;        // Approved users' chunk offsets.
   std::vector<double> dense_income;     // Approved incomes, compacted.
+  std::vector<double> shares;           // Surplus shares (CDF scratch).
   std::vector<double> probability;      // Repayment probabilities.
 };
 
@@ -153,6 +178,22 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
   }
   history_options.bin_widths = {adr_bin_width, 0.0};
   ml::BinnedDataset history(2, history_options);
+  // Dense-fold fast path: under the paper's accumulating filter every
+  // ADR is the exact ratio of two small integer counters, so the
+  // (counters, code) triple indexes a flat per-trial table of history
+  // group ids and the per-row fold becomes one array lookup. Only valid
+  // while the counters are exact integers (forgetting factor 1, exact
+  // ADR grouping) and group ids are never invalidated (accumulated
+  // history — Clear would orphan the cache).
+  const bool dense_fold =
+      options_.dense_history_fold && options_.forgetting_factor == 1.0 &&
+      adr_bin_width == 0.0 && options_.accumulate_history &&
+      num_years <= kMaxDenseYears;
+  std::vector<uint32_t> dense_groups;
+  if (dense_fold) {
+    dense_groups.assign(DenseSlot(static_cast<uint32_t>(num_years), 0, 0),
+                        kNoDenseGroup);
+  }
   std::optional<ml::Scorecard> current_scorecard;
   const std::vector<ml::ScorecardFactor> factor_templates =
       TableOneTemplates();
@@ -291,20 +332,35 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
             }
             approved_count = count;
           }
+          scratch.shares.resize(count);
           scratch.probability.resize(count);
           repayment.ProbabilityBatch(scratch.dense_income.data(),
-                                     approved_count,
+                                     approved_count, scratch.shares.data(),
                                      scratch.probability.data());
           for (size_t t = 0; t < approved_count; ++t) {
             const size_t j = scratch.indices[t];
             const size_t i = begin + j;
             const double p = scratch.probability[t];
             const bool repaid = p > 0.0 && uniforms[i] < p;
+            if (dense_fold) {
+              // Pack the pre-update integer counters whose guarded
+              // ratio is exactly scratch.adr[j]; the merge rebuilds the
+              // row from them on a first occurrence.
+              const uint32_t offers =
+                  static_cast<uint32_t>(filter.UserOfferWeight(i));
+              const uint32_t defaults =
+                  static_cast<uint32_t>(filter.UserDefaultWeight(i));
+              const uint32_t code_bit = scratch.code[j] != 0.0 ? 1u : 0u;
+              yield.packed.push_back((offers << kPackedOffersShift) |
+                                     (defaults << kPackedDefaultsShift) |
+                                     (code_bit << 1) | (repaid ? 1u : 0u));
+            } else {
+              yield.rows.push_back(scratch.adr[j]);
+              yield.rows.push_back(scratch.code[j]);
+              yield.labels.push_back(repaid ? 1.0 : 0.0);
+            }
             filter.Update(i, true, repaid);
             ++yield.race_offers[race_ids[i]];
-            yield.rows.push_back(scratch.adr[j]);
-            yield.rows.push_back(scratch.code[j]);
-            yield.labels.push_back(repaid ? 1.0 : 0.0);
           }
         },
         dispatch);
@@ -320,9 +376,41 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
       }
     }
     if (!options_.accumulate_history) history.Clear();
-    for (const ChunkYield& yield : yields) {
-      history.AddBatch(yield.rows.data(), yield.labels.data(),
-                       yield.labels.size());
+    if (dense_fold) {
+      // Zero-hash fold: one table lookup per example. A first
+      // occurrence rebuilds the (adr, code) row from the packed
+      // counters — the division is the same IEEE operation AdrInto's
+      // guarded ratio performed, so the row bits match the hashed
+      // fold's — and goes through AddRow, which groups by bit pattern;
+      // value-aliasing counter pairs (1/2 and 2/4) therefore cache the
+      // same group id, and group creation order stays the fold order.
+      for (const ChunkYield& yield : yields) {
+        for (const uint32_t packed : yield.packed) {
+          const uint32_t offers = packed >> kPackedOffersShift;
+          const uint32_t defaults =
+              (packed >> kPackedDefaultsShift) & kPackedDefaultsMask;
+          const uint32_t code_bit = (packed >> 1) & 1u;
+          const double label = (packed & 1u) ? 1.0 : 0.0;
+          const size_t slot = DenseSlot(offers, defaults, code_bit);
+          const uint32_t cached = dense_groups[slot];
+          if (cached != kNoDenseGroup) {
+            history.AddRowToGroup(cached, label);
+          } else {
+            const double row[2] = {
+                offers == 0 ? 0.0
+                            : static_cast<double>(defaults) /
+                                  static_cast<double>(offers),
+                code_bit ? 1.0 : 0.0};
+            dense_groups[slot] =
+                static_cast<uint32_t>(history.AddRow(row, label));
+          }
+        }
+      }
+    } else {
+      for (const ChunkYield& yield : yields) {
+        history.AddBatch(yield.rows.data(), yield.labels.data(),
+                         yield.labels.size());
+      }
     }
 
     // Record the year's aggregates — one fused pass over the filter.

@@ -43,6 +43,20 @@ struct CreditLoopOptions {
   /// the scorecard's resolution). 0 forces exact grouping; a positive
   /// width forces that bin width. The income code is always exact.
   double history_adr_bin_width = -1.0;
+  /// Fold each year's observations into the grouped history through a
+  /// dense per-trial (offers, defaults, income code) -> group table —
+  /// an array lookup per row — instead of the generic
+  /// quantize+hash+probe path. Output is bitwise-identical (pinned by
+  /// CreditLoopTest.DenseHistoryFoldMatchesHashedFold): the table keys
+  /// on the exact integer filter counters whose guarded ratio IS the
+  /// ADR feature, first occurrences still go through
+  /// BinnedDataset::AddRow so value-aliasing rationals (1/2 vs 2/4)
+  /// share a group exactly as before, and the fold order is unchanged.
+  /// The engine applies it only when the counters are exact — the
+  /// accumulating filter (forgetting_factor == 1) with exact ADR
+  /// grouping and an accumulated history — and falls back to the
+  /// hashed fold otherwise. Off = always use the hashed fold.
+  bool dense_history_fold = true;
   /// Behavioural model parameters (equations (10)-(11)).
   RepaymentModelOptions repayment;
   /// Scorecard trainer configuration. Defaults (no intercept, small

@@ -135,10 +135,16 @@ double YearIncomeSampler::SampleFromUniforms(Race race, double u_bracket,
   // Sample above, with the two draws supplied: the CDF walk on
   // u_bracket, then either rng::Random::Pareto's
   // xm * (1 - u)^(-1/alpha) or UniformDouble(lo, hi)'s lo + (hi - lo) * u
-  // applied to u_value, operation for operation.
+  // applied to u_value, operation for operation. The walk is counted
+  // branch-free: the CDF is non-decreasing with last entry pinned to
+  // 1.0 > u, so the number of entries with u >= cdf[b] IS the first
+  // index with u < cdf[b] — same bracket as Sample's while-loop, minus
+  // the data-dependent branch that mispredicts on random draws.
   const double* cdf = cumulative_[static_cast<size_t>(race)];
   size_t bracket = 0;
-  while (u_bracket >= cdf[bracket]) ++bracket;
+  for (size_t b = 0; b + 1 < kNumIncomeBrackets; ++b) {
+    bracket += u_bracket >= cdf[b] ? 1 : 0;
+  }
   if (bracket == kNumIncomeBrackets - 1) {
     return kBracketLowerEdges[bracket] *
            std::pow(1.0 - u_value, -1.0 / IncomeModel::kTailAlpha);

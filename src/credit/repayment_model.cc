@@ -40,16 +40,21 @@ double RepaymentModel::RepaymentProbabilityForAmount(
 }
 
 void RepaymentModel::ProbabilityBatch(const double* incomes, size_t n,
-                                      double* out) const {
+                                      double* shares, double* out) const {
   // x_i first (vectorized, same arithmetic as SurplusShareForAmount with
   // the default income_multiple * z mortgage), then Phi(s * x_i) exactly
-  // as RepaymentProbabilityForAmount evaluates it.
+  // as RepaymentProbabilityForAmount evaluates it: one multiply, one
+  // pinned Phi, and the x <= 0 guard as a final select. Phi runs on
+  // every lane (cheaper than compacting) and the guard overwrites the
+  // non-positive ones, which matches the scalar short-circuit bit for
+  // bit.
   runtime::kernels::SurplusShare(incomes, n, options_.income_multiple,
                                  options_.living_cost, options_.annual_rate,
-                                 out);
+                                 shares);
+  for (size_t i = 0; i < n; ++i) out[i] = options_.sensitivity * shares[i];
+  runtime::kernels::NormalCdfBatch(out, n, out);
   for (size_t i = 0; i < n; ++i) {
-    const double x = out[i];
-    out[i] = x <= 0.0 ? 0.0 : rng::StandardNormalCdf(options_.sensitivity * x);
+    if (shares[i] <= 0.0) out[i] = 0.0;
   }
 }
 

@@ -52,12 +52,17 @@ class RepaymentModel {
                                        double mortgage_amount) const;
 
   /// Batched RepaymentProbability under the default mortgage size:
-  /// out[i] = RepaymentProbability(incomes[i]), bit for bit. The surplus
-  /// shares run through the vectorized runtime kernel; the normal CDF
-  /// stays a scalar libm call per positive share (vectorizing erfc would
-  /// break the bitwise contract). All incomes must be positive, as the
-  /// behavioural model requires. `out == incomes` aliasing is allowed.
-  void ProbabilityBatch(const double* incomes, size_t n, double* out) const;
+  /// out[i] = RepaymentProbability(incomes[i]), bit for bit. The whole
+  /// pipeline is vectorized: surplus shares through the SurplusShare
+  /// kernel into the caller-provided `shares` scratch (length >= n,
+  /// must not overlap `out`), then Phi(sensitivity * share) through
+  /// NormalCdfBatch — since PR 6 the normal CDF is the pinned
+  /// base::NormalCdfScalar reference, not libm, so no scalar libm call
+  /// is left on this path. Non-positive shares yield exactly 0.0, like
+  /// the scalar model. All incomes must be positive, as the behavioural
+  /// model requires. `out == incomes` aliasing is allowed.
+  void ProbabilityBatch(const double* incomes, size_t n, double* shares,
+                        double* out) const;
 
   /// Samples the repayment action y in {0, 1} of equation (11). When
   /// `offered` is false the action is 0 ("no repayment is made").

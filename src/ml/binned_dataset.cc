@@ -70,26 +70,32 @@ uint64_t BinnedDataset::KeyOf(const double* features) {
   return HashKey(key_scratch_.data(), num_features_);
 }
 
-void BinnedDataset::Rehash(size_t num_buckets) {
-  buckets_.assign(num_buckets, kNoGroup);
-  const size_t mask = num_buckets - 1;
+void BinnedDataset::Rehash(size_t num_slots) {
+  // Reinsert from the stored per-group hashes — no key re-hashing. The
+  // insertion scan is in group order, but slot contents never influence
+  // group numbering, so the index stays an order-free lookup structure.
+  slots_.assign(num_slots, kNoGroup);
+  const size_t mask = num_slots - 1;
   for (size_t g = 0; g < num_groups(); ++g) {
-    const uint64_t h = HashKey(&keys_[g * num_features_], num_features_);
-    const size_t b = static_cast<size_t>(h) & mask;
-    next_[g] = buckets_[b];
-    buckets_[b] = static_cast<uint32_t>(g);
+    size_t b = static_cast<size_t>(hashes_[g]) & mask;
+    while (slots_[b] != kNoGroup) b = (b + 1) & mask;
+    slots_[b] = static_cast<uint32_t>(g);
   }
 }
 
 size_t BinnedDataset::GroupFor(uint64_t h, const double* features) {
-  const size_t b = static_cast<size_t>(h) & (buckets_.size() - 1);
-  for (uint32_t g = buckets_[b]; g != kNoGroup; g = next_[g]) {
-    if (std::memcmp(&keys_[g * num_features_], key_scratch_.data(),
+  const size_t mask = slots_.size() - 1;
+  size_t b = static_cast<size_t>(h) & mask;
+  for (uint32_t g = slots_[b]; g != kNoGroup; g = slots_[b]) {
+    if (hashes_[g] == h &&
+        std::memcmp(&keys_[g * num_features_], key_scratch_.data(),
                     num_features_ * sizeof(int64_t)) == 0) {
       return g;
     }
+    b = (b + 1) & mask;
   }
-  // New group: store the quantized key and its representative row.
+  // New group: store the quantized key, its hash and its representative
+  // row, and claim the empty slot the probe stopped at.
   const size_t g = num_groups();
   EQIMPACT_CHECK_LT(g, static_cast<size_t>(kNoGroup));
   keys_.insert(keys_.end(), key_scratch_.begin(), key_scratch_.end());
@@ -103,17 +109,32 @@ size_t BinnedDataset::GroupFor(uint64_t h, const double* features) {
   }
   weight_.push_back(0.0);
   positive_.push_back(0.0);
-  next_.push_back(buckets_[b]);
-  buckets_[b] = static_cast<uint32_t>(g);
-  if (num_groups() * 4 > buckets_.size() * 3) Rehash(buckets_.size() * 2);
+  hashes_.push_back(h);
+  slots_[b] = static_cast<uint32_t>(g);
+  // Grow at ~70% load so linear probe runs stay short.
+  if (num_groups() * 10 > slots_.size() * 7) Rehash(slots_.size() * 2);
   return g;
 }
 
-void BinnedDataset::AddRow(const double* features, double label,
-                           double weight) {
+size_t BinnedDataset::AddRow(const double* features, double label,
+                             double weight) {
   EQIMPACT_CHECK(label == 0.0 || label == 1.0);
   EQIMPACT_CHECK_GT(weight, 0.0);
   const size_t g = GroupFor(KeyOf(features), features);
+  weight_[g] += weight;
+  total_weight_ += weight;
+  if (label == 1.0) {
+    positive_[g] += weight;
+    total_positive_ += weight;
+  }
+  ++num_rows_absorbed_;
+  return g;
+}
+
+void BinnedDataset::AddRowToGroup(size_t g, double label, double weight) {
+  EQIMPACT_CHECK(label == 0.0 || label == 1.0);
+  EQIMPACT_CHECK_GT(weight, 0.0);
+  EQIMPACT_CHECK_LT(g, num_groups());
   weight_[g] += weight;
   total_weight_ += weight;
   if (label == 1.0) {
@@ -167,11 +188,11 @@ void BinnedDataset::Clear() {
   keys_.clear();
   weight_.clear();
   positive_.clear();
-  next_.clear();
+  hashes_.clear();
   total_weight_ = 0.0;
   total_positive_ = 0.0;
   num_rows_absorbed_ = 0;
-  buckets_.assign(buckets_.size(), kNoGroup);
+  slots_.assign(slots_.size(), kNoGroup);
 }
 
 const double* BinnedDataset::row(size_t g) const {

@@ -47,9 +47,18 @@ class BinnedDataset {
   explicit BinnedDataset(size_t num_features,
                          BinnedDatasetOptions options = BinnedDatasetOptions());
 
-  /// Folds one observation with the given weight into its group.
+  /// Folds one observation with the given weight into its group and
+  /// returns the group index (stable for the dataset's lifetime until
+  /// Clear, so callers may cache it and fold repeats of the same row
+  /// through AddRowToGroup without re-keying).
   /// CHECK-fails unless label is 0 or 1 and weight > 0.
-  void AddRow(const double* features, double label, double weight = 1.0);
+  size_t AddRow(const double* features, double label, double weight = 1.0);
+
+  /// Folds one observation into an existing group `g` (an index returned
+  /// by AddRow since the last Clear), skipping the quantize-hash-probe
+  /// path entirely — the credit loop's dense-index fast path.
+  /// CHECK-fails on an out-of-range group.
+  void AddRowToGroup(size_t g, double label, double weight = 1.0);
 
   /// AddRow from a Vector (checked dimension; convenience, not hot path).
   void Add(const linalg::Vector& features, double label, double weight = 1.0);
@@ -120,15 +129,20 @@ class BinnedDataset {
   double total_positive_ = 0.0;
   size_t num_rows_absorbed_ = 0;
 
-  // Open-chained hash index over the quantized keys: bucket_ maps a
-  // 64-bit key hash to the first group of its chain, next_ links groups
-  // with colliding hashes. Lookup compares the quantized keys, so hash
-  // collisions stay correct; group order is untouched by the index.
-  std::vector<uint32_t> buckets_;  // Power-of-two table, kNoGroup = empty.
-  std::vector<uint32_t> next_;    // Per-group chain link.
+  // Open-addressed hash index over the quantized keys: slots_ is a
+  // power-of-two table of group indices probed linearly from
+  // hash & mask (kNoGroup = empty), grown at ~70% load. hashes_ stores
+  // each group's full 64-bit key hash so a probe compares one cached
+  // hash word before touching the keys and a grow reinserts without
+  // re-hashing. Lookup still confirms by full quantized-key comparison,
+  // so hash collisions stay correct; group order (first occurrence) is
+  // untouched by the index — the slot table only remembers *where*
+  // groups live, never reorders them.
+  std::vector<uint32_t> slots_;   // Power-of-two table, kNoGroup = empty.
+  std::vector<uint64_t> hashes_;  // Per-group key hash.
   std::vector<int64_t> key_scratch_;
 
-  void Rehash(size_t num_buckets);
+  void Rehash(size_t num_slots);
 };
 
 }  // namespace ml

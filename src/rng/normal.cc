@@ -4,12 +4,12 @@
 #include <limits>
 
 #include "base/check.h"
+#include "base/simd_scalar.h"
 
 namespace eqimpact {
 namespace rng {
 namespace {
 
-constexpr double kSqrt2 = 1.4142135623730950488;
 constexpr double kInvSqrt2Pi = 0.3989422804014326779;
 
 // Coefficients of Acklam's rational approximation to the normal quantile.
@@ -52,7 +52,14 @@ double AcklamQuantile(double p) {
 }  // namespace
 
 double StandardNormalCdf(double x) {
-  return 0.5 * std::erfc(-x / kSqrt2);
+  // The pinned reference replaced the historical libm formulation
+  // 0.5 * std::erfc(-x / kSqrt2) in PR 6 — a one-time digest bump,
+  // recorded in BENCH_perf_pr6.json (see base/simd_scalar.h for why).
+  return base::NormalCdfScalar(x);
+}
+
+void StandardNormalCdfBatch(const double* x, size_t n, double* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = base::NormalCdfScalar(x[i]);
 }
 
 double StandardNormalPdf(double x) {

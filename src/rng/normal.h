@@ -9,13 +9,28 @@
 /// distribution function of the standard normal distribution, so these
 /// functions sit on the hot path of every closed-loop step.
 
+#include <cstddef>
+
 namespace eqimpact {
 namespace rng {
 
 /// Cumulative distribution function of the standard normal distribution.
-/// Accurate to ~1e-15 (implemented via std::erfc). `StandardNormalCdf(0)`
-/// is exactly 0.5.
+/// This is exactly `base::NormalCdfScalar` — the library's pinned Phi
+/// reference (Cody's erfc rationals over a pinned exp, NOT libm) — so the
+/// result is reproducible bit-for-bit across runtimes and equal to every
+/// vector lane of `runtime::kernels::NormalCdfBatch`. Accuracy: within
+/// base::phi::kMaxUlpVsLibm ulp of the libm formulation
+/// `0.5 * std::erfc(-x / sqrt 2)` for |x| <= base::phi::kClamp, exact
+/// 0/1 saturation beyond (see base/simd_scalar.h for the full contract).
+/// `StandardNormalCdf(0)` is exactly 0.5.
 double StandardNormalCdf(double x);
+
+/// out[i] = StandardNormalCdf(x[i]) in scalar evaluation order. This is
+/// the layer-correct batch entry for callers below `runtime`; hot paths
+/// above `runtime` should call `runtime::kernels::NormalCdfBatch`, whose
+/// vector lanes produce bit-identical results. `out == x` aliasing is
+/// allowed.
+void StandardNormalCdfBatch(const double* x, size_t n, double* out);
 
 /// Probability density function of the standard normal distribution.
 double StandardNormalPdf(double x);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "base/simd_scalar.h"
 #include "runtime/simd.h"
 
 // Same architecture probes as runtime/simd.cc: the SSE2 lane is plain
@@ -75,6 +76,12 @@ void SigmoidBatchScalar(const double* t, size_t n, double* out) {
       const double e = std::exp(v);
       out[i] = e / (1.0 + e);
     }
+  }
+}
+
+void NormalCdfBatchScalar(const double* x, size_t n, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = base::NormalCdfScalar(x[i]);
   }
 }
 
@@ -209,6 +216,158 @@ void LinearPredictor2Sse2(const double* rows, size_t n, double w0, double w1,
                          out + i);
 }
 
+// SSE2 has no blendv: classic and/andnot/or select (NaN-safe, copies
+// raw lane bits).
+inline __m128d SelectSse2(__m128d mask, __m128d if_true, __m128d if_false) {
+  return _mm_or_pd(_mm_and_pd(mask, if_true),
+                   _mm_andnot_pd(mask, if_false));
+}
+
+// The pinned Cody-Waite exp of base::NormalCdfScalar, two lanes at a
+// time — every operation mirrors PinnedExp in base/simd_scalar.cc. The
+// truncating cvttpd matches the scalar int32 cast (n is exactly
+// integer-valued), and e + 1023 is always positive here, so the int32 ->
+// int64 widening of the exponent fields can zero-extend.
+inline __m128d PinnedExpSse2(__m128d v) {
+  namespace phi = base::phi;
+  const __m128d shift = _mm_set1_pd(phi::kExpShift);
+  const __m128d shifted =
+      _mm_add_pd(_mm_mul_pd(v, _mm_set1_pd(phi::kExpLog2E)), shift);
+  const __m128d n = _mm_sub_pd(shifted, shift);
+  __m128d r = _mm_sub_pd(v, _mm_mul_pd(n, _mm_set1_pd(phi::kExpLn2Hi)));
+  r = _mm_sub_pd(r, _mm_mul_pd(n, _mm_set1_pd(phi::kExpLn2Lo)));
+  const __m128d r2 = _mm_mul_pd(r, r);
+  const __m128d r4 = _mm_mul_pd(r2, r2);
+  const __m128d r8 = _mm_mul_pd(r4, r4);
+  const __m128d b0 = _mm_add_pd(_mm_set1_pd(phi::kExpCoeff[0]),
+                                _mm_mul_pd(_mm_set1_pd(phi::kExpCoeff[1]), r));
+  const __m128d b1 = _mm_add_pd(_mm_set1_pd(phi::kExpCoeff[2]),
+                                _mm_mul_pd(_mm_set1_pd(phi::kExpCoeff[3]), r));
+  const __m128d b2 = _mm_add_pd(_mm_set1_pd(phi::kExpCoeff[4]),
+                                _mm_mul_pd(_mm_set1_pd(phi::kExpCoeff[5]), r));
+  const __m128d b3 = _mm_add_pd(_mm_set1_pd(phi::kExpCoeff[6]),
+                                _mm_mul_pd(_mm_set1_pd(phi::kExpCoeff[7]), r));
+  const __m128d b4 = _mm_add_pd(_mm_set1_pd(phi::kExpCoeff[8]),
+                                _mm_mul_pd(_mm_set1_pd(phi::kExpCoeff[9]), r));
+  const __m128d b5 =
+      _mm_add_pd(_mm_set1_pd(phi::kExpCoeff[10]),
+                 _mm_mul_pd(_mm_set1_pd(phi::kExpCoeff[11]), r));
+  const __m128d b6 =
+      _mm_add_pd(_mm_set1_pd(phi::kExpCoeff[12]),
+                 _mm_mul_pd(_mm_set1_pd(phi::kExpCoeff[13]), r));
+  const __m128d q0 = _mm_add_pd(b0, _mm_mul_pd(b1, r2));
+  const __m128d q1 = _mm_add_pd(b2, _mm_mul_pd(b3, r2));
+  const __m128d q2 = _mm_add_pd(b4, _mm_mul_pd(b5, r2));
+  const __m128d h0 = _mm_add_pd(q0, _mm_mul_pd(q1, r4));
+  const __m128d h1 = _mm_add_pd(q2, _mm_mul_pd(b6, r4));
+  const __m128d p = _mm_add_pd(h0, _mm_mul_pd(h1, r8));
+  const __m128i ni = _mm_cvttpd_epi32(n);
+  const __m128i e1 = _mm_srai_epi32(ni, 1);
+  const __m128i e2 = _mm_sub_epi32(ni, e1);
+  const __m128i bias = _mm_set1_epi32(1023);
+  const __m128i zero32 = _mm_setzero_si128();
+  const __m128d s1 = _mm_castsi128_pd(_mm_slli_epi64(
+      _mm_unpacklo_epi32(_mm_add_epi32(e1, bias), zero32), 52));
+  const __m128d s2 = _mm_castsi128_pd(_mm_slli_epi64(
+      _mm_unpacklo_epi32(_mm_add_epi32(e2, bias), zero32), 52));
+  return _mm_mul_pd(_mm_mul_pd(p, s1), s2);
+}
+
+void NormalCdfSse2(const double* x, size_t n, double* out) {
+  namespace phi = base::phi;
+  const __m128d zero = _mm_setzero_pd();
+  const __m128d one = _mm_set1_pd(1.0);
+  const __m128d half = _mm_set1_pd(0.5);
+  const __m128d sign = _mm_set1_pd(-0.0);
+  const __m128d clamp = _mm_set1_pd(phi::kClamp);
+  const __m128d neg_clamp = _mm_set1_pd(-phi::kClamp);
+  const __m128d sqrt2 = _mm_set1_pd(phi::kSqrt2);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d vx = _mm_loadu_pd(x + i);
+    const __m128d nan_mask = _mm_cmpunord_pd(vx, vx);
+    const __m128d hi_mask = _mm_cmpgt_pd(vx, clamp);
+    const __m128d lo_mask = _mm_cmplt_pd(vx, neg_clamp);
+    __m128d xc = SelectSse2(hi_mask, clamp, vx);
+    xc = SelectSse2(lo_mask, neg_clamp, xc);
+    const __m128d z = _mm_div_pd(_mm_xor_pd(xc, sign), sqrt2);
+    const __m128d y = _mm_andnot_pd(sign, z);
+    const __m128d s = _mm_mul_pd(z, z);
+    const __m128d centre_mask = _mm_cmple_pd(y, _mm_set1_pd(phi::kErfSwitch));
+    const __m128d far_mask = _mm_cmpgt_pd(y, _mm_set1_pd(phi::kTailSwitch));
+    const int centre_bits = _mm_movemask_pd(centre_mask);
+    const int tail_bits = (~centre_bits) & 0x3;  // NaN lanes land here.
+    __m128d phi_centre = zero;
+    __m128d phi_tail = zero;
+    if (centre_bits != 0) {
+      __m128d num = _mm_mul_pd(_mm_set1_pd(phi::kErfA[4]), s);
+      __m128d den = s;
+      for (int j = 0; j < 3; ++j) {
+        num = _mm_mul_pd(_mm_add_pd(num, _mm_set1_pd(phi::kErfA[j])), s);
+        den = _mm_mul_pd(_mm_add_pd(den, _mm_set1_pd(phi::kErfB[j])), s);
+      }
+      const __m128d erf = _mm_div_pd(
+          _mm_mul_pd(z, _mm_add_pd(num, _mm_set1_pd(phi::kErfA[3]))),
+          _mm_add_pd(den, _mm_set1_pd(phi::kErfB[3])));
+      phi_centre = _mm_mul_pd(half, _mm_sub_pd(one, erf));
+    }
+    if (tail_bits != 0) {
+      __m128d num = _mm_mul_pd(_mm_set1_pd(phi::kErfcC[8]), y);
+      __m128d den = y;
+      for (int j = 0; j < 7; ++j) {
+        num = _mm_mul_pd(_mm_add_pd(num, _mm_set1_pd(phi::kErfcC[j])), y);
+        den = _mm_mul_pd(_mm_add_pd(den, _mm_set1_pd(phi::kErfcD[j])), y);
+      }
+      __m128d ratio =
+          _mm_div_pd(_mm_add_pd(num, _mm_set1_pd(phi::kErfcC[7])),
+                     _mm_add_pd(den, _mm_set1_pd(phi::kErfcD[7])));
+      if (_mm_movemask_pd(far_mask) != 0) {
+        const __m128d inv = _mm_div_pd(one, s);
+        __m128d fnum = _mm_mul_pd(_mm_set1_pd(phi::kTailP[5]), inv);
+        __m128d fden = inv;
+        for (int j = 0; j < 4; ++j) {
+          fnum =
+              _mm_mul_pd(_mm_add_pd(fnum, _mm_set1_pd(phi::kTailP[j])), inv);
+          fden =
+              _mm_mul_pd(_mm_add_pd(fden, _mm_set1_pd(phi::kTailQ[j])), inv);
+        }
+        __m128d far = _mm_div_pd(
+            _mm_mul_pd(inv, _mm_add_pd(fnum, _mm_set1_pd(phi::kTailP[4]))),
+            _mm_add_pd(fden, _mm_set1_pd(phi::kTailQ[4])));
+        far = _mm_div_pd(_mm_sub_pd(_mm_set1_pd(phi::kSqrPi), far), y);
+        ratio = SelectSse2(far_mask, far, ratio);
+      }
+      // cvttpd truncates like the scalar int32 cast; clamped y keeps
+      // y * 16 < 425 in range (NaN lanes produce garbage, blended away).
+      const __m128d ysq = _mm_mul_pd(
+          _mm_cvtepi32_pd(
+              _mm_cvttpd_epi32(_mm_mul_pd(y, _mm_set1_pd(16.0)))),
+          _mm_set1_pd(0.0625));
+      const __m128d del = _mm_mul_pd(_mm_sub_pd(y, ysq), _mm_add_pd(y, ysq));
+      const __m128d scale = _mm_mul_pd(
+          PinnedExpSse2(_mm_xor_pd(_mm_mul_pd(ysq, ysq), sign)),
+          PinnedExpSse2(_mm_xor_pd(del, sign)));
+      const __m128d half_erfc =
+          _mm_mul_pd(half, _mm_mul_pd(scale, ratio));
+      phi_tail = SelectSse2(_mm_cmplt_pd(z, zero),
+                            _mm_sub_pd(one, half_erfc), half_erfc);
+    }
+    __m128d result;
+    if (tail_bits == 0) {
+      result = phi_centre;
+    } else if (centre_bits == 0) {
+      result = phi_tail;
+    } else {
+      result = SelectSse2(centre_mask, phi_centre, phi_tail);
+    }
+    result = SelectSse2(hi_mask, one, result);
+    result = SelectSse2(lo_mask, zero, result);
+    result = SelectSse2(nan_mask, vx, result);
+    _mm_storeu_pd(out + i, result);
+  }
+  NormalCdfBatchScalar(x + i, n - i, out + i);
+}
+
 // ---------------------------------------------------------------------------
 // AVX2 lanes (4 x double). Compiled via the target attribute; only
 // entered when ActiveBackend() returned kAvx2 after the CPUID check.
@@ -335,6 +494,338 @@ __attribute__((target("avx2"))) void LinearPredictor2Avx2(
                          out + i);
 }
 
+// PinnedExp, four lanes at a time — same operation sequence as the SSE2
+// lane and the scalar reference. AVX2's cvtepi32_epi64 sign-extends, but
+// e + 1023 is always positive here, so it agrees with zero-extension.
+__attribute__((target("avx2"))) inline __m256d PinnedExpAvx2(__m256d v) {
+  namespace phi = base::phi;
+  const __m256d shift = _mm256_set1_pd(phi::kExpShift);
+  const __m256d shifted =
+      _mm256_add_pd(_mm256_mul_pd(v, _mm256_set1_pd(phi::kExpLog2E)), shift);
+  const __m256d n = _mm256_sub_pd(shifted, shift);
+  __m256d r = _mm256_sub_pd(v, _mm256_mul_pd(n, _mm256_set1_pd(phi::kExpLn2Hi)));
+  r = _mm256_sub_pd(r, _mm256_mul_pd(n, _mm256_set1_pd(phi::kExpLn2Lo)));
+  const __m256d r2 = _mm256_mul_pd(r, r);
+  const __m256d r4 = _mm256_mul_pd(r2, r2);
+  const __m256d r8 = _mm256_mul_pd(r4, r4);
+  const __m256d b0 =
+      _mm256_add_pd(_mm256_set1_pd(phi::kExpCoeff[0]),
+                    _mm256_mul_pd(_mm256_set1_pd(phi::kExpCoeff[1]), r));
+  const __m256d b1 =
+      _mm256_add_pd(_mm256_set1_pd(phi::kExpCoeff[2]),
+                    _mm256_mul_pd(_mm256_set1_pd(phi::kExpCoeff[3]), r));
+  const __m256d b2 =
+      _mm256_add_pd(_mm256_set1_pd(phi::kExpCoeff[4]),
+                    _mm256_mul_pd(_mm256_set1_pd(phi::kExpCoeff[5]), r));
+  const __m256d b3 =
+      _mm256_add_pd(_mm256_set1_pd(phi::kExpCoeff[6]),
+                    _mm256_mul_pd(_mm256_set1_pd(phi::kExpCoeff[7]), r));
+  const __m256d b4 =
+      _mm256_add_pd(_mm256_set1_pd(phi::kExpCoeff[8]),
+                    _mm256_mul_pd(_mm256_set1_pd(phi::kExpCoeff[9]), r));
+  const __m256d b5 =
+      _mm256_add_pd(_mm256_set1_pd(phi::kExpCoeff[10]),
+                    _mm256_mul_pd(_mm256_set1_pd(phi::kExpCoeff[11]), r));
+  const __m256d b6 =
+      _mm256_add_pd(_mm256_set1_pd(phi::kExpCoeff[12]),
+                    _mm256_mul_pd(_mm256_set1_pd(phi::kExpCoeff[13]), r));
+  const __m256d q0 = _mm256_add_pd(b0, _mm256_mul_pd(b1, r2));
+  const __m256d q1 = _mm256_add_pd(b2, _mm256_mul_pd(b3, r2));
+  const __m256d q2 = _mm256_add_pd(b4, _mm256_mul_pd(b5, r2));
+  const __m256d h0 = _mm256_add_pd(q0, _mm256_mul_pd(q1, r4));
+  const __m256d h1 = _mm256_add_pd(q2, _mm256_mul_pd(b6, r4));
+  const __m256d p = _mm256_add_pd(h0, _mm256_mul_pd(h1, r8));
+  const __m128i ni = _mm256_cvttpd_epi32(n);
+  const __m128i e1 = _mm_srai_epi32(ni, 1);
+  const __m128i e2 = _mm_sub_epi32(ni, e1);
+  const __m128i bias = _mm_set1_epi32(1023);
+  const __m256d s1 = _mm256_castsi256_pd(_mm256_slli_epi64(
+      _mm256_cvtepi32_epi64(_mm_add_epi32(e1, bias)), 52));
+  const __m256d s2 = _mm256_castsi256_pd(_mm256_slli_epi64(
+      _mm256_cvtepi32_epi64(_mm_add_epi32(e2, bias)), 52));
+  return _mm256_mul_pd(_mm256_mul_pd(p, s1), s2);
+}
+
+__attribute__((target("avx2"))) void NormalCdfAvx2(const double* x, size_t n,
+                                                   double* out) {
+  namespace phi = base::phi;
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  const __m256d clamp = _mm256_set1_pd(phi::kClamp);
+  const __m256d neg_clamp = _mm256_set1_pd(-phi::kClamp);
+  const __m256d sqrt2 = _mm256_set1_pd(phi::kSqrt2);
+  size_t i = 0;
+  // Two independent 4-lane groups per iteration: the rational + pinned-exp
+  // evaluation is a long dependency chain, and interleaving two groups is
+  // what keeps the FMA-free multiply/add ports busy. Per-lane operations
+  // are exactly those of the 4-wide loop below (a group with no lane in a
+  // branch may compute that branch anyway, but the result is blended away
+  // by that group's own masks), so lanes stay bit-for-bit the scalar
+  // reference.
+  for (; i + 8 <= n; i += 8) {
+    const __m256d vxa = _mm256_loadu_pd(x + i);
+    const __m256d vxb = _mm256_loadu_pd(x + i + 4);
+    const __m256d nan_mask_a = _mm256_cmp_pd(vxa, vxa, _CMP_UNORD_Q);
+    const __m256d nan_mask_b = _mm256_cmp_pd(vxb, vxb, _CMP_UNORD_Q);
+    const __m256d hi_mask_a = _mm256_cmp_pd(vxa, clamp, _CMP_GT_OQ);
+    const __m256d hi_mask_b = _mm256_cmp_pd(vxb, clamp, _CMP_GT_OQ);
+    const __m256d lo_mask_a = _mm256_cmp_pd(vxa, neg_clamp, _CMP_LT_OQ);
+    const __m256d lo_mask_b = _mm256_cmp_pd(vxb, neg_clamp, _CMP_LT_OQ);
+    __m256d xca = _mm256_blendv_pd(vxa, clamp, hi_mask_a);
+    __m256d xcb = _mm256_blendv_pd(vxb, clamp, hi_mask_b);
+    xca = _mm256_blendv_pd(xca, neg_clamp, lo_mask_a);
+    xcb = _mm256_blendv_pd(xcb, neg_clamp, lo_mask_b);
+    const __m256d za = _mm256_div_pd(_mm256_xor_pd(xca, sign), sqrt2);
+    const __m256d zb = _mm256_div_pd(_mm256_xor_pd(xcb, sign), sqrt2);
+    const __m256d ya = _mm256_andnot_pd(sign, za);
+    const __m256d yb = _mm256_andnot_pd(sign, zb);
+    const __m256d sa = _mm256_mul_pd(za, za);
+    const __m256d sb = _mm256_mul_pd(zb, zb);
+    const __m256d centre_mask_a =
+        _mm256_cmp_pd(ya, _mm256_set1_pd(phi::kErfSwitch), _CMP_LE_OQ);
+    const __m256d centre_mask_b =
+        _mm256_cmp_pd(yb, _mm256_set1_pd(phi::kErfSwitch), _CMP_LE_OQ);
+    const __m256d far_mask_a =
+        _mm256_cmp_pd(ya, _mm256_set1_pd(phi::kTailSwitch), _CMP_GT_OQ);
+    const __m256d far_mask_b =
+        _mm256_cmp_pd(yb, _mm256_set1_pd(phi::kTailSwitch), _CMP_GT_OQ);
+    const int centre_bits_a = _mm256_movemask_pd(centre_mask_a);
+    const int centre_bits_b = _mm256_movemask_pd(centre_mask_b);
+    const int tail_bits_a = (~centre_bits_a) & 0xF;  // NaN lanes land here.
+    const int tail_bits_b = (~centre_bits_b) & 0xF;
+    __m256d phi_centre_a = zero;
+    __m256d phi_centre_b = zero;
+    __m256d phi_tail_a = zero;
+    __m256d phi_tail_b = zero;
+    if ((centre_bits_a | centre_bits_b) != 0) {
+      __m256d num_a = _mm256_mul_pd(_mm256_set1_pd(phi::kErfA[4]), sa);
+      __m256d num_b = _mm256_mul_pd(_mm256_set1_pd(phi::kErfA[4]), sb);
+      __m256d den_a = sa;
+      __m256d den_b = sb;
+      for (int j = 0; j < 3; ++j) {
+        num_a = _mm256_mul_pd(
+            _mm256_add_pd(num_a, _mm256_set1_pd(phi::kErfA[j])), sa);
+        num_b = _mm256_mul_pd(
+            _mm256_add_pd(num_b, _mm256_set1_pd(phi::kErfA[j])), sb);
+        den_a = _mm256_mul_pd(
+            _mm256_add_pd(den_a, _mm256_set1_pd(phi::kErfB[j])), sa);
+        den_b = _mm256_mul_pd(
+            _mm256_add_pd(den_b, _mm256_set1_pd(phi::kErfB[j])), sb);
+      }
+      const __m256d erf_a = _mm256_div_pd(
+          _mm256_mul_pd(za,
+                        _mm256_add_pd(num_a, _mm256_set1_pd(phi::kErfA[3]))),
+          _mm256_add_pd(den_a, _mm256_set1_pd(phi::kErfB[3])));
+      const __m256d erf_b = _mm256_div_pd(
+          _mm256_mul_pd(zb,
+                        _mm256_add_pd(num_b, _mm256_set1_pd(phi::kErfA[3]))),
+          _mm256_add_pd(den_b, _mm256_set1_pd(phi::kErfB[3])));
+      phi_centre_a = _mm256_mul_pd(half, _mm256_sub_pd(one, erf_a));
+      phi_centre_b = _mm256_mul_pd(half, _mm256_sub_pd(one, erf_b));
+    }
+    if ((tail_bits_a | tail_bits_b) != 0) {
+      __m256d num_a = _mm256_mul_pd(_mm256_set1_pd(phi::kErfcC[8]), ya);
+      __m256d num_b = _mm256_mul_pd(_mm256_set1_pd(phi::kErfcC[8]), yb);
+      __m256d den_a = ya;
+      __m256d den_b = yb;
+      for (int j = 0; j < 7; ++j) {
+        num_a = _mm256_mul_pd(
+            _mm256_add_pd(num_a, _mm256_set1_pd(phi::kErfcC[j])), ya);
+        num_b = _mm256_mul_pd(
+            _mm256_add_pd(num_b, _mm256_set1_pd(phi::kErfcC[j])), yb);
+        den_a = _mm256_mul_pd(
+            _mm256_add_pd(den_a, _mm256_set1_pd(phi::kErfcD[j])), ya);
+        den_b = _mm256_mul_pd(
+            _mm256_add_pd(den_b, _mm256_set1_pd(phi::kErfcD[j])), yb);
+      }
+      __m256d ratio_a =
+          _mm256_div_pd(_mm256_add_pd(num_a, _mm256_set1_pd(phi::kErfcC[7])),
+                        _mm256_add_pd(den_a, _mm256_set1_pd(phi::kErfcD[7])));
+      __m256d ratio_b =
+          _mm256_div_pd(_mm256_add_pd(num_b, _mm256_set1_pd(phi::kErfcC[7])),
+                        _mm256_add_pd(den_b, _mm256_set1_pd(phi::kErfcD[7])));
+      if ((_mm256_movemask_pd(far_mask_a) |
+           _mm256_movemask_pd(far_mask_b)) != 0) {
+        const __m256d inv_a = _mm256_div_pd(one, sa);
+        const __m256d inv_b = _mm256_div_pd(one, sb);
+        __m256d fnum_a = _mm256_mul_pd(_mm256_set1_pd(phi::kTailP[5]), inv_a);
+        __m256d fnum_b = _mm256_mul_pd(_mm256_set1_pd(phi::kTailP[5]), inv_b);
+        __m256d fden_a = inv_a;
+        __m256d fden_b = inv_b;
+        for (int j = 0; j < 4; ++j) {
+          fnum_a = _mm256_mul_pd(
+              _mm256_add_pd(fnum_a, _mm256_set1_pd(phi::kTailP[j])), inv_a);
+          fnum_b = _mm256_mul_pd(
+              _mm256_add_pd(fnum_b, _mm256_set1_pd(phi::kTailP[j])), inv_b);
+          fden_a = _mm256_mul_pd(
+              _mm256_add_pd(fden_a, _mm256_set1_pd(phi::kTailQ[j])), inv_a);
+          fden_b = _mm256_mul_pd(
+              _mm256_add_pd(fden_b, _mm256_set1_pd(phi::kTailQ[j])), inv_b);
+        }
+        __m256d far_a = _mm256_div_pd(
+            _mm256_mul_pd(
+                inv_a, _mm256_add_pd(fnum_a, _mm256_set1_pd(phi::kTailP[4]))),
+            _mm256_add_pd(fden_a, _mm256_set1_pd(phi::kTailQ[4])));
+        __m256d far_b = _mm256_div_pd(
+            _mm256_mul_pd(
+                inv_b, _mm256_add_pd(fnum_b, _mm256_set1_pd(phi::kTailP[4]))),
+            _mm256_add_pd(fden_b, _mm256_set1_pd(phi::kTailQ[4])));
+        far_a = _mm256_div_pd(
+            _mm256_sub_pd(_mm256_set1_pd(phi::kSqrPi), far_a), ya);
+        far_b = _mm256_div_pd(
+            _mm256_sub_pd(_mm256_set1_pd(phi::kSqrPi), far_b), yb);
+        ratio_a = _mm256_blendv_pd(ratio_a, far_a, far_mask_a);
+        ratio_b = _mm256_blendv_pd(ratio_b, far_b, far_mask_b);
+      }
+      const __m256d ysq_a = _mm256_mul_pd(
+          _mm256_cvtepi32_pd(
+              _mm256_cvttpd_epi32(_mm256_mul_pd(ya, _mm256_set1_pd(16.0)))),
+          _mm256_set1_pd(0.0625));
+      const __m256d ysq_b = _mm256_mul_pd(
+          _mm256_cvtepi32_pd(
+              _mm256_cvttpd_epi32(_mm256_mul_pd(yb, _mm256_set1_pd(16.0)))),
+          _mm256_set1_pd(0.0625));
+      const __m256d del_a =
+          _mm256_mul_pd(_mm256_sub_pd(ya, ysq_a), _mm256_add_pd(ya, ysq_a));
+      const __m256d del_b =
+          _mm256_mul_pd(_mm256_sub_pd(yb, ysq_b), _mm256_add_pd(yb, ysq_b));
+      const __m256d scale_a = _mm256_mul_pd(
+          PinnedExpAvx2(_mm256_xor_pd(_mm256_mul_pd(ysq_a, ysq_a), sign)),
+          PinnedExpAvx2(_mm256_xor_pd(del_a, sign)));
+      const __m256d scale_b = _mm256_mul_pd(
+          PinnedExpAvx2(_mm256_xor_pd(_mm256_mul_pd(ysq_b, ysq_b), sign)),
+          PinnedExpAvx2(_mm256_xor_pd(del_b, sign)));
+      const __m256d half_erfc_a =
+          _mm256_mul_pd(half, _mm256_mul_pd(scale_a, ratio_a));
+      const __m256d half_erfc_b =
+          _mm256_mul_pd(half, _mm256_mul_pd(scale_b, ratio_b));
+      phi_tail_a =
+          _mm256_blendv_pd(half_erfc_a, _mm256_sub_pd(one, half_erfc_a),
+                           _mm256_cmp_pd(za, zero, _CMP_LT_OQ));
+      phi_tail_b =
+          _mm256_blendv_pd(half_erfc_b, _mm256_sub_pd(one, half_erfc_b),
+                           _mm256_cmp_pd(zb, zero, _CMP_LT_OQ));
+    }
+    __m256d result_a;
+    __m256d result_b;
+    if (tail_bits_a == 0) {
+      result_a = phi_centre_a;
+    } else if (centre_bits_a == 0) {
+      result_a = phi_tail_a;
+    } else {
+      result_a = _mm256_blendv_pd(phi_tail_a, phi_centre_a, centre_mask_a);
+    }
+    if (tail_bits_b == 0) {
+      result_b = phi_centre_b;
+    } else if (centre_bits_b == 0) {
+      result_b = phi_tail_b;
+    } else {
+      result_b = _mm256_blendv_pd(phi_tail_b, phi_centre_b, centre_mask_b);
+    }
+    result_a = _mm256_blendv_pd(result_a, one, hi_mask_a);
+    result_b = _mm256_blendv_pd(result_b, one, hi_mask_b);
+    result_a = _mm256_blendv_pd(result_a, zero, lo_mask_a);
+    result_b = _mm256_blendv_pd(result_b, zero, lo_mask_b);
+    result_a = _mm256_blendv_pd(result_a, vxa, nan_mask_a);
+    result_b = _mm256_blendv_pd(result_b, vxb, nan_mask_b);
+    _mm256_storeu_pd(out + i, result_a);
+    _mm256_storeu_pd(out + i + 4, result_b);
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    const __m256d nan_mask = _mm256_cmp_pd(vx, vx, _CMP_UNORD_Q);
+    const __m256d hi_mask = _mm256_cmp_pd(vx, clamp, _CMP_GT_OQ);
+    const __m256d lo_mask = _mm256_cmp_pd(vx, neg_clamp, _CMP_LT_OQ);
+    __m256d xc = _mm256_blendv_pd(vx, clamp, hi_mask);
+    xc = _mm256_blendv_pd(xc, neg_clamp, lo_mask);
+    const __m256d z = _mm256_div_pd(_mm256_xor_pd(xc, sign), sqrt2);
+    const __m256d y = _mm256_andnot_pd(sign, z);
+    const __m256d s = _mm256_mul_pd(z, z);
+    const __m256d centre_mask =
+        _mm256_cmp_pd(y, _mm256_set1_pd(phi::kErfSwitch), _CMP_LE_OQ);
+    const __m256d far_mask =
+        _mm256_cmp_pd(y, _mm256_set1_pd(phi::kTailSwitch), _CMP_GT_OQ);
+    const int centre_bits = _mm256_movemask_pd(centre_mask);
+    const int tail_bits = (~centre_bits) & 0xF;  // NaN lanes land here.
+    __m256d phi_centre = zero;
+    __m256d phi_tail = zero;
+    if (centre_bits != 0) {
+      __m256d num = _mm256_mul_pd(_mm256_set1_pd(phi::kErfA[4]), s);
+      __m256d den = s;
+      for (int j = 0; j < 3; ++j) {
+        num =
+            _mm256_mul_pd(_mm256_add_pd(num, _mm256_set1_pd(phi::kErfA[j])), s);
+        den =
+            _mm256_mul_pd(_mm256_add_pd(den, _mm256_set1_pd(phi::kErfB[j])), s);
+      }
+      const __m256d erf = _mm256_div_pd(
+          _mm256_mul_pd(z, _mm256_add_pd(num, _mm256_set1_pd(phi::kErfA[3]))),
+          _mm256_add_pd(den, _mm256_set1_pd(phi::kErfB[3])));
+      phi_centre = _mm256_mul_pd(half, _mm256_sub_pd(one, erf));
+    }
+    if (tail_bits != 0) {
+      __m256d num = _mm256_mul_pd(_mm256_set1_pd(phi::kErfcC[8]), y);
+      __m256d den = y;
+      for (int j = 0; j < 7; ++j) {
+        num = _mm256_mul_pd(_mm256_add_pd(num, _mm256_set1_pd(phi::kErfcC[j])),
+                            y);
+        den = _mm256_mul_pd(_mm256_add_pd(den, _mm256_set1_pd(phi::kErfcD[j])),
+                            y);
+      }
+      __m256d ratio =
+          _mm256_div_pd(_mm256_add_pd(num, _mm256_set1_pd(phi::kErfcC[7])),
+                        _mm256_add_pd(den, _mm256_set1_pd(phi::kErfcD[7])));
+      if (_mm256_movemask_pd(far_mask) != 0) {
+        const __m256d inv = _mm256_div_pd(one, s);
+        __m256d fnum = _mm256_mul_pd(_mm256_set1_pd(phi::kTailP[5]), inv);
+        __m256d fden = inv;
+        for (int j = 0; j < 4; ++j) {
+          fnum = _mm256_mul_pd(
+              _mm256_add_pd(fnum, _mm256_set1_pd(phi::kTailP[j])), inv);
+          fden = _mm256_mul_pd(
+              _mm256_add_pd(fden, _mm256_set1_pd(phi::kTailQ[j])), inv);
+        }
+        __m256d far = _mm256_div_pd(
+            _mm256_mul_pd(inv,
+                          _mm256_add_pd(fnum, _mm256_set1_pd(phi::kTailP[4]))),
+            _mm256_add_pd(fden, _mm256_set1_pd(phi::kTailQ[4])));
+        far = _mm256_div_pd(_mm256_sub_pd(_mm256_set1_pd(phi::kSqrPi), far),
+                            y);
+        ratio = _mm256_blendv_pd(ratio, far, far_mask);
+      }
+      const __m256d ysq = _mm256_mul_pd(
+          _mm256_cvtepi32_pd(
+              _mm256_cvttpd_epi32(_mm256_mul_pd(y, _mm256_set1_pd(16.0)))),
+          _mm256_set1_pd(0.0625));
+      const __m256d del =
+          _mm256_mul_pd(_mm256_sub_pd(y, ysq), _mm256_add_pd(y, ysq));
+      const __m256d scale = _mm256_mul_pd(
+          PinnedExpAvx2(_mm256_xor_pd(_mm256_mul_pd(ysq, ysq), sign)),
+          PinnedExpAvx2(_mm256_xor_pd(del, sign)));
+      const __m256d half_erfc =
+          _mm256_mul_pd(half, _mm256_mul_pd(scale, ratio));
+      phi_tail =
+          _mm256_blendv_pd(half_erfc, _mm256_sub_pd(one, half_erfc),
+                           _mm256_cmp_pd(z, zero, _CMP_LT_OQ));
+    }
+    __m256d result;
+    if (tail_bits == 0) {
+      result = phi_centre;
+    } else if (centre_bits == 0) {
+      result = phi_tail;
+    } else {
+      result = _mm256_blendv_pd(phi_tail, phi_centre, centre_mask);
+    }
+    result = _mm256_blendv_pd(result, one, hi_mask);
+    result = _mm256_blendv_pd(result, zero, lo_mask);
+    result = _mm256_blendv_pd(result, vx, nan_mask);
+    _mm256_storeu_pd(out + i, result);
+  }
+  NormalCdfBatchScalar(x + i, n - i, out + i);
+}
+
 }  // namespace
 
 #elif defined(EQIMPACT_SIMD_NEON)
@@ -448,6 +939,145 @@ void LinearPredictor2Neon(const double* rows, size_t n, double w0, double w1,
   }
   LinearPredictor2Scalar(rows + 2 * i, n - i, w0, w1, bias, add_bias,
                          out + i);
+}
+
+inline bool AnyLaneNeon(uint64x2_t mask) {
+  return (vgetq_lane_u64(mask, 0) | vgetq_lane_u64(mask, 1)) != 0;
+}
+
+// PinnedExp, two lanes at a time — same operation sequence as the scalar
+// reference (vcvtq_s64_f64 truncates toward zero like the int32 cast;
+// n is exactly integer-valued and small, so the widths agree).
+inline float64x2_t PinnedExpNeon(float64x2_t v) {
+  namespace phi = base::phi;
+  const float64x2_t shift = vdupq_n_f64(phi::kExpShift);
+  const float64x2_t shifted =
+      vaddq_f64(vmulq_f64(v, vdupq_n_f64(phi::kExpLog2E)), shift);
+  const float64x2_t n = vsubq_f64(shifted, shift);
+  float64x2_t r = vsubq_f64(v, vmulq_f64(n, vdupq_n_f64(phi::kExpLn2Hi)));
+  r = vsubq_f64(r, vmulq_f64(n, vdupq_n_f64(phi::kExpLn2Lo)));
+  const float64x2_t r2 = vmulq_f64(r, r);
+  const float64x2_t r4 = vmulq_f64(r2, r2);
+  const float64x2_t r8 = vmulq_f64(r4, r4);
+  const float64x2_t b0 = vaddq_f64(
+      vdupq_n_f64(phi::kExpCoeff[0]), vmulq_f64(vdupq_n_f64(phi::kExpCoeff[1]), r));
+  const float64x2_t b1 = vaddq_f64(
+      vdupq_n_f64(phi::kExpCoeff[2]), vmulq_f64(vdupq_n_f64(phi::kExpCoeff[3]), r));
+  const float64x2_t b2 = vaddq_f64(
+      vdupq_n_f64(phi::kExpCoeff[4]), vmulq_f64(vdupq_n_f64(phi::kExpCoeff[5]), r));
+  const float64x2_t b3 = vaddq_f64(
+      vdupq_n_f64(phi::kExpCoeff[6]), vmulq_f64(vdupq_n_f64(phi::kExpCoeff[7]), r));
+  const float64x2_t b4 = vaddq_f64(
+      vdupq_n_f64(phi::kExpCoeff[8]), vmulq_f64(vdupq_n_f64(phi::kExpCoeff[9]), r));
+  const float64x2_t b5 =
+      vaddq_f64(vdupq_n_f64(phi::kExpCoeff[10]),
+                vmulq_f64(vdupq_n_f64(phi::kExpCoeff[11]), r));
+  const float64x2_t b6 =
+      vaddq_f64(vdupq_n_f64(phi::kExpCoeff[12]),
+                vmulq_f64(vdupq_n_f64(phi::kExpCoeff[13]), r));
+  const float64x2_t q0 = vaddq_f64(b0, vmulq_f64(b1, r2));
+  const float64x2_t q1 = vaddq_f64(b2, vmulq_f64(b3, r2));
+  const float64x2_t q2 = vaddq_f64(b4, vmulq_f64(b5, r2));
+  const float64x2_t h0 = vaddq_f64(q0, vmulq_f64(q1, r4));
+  const float64x2_t h1 = vaddq_f64(q2, vmulq_f64(b6, r4));
+  const float64x2_t p = vaddq_f64(h0, vmulq_f64(h1, r8));
+  const int64x2_t ni = vcvtq_s64_f64(n);
+  const int64x2_t e1 = vshrq_n_s64(ni, 1);  // Arithmetic, like `>> 1`.
+  const int64x2_t e2 = vsubq_s64(ni, e1);
+  const int64x2_t bias = vdupq_n_s64(1023);
+  const float64x2_t s1 =
+      vreinterpretq_f64_s64(vshlq_n_s64(vaddq_s64(e1, bias), 52));
+  const float64x2_t s2 =
+      vreinterpretq_f64_s64(vshlq_n_s64(vaddq_s64(e2, bias), 52));
+  return vmulq_f64(vmulq_f64(p, s1), s2);
+}
+
+void NormalCdfNeon(const double* x, size_t n, double* out) {
+  namespace phi = base::phi;
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t half = vdupq_n_f64(0.5);
+  const uint64x2_t sign = vreinterpretq_u64_f64(vdupq_n_f64(-0.0));
+  const float64x2_t clamp = vdupq_n_f64(phi::kClamp);
+  const float64x2_t neg_clamp = vdupq_n_f64(-phi::kClamp);
+  const float64x2_t sqrt2 = vdupq_n_f64(phi::kSqrt2);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t vx = vld1q_f64(x + i);
+    const uint64x2_t ord_mask = vceqq_f64(vx, vx);
+    const uint64x2_t hi_mask = vcgtq_f64(vx, clamp);
+    const uint64x2_t lo_mask = vcltq_f64(vx, neg_clamp);
+    float64x2_t xc = vbslq_f64(hi_mask, clamp, vx);
+    xc = vbslq_f64(lo_mask, neg_clamp, xc);
+    const float64x2_t z = vdivq_f64(
+        vreinterpretq_f64_u64(veorq_u64(vreinterpretq_u64_f64(xc), sign)),
+        sqrt2);
+    const float64x2_t y = vreinterpretq_f64_u64(
+        vbicq_u64(vreinterpretq_u64_f64(z), sign));
+    const float64x2_t s = vmulq_f64(z, z);
+    const uint64x2_t centre_mask =
+        vcleq_f64(y, vdupq_n_f64(phi::kErfSwitch));
+    const uint64x2_t far_mask = vcgtq_f64(y, vdupq_n_f64(phi::kTailSwitch));
+    const uint64x2_t tail_mask =
+        veorq_u64(centre_mask, vdupq_n_u64(~0ULL));  // NaN lanes land here.
+    float64x2_t phi_centre = zero;
+    float64x2_t phi_tail = zero;
+    if (AnyLaneNeon(centre_mask)) {
+      float64x2_t num = vmulq_f64(vdupq_n_f64(phi::kErfA[4]), s);
+      float64x2_t den = s;
+      for (int j = 0; j < 3; ++j) {
+        num = vmulq_f64(vaddq_f64(num, vdupq_n_f64(phi::kErfA[j])), s);
+        den = vmulq_f64(vaddq_f64(den, vdupq_n_f64(phi::kErfB[j])), s);
+      }
+      const float64x2_t erf =
+          vdivq_f64(vmulq_f64(z, vaddq_f64(num, vdupq_n_f64(phi::kErfA[3]))),
+                    vaddq_f64(den, vdupq_n_f64(phi::kErfB[3])));
+      phi_centre = vmulq_f64(half, vsubq_f64(one, erf));
+    }
+    if (AnyLaneNeon(tail_mask)) {
+      float64x2_t num = vmulq_f64(vdupq_n_f64(phi::kErfcC[8]), y);
+      float64x2_t den = y;
+      for (int j = 0; j < 7; ++j) {
+        num = vmulq_f64(vaddq_f64(num, vdupq_n_f64(phi::kErfcC[j])), y);
+        den = vmulq_f64(vaddq_f64(den, vdupq_n_f64(phi::kErfcD[j])), y);
+      }
+      float64x2_t ratio =
+          vdivq_f64(vaddq_f64(num, vdupq_n_f64(phi::kErfcC[7])),
+                    vaddq_f64(den, vdupq_n_f64(phi::kErfcD[7])));
+      if (AnyLaneNeon(far_mask)) {
+        const float64x2_t inv = vdivq_f64(one, s);
+        float64x2_t fnum = vmulq_f64(vdupq_n_f64(phi::kTailP[5]), inv);
+        float64x2_t fden = inv;
+        for (int j = 0; j < 4; ++j) {
+          fnum = vmulq_f64(vaddq_f64(fnum, vdupq_n_f64(phi::kTailP[j])), inv);
+          fden = vmulq_f64(vaddq_f64(fden, vdupq_n_f64(phi::kTailQ[j])), inv);
+        }
+        float64x2_t far = vdivq_f64(
+            vmulq_f64(inv, vaddq_f64(fnum, vdupq_n_f64(phi::kTailP[4]))),
+            vaddq_f64(fden, vdupq_n_f64(phi::kTailQ[4])));
+        far = vdivq_f64(vsubq_f64(vdupq_n_f64(phi::kSqrPi), far), y);
+        ratio = vbslq_f64(far_mask, far, ratio);
+      }
+      const float64x2_t ysq = vmulq_f64(
+          vcvtq_f64_s64(vcvtq_s64_f64(vmulq_f64(y, vdupq_n_f64(16.0)))),
+          vdupq_n_f64(0.0625));
+      const float64x2_t del = vmulq_f64(vsubq_f64(y, ysq), vaddq_f64(y, ysq));
+      const float64x2_t scale = vmulq_f64(
+          PinnedExpNeon(vreinterpretq_f64_u64(veorq_u64(
+              vreinterpretq_u64_f64(vmulq_f64(ysq, ysq)), sign))),
+          PinnedExpNeon(vreinterpretq_f64_u64(
+              veorq_u64(vreinterpretq_u64_f64(del), sign))));
+      const float64x2_t half_erfc = vmulq_f64(half, vmulq_f64(scale, ratio));
+      phi_tail = vbslq_f64(vcltq_f64(z, zero), vsubq_f64(one, half_erfc),
+                           half_erfc);
+    }
+    float64x2_t result = vbslq_f64(centre_mask, phi_centre, phi_tail);
+    result = vbslq_f64(hi_mask, one, result);
+    result = vbslq_f64(lo_mask, zero, result);
+    result = vbslq_f64(ord_mask, result, vx);
+    vst1q_f64(out + i, result);
+  }
+  NormalCdfBatchScalar(x + i, n - i, out + i);
 }
 
 }  // namespace
@@ -570,6 +1200,27 @@ void SigmoidBatch(const double* t, size_t n, double* out) {
 #endif
   (void)backend;
   SigmoidBatchScalar(t, n, out);
+}
+
+void NormalCdfBatch(const double* x, size_t n, double* out) {
+  const simd::Backend backend = simd::ActiveBackend();
+#if defined(EQIMPACT_SIMD_X86)
+  if (backend == simd::Backend::kAvx2) {
+    NormalCdfAvx2(x, n, out);
+    return;
+  }
+  if (backend == simd::Backend::kSse2) {
+    NormalCdfSse2(x, n, out);
+    return;
+  }
+#elif defined(EQIMPACT_SIMD_NEON)
+  if (backend == simd::Backend::kNeon) {
+    NormalCdfNeon(x, n, out);
+    return;
+  }
+#endif
+  (void)backend;
+  NormalCdfBatchScalar(x, n, out);
 }
 
 void LinearPredictor2(const double* rows, size_t n, double w0, double w1,

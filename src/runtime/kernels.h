@@ -82,6 +82,19 @@ void GuardedRatioScalar(const double* num, const double* den, size_t n,
 void SigmoidBatch(const double* t, size_t n, double* out);
 void SigmoidBatchScalar(const double* t, size_t n, double* out);
 
+/// out[i] = Phi(x[i]), the standard normal CDF, evaluated by the pinned
+/// reference base::NormalCdfScalar (Cody's three-interval erfc rationals
+/// over a pinned Cody-Waite exp — see base/simd_scalar.h for the
+/// accuracy contract: within phi::kMaxUlpVsLibm ulp of libm inside
+/// +-phi::kClamp, exact 0/1 saturation outside, NaN bits pass through).
+/// The vector lanes replay the scalar evaluation with branches as
+/// blends, so every lane is bit-for-bit the reference on every input.
+/// `out == x` aliasing is allowed. This kernel is the repayment model's
+/// Phi(sensitivity * share) hot path; unlike SigmoidBatch there is no
+/// libm call left inside — the whole evaluation vectorizes.
+void NormalCdfBatch(const double* x, size_t n, double* out);
+void NormalCdfBatchScalar(const double* x, size_t n, double* out);
+
 /// Two-feature linear predictor over interleaved rows
 /// [a0, c0, a1, c1, ...] (the credit history's (ADR, code) geometry):
 ///   t = 0; t += a_i * w0; t += c_i * w1; out[i] = add_bias ? t + bias : t

@@ -2,11 +2,14 @@
 // and the Table-I-style scorecard.
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "credit/credit_loop.h"
 #include "linalg/vector.h"
 #include "ml/binned_dataset.h"
 #include "ml/dataset.h"
@@ -702,6 +705,151 @@ TEST_P(RidgeSweep, StrongerRidgeShrinksWeights) {
 
 INSTANTIATE_TEST_SUITE_P(Penalties, RidgeSweep,
                          ::testing::Values(0.01, 0.1, 1.0));
+
+// --- Open-addressed group index (PR 6). ------------------------------------
+
+TEST(BinnedDatasetTest, OpenAddressingGrowthKeepsFirstOccurrenceOrder) {
+  // Push the index through several capacity doublings (the table starts
+  // small and grows past the 70% load factor) with inserts interleaved
+  // with repeat lookups, so probes cross group boundaries mid-growth.
+  ml::BinnedDataset data(2);
+  std::vector<std::pair<double, double>> first_occurrence;
+  for (int i = 0; i < 5000; ++i) {
+    const double row[2] = {static_cast<double>(i % 1250) / 1250.0,
+                           static_cast<double>((i / 1250) % 2)};
+    const bool fresh = i < 2500;
+    data.AddRow(row, i % 2 == 0 ? 1.0 : 0.0);
+    if (fresh) first_occurrence.push_back({row[0], row[1]});
+    // Interleave a lookup of an early group: its index must stay valid
+    // across growth.
+    const double early[2] = {0.0, 0.0};
+    data.AddRow(early, 0.0);
+  }
+  ASSERT_EQ(data.num_groups(), first_occurrence.size());
+  for (size_t g = 0; g < first_occurrence.size(); ++g) {
+    EXPECT_DOUBLE_EQ(data.row(g)[0], first_occurrence[g].first) << g;
+    EXPECT_DOUBLE_EQ(data.row(g)[1], first_occurrence[g].second) << g;
+  }
+  // Group 0 absorbed its own 2500 rows plus the 5000 interleaved
+  // lookups of {0, 0}... minus nothing: every repeat folded into it.
+  EXPECT_DOUBLE_EQ(data.weight(0), 2.0 + 5000.0);
+}
+
+TEST(BinnedDatasetTest, CollidingKeysStayDistinct) {
+  // Many keys that differ only in low-order bits (adjacent probing
+  // neighbourhoods in a power-of-two table) must remain distinct
+  // groups with exact weights.
+  ml::BinnedDataset data(1);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int i = 0; i < 512; ++i) {
+      const double x = static_cast<double>(i) * 0x1p-52;  // Low bits only.
+      data.AddRow(&x, pass == 0 ? 1.0 : 0.0, 0.5);
+    }
+  }
+  ASSERT_EQ(data.num_groups(), 512u);
+  for (size_t g = 0; g < 512; ++g) {
+    EXPECT_DOUBLE_EQ(data.row(g)[0], static_cast<double>(g) * 0x1p-52);
+    EXPECT_DOUBLE_EQ(data.weight(g), 1.5);
+    EXPECT_DOUBLE_EQ(data.positive_weight(g), 0.5);
+  }
+}
+
+TEST(BinnedDatasetTest, AddRowToGroupMatchesKeyedAddRow) {
+  // The index AddRow returns stays valid until Clear, and folding
+  // through it is exactly the keyed fold.
+  ml::BinnedDataset keyed(2);
+  ml::BinnedDataset cached(2);
+  std::vector<size_t> group_of;
+  rng::Random random(99);
+  for (int i = 0; i < 64; ++i) {
+    const double row[2] = {static_cast<double>(i % 8), 1.0};
+    const double label = random.Bernoulli(0.4) ? 1.0 : 0.0;
+    const double weight = 1.0 + (i % 3);
+    keyed.AddRow(row, label, weight);
+    if (i < 8) {
+      group_of.push_back(cached.AddRow(row, label, weight));
+      EXPECT_EQ(group_of.back(), static_cast<size_t>(i));
+    } else {
+      cached.AddRowToGroup(group_of[i % 8], label, weight);
+    }
+  }
+  ASSERT_EQ(keyed.num_groups(), cached.num_groups());
+  EXPECT_DOUBLE_EQ(keyed.total_weight(), cached.total_weight());
+  for (size_t g = 0; g < keyed.num_groups(); ++g) {
+    EXPECT_DOUBLE_EQ(keyed.weight(g), cached.weight(g));
+    EXPECT_DOUBLE_EQ(keyed.positive_weight(g), cached.positive_weight(g));
+  }
+}
+
+// --- Dense refit fold vs hashed fold (PR 6). -------------------------------
+
+// Bitwise equality of two double series (memcmp, so -0.0 != 0.0 and
+// equal NaNs match — the fold contract is bit-for-bit).
+::testing::AssertionResult SeriesBitwiseEqual(
+    const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "size mismatch";
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+      return ::testing::AssertionFailure()
+             << "index " << i << ": " << a[i] << " vs " << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(CreditLoopTest, DenseHistoryFoldMatchesHashedFold) {
+  for (uint64_t seed : {0ull, 7ull, 123ull}) {
+    credit::CreditLoopOptions options;
+    options.num_users = 300;
+    options.seed = seed;
+    credit::CreditLoopResult results[2];
+    for (int dense = 0; dense < 2; ++dense) {
+      options.dense_history_fold = dense != 0;
+      results[dense] = credit::CreditScoringLoop(options).Run();
+    }
+    const credit::CreditLoopResult& hashed = results[0];
+    const credit::CreditLoopResult& dense = results[1];
+    EXPECT_TRUE(SeriesBitwiseEqual(hashed.overall_adr, dense.overall_adr))
+        << "seed=" << seed;
+    ASSERT_EQ(hashed.race_adr.size(), dense.race_adr.size());
+    for (size_t r = 0; r < hashed.race_adr.size(); ++r) {
+      EXPECT_TRUE(SeriesBitwiseEqual(hashed.race_adr[r], dense.race_adr[r]))
+          << "seed=" << seed << " race=" << r;
+      EXPECT_TRUE(SeriesBitwiseEqual(hashed.race_approval[r],
+                                     dense.race_approval[r]))
+          << "seed=" << seed << " race=" << r;
+    }
+    // The fitted scorecards are the fold's direct output: bitwise-equal
+    // coefficients prove group order and accumulation are identical.
+    ASSERT_EQ(hashed.scorecards.size(), dense.scorecards.size())
+        << "seed=" << seed;
+    for (size_t s = 0; s < hashed.scorecards.size(); ++s) {
+      EXPECT_EQ(std::memcmp(&hashed.scorecards[s], &dense.scorecards[s],
+                            sizeof(credit::ScorecardSnapshot)),
+                0)
+          << "seed=" << seed << " snapshot=" << s;
+    }
+  }
+}
+
+TEST(CreditLoopTest, DenseFoldGateFallsBackCleanly) {
+  // A forgetting factor below 1 makes the counters non-integer, which
+  // disables the dense gate; the option being on must then change
+  // nothing relative to explicitly off.
+  credit::CreditLoopResult results[2];
+  for (int dense = 0; dense < 2; ++dense) {
+    credit::CreditLoopOptions options;
+    options.num_users = 200;
+    options.seed = 5;
+    options.forgetting_factor = 0.9;
+    options.dense_history_fold = dense != 0;
+    results[dense] = credit::CreditScoringLoop(options).Run();
+  }
+  EXPECT_TRUE(
+      SeriesBitwiseEqual(results[0].overall_adr, results[1].overall_adr));
+}
 
 }  // namespace
 }  // namespace eqimpact

@@ -19,6 +19,7 @@
 #include "credit/repayment_model.h"
 #include "gtest/gtest.h"
 #include "ml/logistic_regression.h"
+#include "rng/normal.h"
 #include "rng/pcg32.h"
 #include "rng/random.h"
 #include "runtime/kernels.h"
@@ -323,11 +324,155 @@ TEST(SimdRepaymentTest, ProbabilityBatchMatchesScalarModel) {
     incomes.push_back(random.UniformDouble(0.5, 260.0));
   }
   std::vector<double> batch(incomes.size());
-  model.ProbabilityBatch(incomes.data(), incomes.size(), batch.data());
+  std::vector<double> shares(incomes.size());
+  model.ProbabilityBatch(incomes.data(), incomes.size(), shares.data(),
+                         batch.data());
   for (size_t i = 0; i < incomes.size(); ++i) {
     const double expected = model.RepaymentProbability(incomes[i]);
     EXPECT_EQ(std::memcmp(&expected, &batch[i], sizeof(double)), 0)
         << "income=" << incomes[i];
+  }
+}
+
+// Adversarial inputs specific to the pinned normal CDF: the Cody
+// rational's branch switch points (0.46875 and 4.0 on the erfc argument
+// scale, so times sqrt 2 on the x scale), the saturation clamp and its
+// neighbourhood, deep-tail values, subnormals, and the IEEE specials.
+std::vector<double> PhiAdversarialValues() {
+  namespace phi = base::phi;
+  const double inf = std::numeric_limits<double>::infinity();
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  return {0.0,
+          -0.0,
+          1.0,
+          -1.0,
+          0.5,
+          -2.5,
+          phi::kErfSwitch * phi::kSqrt2,
+          -phi::kErfSwitch * phi::kSqrt2,
+          std::nextafter(phi::kErfSwitch * phi::kSqrt2, 100.0),
+          phi::kTailSwitch * phi::kSqrt2,
+          -phi::kTailSwitch * phi::kSqrt2,
+          std::nextafter(-phi::kTailSwitch * phi::kSqrt2, -100.0),
+          -25.715539999999997,  // The measured max-ulp point.
+          phi::kClamp,
+          -phi::kClamp,
+          std::nextafter(phi::kClamp, 100.0),
+          std::nextafter(-phi::kClamp, -100.0),
+          100.0,
+          -100.0,
+          1e-300,
+          -1e-300,
+          std::numeric_limits<double>::denorm_min(),
+          -std::numeric_limits<double>::denorm_min(),
+          1e300,
+          -1e300,
+          inf,
+          -inf,
+          qnan,
+          -qnan};
+}
+
+TEST(SimdNormalCdfTest, BatchBitwiseEqualOnAdversarialInputsAllTailSizes) {
+  const std::vector<double> values = PhiAdversarialValues();
+  for (size_t n : TailSizes()) {
+    for (size_t phase = 0; phase < 3; ++phase) {
+      std::vector<double> x(n);
+      for (size_t i = 0; i < n; ++i) {
+        x[i] = values[(i + 7 * phase) % values.size()];
+      }
+      std::vector<double> scalar(n, -1.0);
+      std::vector<double> vectored(n, -2.0);
+      kernels::NormalCdfBatchScalar(x.data(), n, scalar.data());
+      kernels::NormalCdfBatch(x.data(), n, vectored.data());
+      EXPECT_TRUE(BitwiseEqual(scalar, vectored))
+          << "n=" << n << " phase=" << phase;
+    }
+  }
+}
+
+TEST(SimdNormalCdfTest, BatchAllowsInPlaceAndForceScalarDispatch) {
+  const std::vector<double> x = PhiAdversarialValues();
+  std::vector<double> expected(x.size());
+  kernels::NormalCdfBatchScalar(x.data(), x.size(), expected.data());
+  // Aliased out == x (the repayment path evaluates in place).
+  std::vector<double> in_place = x;
+  kernels::NormalCdfBatch(in_place.data(), in_place.size(), in_place.data());
+  EXPECT_TRUE(BitwiseEqual(expected, in_place));
+  // The force-scalar toggle pins the dispatch to the reference.
+  ScopedForceScalar scalar_only;
+  std::vector<double> forced(x.size(), -3.0);
+  kernels::NormalCdfBatch(x.data(), x.size(), forced.data());
+  EXPECT_TRUE(BitwiseEqual(expected, forced));
+}
+
+// Ulp distance between two Phi outputs; both are in [0, 1], where the
+// IEEE bit patterns are non-negative and ordered, so the distance is
+// the plain integer gap.
+int64_t PhiUlpDistance(double a, double b) {
+  int64_t ia = 0, ib = 0;
+  std::memcpy(&ia, &a, sizeof(a));
+  std::memcpy(&ib, &b, sizeof(b));
+  return ia > ib ? ia - ib : ib - ia;
+}
+
+TEST(SimdNormalCdfTest, MaxUlpVsLibmWithinDocumentedBound) {
+  namespace phi = base::phi;
+  int64_t max_ulp = 0;
+  double worst = 0.0;
+  // Dense sweep of the clamp span plus a finer pass over the hot range;
+  // the documented bound covers every x in [-kClamp, kClamp].
+  const auto check = [&max_ulp, &worst](double x) {
+    const double pinned = base::NormalCdfScalar(x);
+    const double libm = 0.5 * std::erfc(-x / phi::kSqrt2);
+    const int64_t ulp = PhiUlpDistance(pinned, libm);
+    if (ulp > max_ulp) {
+      max_ulp = ulp;
+      worst = x;
+    }
+  };
+  for (double x = -phi::kClamp; x <= phi::kClamp; x += 1e-3) check(x);
+  for (double x = -8.0; x <= 8.0; x += 1e-5) check(x);
+  EXPECT_LE(max_ulp, phi::kMaxUlpVsLibm) << "worst x=" << worst;
+}
+
+TEST(SimdNormalCdfTest, SpecialValuesPinned) {
+  namespace phi = base::phi;
+  EXPECT_EQ(base::NormalCdfScalar(0.0), 0.5);
+  EXPECT_EQ(base::NormalCdfScalar(-0.0), 0.5);
+  // Exact saturation outside the clamp (true Phi is < 1e-307 there).
+  EXPECT_EQ(base::NormalCdfScalar(phi::kClamp + 1e-9), 1.0);
+  EXPECT_EQ(base::NormalCdfScalar(-phi::kClamp - 1e-9), 0.0);
+  EXPECT_EQ(base::NormalCdfScalar(std::numeric_limits<double>::infinity()),
+            1.0);
+  EXPECT_EQ(base::NormalCdfScalar(-std::numeric_limits<double>::infinity()),
+            0.0);
+  // NaN inputs return the input bits unchanged, payload included.
+  uint64_t payload_bits = 0x7ff8000000001234ull;
+  double payload_nan = 0.0;
+  std::memcpy(&payload_nan, &payload_bits, sizeof(payload_nan));
+  const double out = base::NormalCdfScalar(payload_nan);
+  EXPECT_EQ(std::memcmp(&out, &payload_nan, sizeof(out)), 0);
+  // Monotone non-decreasing across a coarse grid (sanity on the pieces).
+  double previous = 0.0;
+  for (double x = -37.0; x <= 37.0; x += 0.25) {
+    const double value = base::NormalCdfScalar(x);
+    EXPECT_GE(value, previous) << "x=" << x;
+    previous = value;
+  }
+}
+
+TEST(SimdNormalCdfTest, StandardNormalCdfEntriesAreTheReference) {
+  const std::vector<double> x = PhiAdversarialValues();
+  std::vector<double> batch(x.size(), -1.0);
+  rng::StandardNormalCdfBatch(x.data(), x.size(), batch.data());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double scalar_entry = rng::StandardNormalCdf(x[i]);
+    const double reference = base::NormalCdfScalar(x[i]);
+    EXPECT_EQ(std::memcmp(&scalar_entry, &reference, sizeof(double)), 0)
+        << "x=" << x[i];
+    EXPECT_EQ(std::memcmp(&batch[i], &reference, sizeof(double)), 0)
+        << "x=" << x[i];
   }
 }
 
