@@ -53,6 +53,17 @@
 //    digest equality gate ("dense_matches_hashed") proving the fast
 //    path changes nothing.
 //
+//  * "shard_scaling" — the sharded population engine (PR 7): the
+//    within-trial workload swept over shard counts at one thread, with
+//    three hard gates feeding the exit code: every sharded digest
+//    equals the unsharded one ("sharded_matches_unsharded"), all shard
+//    counts agree ("deterministic_across_shard_counts"), and a trial
+//    checkpointed mid-run and resumed under a different shard count
+//    reproduces the digest ("checkpoint_resume_matches"). Peak RSS is
+//    sampled after every shard count — before fit_scaling materializes
+//    its raw-row baseline, so the high-water marks still reflect the
+//    streaming trial.
+//
 //  * "micro" — single-thread timings of the library's hot paths (RNG
 //    throughput, normal CDF, logistic IRLS, one closed-loop trial,
 //    Markov/linalg kernels) replacing the earlier google-benchmark
@@ -82,6 +93,7 @@
 #endif
 
 #include "base/fnv1a.h"
+#include "base/serial.h"
 #include "base/simd_scalar.h"
 #include "credit/credit_loop.h"
 #include "linalg/eigen.h"
@@ -918,6 +930,123 @@ int main(int argc, char** argv) {
   // process-wide high-water marks).
   const double within_peak_rss = PeakRssMb();
 
+  // --- Section 2b: shard scaling (population sharding). ----------------
+  // The same within-trial workload, one thread, swept over shard counts:
+  // sharding regroups execution (contiguous chunk ranges, shard-order
+  // merge) and must never move a bit. A fourth leg checkpoints the
+  // 4-shard trial mid-run and resumes it 2-sharded; the digest must
+  // still match. Runs before fit_scaling allocates, so the per-shard
+  // RSS high-water marks reflect the streaming trial alone.
+  struct ShardPoint {
+    size_t num_shards = 0;
+    double seconds = 0.0;
+    double items_per_sec = 0.0;
+    double speedup = 1.0;
+    uint64_t digest = 0;
+    double peak_rss_mb = 0.0;
+  };
+  std::vector<ShardPoint> shard_runs;
+  bool shard_matches_unsharded = true;
+  bool shard_deterministic = true;
+  bool checkpoint_resume_matches = true;
+  if (within_users > 0) {
+    eqimpact::credit::CreditLoopOptions loop_options;
+    loop_options.num_users = static_cast<size_t>(within_users);
+    loop_options.seed = 42;
+    loop_options.keep_user_adr = false;
+    loop_options.num_threads = 1;
+    const double user_years = static_cast<double>(within_users) *
+                              static_cast<double>(within_years);
+    // Runs the trial streaming into `adr` (pre-seeded on the resume leg
+    // with the checkpointed partial accumulator, mirroring the
+    // experiment driver) and returns the digest over result + adr.
+    auto run_digest = [&](const eqimpact::credit::CreditLoopOptions& options,
+                          eqimpact::stats::AdrAccumulator* adr,
+                          double* seconds) {
+      eqimpact::credit::CreditScoringLoop loop(options);
+      Clock::time_point start = Clock::now();
+      eqimpact::credit::CreditLoopResult result = loop.Run(
+          [adr](const eqimpact::credit::YearSnapshot& snapshot) {
+            adr->AddCrossSection(snapshot.step, snapshot.user_adr,
+                                 snapshot.race_ids);
+          });
+      if (seconds != nullptr) *seconds = SecondsSince(start);
+      return Digest(result, *adr);
+    };
+    double shard_sequential = 0.0;
+    for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      loop_options.num_shards = shards;
+      ShardPoint point;
+      point.num_shards = shards;
+      eqimpact::stats::AdrAccumulator adr(eqimpact::credit::kNumRaces,
+                                          within_years, 64);
+      point.digest = run_digest(loop_options, &adr, &point.seconds);
+      point.items_per_sec = user_years / point.seconds;
+      point.peak_rss_mb = PeakRssMb();
+      if (shards == 1) shard_sequential = point.seconds;
+      point.speedup =
+          point.seconds > 0.0 ? shard_sequential / point.seconds : 0.0;
+      shard_runs.push_back(point);
+      std::fprintf(
+          stderr,
+          "  shard_scaling shards=%zu %.3fs (%.0f user-years/s, rss %.1f "
+          "MB)\n",
+          shards, point.seconds, point.items_per_sec, point.peak_rss_mb);
+    }
+    for (const ShardPoint& point : shard_runs) {
+      if (point.digest != shard_runs.front().digest) {
+        shard_deterministic = false;
+      }
+    }
+    // The unsharded reference: the within-trial section already ran this
+    // exact workload unsharded at every thread count.
+    if (!within.empty() && shard_runs.front().digest != within.front().digest) {
+      shard_matches_unsharded = false;
+    }
+    if (!shard_deterministic) shard_matches_unsharded = false;
+
+    // Checkpoint leg: capture the 4-shard trial's engine snapshot AND
+    // the partial accumulator at mid-run (the same pair the experiment
+    // driver persists), then resume 2-sharded — the snapshot format is
+    // shard-agnostic (no RNG cursors, no shard state), so the digest
+    // must not move.
+    std::vector<uint8_t> mid_blob;
+    std::vector<uint8_t> mid_adr_blob;
+    const size_t capture_year = (within_years + 1) / 2;
+    eqimpact::stats::AdrAccumulator ck_adr(eqimpact::credit::kNumRaces,
+                                           within_years, 64);
+    loop_options.num_shards = 4;
+    loop_options.checkpoint_sink =
+        [&mid_blob, &mid_adr_blob, &ck_adr, capture_year](
+            size_t years_completed, const std::vector<uint8_t>& state) {
+          if (years_completed != capture_year) return;
+          mid_blob = state;
+          eqimpact::base::BinaryWriter writer;
+          ck_adr.Serialize(&writer);
+          mid_adr_blob = writer.TakeBuffer();
+        };
+    const uint64_t checkpointed_digest =
+        run_digest(loop_options, &ck_adr, nullptr);
+    eqimpact::stats::AdrAccumulator resumed_adr(eqimpact::credit::kNumRaces,
+                                                within_years, 64);
+    eqimpact::base::BinaryReader reader(mid_adr_blob.data(),
+                                        mid_adr_blob.size());
+    const bool adr_restored = resumed_adr.Deserialize(&reader);
+    loop_options.checkpoint_sink = nullptr;
+    loop_options.num_shards = 2;
+    loop_options.resume_state = &mid_blob;
+    const uint64_t resumed_digest =
+        run_digest(loop_options, &resumed_adr, nullptr);
+    checkpoint_resume_matches =
+        !mid_blob.empty() && adr_restored &&
+        checkpointed_digest == shard_runs.front().digest &&
+        resumed_digest == shard_runs.front().digest;
+    std::fprintf(stderr,
+                 "  shard_scaling checkpoint@year%zu resume 4->2 shards: %s\n",
+                 capture_year,
+                 checkpoint_resume_matches ? "digest equal" : "MISMATCH");
+  }
+
   // --- Section 3: fit scaling (sufficient-statistics refit). -----------
   // The PR 2 baseline refit the scorecard by raw-row IRLS over the
   // accumulated history; here the same history collapses into weighted
@@ -1036,7 +1165,8 @@ int main(int argc, char** argv) {
       market_deterministic && simd_section.vector_matches_scalar &&
       phi_section.vector_matches_scalar &&
       phi_section.max_ulp_vs_libm <= phi_section.ulp_bound &&
-      fold_section.dense_matches_hashed;
+      fold_section.dense_matches_hashed && shard_matches_unsharded &&
+      shard_deterministic && checkpoint_resume_matches;
 
   // Emit the JSON document on stdout.
   std::printf("{\n");
@@ -1064,6 +1194,35 @@ int main(int argc, char** argv) {
                 within.front().digest);
     std::printf("    \"peak_rss_mb\": %.1f,\n", within_peak_rss);
     PrintScalingRuns(within, "user_years_per_sec");
+    std::printf("  },\n");
+  }
+  if (!shard_runs.empty()) {
+    std::printf("  \"shard_scaling\": {\n");
+    std::printf("    \"num_users\": %ld,\n", within_users);
+    std::printf("    \"num_years\": %zu,\n", within_years);
+    std::printf("    \"num_threads\": 1,\n");
+    std::printf("    \"sharded_matches_unsharded\": %s,\n",
+                shard_matches_unsharded ? "true" : "false");
+    std::printf("    \"deterministic_across_shard_counts\": %s,\n",
+                shard_deterministic ? "true" : "false");
+    std::printf("    \"checkpoint_resume_matches\": %s,\n",
+                checkpoint_resume_matches ? "true" : "false");
+    std::printf("    \"digest\": \"%016" PRIx64 "\",\n",
+                shard_runs.front().digest);
+    std::printf("    \"runs\": [\n");
+    for (size_t i = 0; i < shard_runs.size(); ++i) {
+      const ShardPoint& p = shard_runs[i];
+      // peak_rss_mb is the process high-water mark *after* this run —
+      // monotone across runs by construction (getrusage semantics);
+      // flat values across shard counts are the expected good outcome.
+      std::printf(
+          "      {\"num_shards\": %zu, \"wall_seconds\": %.6f, "
+          "\"user_years_per_sec\": %.3f, \"speedup\": %.3f, "
+          "\"peak_rss_mb\": %.1f}%s\n",
+          p.num_shards, p.seconds, p.items_per_sec, p.speedup, p.peak_rss_mb,
+          i + 1 < shard_runs.size() ? "," : "");
+    }
+    std::printf("    ]\n");
     std::printf("  },\n");
   }
   if (!fit_runs.empty()) {

@@ -6,13 +6,26 @@
 //   run_experiment --list
 //   run_experiment --scenario=NAME [--trials=N] [--seed=S] [--threads=T]
 //                  [--trial-threads=T] [--point-threads=P] [--bins=B]
+//                  [--shards=N] [--checkpoint=PATH] [--resume]
 //                  [--force-scalar]
 //                  [--set name=value]... [--sweep name=v1,v2,...]...
 //
 // --force-scalar pins every vectorized kernel to its scalar reference
 // lanes (base::SetSimdForceScalarForTesting) before anything runs: the
 // output must be byte-identical to the vector build's — CI diffs the
-// two as a smoke test of the kernel layer's bitwise contract.
+// two as a smoke test of the kernel layer's bitwise contract (the
+// single-line "provenance" field, which records the active backend, is
+// the one line the diff filters out).
+//
+// --shards=N is sugar for --set num_shards=N: shard the within-trial
+// population sweep N ways. Sharding regroups execution, never the work
+// — the digest is identical at every shard count.
+//
+// --checkpoint=PATH snapshots experiment progress to PATH after every
+// simulated step (atomic write; survives SIGKILL at any instant), and
+// --resume restarts from that snapshot if it exists. A resumed run's
+// output is byte-identical to an uninterrupted one. Checkpointing is a
+// single-experiment feature: combining it with --sweep is an error.
 //
 // Without --sweep, runs one experiment and prints its aggregates; with
 // one or more --sweep axes, fans the Cartesian grid out over
@@ -32,7 +45,10 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "base/simd_scalar.h"
+#include "runtime/simd.h"
 #include "sim/experiment.h"
 #include "sim/scenario_registry.h"
 #include "sim/sweep.h"
@@ -59,6 +75,9 @@ struct CliSpec {
   /// Cross-point workers of a --sweep run (SweepOptions convention:
   /// 1 = sequential, 0 = hardware concurrency).
   size_t point_threads = 1;
+  /// --shards=N: sugar for --set num_shards=N (0 = flag absent, keep
+  /// the scenario default). Recorded in the provenance field either way.
+  size_t shards = 0;
   std::vector<Assignment> assignments;
   std::vector<SweepParameter> sweeps;
 };
@@ -156,6 +175,20 @@ bool ParseArgs(int argc, char** argv, CliSpec* spec) {
       if (!parse_size_flag("--bins=", &spec->experiment.impact_bins)) {
         return false;
       }
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      if (!parse_size_flag("--shards=", &spec->shards)) return false;
+      if (spec->shards == 0) {
+        std::fprintf(stderr, "error: --shards must be positive\n");
+        return false;
+      }
+    } else if (arg.rfind("--checkpoint=", 0) == 0) {
+      spec->experiment.checkpoint_path = value_of("--checkpoint=");
+      if (spec->experiment.checkpoint_path.empty()) {
+        std::fprintf(stderr, "error: --checkpoint needs a path\n");
+        return false;
+      }
+    } else if (arg == "--resume") {
+      spec->experiment.resume = true;
     } else if (arg == "--set") {
       const char* text = next_value("--set");
       if (text == nullptr) return false;
@@ -197,6 +230,27 @@ void PrintStringArray(const std::vector<std::string>& values) {
   std::printf("]");
 }
 
+/// Execution-environment record: everything about *how* the run
+/// executed that, by the determinism contract, must NOT move output
+/// bits (machine width, kernel backend, shard/checkpoint config).
+/// Printed as exactly one line so CI's scalar-vs-vector byte diff can
+/// drop it with a line filter — it is the only part of the output
+/// allowed to differ between those runs.
+void PrintProvenance(const CliSpec& spec, const char* indent) {
+  const eqimpact::runtime::simd::Backend backend =
+      eqimpact::runtime::simd::ActiveBackend();
+  std::printf(
+      "%s\"provenance\": {\"hardware_concurrency\": %u, "
+      "\"simd_backend\": \"%s\", \"force_scalar\": %s, "
+      "\"num_shards\": %zu, \"checkpoint_path\": \"%s\", "
+      "\"resume\": %s}",
+      indent, std::thread::hardware_concurrency(),
+      eqimpact::runtime::simd::BackendName(backend),
+      spec.force_scalar ? "true" : "false", spec.shards,
+      spec.experiment.checkpoint_path.c_str(),
+      spec.experiment.resume ? "true" : "false");
+}
+
 void PrintSummary(const eqimpact::sim::EqualImpactSummary& summary,
                   const char* indent) {
   std::printf("%s\"group_gap\": %.9g,\n", indent, summary.group_gap);
@@ -214,6 +268,8 @@ int RunSingle(Scenario* scenario, const CliSpec& spec) {
               static_cast<unsigned long long>(spec.experiment.master_seed));
   std::printf("  \"num_threads\": %zu,\n", spec.experiment.num_threads);
   std::printf("  \"trial_threads\": %zu,\n", spec.experiment.trial_threads);
+  PrintProvenance(spec, "  ");
+  std::printf(",\n");
   std::printf("  \"group_labels\": ");
   PrintStringArray(result.group_labels);
   std::printf(",\n");
@@ -289,6 +345,8 @@ int RunGrid(const CliSpec& spec) {
   std::printf("  \"num_threads\": %zu,\n", spec.experiment.num_threads);
   std::printf("  \"trial_threads\": %zu,\n", spec.experiment.trial_threads);
   std::printf("  \"point_threads\": %zu,\n", spec.point_threads);
+  PrintProvenance(spec, "  ");
+  std::printf(",\n");
   std::printf("  \"parameters\": ");
   PrintStringArray(result.parameter_names);
   std::printf(",\n");
@@ -351,13 +409,31 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: run_experiment --list | --scenario=NAME "
                  "[--trials=N] [--seed=S] [--threads=T] [--trial-threads=T] "
-                 "[--point-threads=P] [--bins=B] [--force-scalar] "
+                 "[--point-threads=P] [--bins=B] [--shards=N] "
+                 "[--checkpoint=PATH] [--resume] [--force-scalar] "
                  "[--set name=value]... [--sweep name=v1,v2,...]...\n");
     return 2;
   }
   if (spec.experiment.num_trials == 0 || spec.experiment.impact_bins == 0) {
     std::fprintf(stderr, "error: --trials and --bins must be positive\n");
     return 2;
+  }
+  if (!spec.experiment.checkpoint_path.empty() && !spec.sweeps.empty()) {
+    std::fprintf(stderr,
+                 "error: --checkpoint tracks a single experiment; it cannot "
+                 "be combined with --sweep\n");
+    return 2;
+  }
+  if (spec.experiment.resume && spec.experiment.checkpoint_path.empty()) {
+    std::fprintf(stderr, "error: --resume needs --checkpoint=PATH\n");
+    return 2;
+  }
+  // --shards is flag sugar for the scenario parameter of the same
+  // meaning; route it through SetParameter so a scenario without
+  // sharding rejects it with the standard diagnostic.
+  if (spec.shards > 0) {
+    spec.assignments.push_back(
+        {"num_shards", static_cast<double>(spec.shards)});
   }
   std::unique_ptr<Scenario> scenario =
       eqimpact::sim::CreateScenario(spec.scenario);

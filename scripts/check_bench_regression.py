@@ -52,7 +52,18 @@ Checks, in order of severity:
    phi_scaling.vector_matches_scalar, phi_scaling.max_ulp_vs_libm <=
    phi_scaling.ulp_bound (the pinned CDF's documented accuracy
    contract), and fold_scaling.dense_matches_hashed (the dense refit
-   fold must leave the fitted scorecards bitwise-unchanged).
+   fold must leave the fitted scorecards bitwise-unchanged). The PR 7
+   shard_scaling section adds three more:
+   sharded_matches_unsharded, deterministic_across_shard_counts and
+   checkpoint_resume_matches — sharding and checkpoint/resume regroup
+   execution and must never move a bit. Additionally, whenever a run
+   (fresh or snapshot) carries both within_trial_scaling and
+   shard_scaling at the same workload parameters, their digests must
+   agree with each other *within that file* (HARD FAIL): the sharded
+   engine reproducing the unsharded sweep is the tentpole contract, and
+   this cross-check catches a snapshot refreshed with mismatched halves.
+   Older snapshots without a shard_scaling section are fine — the
+   section is skipped like any other absent section.
 
 3. Throughput (WARN only, exit 0): wall-clock rates are machine- and
    load-dependent, so regressions beyond the threshold (default 25%) are
@@ -201,6 +212,7 @@ def main(argv):
         ("simd_scaling", ["num_values"]),
         ("phi_scaling", ["num_values"]),
         ("fold_scaling", ["num_users", "num_user_years"]),
+        ("shard_scaling", ["num_users", "num_years"]),
     ]
     for section, params in digest_sections:
         e, n = compare_digests(
@@ -208,6 +220,26 @@ def main(argv):
         )
         errors += e
         notes += n
+
+    # 1b. Sharded-vs-unsharded cross-check within each file: a run that
+    # carries both sections at the same workload must report one digest.
+    for label, run in (("fresh", fresh), ("snapshot", snapshot)):
+        within = run.get("within_trial_scaling")
+        shard = run.get("shard_scaling")
+        if within is None or shard is None:
+            continue
+        if any(
+            within.get(param) != shard.get(param)
+            for param in ("num_users", "num_years")
+        ):
+            continue
+        if within.get("digest") != shard.get("digest"):
+            errors += fail(
+                f"{label}: shard_scaling digest ({shard.get('digest')}) "
+                "differs from within_trial_scaling "
+                f"({within.get('digest')}) at equal parameters — the "
+                "sharded engine is not reproducing the unsharded sweep"
+            )
 
     # 2. The fresh run must itself be thread-count deterministic.
     for section in (
@@ -252,6 +284,25 @@ def main(argv):
             "fold_scaling: the dense refit fold does not reproduce the "
             "hashed fold's results bitwise"
         )
+    if "shard_scaling" in fresh:
+        shard = fresh["shard_scaling"]
+        for flag, meaning in (
+            (
+                "sharded_matches_unsharded",
+                "a sharded run's digest differs from the unsharded run's",
+            ),
+            (
+                "deterministic_across_shard_counts",
+                "the digest moved across shard counts",
+            ),
+            (
+                "checkpoint_resume_matches",
+                "a trial resumed from a mid-run checkpoint did not "
+                "reproduce the uninterrupted digest",
+            ),
+        ):
+            if not shard.get(flag, True):
+                errors += fail(f"shard_scaling: {meaning}")
 
     # 3. Throughput trend (warnings only).
     warnings = []
@@ -360,6 +411,19 @@ def main(argv):
             f"fold_scaling {rate_key}",
             fresh.get("fold_scaling", {}).get(rate_key),
             snapshot.get("fold_scaling", {}).get(rate_key),
+            warnings,
+        )
+    # shard_scaling rates, per shard count (the section pins one thread,
+    # so these stay meaningful on 1-core machines).
+    snapshot_shards = {
+        run.get("num_shards"): run.get("user_years_per_sec")
+        for run in snapshot.get("shard_scaling", {}).get("runs", [])
+    }
+    for run in fresh.get("shard_scaling", {}).get("runs", []):
+        check_rate(
+            f"shard_scaling user-years/sec ({run.get('num_shards')} shards)",
+            run.get("user_years_per_sec"),
+            snapshot_shards.get(run.get("num_shards")),
             warnings,
         )
 

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "base/check.h"
@@ -108,6 +109,28 @@ class AdrFilter {
   /// capacity — the engine's per-year cross-section without a fresh
   /// allocation.
   void SnapshotInto(std::vector<double>* out) const;
+
+  /// Raw per-user state arrays — the checkpoint layer's serialization
+  /// view (index-aligned with races()).
+  const std::vector<double>& offer_weights() const { return offer_weight_; }
+  const std::vector<double>& default_weights() const {
+    return default_weight_;
+  }
+  const std::vector<int64_t>& offer_counts() const { return offer_count_; }
+
+  /// Overwrites the per-user state with previously saved arrays
+  /// (checkpoint resume). CHECK-fails unless all three sizes equal
+  /// num_users().
+  void RestoreState(std::vector<double> offer_weight,
+                    std::vector<double> default_weight,
+                    std::vector<int64_t> offer_count) {
+    EQIMPACT_CHECK_EQ(offer_weight.size(), races_.size());
+    EQIMPACT_CHECK_EQ(default_weight.size(), races_.size());
+    EQIMPACT_CHECK_EQ(offer_count.size(), races_.size());
+    offer_weight_ = std::move(offer_weight);
+    default_weight_ = std::move(default_weight);
+    offer_count_ = std::move(offer_count);
+  }
 
  private:
   std::vector<Race> races_;

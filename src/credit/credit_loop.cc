@@ -5,8 +5,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
 
 #include "base/check.h"
+#include "base/fnv1a.h"
+#include "base/serial.h"
 #include "credit/population.h"
 #include "ml/binned_dataset.h"
 #include "ml/scorecard.h"
@@ -14,6 +17,7 @@
 #include "runtime/kernels.h"
 #include "runtime/parallel_for.h"
 #include "runtime/seed_sequence.h"
+#include "runtime/shard.h"
 #include "runtime/thread_pool.h"
 
 namespace eqimpact {
@@ -24,7 +28,10 @@ namespace {
 // e.g. changing the repayment draws does not perturb the sampled cohort.
 // The race stream seeds one sequential generator (sampling the cohort is
 // a one-time cost); the income and repayment streams are roots of nested
-// per-(year, chunk) sub-streams — see the chunk passes below.
+// per-(year, chunk) sub-streams — see the chunk passes below. Shards own
+// whole chunk ranges, so they inherit their chunks' sub-streams and need
+// no streams of their own; a checkpoint consequently stores no RNG
+// cursors at all — the streams are re-derived from (seed, year, chunk).
 enum StreamIndex : uint64_t {
   kRaceStream = 0,
   kIncomeStream = 1,
@@ -95,6 +102,55 @@ struct ChunkScratch {
   std::vector<double> probability;      // Repayment probabilities.
 };
 
+// Loop snapshot framing: magic ("EQCK"), format version, and a trailing
+// FNV-1a checksum over every preceding byte. The options fingerprint
+// binds a snapshot to the run configuration that can reproduce its bits;
+// it covers exactly the output-affecting options — never num_shards,
+// num_threads, pool or the checkpoint knobs themselves, which are
+// bitwise-neutral by the engine's determinism contract, so a trial
+// checkpointed unsharded may be resumed sharded (and vice versa).
+constexpr uint32_t kLoopSnapshotMagic = 0x4b435145u;  // "EQCK"
+constexpr uint32_t kLoopSnapshotVersion = 1;
+
+uint64_t HashBytes(const uint8_t* data, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t LoopOptionsFingerprint(const CreditLoopOptions& o) {
+  base::Fnv1a f;
+  f.Mix(o.num_users);
+  f.Mix(static_cast<uint64_t>(static_cast<int64_t>(o.first_year)));
+  f.Mix(static_cast<uint64_t>(static_cast<int64_t>(o.last_year)));
+  f.Mix(o.warmup_steps);
+  f.MixDouble(o.cutoff);
+  f.MixDouble(o.income_code_threshold);
+  f.MixDouble(o.forgetting_factor);
+  f.Mix(o.accumulate_history ? 1 : 0);
+  f.MixDouble(o.history_adr_bin_width);
+  f.MixDouble(o.repayment.income_multiple);
+  f.MixDouble(o.repayment.annual_rate);
+  f.MixDouble(o.repayment.living_cost);
+  f.MixDouble(o.repayment.sensitivity);
+  f.Mix(o.logistic.fit_intercept ? 1 : 0);
+  f.MixDouble(o.logistic.l2_penalty);
+  f.Mix(static_cast<uint64_t>(static_cast<int64_t>(o.logistic.max_iterations)));
+  f.MixDouble(o.logistic.tolerance);
+  f.Mix(o.logistic.gradient_fallback ? 1 : 0);
+  f.Mix(static_cast<uint64_t>(
+      static_cast<int64_t>(o.logistic.gradient_iterations)));
+  f.MixDouble(o.logistic.learning_rate);
+  f.Mix(o.logistic.rows_per_chunk);
+  f.Mix(o.seed);
+  f.Mix(o.users_per_chunk);
+  f.Mix(o.keep_user_adr ? 1 : 0);
+  return f.hash();
+}
+
 }  // namespace
 
 CreditScoringLoop::CreditScoringLoop(CreditLoopOptions options)
@@ -112,18 +168,61 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
   const size_t num_years =
       static_cast<size_t>(options_.last_year - options_.first_year) + 1;
   const size_t chunk_size = options_.users_per_chunk;
-  const size_t num_chunks = runtime::NumChunks(num_users, chunk_size);
+  const runtime::ShardPlan plan =
+      runtime::MakeShardPlan(num_users, chunk_size, options_.num_shards);
+  const size_t num_chunks = plan.num_chunks;
+  const size_t num_shards = plan.num_shards();
 
   const runtime::SeedSequence seeds(options_.seed);
-  rng::Random race_rng(seeds.Seed(kRaceStream));
   const runtime::SeedSequence income_streams = seeds.Child(kIncomeStream);
   const runtime::SeedSequence repayment_streams =
       seeds.Child(kRepaymentStream);
 
+  // Resume: validate the snapshot's framing up front (checksum over
+  // every byte before the trailer, then magic / version / options
+  // fingerprint), then read its fields in lockstep with the engine-state
+  // construction below — the blob layout is exactly the construction
+  // order.
+  const uint64_t fingerprint = LoopOptionsFingerprint(options_);
+  std::optional<base::BinaryReader> resume;
+  size_t start_step = 0;
+  if (options_.resume_state != nullptr) {
+    const std::vector<uint8_t>& blob = *options_.resume_state;
+    EQIMPACT_CHECK_GT(blob.size(), sizeof(uint64_t));
+    const size_t body_size = blob.size() - sizeof(uint64_t);
+    base::BinaryReader trailer(blob.data() + body_size, sizeof(uint64_t));
+    EQIMPACT_CHECK_EQ(trailer.ReadU64(), HashBytes(blob.data(), body_size));
+    resume.emplace(blob.data(), body_size);
+    EQIMPACT_CHECK_EQ(resume->ReadU32(), kLoopSnapshotMagic);
+    EQIMPACT_CHECK_EQ(resume->ReadU32(), kLoopSnapshotVersion);
+    EQIMPACT_CHECK_EQ(resume->ReadU64(), fingerprint);
+    start_step = resume->ReadSize();
+    EQIMPACT_CHECK(resume->ok());
+    EQIMPACT_CHECK_LE(start_step, num_years);
+  }
+
   const IncomeModel income_model;
-  Population population(num_users, &race_rng);
+  std::optional<Population> population_storage;
+  if (resume) {
+    std::vector<uint8_t> race_ids = resume->ReadU8Vector();
+    EQIMPACT_CHECK(resume->ok());
+    EQIMPACT_CHECK_EQ(race_ids.size(), num_users);
+    population_storage.emplace(std::move(race_ids));
+  } else {
+    rng::Random race_rng(seeds.Seed(kRaceStream));
+    population_storage.emplace(num_users, &race_rng);
+  }
+  Population& population = *population_storage;
   const RepaymentModel repayment(options_.repayment);
   AdrFilter filter(population.races(), options_.forgetting_factor);
+  if (resume) {
+    std::vector<double> offer_weight = resume->ReadDoubleVector();
+    std::vector<double> default_weight = resume->ReadDoubleVector();
+    std::vector<int64_t> offer_count = resume->ReadI64Vector();
+    EQIMPACT_CHECK(resume->ok());
+    filter.RestoreState(std::move(offer_weight), std::move(default_weight),
+                        std::move(offer_count));
+  }
   const std::vector<uint8_t>& race_ids = population.race_ids();
 
   // Within-trial dispatch: one persistent pool for the whole trial (the
@@ -148,6 +247,31 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
     }
   }
   const size_t num_workers = runtime::EffectiveNumThreads(dispatch);
+
+  // Chunk dispatch, shard-aware: unsharded runs keep the flat
+  // chunk-parallel path; sharded runs go shard-parallel, each shard
+  // walking its contiguous chunk range in order. Both execute exactly
+  // the same chunk bodies on exactly the same (chunk, begin, end)
+  // triples — sharding regroups execution, never the work.
+  const auto for_each_chunk =
+      [&](const std::function<void(size_t, size_t, size_t)>& chunk_body) {
+        if (num_shards == 1) {
+          runtime::ParallelForChunks(num_users, chunk_size, chunk_body,
+                                     dispatch);
+          return;
+        }
+        runtime::ParallelFor(
+            num_shards,
+            [&](size_t s) {
+              const runtime::ShardRange& shard = plan.shards[s];
+              for (size_t c = shard.chunk_begin; c < shard.chunk_end; ++c) {
+                const size_t begin = c * chunk_size;
+                const size_t end = std::min(begin + chunk_size, num_users);
+                chunk_body(c, begin, end);
+              }
+            },
+            dispatch);
+      };
 
   CreditLoopResult result;
   result.years.reserve(num_years);
@@ -189,10 +313,31 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
       options_.dense_history_fold && options_.forgetting_factor == 1.0 &&
       adr_bin_width == 0.0 && options_.accumulate_history &&
       num_years <= kMaxDenseYears;
+  const size_t dense_slots =
+      dense_fold ? DenseSlot(static_cast<uint32_t>(num_years), 0, 0) : 0;
   std::vector<uint32_t> dense_groups;
-  if (dense_fold) {
-    dense_groups.assign(DenseSlot(static_cast<uint32_t>(num_years), 0, 0),
-                        kNoDenseGroup);
+  if (dense_fold && num_shards == 1) {
+    dense_groups.assign(dense_slots, kNoDenseGroup);
+  }
+  // Sharded history staging: each shard folds its own chunks' yields
+  // into a per-shard dataset (with a per-shard dense table mapping
+  // counters to *local* group ids), re-assigned every year; the global
+  // history then absorbs the staged datasets in shard order. Group
+  // creation order is preserved — a group's global first occurrence
+  // lives in the first shard containing it, at that shard's local first
+  // occurrence — and every folded weight is an exact integer-valued
+  // double, so the merged history is bitwise the unsharded fold.
+  std::vector<ml::BinnedDataset> shard_history;
+  std::vector<std::vector<uint32_t>> shard_dense;
+  if (num_shards > 1) {
+    shard_history.assign(num_shards, ml::BinnedDataset(2, history_options));
+    if (dense_fold) shard_dense.assign(num_shards, std::vector<uint32_t>());
+  }
+  if (resume) {
+    EQIMPACT_CHECK(history.Deserialize(&*resume));
+    // dense_groups deliberately stays cold: it is a pure cache (a slot
+    // miss re-derives the group through AddRow, which finds the existing
+    // group by key), so resumed bits never depend on it.
   }
   std::optional<ml::Scorecard> current_scorecard;
   const std::vector<ml::ScorecardFactor> factor_templates =
@@ -207,6 +352,22 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
   trainer_options.num_threads = num_workers;
   trainer_options.pool = dispatch.pool;
   ml::LogisticRegression trainer(trainer_options);
+  if (resume) {
+    const bool fitted = resume->ReadBool();
+    std::vector<double> weights = resume->ReadDoubleVector();
+    const double intercept = resume->ReadDouble();
+    const bool has_scorecard = resume->ReadBool();
+    EQIMPACT_CHECK(resume->ok());
+    if (fitted) trainer.RestoreFit(linalg::Vector(std::move(weights)),
+                                   intercept);
+    // Every in-force scorecard equals FromModel of the trainer's latest
+    // successful fit (a failed refit leaves both untouched), so the
+    // snapshot stores only the flag and rebuilds the card here.
+    if (has_scorecard) {
+      current_scorecard = ml::Scorecard::FromModel(trainer, factor_templates,
+                                                   options_.cutoff);
+    }
+  }
 
   // Hot-path scalars hoisted out of the sweep.
   const double code_threshold = options_.income_code_threshold;
@@ -218,7 +379,89 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
   std::vector<double> adr_snapshot;
   const std::vector<double>& incomes = population.incomes();
 
-  for (size_t k = 0; k < num_years; ++k) {
+  if (resume) {
+    for (size_t r = 0; r < kNumRaces; ++r) {
+      result.race_adr[r] = resume->ReadDoubleVector();
+      EQIMPACT_CHECK_EQ(result.race_adr[r].size(), start_step);
+    }
+    for (size_t r = 0; r < kNumRaces; ++r) {
+      result.race_approval[r] = resume->ReadDoubleVector();
+      EQIMPACT_CHECK_EQ(result.race_approval[r].size(), start_step);
+    }
+    result.overall_adr = resume->ReadDoubleVector();
+    EQIMPACT_CHECK_EQ(result.overall_adr.size(), start_step);
+    const size_t num_scorecards = resume->ReadSize();
+    EQIMPACT_CHECK(resume->ok());
+    result.scorecards.reserve(num_scorecards);
+    for (size_t i = 0; i < num_scorecards; ++i) {
+      ScorecardSnapshot snapshot;
+      snapshot.year = static_cast<int>(resume->ReadI64());
+      snapshot.history_weight = resume->ReadDouble();
+      snapshot.income_weight = resume->ReadDouble();
+      snapshot.intercept = resume->ReadDouble();
+      result.scorecards.push_back(snapshot);
+    }
+    if (options_.keep_user_adr) {
+      std::vector<double> flat = resume->ReadDoubleVector();
+      EQIMPACT_CHECK_EQ(flat.size(), num_users * start_step);
+      for (size_t i = 0; i < num_users; ++i) {
+        result.user_adr[i].assign(flat.begin() + i * start_step,
+                                  flat.begin() + (i + 1) * start_step);
+        result.user_adr[i].reserve(num_years);
+      }
+    }
+    EQIMPACT_CHECK(resume->AtEnd());
+    for (size_t k = 0; k < start_step; ++k) {
+      result.years.push_back(options_.first_year + static_cast<int>(k));
+    }
+  }
+
+  // Serializes the complete loop state after `years_completed` years, in
+  // the exact field order the resume path consumes above, framed by
+  // magic/version/fingerprint and sealed with a byte checksum.
+  const auto write_checkpoint = [&](size_t years_completed) {
+    base::BinaryWriter writer;
+    writer.WriteU32(kLoopSnapshotMagic);
+    writer.WriteU32(kLoopSnapshotVersion);
+    writer.WriteU64(fingerprint);
+    writer.WriteSize(years_completed);
+    writer.WriteU8Vector(race_ids);
+    writer.WriteDoubleVector(filter.offer_weights());
+    writer.WriteDoubleVector(filter.default_weights());
+    writer.WriteI64Vector(filter.offer_counts());
+    history.Serialize(&writer);
+    writer.WriteBool(trainer.fitted());
+    writer.WriteDoubleVector(trainer.weights().data());
+    writer.WriteDouble(trainer.intercept());
+    writer.WriteBool(current_scorecard.has_value());
+    for (size_t r = 0; r < kNumRaces; ++r) {
+      writer.WriteDoubleVector(result.race_adr[r]);
+    }
+    for (size_t r = 0; r < kNumRaces; ++r) {
+      writer.WriteDoubleVector(result.race_approval[r]);
+    }
+    writer.WriteDoubleVector(result.overall_adr);
+    writer.WriteSize(result.scorecards.size());
+    for (const ScorecardSnapshot& snapshot : result.scorecards) {
+      writer.WriteI64(snapshot.year);
+      writer.WriteDouble(snapshot.history_weight);
+      writer.WriteDouble(snapshot.income_weight);
+      writer.WriteDouble(snapshot.intercept);
+    }
+    if (options_.keep_user_adr) {
+      std::vector<double> flat;
+      flat.reserve(num_users * years_completed);
+      for (size_t i = 0; i < num_users; ++i) {
+        flat.insert(flat.end(), result.user_adr[i].begin(),
+                    result.user_adr[i].end());
+      }
+      writer.WriteDoubleVector(flat);
+    }
+    writer.WriteU64(HashBytes(writer.buffer().data(), writer.size()));
+    options_.checkpoint_sink(years_completed, writer.buffer());
+  };
+
+  for (size_t k = start_step; k < num_years; ++k) {
     const int year = options_.first_year + static_cast<int>(k);
     result.years.push_back(year);
 
@@ -237,21 +480,18 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
     const YearIncomeSampler sampler(income_model, year);
     const runtime::SeedSequence income_year = income_streams.Child(k);
     const runtime::SeedSequence repayment_year = repayment_streams.Child(k);
-    runtime::ParallelForChunks(
-        num_users, chunk_size,
-        [&](size_t c, size_t begin, size_t end) {
-          rng::Random income_rng(income_year.Seed(c));
-          rng::Random repayment_rng(repayment_year.Seed(c));
-          ChunkScratch& scratch = scratches[c];
-          const size_t count = end - begin;
-          scratch.income_uniforms.resize(2 * count);
-          income_rng.FillUniformDouble(scratch.income_uniforms.data(),
-                                       2 * count);
-          population.ResampleIncomesFromUniforms(
-              sampler, begin, end, scratch.income_uniforms.data());
-          repayment_rng.FillUniformDouble(&uniforms[begin], count);
-        },
-        dispatch);
+    for_each_chunk([&](size_t c, size_t begin, size_t end) {
+      rng::Random income_rng(income_year.Seed(c));
+      rng::Random repayment_rng(repayment_year.Seed(c));
+      ChunkScratch& scratch = scratches[c];
+      const size_t count = end - begin;
+      scratch.income_uniforms.resize(2 * count);
+      income_rng.FillUniformDouble(scratch.income_uniforms.data(),
+                                   2 * count);
+      population.ResampleIncomesFromUniforms(
+          sampler, begin, end, scratch.income_uniforms.data());
+      repayment_rng.FillUniformDouble(&uniforms[begin], count);
+    });
 
     // Retrain the AI system once the warm-up has produced data. If the
     // fit is impossible (single-class history) or fails, the previous
@@ -297,119 +537,151 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
     // incomes are compacted so the expensive normal CDF runs only for
     // them, and a final scalar loop applies the repayment action and
     // filter update in user order.
-    runtime::ParallelForChunks(
-        num_users, chunk_size,
-        [&](size_t c, size_t begin, size_t end) {
-          ChunkYield& yield = yields[c];
-          ChunkScratch& scratch = scratches[c];
-          yield.Clear();
-          const size_t count = end - begin;
-          scratch.adr.resize(count);
-          scratch.code.resize(count);
-          scratch.indices.resize(count);
-          scratch.dense_income.resize(count);
-          filter.AdrInto(begin, end, scratch.adr.data());
-          size_t approved_count = 0;
-          if (use_scorecard) {
-            scratch.approved.resize(count);
-            runtime::kernels::ScoreSweep(
-                incomes.data() + begin, scratch.adr.data(), count,
-                score_params, scratch.code.data(), scratch.approved.data());
-            for (size_t j = 0; j < count; ++j) {
-              if (scratch.approved[j]) {  // Declined users' ADRs freeze.
-                scratch.indices[approved_count] = static_cast<uint32_t>(j);
-                scratch.dense_income[approved_count] = incomes[begin + j];
-                ++approved_count;
-              }
-            }
-          } else {
-            runtime::kernels::IncomeCode(incomes.data() + begin, count,
-                                         code_threshold,
-                                         scratch.code.data());
-            for (size_t j = 0; j < count; ++j) {
-              scratch.indices[j] = static_cast<uint32_t>(j);
-              scratch.dense_income[j] = incomes[begin + j];
-            }
-            approved_count = count;
+    for_each_chunk([&](size_t c, size_t begin, size_t end) {
+      ChunkYield& yield = yields[c];
+      ChunkScratch& scratch = scratches[c];
+      yield.Clear();
+      const size_t count = end - begin;
+      scratch.adr.resize(count);
+      scratch.code.resize(count);
+      scratch.indices.resize(count);
+      scratch.dense_income.resize(count);
+      filter.AdrInto(begin, end, scratch.adr.data());
+      size_t approved_count = 0;
+      if (use_scorecard) {
+        scratch.approved.resize(count);
+        runtime::kernels::ScoreSweep(
+            incomes.data() + begin, scratch.adr.data(), count,
+            score_params, scratch.code.data(), scratch.approved.data());
+        for (size_t j = 0; j < count; ++j) {
+          if (scratch.approved[j]) {  // Declined users' ADRs freeze.
+            scratch.indices[approved_count] = static_cast<uint32_t>(j);
+            scratch.dense_income[approved_count] = incomes[begin + j];
+            ++approved_count;
           }
-          scratch.shares.resize(count);
-          scratch.probability.resize(count);
-          repayment.ProbabilityBatch(scratch.dense_income.data(),
-                                     approved_count, scratch.shares.data(),
-                                     scratch.probability.data());
-          for (size_t t = 0; t < approved_count; ++t) {
-            const size_t j = scratch.indices[t];
-            const size_t i = begin + j;
-            const double p = scratch.probability[t];
-            const bool repaid = p > 0.0 && uniforms[i] < p;
-            if (dense_fold) {
-              // Pack the pre-update integer counters whose guarded
-              // ratio is exactly scratch.adr[j]; the merge rebuilds the
-              // row from them on a first occurrence.
-              const uint32_t offers =
-                  static_cast<uint32_t>(filter.UserOfferWeight(i));
-              const uint32_t defaults =
-                  static_cast<uint32_t>(filter.UserDefaultWeight(i));
-              const uint32_t code_bit = scratch.code[j] != 0.0 ? 1u : 0u;
-              yield.packed.push_back((offers << kPackedOffersShift) |
-                                     (defaults << kPackedDefaultsShift) |
-                                     (code_bit << 1) | (repaid ? 1u : 0u));
-            } else {
-              yield.rows.push_back(scratch.adr[j]);
-              yield.rows.push_back(scratch.code[j]);
-              yield.labels.push_back(repaid ? 1.0 : 0.0);
-            }
-            filter.Update(i, true, repaid);
-            ++yield.race_offers[race_ids[i]];
-          }
-        },
-        dispatch);
+        }
+      } else {
+        runtime::kernels::IncomeCode(incomes.data() + begin, count,
+                                     code_threshold,
+                                     scratch.code.data());
+        for (size_t j = 0; j < count; ++j) {
+          scratch.indices[j] = static_cast<uint32_t>(j);
+          scratch.dense_income[j] = incomes[begin + j];
+        }
+        approved_count = count;
+      }
+      scratch.shares.resize(count);
+      scratch.probability.resize(count);
+      repayment.ProbabilityBatch(scratch.dense_income.data(),
+                                 approved_count, scratch.shares.data(),
+                                 scratch.probability.data());
+      for (size_t t = 0; t < approved_count; ++t) {
+        const size_t j = scratch.indices[t];
+        const size_t i = begin + j;
+        const double p = scratch.probability[t];
+        const bool repaid = p > 0.0 && uniforms[i] < p;
+        if (dense_fold) {
+          // Pack the pre-update integer counters whose guarded
+          // ratio is exactly scratch.adr[j]; the merge rebuilds the
+          // row from them on a first occurrence.
+          const uint32_t offers =
+              static_cast<uint32_t>(filter.UserOfferWeight(i));
+          const uint32_t defaults =
+              static_cast<uint32_t>(filter.UserDefaultWeight(i));
+          const uint32_t code_bit = scratch.code[j] != 0.0 ? 1u : 0u;
+          yield.packed.push_back((offers << kPackedOffersShift) |
+                                 (defaults << kPackedDefaultsShift) |
+                                 (code_bit << 1) | (repaid ? 1u : 0u));
+        } else {
+          yield.rows.push_back(scratch.adr[j]);
+          yield.rows.push_back(scratch.code[j]);
+          yield.labels.push_back(repaid ? 1.0 : 0.0);
+        }
+        filter.Update(i, true, repaid);
+        ++yield.race_offers[race_ids[i]];
+      }
+    });
 
     // Merge the chunk yields in chunk (= user) order, weight-folding this
     // year's observations into the grouped history. The fold order is the
     // trial order (chunk 0, 1, ...), so group indices — and with them the
     // fit's accumulation order — are identical at every thread count.
+    // Sharded runs fold shard-locally in parallel first and merge the
+    // staged datasets in shard order, which traverses the same chunk
+    // sequence (see shard_history above).
     std::array<size_t, kNumRaces> race_offers = {0, 0, 0};
     for (const ChunkYield& yield : yields) {
       for (size_t r = 0; r < kNumRaces; ++r) {
         race_offers[r] += yield.race_offers[r];
       }
     }
-    if (!options_.accumulate_history) history.Clear();
-    if (dense_fold) {
-      // Zero-hash fold: one table lookup per example. A first
-      // occurrence rebuilds the (adr, code) row from the packed
-      // counters — the division is the same IEEE operation AdrInto's
-      // guarded ratio performed, so the row bits match the hashed
-      // fold's — and goes through AddRow, which groups by bit pattern;
-      // value-aliasing counter pairs (1/2 and 2/4) therefore cache the
-      // same group id, and group creation order stays the fold order.
-      for (const ChunkYield& yield : yields) {
-        for (const uint32_t packed : yield.packed) {
-          const uint32_t offers = packed >> kPackedOffersShift;
-          const uint32_t defaults =
-              (packed >> kPackedDefaultsShift) & kPackedDefaultsMask;
-          const uint32_t code_bit = (packed >> 1) & 1u;
-          const double label = (packed & 1u) ? 1.0 : 0.0;
-          const size_t slot = DenseSlot(offers, defaults, code_bit);
-          const uint32_t cached = dense_groups[slot];
-          if (cached != kNoDenseGroup) {
-            history.AddRowToGroup(cached, label);
-          } else {
-            const double row[2] = {
-                offers == 0 ? 0.0
-                            : static_cast<double>(defaults) /
-                                  static_cast<double>(offers),
-                code_bit ? 1.0 : 0.0};
-            dense_groups[slot] =
-                static_cast<uint32_t>(history.AddRow(row, label));
-          }
+    // Zero-hash dense fold: one table lookup per example. A first
+    // occurrence rebuilds the (adr, code) row from the packed
+    // counters — the division is the same IEEE operation AdrInto's
+    // guarded ratio performed, so the row bits match the hashed
+    // fold's — and goes through AddRow, which groups by bit pattern;
+    // value-aliasing counter pairs (1/2 and 2/4) therefore cache the
+    // same group id, and group creation order stays the fold order.
+    const auto fold_packed = [](ml::BinnedDataset& target,
+                                std::vector<uint32_t>& table,
+                                const ChunkYield& yield) {
+      for (const uint32_t packed : yield.packed) {
+        const uint32_t offers = packed >> kPackedOffersShift;
+        const uint32_t defaults =
+            (packed >> kPackedDefaultsShift) & kPackedDefaultsMask;
+        const uint32_t code_bit = (packed >> 1) & 1u;
+        const double label = (packed & 1u) ? 1.0 : 0.0;
+        const size_t slot = DenseSlot(offers, defaults, code_bit);
+        const uint32_t cached = table[slot];
+        if (cached != kNoDenseGroup) {
+          target.AddRowToGroup(cached, label);
+        } else {
+          const double row[2] = {
+              offers == 0 ? 0.0
+                          : static_cast<double>(defaults) /
+                                static_cast<double>(offers),
+              code_bit ? 1.0 : 0.0};
+          table[slot] = static_cast<uint32_t>(target.AddRow(row, label));
         }
       }
+    };
+    if (num_shards > 1) {
+      runtime::ParallelFor(
+          num_shards,
+          [&](size_t s) {
+            const runtime::ShardRange& shard = plan.shards[s];
+            ml::BinnedDataset& staged = shard_history[s];
+            staged.Clear();
+            if (dense_fold) {
+              std::vector<uint32_t>& table = shard_dense[s];
+              table.assign(dense_slots, kNoDenseGroup);
+              for (size_t c = shard.chunk_begin; c < shard.chunk_end; ++c) {
+                fold_packed(staged, table, yields[c]);
+              }
+            } else {
+              for (size_t c = shard.chunk_begin; c < shard.chunk_end; ++c) {
+                staged.AddBatch(yields[c].rows.data(),
+                                yields[c].labels.data(),
+                                yields[c].labels.size());
+              }
+            }
+          },
+          dispatch);
+      if (!options_.accumulate_history) history.Clear();
+      for (size_t s = 0; s < num_shards; ++s) {
+        history.Merge(shard_history[s]);
+      }
     } else {
-      for (const ChunkYield& yield : yields) {
-        history.AddBatch(yield.rows.data(), yield.labels.data(),
-                         yield.labels.size());
+      if (!options_.accumulate_history) history.Clear();
+      if (dense_fold) {
+        for (const ChunkYield& yield : yields) {
+          fold_packed(history, dense_groups, yield);
+        }
+      } else {
+        for (const ChunkYield& yield : yields) {
+          history.AddBatch(yield.rows.data(), yield.labels.data(),
+                           yield.labels.size());
+        }
       }
     }
 
@@ -437,6 +709,8 @@ CreditLoopResult CreditScoringLoop::Run(const YearObserver& observer) const {
             YearSnapshot{k, year, adr_snapshot, result.races, race_ids});
       }
     }
+
+    if (options_.checkpoint_sink) write_checkpoint(k + 1);
   }
   return result;
 }

@@ -14,6 +14,17 @@
 namespace eqimpact {
 namespace credit {
 
+/// Consumer of within-trial checkpoints: invoked from the simulating
+/// thread after each completed year with the number of completed years
+/// and a versioned binary snapshot of the full loop state (cohort,
+/// filter, grouped history, trainer, partial per-year series). Feeding
+/// the snapshot back through CreditLoopOptions::resume_state continues
+/// the trial from that year with output byte-identical to the
+/// uninterrupted run. The sink may copy or persist the blob; the
+/// reference is valid only for the duration of the call.
+using LoopCheckpointSink = std::function<void(
+    size_t years_completed, const std::vector<uint8_t>& state)>;
+
 /// Configuration of the paper's Section VII closed loop.
 struct CreditLoopOptions {
   /// Cohort size (paper: N = 1000).
@@ -96,6 +107,35 @@ struct CreditLoopOptions {
   /// the engine then holds O(num_users) state, not
   /// O(num_users x num_years).
   bool keep_user_adr = true;
+
+  /// Population shards for the within-trial passes. Each shard owns a
+  /// contiguous range of whole chunks (see runtime::MakeShardPlan) and
+  /// runs its own two-pass sweep plus its own staged history fold, with
+  /// per-shard results merged in shard order — which visits chunks in
+  /// exactly the global chunk order, so every coefficient, series and
+  /// digest is bitwise-identical to the unsharded run at any
+  /// (num_shards, users_per_chunk, num_threads) configuration. 0 and 1
+  /// both mean unsharded; values above the chunk count are clamped.
+  /// Like num_threads (and unlike users_per_chunk), this knob never
+  /// moves a bit of output — it only regroups execution and scales the
+  /// engine out across shard-parallel workers.
+  size_t num_shards = 1;
+
+  /// When set, the engine serializes its full state after every
+  /// simulated year and hands the snapshot to this sink (from the
+  /// calling thread, after the year's observer callback). Null (the
+  /// default) disables checkpointing and leaves the hot path untouched.
+  LoopCheckpointSink checkpoint_sink;
+
+  /// When non-null, Run restores this previously sunk snapshot instead
+  /// of starting fresh and continues from the first unfinished year;
+  /// the completed result is byte-identical to an uninterrupted run
+  /// with the same options. The snapshot must come from a run with the
+  /// same output-affecting options (cohort, years, models, seed,
+  /// users_per_chunk, keep_user_adr — CHECK-enforced via an options
+  /// fingerprint; num_shards/num_threads/pool may differ freely). Not
+  /// owned; must outlive Run.
+  const std::vector<uint8_t>* resume_state = nullptr;
 };
 
 /// Fitted scorecard parameters of one retraining step.

@@ -22,6 +22,18 @@ Population::Population(size_t num_users, rng::Random* random) {
   incomes_.assign(num_users, 0.0);
 }
 
+Population::Population(std::vector<uint8_t> race_ids)
+    : race_ids_(std::move(race_ids)) {
+  EQIMPACT_CHECK_GT(race_ids_.size(), 0u);
+  races_.reserve(race_ids_.size());
+  for (uint8_t id : race_ids_) {
+    EQIMPACT_CHECK_LT(static_cast<size_t>(id), kNumRaces);
+    races_.push_back(static_cast<Race>(id));
+    ++race_counts_[id];
+  }
+  incomes_.assign(race_ids_.size(), 0.0);
+}
+
 Race Population::race(size_t i) const {
   EQIMPACT_CHECK_LT(i, races_.size());
   return races_[i];

@@ -28,6 +28,12 @@ class Population {
   /// Samples `num_users` household races. CHECK-fails on num_users == 0.
   Population(size_t num_users, rng::Random* random);
 
+  /// Rebuilds a cohort from previously sampled race ids (checkpoint
+  /// resume): identical to the sampling constructor that produced the
+  /// ids, with no RNG draws. CHECK-fails on an empty vector or an
+  /// out-of-range id.
+  explicit Population(std::vector<uint8_t> race_ids);
+
   size_t size() const { return races_.size(); }
   const std::vector<Race>& races() const { return races_; }
   Race race(size_t i) const;

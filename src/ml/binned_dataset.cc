@@ -195,6 +195,49 @@ void BinnedDataset::Clear() {
   slots_.assign(slots_.size(), kNoGroup);
 }
 
+void BinnedDataset::Serialize(base::BinaryWriter* writer) const {
+  writer->WriteSize(num_features_);
+  writer->WriteDoubleVector(options_.bin_widths);
+  writer->WriteDoubleVector(rows_);
+  writer->WriteI64Vector(keys_);
+  writer->WriteDoubleVector(weight_);
+  writer->WriteDoubleVector(positive_);
+  writer->WriteSize(hashes_.size());
+  for (uint64_t h : hashes_) writer->WriteU64(h);
+  writer->WriteDouble(total_weight_);
+  writer->WriteDouble(total_positive_);
+  writer->WriteSize(num_rows_absorbed_);
+}
+
+bool BinnedDataset::Deserialize(base::BinaryReader* reader) {
+  EQIMPACT_CHECK_EQ(reader->ReadSize(), num_features_);
+  std::vector<double> bin_widths = reader->ReadDoubleVector();
+  EQIMPACT_CHECK(bin_widths == options_.bin_widths);
+  rows_ = reader->ReadDoubleVector();
+  keys_ = reader->ReadI64Vector();
+  weight_ = reader->ReadDoubleVector();
+  positive_ = reader->ReadDoubleVector();
+  size_t num_hashes = reader->ReadSize();
+  if (!reader->ok() || num_hashes != weight_.size()) return false;
+  hashes_.resize(num_hashes);
+  for (uint64_t& h : hashes_) h = reader->ReadU64();
+  total_weight_ = reader->ReadDouble();
+  total_positive_ = reader->ReadDouble();
+  num_rows_absorbed_ = reader->ReadSize();
+  if (!reader->ok() || rows_.size() != num_hashes * num_features_ ||
+      keys_.size() != num_hashes * num_features_ ||
+      positive_.size() != num_hashes) {
+    return false;
+  }
+  // Rebuild the slot table at the same <=70% load factor AddRow grows
+  // it to, so post-resume insertions probe and grow exactly as they
+  // would have in the uninterrupted run.
+  size_t num_slots = 64;
+  while (num_hashes * 10 > num_slots * 7) num_slots *= 2;
+  Rehash(num_slots);
+  return true;
+}
+
 const double* BinnedDataset::row(size_t g) const {
   EQIMPACT_CHECK_LT(g, num_groups());
   return &rows_[g * num_features_];

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/serial.h"
 #include "linalg/vector.h"
 #include "ml/dataset.h"
 
@@ -111,6 +112,18 @@ class BinnedDataset {
   }
 
   const BinnedDatasetOptions& options() const { return options_; }
+
+  /// Writes the full grouped state (representatives, quantized keys,
+  /// weights, group hashes, totals) so Deserialize restores a dataset
+  /// whose group order, group contents and future insertion behaviour
+  /// are byte-identical to the saved one's.
+  void Serialize(base::BinaryWriter* writer) const;
+  /// Restores state written by Serialize into this dataset, which must
+  /// have been constructed with the same num_features and bin widths
+  /// (CHECK-fails otherwise); the hash index is rebuilt, not stored.
+  /// Returns false (leaving this dataset unspecified) on a truncated or
+  /// inconsistent record.
+  bool Deserialize(base::BinaryReader* reader);
 
  private:
   /// Quantizes `features` into key_scratch_ and returns its hash.

@@ -161,6 +161,13 @@ FitResult LogisticRegression::Fit(const BinnedDataset& data) {
   return FitImpl(rows);
 }
 
+void LogisticRegression::RestoreFit(const linalg::Vector& weights,
+                                    double intercept) {
+  weights_ = weights;
+  intercept_ = intercept;
+  fitted_ = true;
+}
+
 FitResult LogisticRegression::FitImpl(const WeightedRows& data) {
   FitResult result;
   const size_t f = data.f;

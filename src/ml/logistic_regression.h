@@ -119,6 +119,11 @@ class LogisticRegression {
   /// True once a successful Fit has been performed.
   bool fitted() const { return fitted_; }
 
+  /// Restores a previously fitted state (e.g. from a checkpoint): sets
+  /// the weights and intercept verbatim and marks the model fitted, so a
+  /// subsequent warm-started Fit begins from exactly this point.
+  void RestoreFit(const linalg::Vector& weights, double intercept);
+
   /// Linear predictor w . x (+ intercept): the "score" of the scorecard.
   double DecisionFunction(const linalg::Vector& features) const;
 

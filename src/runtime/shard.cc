@@ -1,0 +1,49 @@
+#include "runtime/shard.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "runtime/parallel_for.h"
+
+namespace eqimpact {
+namespace runtime {
+
+ShardPlan MakeShardPlan(size_t num_users, size_t chunk_size,
+                        size_t requested_shards) {
+  EQIMPACT_CHECK_GT(num_users, 0u);
+  EQIMPACT_CHECK_GT(chunk_size, 0u);
+  ShardPlan plan;
+  plan.num_users = num_users;
+  plan.chunk_size = chunk_size;
+  plan.num_chunks = NumChunks(num_users, chunk_size);
+  const size_t num_shards =
+      std::min(std::max<size_t>(requested_shards, 1), plan.num_chunks);
+  plan.shards.reserve(num_shards);
+  const size_t base = plan.num_chunks / num_shards;
+  const size_t extra = plan.num_chunks % num_shards;
+  size_t chunk = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    ShardRange range;
+    range.chunk_begin = chunk;
+    chunk += base + (s < extra ? 1 : 0);
+    range.chunk_end = chunk;
+    range.user_begin = range.chunk_begin * chunk_size;
+    range.user_end = std::min(range.chunk_end * chunk_size, num_users);
+    plan.shards.push_back(range);
+  }
+  EQIMPACT_CHECK_EQ(chunk, plan.num_chunks);
+  EQIMPACT_CHECK_EQ(plan.shards.back().user_end, num_users);
+  return plan;
+}
+
+ShardBudget SplitShardBudget(size_t total_threads, size_t num_shards) {
+  EQIMPACT_CHECK_GT(total_threads, 0u);
+  EQIMPACT_CHECK_GT(num_shards, 0u);
+  ShardBudget budget;
+  budget.outer = std::min(total_threads, num_shards);
+  budget.inner = std::max<size_t>(total_threads / budget.outer, 1);
+  return budget;
+}
+
+}  // namespace runtime
+}  // namespace eqimpact

@@ -67,13 +67,20 @@ bool CreditScenario::SetParameter(const std::string& name, double value) {
     options_.loop.accumulate_history = value != 0.0;
     return true;
   }
+  if (name == "num_shards") {
+    if (!CountParameterInRange(value)) return false;
+    options_.loop.num_shards = static_cast<size_t>(value);
+    return true;
+  }
   return false;
 }
 
 std::vector<std::string> CreditScenario::ParameterNames() const {
   return {"num_users", "cutoff", "forgetting_factor", "income_code_threshold",
-          "accumulate_history"};
+          "accumulate_history", "num_shards"};
 }
+
+bool CreditScenario::SupportsCheckpoint() const { return true; }
 
 void CreditScenario::BeginExperiment(size_t num_trials) {
   trial_records_.clear();
@@ -87,6 +94,11 @@ TrialOutcome CreditScenario::RunTrial(const TrialContext& context,
   loop_options.keep_user_adr = options_.keep_raw_series;
   if (context.num_threads > 0) loop_options.num_threads = context.num_threads;
   loop_options.pool = context.pool;  // Null under parallel trial dispatch.
+  // Checkpoint plumbing: the loop's yearly snapshots ARE the trial's
+  // opaque state blobs (same sink signature), and a driver-supplied
+  // resume blob drops straight back into the loop.
+  loop_options.checkpoint_sink = context.checkpoint_sink;
+  loop_options.resume_state = context.resume_state;
   credit::CreditScoringLoop loop(loop_options);
   credit::CreditLoopResult record =
       loop.Run([impacts](const credit::YearSnapshot& snapshot) {

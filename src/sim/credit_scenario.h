@@ -35,11 +35,17 @@ class CreditScenario : public Scenario {
   std::vector<std::string> GroupLabels() const override;
   std::vector<std::string> StepLabels() const override;
   std::vector<std::string> MetricNames() const override;
-  /// "num_users", "cutoff", "forgetting_factor", "income_code_threshold"
-  /// and "accumulate_history" (0/1) are accepted.
+  /// "num_users", "cutoff", "forgetting_factor", "income_code_threshold",
+  /// "accumulate_history" (0/1) and "num_shards" are accepted.
+  /// num_shards is bitwise-neutral (it regroups execution, never the
+  /// work) — sweeping it is a determinism check, not an ablation.
   bool SetParameter(const std::string& name, double value) override;
   std::vector<std::string> ParameterNames() const override;
   void BeginExperiment(size_t num_trials) override;
+  /// Checkpoint-capable: the credit engine's yearly snapshots flow to
+  /// TrialContext::checkpoint_sink and resume byte-identically from
+  /// TrialContext::resume_state.
+  bool SupportsCheckpoint() const override;
   TrialOutcome RunTrial(const TrialContext& context,
                         stats::AdrAccumulator* impacts) override;
 

@@ -1,16 +1,109 @@
 #include "sim/experiment.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 
 #include "base/check.h"
 #include "base/fnv1a.h"
+#include "base/serial.h"
 #include "runtime/parallel_for.h"
 #include "runtime/seed_sequence.h"
 #include "runtime/thread_pool.h"
 
 namespace eqimpact {
 namespace sim {
+namespace {
+
+// Experiment snapshot framing ("EQXP"): magic, format version, a
+// fingerprint binding the snapshot to the experiment shape it belongs
+// to, and a trailing FNV-1a byte checksum. The engine-level trial blob
+// travels opaquely inside (it carries its own magic, fingerprint and
+// checksum, so scenario-option mismatches are caught on resume by the
+// engine itself).
+constexpr uint32_t kExperimentSnapshotMagic = 0x50585145u;  // "EQXP"
+constexpr uint32_t kExperimentSnapshotVersion = 1;
+
+uint64_t HashBytes(const uint8_t* data, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t ExperimentFingerprint(const std::string& scenario_name,
+                               const ExperimentOptions& options,
+                               size_t num_groups, size_t num_steps,
+                               double lo, double hi) {
+  base::Fnv1a f;
+  for (char ch : scenario_name) f.Mix(static_cast<uint8_t>(ch));
+  f.Mix(options.num_trials);
+  f.Mix(options.master_seed);
+  f.Mix(options.impact_bins);
+  f.Mix(num_groups);
+  f.Mix(num_steps);
+  f.MixDouble(lo);
+  f.MixDouble(hi);
+  return f.hash();
+}
+
+void WriteTrialOutcome(base::BinaryWriter* writer,
+                       const TrialOutcome& outcome) {
+  writer->WriteSize(outcome.group_impact.size());
+  for (const std::vector<double>& series : outcome.group_impact) {
+    writer->WriteDoubleVector(series);
+  }
+  writer->WriteDoubleVector(outcome.metrics);
+}
+
+bool ReadTrialOutcome(base::BinaryReader* reader, TrialOutcome* outcome) {
+  const size_t num_groups = reader->ReadSize();
+  if (!reader->ok()) return false;
+  outcome->group_impact.assign(num_groups, {});
+  for (std::vector<double>& series : outcome->group_impact) {
+    series = reader->ReadDoubleVector();
+  }
+  outcome->metrics = reader->ReadDoubleVector();
+  return reader->ok();
+}
+
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  out->assign(size > 0 ? static_cast<size_t>(size) : 0, 0);
+  const size_t read =
+      out->empty() ? 0 : std::fread(out->data(), 1, out->size(), file);
+  std::fclose(file);
+  return !out->empty() && read == out->size();
+}
+
+// Crash-safe snapshot replacement: the bytes land in a sibling temp
+// file, reach disk (fsync) and only then take the snapshot's name via
+// an atomic rename — a kill at any instant leaves either the old or
+// the new snapshot, never a torn one.
+void AtomicWriteFile(const std::string& path,
+                     const std::vector<uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  EQIMPACT_CHECK(file != nullptr);
+  if (!bytes.empty()) {
+    EQIMPACT_CHECK_EQ(std::fwrite(bytes.data(), 1, bytes.size(), file),
+                      bytes.size());
+  }
+  EQIMPACT_CHECK_EQ(std::fflush(file), 0);
+  EQIMPACT_CHECK_EQ(fsync(fileno(file)), 0);
+  EQIMPACT_CHECK_EQ(std::fclose(file), 0);
+  EQIMPACT_CHECK_EQ(std::rename(tmp.c_str(), path.c_str()), 0);
+}
+
+}  // namespace
 
 ExperimentResult RunExperiment(Scenario* scenario,
                                const ExperimentOptions& options) {
@@ -40,8 +133,17 @@ ExperimentResult RunExperiment(Scenario* scenario,
       stats::AdrAccumulator(num_groups, num_steps, options.impact_bins,
                             scenario->impact_lo(), scenario->impact_hi()));
   const runtime::SeedSequence seeds(options.master_seed);
+  const bool checkpointing = !options.checkpoint_path.empty();
   runtime::ParallelForOptions dispatch;
   dispatch.num_threads = options.num_threads;
+  if (checkpointing) {
+    // Checkpoints linearize trial progress (the snapshot is "trials
+    // [0, t) complete, trial t at step s"), so trial dispatch goes
+    // sequential; within-trial parallelism (trial_threads, shards) is
+    // unaffected — and neither dispatch mode moves a bit of output.
+    EQIMPACT_CHECK(scenario->SupportsCheckpoint());
+    dispatch.num_threads = 1;
+  }
   // Concurrent trials may not share a pool, but under sequential trial
   // dispatch with an explicit within-trial budget a single persistent
   // pool serves every trial's inner fan-out.
@@ -50,18 +152,108 @@ ExperimentResult RunExperiment(Scenario* scenario,
       options.trial_threads > 1) {
     trial_pool.reset(new runtime::ThreadPool(options.trial_threads));
   }
-  runtime::ParallelFor(
-      options.num_trials,
-      [&options, &seeds, &result, &trial_impact, &trial_pool,
-       scenario](size_t t) {
-        TrialContext context;
-        context.trial_index = t;
-        context.trial_seed = seeds.Seed(t);
-        context.num_threads = options.trial_threads;
-        context.pool = trial_pool.get();
-        result.trials[t] = scenario->RunTrial(context, &trial_impact[t]);
-      },
-      dispatch);
+
+  const uint64_t fingerprint = ExperimentFingerprint(
+      result.scenario, options, num_groups, num_steps, scenario->impact_lo(),
+      scenario->impact_hi());
+  size_t completed_trials = 0;
+  std::vector<uint8_t> partial_blob;
+  if (checkpointing && options.resume) {
+    std::vector<uint8_t> blob;
+    if (ReadFileBytes(options.checkpoint_path, &blob)) {
+      EQIMPACT_CHECK_GT(blob.size(), sizeof(uint64_t));
+      const size_t body_size = blob.size() - sizeof(uint64_t);
+      base::BinaryReader trailer(blob.data() + body_size, sizeof(uint64_t));
+      EQIMPACT_CHECK_EQ(trailer.ReadU64(),
+                        HashBytes(blob.data(), body_size));
+      base::BinaryReader reader(blob.data(), body_size);
+      EQIMPACT_CHECK_EQ(reader.ReadU32(), kExperimentSnapshotMagic);
+      EQIMPACT_CHECK_EQ(reader.ReadU32(), kExperimentSnapshotVersion);
+      EQIMPACT_CHECK_EQ(reader.ReadU64(), fingerprint);
+      completed_trials = reader.ReadSize();
+      EQIMPACT_CHECK(reader.ok());
+      EQIMPACT_CHECK_LE(completed_trials, options.num_trials);
+      for (size_t t = 0; t < completed_trials; ++t) {
+        EQIMPACT_CHECK(ReadTrialOutcome(&reader, &result.trials[t]));
+        EQIMPACT_CHECK(trial_impact[t].Deserialize(&reader));
+      }
+      const bool has_partial = reader.ReadBool();
+      EQIMPACT_CHECK(reader.ok());
+      if (has_partial) {
+        EQIMPACT_CHECK_LT(completed_trials, options.num_trials);
+        EQIMPACT_CHECK_EQ(reader.ReadSize(), completed_trials);
+        const size_t steps_completed = reader.ReadSize();
+        EQIMPACT_CHECK_GT(steps_completed, 0u);
+        EQIMPACT_CHECK(trial_impact[completed_trials].Deserialize(&reader));
+        partial_blob = reader.ReadU8Vector();
+        EQIMPACT_CHECK(!partial_blob.empty());
+      }
+      EQIMPACT_CHECK(reader.AtEnd());
+    } else {
+      std::fprintf(stderr,
+                   "[experiment] no checkpoint at %s; starting fresh\n",
+                   options.checkpoint_path.c_str());
+    }
+  }
+
+  // Rewrites the snapshot file: trials [0, trials_done) complete, plus
+  // (optionally) the in-flight trial's accumulator and engine blob as
+  // of `steps_completed` steps.
+  const auto write_snapshot = [&](size_t trials_done, bool has_partial,
+                                  size_t steps_completed,
+                                  const std::vector<uint8_t>& engine_blob) {
+    base::BinaryWriter writer;
+    writer.WriteU32(kExperimentSnapshotMagic);
+    writer.WriteU32(kExperimentSnapshotVersion);
+    writer.WriteU64(fingerprint);
+    writer.WriteSize(trials_done);
+    for (size_t t = 0; t < trials_done; ++t) {
+      WriteTrialOutcome(&writer, result.trials[t]);
+      trial_impact[t].Serialize(&writer);
+    }
+    writer.WriteBool(has_partial);
+    if (has_partial) {
+      writer.WriteSize(trials_done);
+      writer.WriteSize(steps_completed);
+      trial_impact[trials_done].Serialize(&writer);
+      writer.WriteU8Vector(engine_blob);
+    }
+    writer.WriteU64(HashBytes(writer.buffer().data(), writer.size()));
+    AtomicWriteFile(options.checkpoint_path, writer.buffer());
+  };
+
+  if (checkpointing) {
+    for (size_t t = completed_trials; t < options.num_trials; ++t) {
+      TrialContext context;
+      context.trial_index = t;
+      context.trial_seed = seeds.Seed(t);
+      context.num_threads = options.trial_threads;
+      context.pool = trial_pool.get();
+      context.checkpoint_sink = [&write_snapshot, t](
+                                    size_t steps_completed,
+                                    const std::vector<uint8_t>& state) {
+        write_snapshot(t, true, steps_completed, state);
+      };
+      if (t == completed_trials && !partial_blob.empty()) {
+        context.resume_state = &partial_blob;
+      }
+      result.trials[t] = scenario->RunTrial(context, &trial_impact[t]);
+      write_snapshot(t + 1, false, 0, {});
+    }
+  } else {
+    runtime::ParallelFor(
+        options.num_trials,
+        [&options, &seeds, &result, &trial_impact, &trial_pool,
+         scenario](size_t t) {
+          TrialContext context;
+          context.trial_index = t;
+          context.trial_seed = seeds.Seed(t);
+          context.num_threads = options.trial_threads;
+          context.pool = trial_pool.get();
+          result.trials[t] = scenario->RunTrial(context, &trial_impact[t]);
+        },
+        dispatch);
+  }
 
   // Aggregation happens strictly after the join, in trial-slot order.
   for (stats::AdrAccumulator& impact : trial_impact) {

@@ -31,6 +31,23 @@ struct ExperimentOptions {
   size_t trial_threads = 0;
   /// Histogram resolution of the streaming pooled-impact accumulator.
   size_t impact_bins = 64;
+  /// When non-empty, the experiment checkpoints to this file: after
+  /// every completed simulation step of the in-flight trial (and after
+  /// every completed trial) the driver atomically rewrites a versioned
+  /// binary snapshot — completed trial outcomes + accumulators, plus
+  /// the partial trial's accumulator and engine blob — via
+  /// write-to-temp + fsync + rename, so a SIGKILL at any instant leaves
+  /// a valid snapshot on disk. Requires a scenario with
+  /// SupportsCheckpoint() (CHECK-enforced) and forces sequential trial
+  /// dispatch (checkpoints linearize trial progress; trial_threads
+  /// within-trial parallelism is unaffected). Checkpointing never moves
+  /// a bit of output.
+  std::string checkpoint_path;
+  /// With a checkpoint_path: resume from the snapshot file if it
+  /// exists (start fresh, with a note on stderr, if it does not). A
+  /// resumed experiment — from any year of any trial, killed or not —
+  /// produces a result byte-identical to an uninterrupted run.
+  bool resume = false;
 };
 
 /// Scalar equal-impact diagnostics of one experiment, evaluated at the

@@ -29,5 +29,7 @@ std::vector<std::string> Scenario::ParameterNames() const { return {}; }
 
 void Scenario::BeginExperiment(size_t /*num_trials*/) {}
 
+bool Scenario::SupportsCheckpoint() const { return false; }
+
 }  // namespace sim
 }  // namespace eqimpact

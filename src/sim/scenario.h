@@ -17,6 +17,13 @@ class ThreadPool;
 
 namespace sim {
 
+/// Consumer of a trial's engine-level checkpoints: invoked after each
+/// completed simulation step with the number of completed steps and the
+/// engine's versioned opaque state blob (e.g. the credit loop's yearly
+/// snapshot). The blob reference is valid only for the call.
+using TrialCheckpointSink = std::function<void(
+    size_t steps_completed, const std::vector<uint8_t>& state)>;
+
 /// Everything one trial of a scenario needs from the experiment driver.
 struct TrialContext {
   /// Slot index of this trial in [0, num_trials); results keyed by it
@@ -35,6 +42,14 @@ struct TrialContext {
   /// trial_threads > 1, so a scenario's inner ParallelFor calls can
   /// reuse it instead of spawning per-call pools.
   runtime::ThreadPool* pool = nullptr;
+  /// When set (only for scenarios with SupportsCheckpoint()), the trial
+  /// must hand its engine's per-step snapshots to this sink so the
+  /// driver can persist a resumable experiment state.
+  TrialCheckpointSink checkpoint_sink;
+  /// When non-null, the trial must resume its engine from this
+  /// previously sunk snapshot instead of starting fresh; the finished
+  /// trial must be byte-identical to an uninterrupted run. Not owned.
+  const std::vector<uint8_t>* resume_state = nullptr;
 };
 
 /// Generic per-trial record every scenario produces.
@@ -111,6 +126,12 @@ class Scenario {
   /// the trial count — the hook where scenarios preallocate per-trial
   /// slots. Default no-op.
   virtual void BeginExperiment(size_t num_trials);
+
+  /// True if RunTrial honours TrialContext::checkpoint_sink /
+  /// resume_state (per-step engine snapshots with byte-identical
+  /// resume). Default false; the experiment driver refuses to
+  /// checkpoint scenarios without it.
+  virtual bool SupportsCheckpoint() const;
 
   /// Runs one trial. `impacts` is a driver-owned accumulator shaped
   /// (num_groups, num_steps, bins) over [impact_lo, impact_hi]; the

@@ -153,6 +153,35 @@ double AdrAccumulator::StepApproxQuantile(size_t k, double p) const {
   return QuantileFromBins(p, bins.data(), total, min_value, max_value);
 }
 
+void AdrAccumulator::Serialize(base::BinaryWriter* writer) const {
+  writer->WriteSize(num_groups_);
+  writer->WriteSize(num_steps_);
+  writer->WriteSize(num_bins_);
+  writer->WriteDouble(lo_);
+  writer->WriteDouble(hi_);
+  writer->WriteDouble(bin_width_);
+  writer->WriteSize(stats_.size());
+  for (const RunningStats& cell : stats_) cell.Serialize(writer);
+  writer->WriteI64Vector(bin_counts_);
+}
+
+bool AdrAccumulator::Deserialize(base::BinaryReader* reader) {
+  num_groups_ = reader->ReadSize();
+  num_steps_ = reader->ReadSize();
+  num_bins_ = reader->ReadSize();
+  lo_ = reader->ReadDouble();
+  hi_ = reader->ReadDouble();
+  bin_width_ = reader->ReadDouble();
+  size_t num_cells = reader->ReadSize();
+  if (!reader->ok() || num_cells != num_steps_ * num_groups_) return false;
+  stats_.assign(num_cells, RunningStats());
+  for (RunningStats& cell : stats_) {
+    if (!cell.Deserialize(reader)) return false;
+  }
+  bin_counts_ = reader->ReadI64Vector();
+  return reader->ok() && bin_counts_.size() == num_cells * num_bins_;
+}
+
 SeriesEnvelope AdrAccumulator::GroupEnvelope(size_t g) const {
   SeriesEnvelope envelope;
   envelope.mean.reserve(num_steps_);

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/serial.h"
 #include "stats/aggregate.h"
 #include "stats/running_stats.h"
 
@@ -96,6 +97,14 @@ class AdrAccumulator {
   /// (users pooled across trials) — the streaming analogue of
   /// AggregateEnvelope over the group's raw series bundle.
   SeriesEnvelope GroupEnvelope(size_t g) const;
+
+  /// Writes the full accumulator state — shape plus every cell's raw
+  /// Welford moments and bin counts — such that Deserialize restores a
+  /// byte-identical accumulator (empty accumulators round-trip too).
+  void Serialize(base::BinaryWriter* writer) const;
+  /// Restores state written by Serialize. Returns false (leaving this
+  /// accumulator unspecified) on a truncated or inconsistent record.
+  bool Deserialize(base::BinaryReader* reader);
 
  private:
   size_t CellIndex(size_t k, size_t g) const;

@@ -43,5 +43,22 @@ double RunningStats::Variance() const {
 
 double RunningStats::StdDev() const { return std::sqrt(Variance()); }
 
+void RunningStats::Serialize(base::BinaryWriter* writer) const {
+  writer->WriteI64(count_);
+  writer->WriteDouble(mean_);
+  writer->WriteDouble(m2_);
+  writer->WriteDouble(min_);
+  writer->WriteDouble(max_);
+}
+
+bool RunningStats::Deserialize(base::BinaryReader* reader) {
+  count_ = reader->ReadI64();
+  mean_ = reader->ReadDouble();
+  m2_ = reader->ReadDouble();
+  min_ = reader->ReadDouble();
+  max_ = reader->ReadDouble();
+  return reader->ok();
+}
+
 }  // namespace stats
 }  // namespace eqimpact

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "base/serial.h"
+
 namespace eqimpact {
 namespace stats {
 
@@ -35,6 +37,13 @@ class RunningStats {
   double Min() const { return min_; }
   /// Largest observation (-inf when empty).
   double Max() const { return max_; }
+
+  /// Writes the raw accumulator state (bit-exact doubles); Deserialize
+  /// restores a byte-identical accumulator.
+  void Serialize(base::BinaryWriter* writer) const;
+  /// Restores state written by Serialize. Returns false (leaving this
+  /// accumulator unspecified) if the reader runs out of bytes.
+  bool Deserialize(base::BinaryReader* reader);
 
  private:
   int64_t count_ = 0;

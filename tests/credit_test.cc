@@ -353,6 +353,69 @@ TEST(PopulationTest, ResamplingChangesIncomes) {
   EXPECT_TRUE(changed);
 }
 
+TEST(PopulationTest, RebuildFromRaceIdsReproducesCohort) {
+  // The checkpoint layer persists only the sampled race ids; rebuilding
+  // from them must reproduce the cohort exactly — races, counts and
+  // subsequent income sampling — with no RNG draws of its own.
+  rng::Random random(304);
+  credit::Population sampled(500, &random);
+  credit::Population rebuilt(sampled.race_ids());
+
+  ASSERT_EQ(rebuilt.size(), sampled.size());
+  EXPECT_EQ(rebuilt.race_ids(), sampled.race_ids());
+  EXPECT_EQ(rebuilt.races(), sampled.races());
+  for (Race race :
+       {Race::kBlackAlone, Race::kWhiteAlone, Race::kAsianAlone}) {
+    EXPECT_EQ(rebuilt.CountRace(race), sampled.CountRace(race));
+  }
+
+  // Same RNG stream from here on => bitwise-identical incomes.
+  credit::IncomeModel model;
+  rng::Random stream_a(77), stream_b(77);
+  sampled.ResampleIncomes(2006, model, &stream_a);
+  rebuilt.ResampleIncomes(2006, model, &stream_b);
+  EXPECT_EQ(rebuilt.incomes(), sampled.incomes());
+}
+
+TEST(AdrFilterTest, RestoreStateReproducesUserAdrBitwise) {
+  // Round-trip the raw per-user arrays through a fresh filter (the
+  // checkpoint resume path) and check every derived quantity — ADR
+  // ratios, offer counts, race aggregates — is bitwise-preserved and
+  // that further updates continue identically on both filters.
+  rng::Random random(305);
+  credit::Population population(300, &random);
+  credit::AdrFilter original(population.races());
+  for (size_t i = 0; i < original.num_users(); ++i) {
+    for (int k = 0; k < 5; ++k) {
+      original.Update(i, random.Bernoulli(0.6), random.Bernoulli(0.8));
+    }
+  }
+
+  credit::AdrFilter restored(population.races());
+  restored.RestoreState(original.offer_weights(), original.default_weights(),
+                        original.offer_counts());
+
+  EXPECT_EQ(restored.UserAdrSnapshot(), original.UserAdrSnapshot());
+  for (size_t i = 0; i < original.num_users(); ++i) {
+    EXPECT_EQ(restored.UserOffers(i), original.UserOffers(i));
+    EXPECT_EQ(restored.UserOfferWeight(i), original.UserOfferWeight(i));
+    EXPECT_EQ(restored.UserDefaultWeight(i), original.UserDefaultWeight(i));
+  }
+  const credit::AdrFilter::Summary sum_orig = original.Summarize();
+  const credit::AdrFilter::Summary sum_rest = restored.Summarize();
+  EXPECT_EQ(sum_rest.overall_adr, sum_orig.overall_adr);
+  EXPECT_EQ(sum_rest.race_adr, sum_orig.race_adr);
+
+  rng::Random tail(306);
+  for (size_t i = 0; i < original.num_users(); ++i) {
+    const bool offered = tail.Bernoulli(0.5);
+    const bool repaid = tail.Bernoulli(0.7);
+    original.Update(i, offered, repaid);
+    restored.Update(i, offered, repaid);
+  }
+  EXPECT_EQ(restored.UserAdrSnapshot(), original.UserAdrSnapshot());
+}
+
 // --- Lending policies ---------------------------------------------------------
 
 TEST(LendingPolicyTest, ApproveAllSizesMortgageByIncome) {

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/serial.h"
 #include "credit/credit_loop.h"
 #include "linalg/vector.h"
 #include "ml/binned_dataset.h"
@@ -275,6 +276,81 @@ TEST(BinnedDatasetTest, ManyGroupsSurviveRehashing) {
     EXPECT_DOUBLE_EQ(data.row(g)[0], static_cast<double>(g));
     EXPECT_DOUBLE_EQ(data.weight(g), 2.0);
     EXPECT_DOUBLE_EQ(data.positive_weight(g), 1.0);
+  }
+}
+
+TEST(BinnedDatasetTest, SerializeRoundTripRestoresInsertionBehaviour) {
+  // The checkpoint path serializes the mid-trial refit fold; the
+  // restored dataset must not only report the same groups but keep
+  // *folding* identically — the rebuilt hash index has to route repeat
+  // rows to their existing groups and fresh rows to fresh ones.
+  ml::BinnedDatasetOptions options;
+  options.bin_widths = {0.25, 0.0};
+  ml::BinnedDataset original(2, options);
+  rng::Random random(123);
+  for (int i = 0; i < 500; ++i) {
+    const double row[2] = {random.UniformDouble(-3.0, 3.0),
+                           static_cast<double>(random.UniformInt(2))};
+    original.AddRow(row, random.Bernoulli(0.4) ? 1.0 : 0.0,
+                    1.0 + random.UniformDouble());
+  }
+
+  base::BinaryWriter writer;
+  original.Serialize(&writer);
+  const std::vector<uint8_t> bytes = writer.TakeBuffer();
+  ml::BinnedDataset restored(2, options);
+  base::BinaryReader reader(bytes.data(), bytes.size());
+  ASSERT_TRUE(restored.Deserialize(&reader));
+  EXPECT_TRUE(reader.AtEnd());
+
+  ASSERT_EQ(restored.num_groups(), original.num_groups());
+  EXPECT_EQ(restored.num_rows_absorbed(), original.num_rows_absorbed());
+  EXPECT_EQ(restored.total_weight(), original.total_weight());
+  EXPECT_EQ(restored.total_positive(), original.total_positive());
+  for (size_t g = 0; g < original.num_groups(); ++g) {
+    EXPECT_EQ(restored.row(g)[0], original.row(g)[0]);
+    EXPECT_EQ(restored.row(g)[1], original.row(g)[1]);
+    EXPECT_EQ(restored.weight(g), original.weight(g));
+    EXPECT_EQ(restored.positive_weight(g), original.positive_weight(g));
+  }
+
+  // Feed both the same post-restore tail: repeats of existing rows
+  // (exercising the rebuilt probe table) interleaved with new rows.
+  rng::Random tail(321);
+  for (int i = 0; i < 200; ++i) {
+    double row[2];
+    if (tail.Bernoulli(0.7) && original.num_groups() > 0) {
+      const size_t g =
+          static_cast<size_t>(tail.UniformInt(original.num_groups()));
+      row[0] = original.row(g)[0];
+      row[1] = original.row(g)[1];
+    } else {
+      row[0] = tail.UniformDouble(5.0, 9.0);  // Outside the seeded range.
+      row[1] = static_cast<double>(tail.UniformInt(2));
+    }
+    const double label = tail.Bernoulli(0.5) ? 1.0 : 0.0;
+    const size_t g_orig = original.AddRow(row, label);
+    const size_t g_rest = restored.AddRow(row, label);
+    EXPECT_EQ(g_rest, g_orig) << "row " << i;
+  }
+  ASSERT_EQ(restored.num_groups(), original.num_groups());
+  for (size_t g = 0; g < original.num_groups(); ++g) {
+    EXPECT_EQ(restored.weight(g), original.weight(g));
+    EXPECT_EQ(restored.positive_weight(g), original.positive_weight(g));
+  }
+}
+
+TEST(BinnedDatasetTest, DeserializeRejectsTruncatedBytes) {
+  ml::BinnedDataset data(1);
+  const double x = 1.5;
+  data.AddRow(&x, 1.0);
+  base::BinaryWriter writer;
+  data.Serialize(&writer);
+  const std::vector<uint8_t> bytes = writer.TakeBuffer();
+  for (size_t cut : {bytes.size() - 1, bytes.size() / 2}) {
+    ml::BinnedDataset target(1);
+    base::BinaryReader reader(bytes.data(), cut);
+    EXPECT_FALSE(target.Deserialize(&reader)) << "cut at " << cut;
   }
 }
 

@@ -3,10 +3,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <initializer_list>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "base/serial.h"
 #include "rng/random.h"
 #include "stats/adr_accumulator.h"
 #include "stats/aggregate.h"
@@ -370,6 +373,157 @@ TEST(AdrAccumulatorTest, MergeIntoEmptyAdoptsShape) {
   target.Merge(source);
   EXPECT_EQ(target.num_steps(), 2u);
   EXPECT_EQ(target.count(0, 0), 1);
+}
+
+/// Serialized image of a RunningStats — bitwise state comparison for
+/// the merge/round-trip tests below (equal buffers <=> equal bits in
+/// every field, including the sign of zeros).
+std::vector<uint8_t> StatsBytes(const stats::RunningStats& acc) {
+  base::BinaryWriter writer;
+  acc.Serialize(&writer);
+  return writer.TakeBuffer();
+}
+
+std::vector<uint8_t> AccumulatorBytes(const stats::AdrAccumulator& acc) {
+  base::BinaryWriter writer;
+  acc.Serialize(&writer);
+  return writer.TakeBuffer();
+}
+
+TEST(RunningStatsTest, SerializeRoundTripIsBitwise) {
+  stats::RunningStats acc;
+  for (double x : {0.3, -1.5, 2.25, 0.3, 7.0}) acc.Add(x);
+  const std::vector<uint8_t> bytes = StatsBytes(acc);
+  base::BinaryReader reader(bytes.data(), bytes.size());
+  stats::RunningStats restored;
+  ASSERT_TRUE(restored.Deserialize(&reader));
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(StatsBytes(restored), bytes);
+  // And the restored accumulator keeps accumulating identically.
+  acc.Add(0.125);
+  restored.Add(0.125);
+  EXPECT_EQ(StatsBytes(restored), StatsBytes(acc));
+}
+
+TEST(RunningStatsTest, MergeWithEmptyShardPreservesBits) {
+  // An empty shard is a no-op on either side: merging it must not
+  // change a single bit of the populated accumulator (the sharded
+  // engine merges every shard unconditionally, including shards whose
+  // user range produced no observations).
+  stats::RunningStats populated;
+  for (double x : {0.1, 0.7, 0.7, 0.2}) populated.Add(x);
+  const std::vector<uint8_t> before = StatsBytes(populated);
+
+  stats::RunningStats empty;
+  populated.Merge(empty);
+  EXPECT_EQ(StatsBytes(populated), before);
+
+  stats::RunningStats adopted;
+  adopted.Merge(populated);
+  EXPECT_EQ(StatsBytes(adopted), before);
+}
+
+TEST(RunningStatsTest, MergeOrderIsPinnedButNotCommutativeBitwise) {
+  // Chan et al.'s pairwise merge is algebraically symmetric but not
+  // bitwise so: different merge orders may land on different last-ulp
+  // results. The sharded engine therefore merges in fixed shard order —
+  // this test pins both halves of that contract: same order, same bits;
+  // any order, same statistics to rounding.
+  auto fill = [](std::initializer_list<double> values) {
+    stats::RunningStats acc;
+    for (double x : values) acc.Add(x);
+    return acc;
+  };
+  const stats::RunningStats a = fill({0.1, 0.7});
+  const stats::RunningStats b = fill({1000.25, -2.5, 0.3});
+  const stats::RunningStats c = fill({-7.25, 4.4});
+
+  auto merged = [](const stats::RunningStats& x, const stats::RunningStats& y,
+                   const stats::RunningStats& z) {
+    stats::RunningStats out;
+    out.Merge(x);
+    out.Merge(y);
+    out.Merge(z);
+    return out;
+  };
+  const stats::RunningStats forward = merged(a, b, c);
+  const stats::RunningStats again = merged(a, b, c);
+  const stats::RunningStats reversed = merged(c, b, a);
+  // Deterministic: the same order reproduces the same bits.
+  EXPECT_EQ(StatsBytes(again), StatsBytes(forward));
+  // Any order agrees statistically (counts exactly, moments to
+  // rounding) — but only the pinned order is bitwise-reproducible.
+  EXPECT_EQ(reversed.count(), forward.count());
+  EXPECT_NEAR(reversed.Mean(), forward.Mean(), 1e-9);
+  EXPECT_DOUBLE_EQ(reversed.Min(), forward.Min());
+  EXPECT_DOUBLE_EQ(reversed.Max(), forward.Max());
+}
+
+TEST(AdrAccumulatorTest, MergeEmptyShardsPreservesBits) {
+  stats::AdrAccumulator populated(2, 3, 4);
+  populated.Add(0, 1, 0.4);
+  populated.Add(2, 0, 0.9);
+  const std::vector<uint8_t> before = AccumulatorBytes(populated);
+
+  // A shaped-but-unfilled shard (what an all-idle shard produces).
+  stats::AdrAccumulator idle(2, 3, 4);
+  populated.Merge(idle);
+  EXPECT_EQ(AccumulatorBytes(populated), before);
+
+  // A shape-less default accumulator is equally inert.
+  stats::AdrAccumulator shapeless;
+  populated.Merge(shapeless);
+  EXPECT_EQ(AccumulatorBytes(populated), before);
+}
+
+TEST(AdrAccumulatorTest, SingleShardMergeMatchesUnshardedBitwise) {
+  // One shard that saw every observation, merged into an empty target,
+  // must equal the unsharded accumulator bit for bit — the degenerate
+  // case of the shard-order merge (and the adopt-on-empty fast path).
+  stats::AdrAccumulator unsharded(3, 2, 8);
+  stats::AdrAccumulator shard(3, 2, 8);
+  rng::Random random(77);
+  for (int i = 0; i < 200; ++i) {
+    const size_t k = static_cast<size_t>(random.UniformInt(2));
+    const size_t g = static_cast<size_t>(random.UniformInt(3));
+    const double value = random.UniformDouble();
+    unsharded.Add(k, g, value);
+    shard.Add(k, g, value);
+  }
+  stats::AdrAccumulator target;
+  target.Merge(shard);
+  EXPECT_EQ(AccumulatorBytes(target), AccumulatorBytes(unsharded));
+}
+
+TEST(AdrAccumulatorTest, SerializeRoundTripIsBitwise) {
+  stats::AdrAccumulator acc(2, 4, 8, 0.0, 1.0);
+  rng::Random random(5);
+  for (int i = 0; i < 100; ++i) {
+    acc.Add(static_cast<size_t>(random.UniformInt(4)),
+            static_cast<size_t>(random.UniformInt(2)),
+            random.UniformDouble());
+  }
+  const std::vector<uint8_t> bytes = AccumulatorBytes(acc);
+  stats::AdrAccumulator restored;
+  base::BinaryReader reader(bytes.data(), bytes.size());
+  ASSERT_TRUE(restored.Deserialize(&reader));
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(AccumulatorBytes(restored), bytes);
+  // Resumed accumulation stays in lockstep with the original.
+  acc.Add(1, 1, 0.5);
+  restored.Add(1, 1, 0.5);
+  EXPECT_EQ(AccumulatorBytes(restored), AccumulatorBytes(acc));
+}
+
+TEST(AdrAccumulatorTest, DeserializeRejectsTruncatedBytes) {
+  stats::AdrAccumulator acc(2, 2, 4);
+  acc.Add(0, 0, 0.5);
+  const std::vector<uint8_t> bytes = AccumulatorBytes(acc);
+  for (size_t cut : {bytes.size() - 1, bytes.size() / 2, size_t{3}}) {
+    stats::AdrAccumulator target;
+    base::BinaryReader reader(bytes.data(), cut);
+    EXPECT_FALSE(target.Deserialize(&reader)) << "cut at " << cut;
+  }
 }
 
 TEST(AdrAccumulatorTest, GroupEnvelopeTracksPerStepMoments) {
