@@ -64,6 +64,16 @@
 //    its raw-row baseline, so the high-water marks still reflect the
 //    streaming trial.
 //
+//  * "serving_scaling" — the experiment service (PR 8): an in-process
+//    loopback server (run_experiment --serve's engine) fed a burst of
+//    mixed credit/market/ensemble jobs from concurrent client
+//    connections, then the identical burst again for deterministic
+//    cache hits. Reports jobs/s, p50/p95 submit-to-result latency and
+//    the cache hit rate; the hard gate ("served_digest_matches_cli")
+//    re-runs every distinct spec directly through RunExperiment + the
+//    shared renderer and requires digest AND payload byte-equality —
+//    the serving path must add no bytes and lose none.
+//
 //  * "micro" — single-thread timings of the library's hot paths (RNG
 //    throughput, normal CDF, logistic IRLS, one closed-loop trial,
 //    Markov/linalg kernels) replacing the earlier google-benchmark
@@ -85,7 +95,10 @@
 #include <cstring>
 #include <functional>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -113,9 +126,13 @@
 #include "runtime/kernels.h"
 #include "runtime/simd.h"
 #include "runtime/thread_pool.h"
+#include "serve/client.h"
+#include "serve/render_json.h"
+#include "serve/server.h"
 #include "sim/experiment.h"
 #include "sim/market_scenario.h"
 #include "sim/multi_trial.h"
+#include "sim/scenario_registry.h"
 #include "stats/adr_accumulator.h"
 
 namespace {
@@ -787,6 +804,211 @@ FoldSection RunFoldSuite() {
   return section;
 }
 
+// --- serving_scaling helpers. ----------------------------------------------
+
+/// One distinct serving-bench job: the request line plus everything
+/// needed to reproduce its payload directly through the engine + the
+/// shared renderer (the hard gate).
+struct ServingJob {
+  std::string request;
+  std::string scenario;
+  std::string parameter;
+  double value = 0.0;
+  size_t trials = 0;
+};
+
+struct ServingSection {
+  size_t num_jobs = 0;      ///< Total submissions (both bursts).
+  size_t num_distinct = 0;  ///< Distinct specs (first burst).
+  size_t num_workers = 0;
+  size_t num_connections = 0;
+  size_t runs_started = 0;
+  double wall_seconds = 0.0;
+  double jobs_per_sec = 0.0;
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double cache_hit_rate = 0.0;
+  bool served_digest_matches_cli = true;
+  uint64_t digest = 0;
+};
+
+/// The serving_scaling section: an in-process loopback server under a
+/// concurrent mixed-scenario burst, the same burst repeated for cache
+/// hits, and a direct-engine re-run of every distinct spec gating
+/// digest AND payload byte-equality.
+ServingSection RunServingSuite() {
+  ServingSection section;
+
+  // Twelve distinct small jobs across the three built-in scenarios.
+  // Values chosen so every spec is distinct and every run is sub-second.
+  std::vector<ServingJob> jobs;
+  for (double users : {150.0, 200.0, 250.0, 300.0}) {
+    ServingJob job;
+    job.scenario = "credit";
+    job.parameter = "num_users";
+    job.value = users;
+    job.trials = 2;
+    jobs.push_back(job);
+  }
+  for (double exploration : {0.05, 0.1, 0.2, 0.4}) {
+    ServingJob job;
+    job.scenario = "market";
+    job.parameter = "exploration";
+    job.value = exploration;
+    job.trials = 2;
+    jobs.push_back(job);
+  }
+  for (double gain : {0.02, 0.05, 0.1, 0.2}) {
+    ServingJob job;
+    job.scenario = "ensemble";
+    job.parameter = "gain";
+    job.value = gain;
+    job.trials = 2;
+    jobs.push_back(job);
+  }
+  for (ServingJob& job : jobs) {
+    char request[160];
+    std::snprintf(request, sizeof(request),
+                  "{\"scenario\": \"%s\", \"trials\": %zu, "
+                  "\"set\": {\"%s\": %g}}",
+                  job.scenario.c_str(), job.trials, job.parameter.c_str(),
+                  job.value);
+    job.request = request;
+  }
+  section.num_distinct = jobs.size();
+  section.num_jobs = 2 * jobs.size();
+  constexpr size_t kConnections = 4;
+  section.num_connections = kConnections;
+
+  eqimpact::serve::ServerOptions server_options;
+  server_options.service.scheduler.num_workers = 2;
+  // Room for the whole burst: admission rejections are a correctness
+  // feature, but this section measures throughput, not backpressure.
+  server_options.service.scheduler.queue_capacity = section.num_jobs;
+  section.num_workers = server_options.service.scheduler.num_workers;
+  eqimpact::serve::Server server(server_options);
+  if (!server.Start()) {
+    std::fprintf(stderr, "  serving_scaling: server failed to start\n");
+    section.served_digest_matches_cli = false;
+    return section;
+  }
+
+  // Two bursts with a barrier between them: the first runs every
+  // distinct spec (all misses), the second resubmits them all (all
+  // cache hits, bitwise-identical payloads) — so the hit rate is
+  // deterministic at 0.5, not a race.
+  std::vector<double> latencies_ms;
+  std::vector<std::string> payloads(jobs.size());
+  std::vector<uint64_t> digests(jobs.size(), 0);
+  std::vector<std::string> repeat_payloads(jobs.size());
+  std::mutex collect_mutex;
+  bool transport_ok = true;
+  const Clock::time_point burst_start = Clock::now();
+  for (int burst = 0; burst < 2; ++burst) {
+    std::vector<std::thread> submitters;
+    for (size_t c = 0; c < kConnections; ++c) {
+      submitters.emplace_back([&, c, burst] {
+        eqimpact::serve::Client client;
+        std::string error;
+        if (!client.Connect(server.port(), &error)) {
+          std::lock_guard<std::mutex> lock(collect_mutex);
+          transport_ok = false;
+          return;
+        }
+        for (size_t j = c; j < jobs.size(); j += kConnections) {
+          eqimpact::serve::ClientEvent last;
+          const Clock::time_point start = Clock::now();
+          const bool ok =
+              client.SubmitAndWait(jobs[j].request, &last, &error);
+          const double latency_ms = SecondsSince(start) * 1e3;
+          std::lock_guard<std::mutex> lock(collect_mutex);
+          if (!ok) {
+            transport_ok = false;
+            continue;
+          }
+          latencies_ms.push_back(latency_ms);
+          if (burst == 0) {
+            payloads[j] = last.payload;
+            digests[j] = last.digest;
+          } else {
+            repeat_payloads[j] = last.payload;
+          }
+        }
+      });
+    }
+    for (std::thread& submitter : submitters) submitter.join();
+  }
+  section.wall_seconds = SecondsSince(burst_start);
+  section.jobs_per_sec =
+      section.wall_seconds > 0.0
+          ? static_cast<double>(section.num_jobs) / section.wall_seconds
+          : 0.0;
+  section.runs_started = server.service().runs_started();
+  const size_t hits = server.service().cache_hits();
+  const size_t misses = server.service().cache_misses();
+  section.cache_hit_rate =
+      hits + misses > 0 ? static_cast<double>(hits) /
+                              static_cast<double>(hits + misses)
+                        : 0.0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  auto percentile = [&latencies_ms](double p) {
+    if (latencies_ms.empty()) return 0.0;
+    const size_t index = static_cast<size_t>(
+        p * static_cast<double>(latencies_ms.size() - 1) + 0.5);
+    return latencies_ms[index];
+  };
+  section.p50_latency_ms = percentile(0.5);
+  section.p95_latency_ms = percentile(0.95);
+  server.Shutdown();
+
+  // The hard gate: every distinct spec straight through the engine and
+  // the shared renderer must reproduce the served digest and payload
+  // byte for byte — and the cache-hit burst must have returned the
+  // first burst's bytes unchanged.
+  bool matches = transport_ok;
+  eqimpact::base::Fnv1a digest;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    const ServingJob& job = jobs[j];
+    std::unique_ptr<eqimpact::sim::Scenario> scenario =
+        eqimpact::sim::CreateScenario(job.scenario);
+    if (scenario == nullptr ||
+        !scenario->SetParameter(job.parameter, job.value)) {
+      matches = false;
+      continue;
+    }
+    eqimpact::sim::ExperimentOptions options;
+    options.num_trials = job.trials;
+    options.num_threads = 1;
+    const eqimpact::sim::ExperimentResult direct =
+        eqimpact::sim::RunExperiment(scenario.get(), options);
+    eqimpact::serve::RenderHeader header;
+    header.num_trials = job.trials;
+    header.provenance_json = eqimpact::serve::RenderProvenance(
+        /*force_scalar=*/false, /*num_shards=*/0, /*checkpoint_path=*/"",
+        /*resume=*/false, "\"served\": true");
+    const uint64_t direct_digest =
+        eqimpact::sim::ExperimentDigest(direct);
+    const std::string direct_payload =
+        eqimpact::serve::RenderExperimentJson(direct, header);
+    if (digests[j] != direct_digest || payloads[j] != direct_payload ||
+        repeat_payloads[j] != payloads[j]) {
+      matches = false;
+    }
+    digest.Mix(direct_digest);
+  }
+  section.served_digest_matches_cli = matches;
+  section.digest = digest.hash();
+  std::fprintf(stderr,
+               "  serving_scaling %zu jobs (%zu distinct) %.3fs "
+               "(%.1f jobs/s, p50 %.1fms, p95 %.1fms, hit rate %.2f, "
+               "digests %s)\n",
+               section.num_jobs, section.num_distinct, section.wall_seconds,
+               section.jobs_per_sec, section.p50_latency_ms,
+               section.p95_latency_ms, section.cache_hit_rate,
+               section.served_digest_matches_cli ? "equal" : "MISMATCH");
+  return section;
+}
+
 std::vector<size_t> ThreadCounts(size_t max_threads) {
   // 1, 2, 4, ... up to max_threads (always including max_threads itself).
   std::vector<size_t> counts;
@@ -1158,6 +1380,9 @@ int main(int argc, char** argv) {
   const PhiSection phi_section = RunPhiSuite(1 << 18);
   const FoldSection fold_section = RunFoldSuite();
 
+  // --- Section 7: serving scaling (the experiment service, PR 8). ------
+  const ServingSection serving_section = RunServingSuite();
+
   std::vector<MicroResult> micro = RunMicroSuite();
 
   const bool deterministic =
@@ -1166,7 +1391,8 @@ int main(int argc, char** argv) {
       phi_section.vector_matches_scalar &&
       phi_section.max_ulp_vs_libm <= phi_section.ulp_bound &&
       fold_section.dense_matches_hashed && shard_matches_unsharded &&
-      shard_deterministic && checkpoint_resume_matches;
+      shard_deterministic && checkpoint_resume_matches &&
+      serving_section.served_digest_matches_cli;
 
   // Emit the JSON document on stdout.
   std::printf("{\n");
@@ -1328,6 +1554,26 @@ int main(int argc, char** argv) {
   std::printf("    \"dense_user_years_per_sec\": %.1f,\n",
               fold_section.dense_rate);
   std::printf("    \"digest\": \"%016" PRIx64 "\"\n", fold_section.digest);
+  std::printf("  },\n");
+  std::printf("  \"serving_scaling\": {\n");
+  std::printf("    \"num_jobs\": %zu,\n", serving_section.num_jobs);
+  std::printf("    \"num_distinct\": %zu,\n", serving_section.num_distinct);
+  std::printf("    \"num_workers\": %zu,\n", serving_section.num_workers);
+  std::printf("    \"num_connections\": %zu,\n",
+              serving_section.num_connections);
+  std::printf("    \"served_digest_matches_cli\": %s,\n",
+              serving_section.served_digest_matches_cli ? "true" : "false");
+  std::printf("    \"runs_started\": %zu,\n", serving_section.runs_started);
+  std::printf("    \"cache_hit_rate\": %.3f,\n",
+              serving_section.cache_hit_rate);
+  std::printf("    \"wall_seconds\": %.6f,\n", serving_section.wall_seconds);
+  std::printf("    \"jobs_per_sec\": %.3f,\n", serving_section.jobs_per_sec);
+  std::printf("    \"p50_latency_ms\": %.3f,\n",
+              serving_section.p50_latency_ms);
+  std::printf("    \"p95_latency_ms\": %.3f,\n",
+              serving_section.p95_latency_ms);
+  std::printf("    \"digest\": \"%016" PRIx64 "\"\n",
+              serving_section.digest);
   std::printf("  },\n");
   std::printf("  \"micro\": [\n");
   for (size_t i = 0; i < micro.size(); ++i) {

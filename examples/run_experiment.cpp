@@ -9,6 +9,18 @@
 //                  [--shards=N] [--checkpoint=PATH] [--resume]
 //                  [--force-scalar]
 //                  [--set name=value]... [--sweep name=v1,v2,...]...
+//   run_experiment --serve [--port=P] [--port-file=PATH]
+//                  [--serve-workers=N] [--serve-queue=N]
+//                  [--serve-threads=N] [--serve-cache=N]
+//
+// --serve runs the long-lived experiment service instead of one
+// experiment: line-delimited JSON requests over loopback TCP (see
+// src/serve/protocol.h), queued scheduling with admission control, a
+// digest-keyed result cache, streamed per-trial/per-point progress.
+// Served result payloads are rendered by the same code as this CLI's
+// stdout (src/serve/render_json), so the two are byte-identical for the
+// same spec — CI diffs them. SIGTERM/SIGINT shut the server down
+// gracefully: stop accepting, drain every in-flight job, then exit 0.
 //
 // --force-scalar pins every vectorized kernel to its scalar reference
 // lanes (base::SetSimdForceScalarForTesting) before anything runs: the
@@ -37,6 +49,7 @@
 // each trial's inner passes. Deterministic in the spec at every thread
 // configuration; the digests printed here certify it.
 
+#include <csignal>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -45,10 +58,11 @@
 #include <string>
 #include <vector>
 
-#include <thread>
+#include <unistd.h>
 
 #include "base/simd_scalar.h"
-#include "runtime/simd.h"
+#include "serve/render_json.h"
+#include "serve/server.h"
 #include "sim/experiment.h"
 #include "sim/scenario_registry.h"
 #include "sim/sweep.h"
@@ -70,6 +84,14 @@ struct Assignment {
 struct CliSpec {
   bool list = false;
   bool force_scalar = false;
+  /// --serve: run the experiment service instead of one experiment.
+  bool serve = false;
+  size_t serve_port = 0;       ///< 0 = ephemeral.
+  std::string port_file;       ///< Write the bound port here (for CI).
+  size_t serve_workers = 2;    ///< Concurrent jobs.
+  size_t serve_queue = 16;     ///< Bounded admission queue depth.
+  size_t serve_threads = 0;    ///< Total thread budget (0 = hardware).
+  size_t serve_cache = 64;     ///< Result-cache capacity (entries).
   std::string scenario;
   ExperimentOptions experiment;
   /// Cross-point workers of a --sweep run (SweepOptions convention:
@@ -146,6 +168,32 @@ bool ParseArgs(int argc, char** argv, CliSpec* spec) {
     };
     if (arg == "--list") {
       spec->list = true;
+    } else if (arg == "--serve") {
+      spec->serve = true;
+    } else if (arg.rfind("--port=", 0) == 0) {
+      if (!parse_size_flag("--port=", &spec->serve_port)) return false;
+      if (spec->serve_port > 65535) {
+        std::fprintf(stderr, "error: --port must be <= 65535\n");
+        return false;
+      }
+    } else if (arg.rfind("--port-file=", 0) == 0) {
+      spec->port_file = value_of("--port-file=");
+    } else if (arg.rfind("--serve-workers=", 0) == 0) {
+      if (!parse_size_flag("--serve-workers=", &spec->serve_workers)) {
+        return false;
+      }
+    } else if (arg.rfind("--serve-queue=", 0) == 0) {
+      if (!parse_size_flag("--serve-queue=", &spec->serve_queue)) {
+        return false;
+      }
+    } else if (arg.rfind("--serve-threads=", 0) == 0) {
+      if (!parse_size_flag("--serve-threads=", &spec->serve_threads)) {
+        return false;
+      }
+    } else if (arg.rfind("--serve-cache=", 0) == 0) {
+      if (!parse_size_flag("--serve-cache=", &spec->serve_cache)) {
+        return false;
+      }
     } else if (arg == "--force-scalar") {
       spec->force_scalar = true;
     } else if (arg.rfind("--scenario=", 0) == 0) {
@@ -230,73 +278,29 @@ void PrintStringArray(const std::vector<std::string>& values) {
   std::printf("]");
 }
 
-/// Execution-environment record: everything about *how* the run
-/// executed that, by the determinism contract, must NOT move output
-/// bits (machine width, kernel backend, shard/checkpoint config).
-/// Printed as exactly one line so CI's scalar-vs-vector byte diff can
-/// drop it with a line filter — it is the only part of the output
-/// allowed to differ between those runs.
-void PrintProvenance(const CliSpec& spec, const char* indent) {
-  const eqimpact::runtime::simd::Backend backend =
-      eqimpact::runtime::simd::ActiveBackend();
-  std::printf(
-      "%s\"provenance\": {\"hardware_concurrency\": %u, "
-      "\"simd_backend\": \"%s\", \"force_scalar\": %s, "
-      "\"num_shards\": %zu, \"checkpoint_path\": \"%s\", "
-      "\"resume\": %s}",
-      indent, std::thread::hardware_concurrency(),
-      eqimpact::runtime::simd::BackendName(backend),
-      spec.force_scalar ? "true" : "false", spec.shards,
-      spec.experiment.checkpoint_path.c_str(),
-      spec.experiment.resume ? "true" : "false");
-}
-
-void PrintSummary(const eqimpact::sim::EqualImpactSummary& summary,
-                  const char* indent) {
-  std::printf("%s\"group_gap\": %.9g,\n", indent, summary.group_gap);
-  std::printf("%s\"pooled_std\": %.9g,\n", indent, summary.pooled_std);
-  std::printf("%s\"pooled_mean\": %.9g", indent, summary.pooled_mean);
+/// The run-identification header of the output document (requested
+/// knobs + one-line provenance), shared verbatim with the experiment
+/// service's payload renderer — serve/render_json.h documents why the
+/// two must stay byte-identical.
+eqimpact::serve::RenderHeader HeaderOf(const CliSpec& spec) {
+  eqimpact::serve::RenderHeader header;
+  header.num_trials = spec.experiment.num_trials;
+  header.master_seed = spec.experiment.master_seed;
+  header.num_threads = spec.experiment.num_threads;
+  header.trial_threads = spec.experiment.trial_threads;
+  header.point_threads = spec.point_threads;
+  header.provenance_json = eqimpact::serve::RenderProvenance(
+      spec.force_scalar, spec.shards, spec.experiment.checkpoint_path,
+      spec.experiment.resume, /*extra_json=*/"");
+  return header;
 }
 
 int RunSingle(Scenario* scenario, const CliSpec& spec) {
   ExperimentResult result =
       eqimpact::sim::RunExperiment(scenario, spec.experiment);
-  std::printf("{\n");
-  std::printf("  \"scenario\": \"%s\",\n", result.scenario.c_str());
-  std::printf("  \"num_trials\": %zu,\n", spec.experiment.num_trials);
-  std::printf("  \"master_seed\": %llu,\n",
-              static_cast<unsigned long long>(spec.experiment.master_seed));
-  std::printf("  \"num_threads\": %zu,\n", spec.experiment.num_threads);
-  std::printf("  \"trial_threads\": %zu,\n", spec.experiment.trial_threads);
-  PrintProvenance(spec, "  ");
-  std::printf(",\n");
-  std::printf("  \"group_labels\": ");
-  PrintStringArray(result.group_labels);
-  std::printf(",\n");
-  std::printf("  \"num_steps\": %zu,\n", result.step_labels.size());
-  std::printf("  \"final_group_mean\": [");
-  const size_t last = result.step_labels.size() - 1;
-  for (size_t g = 0; g < result.group_envelopes.size(); ++g) {
-    std::printf("%.9g%s", result.group_envelopes[g].mean[last],
-                g + 1 < result.group_envelopes.size() ? ", " : "");
-  }
-  std::printf("],\n");
-  std::printf("  \"metrics\": {\n");
-  for (size_t m = 0; m < result.metric_names.size(); ++m) {
-    std::printf("    \"%s\": {\"mean\": %.9g, \"std\": %.9g}%s\n",
-                result.metric_names[m].c_str(),
-                result.metric_stats[m].Mean(),
-                result.metric_stats[m].StdDev(),
-                m + 1 < result.metric_names.size() ? "," : "");
-  }
-  std::printf("  },\n");
-  std::printf("  \"summary\": {\n");
-  PrintSummary(result.summary, "    ");
-  std::printf("\n  },\n");
-  std::printf("  \"digest\": \"%016llx\"\n",
-              static_cast<unsigned long long>(
-                  eqimpact::sim::ExperimentDigest(result)));
-  std::printf("}\n");
+  const std::string document =
+      eqimpact::serve::RenderExperimentJson(result, HeaderOf(spec));
+  std::fwrite(document.data(), 1, document.size(), stdout);
   return 0;
 }
 
@@ -339,44 +343,78 @@ int RunGrid(const CliSpec& spec) {
   options.parameters = spec.sweeps;
   options.num_point_threads = spec.point_threads;
   SweepResult result = eqimpact::sim::RunSweep(factory, options);
+  const std::string document =
+      eqimpact::serve::RenderSweepJson(result, HeaderOf(spec));
+  std::fwrite(document.data(), 1, document.size(), stdout);
+  return 0;
+}
 
-  std::printf("{\n");
-  std::printf("  \"scenario\": \"%s\",\n", result.scenario.c_str());
-  std::printf("  \"num_threads\": %zu,\n", spec.experiment.num_threads);
-  std::printf("  \"trial_threads\": %zu,\n", spec.experiment.trial_threads);
-  std::printf("  \"point_threads\": %zu,\n", spec.point_threads);
-  PrintProvenance(spec, "  ");
-  std::printf(",\n");
-  std::printf("  \"parameters\": ");
-  PrintStringArray(result.parameter_names);
-  std::printf(",\n");
-  std::printf("  \"metric_names\": ");
-  PrintStringArray(result.metric_names);
-  std::printf(",\n");
-  std::printf("  \"points\": [\n");
-  for (size_t p = 0; p < result.points.size(); ++p) {
-    const eqimpact::sim::SweepPoint& point = result.points[p];
-    std::printf("    {\"values\": [");
-    for (size_t v = 0; v < point.values.size(); ++v) {
-      std::printf("%.9g%s", point.values[v],
-                  v + 1 < point.values.size() ? ", " : "");
-    }
-    std::printf("], \"metric_means\": [");
-    for (size_t m = 0; m < point.metric_means.size(); ++m) {
-      std::printf("%.9g%s", point.metric_means[m],
-                  m + 1 < point.metric_means.size() ? ", " : "");
-    }
-    std::printf("],\n");
-    PrintSummary(point.summary, "     ");
-    std::printf(",\n     \"digest\": \"%016llx\"}%s\n",
-                static_cast<unsigned long long>(point.digest),
-                p + 1 < result.points.size() ? "," : "");
+// --- --serve mode -----------------------------------------------------
+
+/// SIGTERM/SIGINT land here: the handler only pokes a self-pipe (the
+/// sole async-signal-safe option); the main thread blocks on the read
+/// end and runs the actual graceful shutdown.
+int g_shutdown_pipe[2] = {-1, -1};
+
+void HandleShutdownSignal(int /*signum*/) {
+  const char byte = 1;
+  // The pipe is wide enough for every signal that can arrive; a failed
+  // write (full pipe) still means a byte is already in flight.
+  (void)!write(g_shutdown_pipe[1], &byte, 1);
+}
+
+int RunServer(const CliSpec& spec) {
+  if (spec.serve_workers == 0) {
+    std::fprintf(stderr, "error: --serve-workers must be positive\n");
+    return 2;
   }
-  std::printf("  ],\n");
-  std::printf("  \"sweep_digest\": \"%016llx\"\n",
-              static_cast<unsigned long long>(
-                  eqimpact::sim::SweepDigest(result)));
-  std::printf("}\n");
+  if (pipe(g_shutdown_pipe) != 0) {
+    std::perror("serve: pipe");
+    return 1;
+  }
+  eqimpact::serve::ServerOptions options;
+  options.port = static_cast<uint16_t>(spec.serve_port);
+  options.service.scheduler.num_workers = spec.serve_workers;
+  options.service.scheduler.queue_capacity = spec.serve_queue;
+  options.service.scheduler.total_threads = spec.serve_threads;
+  options.service.cache_capacity = spec.serve_cache;
+  eqimpact::serve::Server server(options);
+  if (!server.Start()) return 1;
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleShutdownSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  if (!spec.port_file.empty()) {
+    std::FILE* file = std::fopen(spec.port_file.c_str(), "w");
+    if (file == nullptr) {
+      std::perror("serve: port file");
+      return 1;
+    }
+    std::fprintf(file, "%u\n", server.port());
+    std::fclose(file);
+  }
+  std::fprintf(stderr,
+               "serving on 127.0.0.1:%u (workers=%zu queue=%zu "
+               "job_threads=%zu cache=%zu)\n",
+               server.port(), spec.serve_workers, spec.serve_queue,
+               server.service().scheduler().job_threads(),
+               spec.serve_cache);
+
+  char byte = 0;
+  while (read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::fprintf(stderr, "serve: shutdown signal, draining %zu job(s)\n",
+               server.service().scheduler().in_flight());
+  server.Shutdown();
+  const eqimpact::serve::ExperimentService& service = server.service();
+  std::fprintf(stderr,
+               "serve: drained; runs=%zu cache_hits=%zu dedup_joins=%zu "
+               "rejected=%zu\n",
+               service.runs_started(), service.cache_hits(),
+               service.dedup_joins(), service.rejected_queue_full());
   return 0;
 }
 
@@ -405,13 +443,25 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (spec.serve) {
+    if (!spec.scenario.empty() || !spec.sweeps.empty()) {
+      std::fprintf(stderr,
+                   "error: --serve takes job specs over the wire, not "
+                   "--scenario/--sweep flags\n");
+      return 2;
+    }
+    return RunServer(spec);
+  }
+
   if (spec.scenario.empty()) {
     std::fprintf(stderr,
                  "usage: run_experiment --list | --scenario=NAME "
                  "[--trials=N] [--seed=S] [--threads=T] [--trial-threads=T] "
                  "[--point-threads=P] [--bins=B] [--shards=N] "
                  "[--checkpoint=PATH] [--resume] [--force-scalar] "
-                 "[--set name=value]... [--sweep name=v1,v2,...]...\n");
+                 "[--set name=value]... [--sweep name=v1,v2,...]... | "
+                 "--serve [--port=P] [--port-file=PATH] [--serve-workers=N] "
+                 "[--serve-queue=N] [--serve-threads=N] [--serve-cache=N]\n");
     return 2;
   }
   if (spec.experiment.num_trials == 0 || spec.experiment.impact_bins == 0) {

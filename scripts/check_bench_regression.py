@@ -56,7 +56,11 @@ Checks, in order of severity:
    shard_scaling section adds three more:
    sharded_matches_unsharded, deterministic_across_shard_counts and
    checkpoint_resume_matches — sharding and checkpoint/resume regroup
-   execution and must never move a bit. Additionally, whenever a run
+   execution and must never move a bit. The PR 8 serving_scaling
+   section adds served_digest_matches_cli: every job served over the
+   experiment service must carry the same digest AND byte-identical
+   payload as a direct engine run + CLI render of the same spec — the
+   serving layer is transport, never arithmetic. Additionally, whenever a run
    (fresh or snapshot) carries both within_trial_scaling and
    shard_scaling at the same workload parameters, their digests must
    agree with each other *within that file* (HARD FAIL): the sharded
@@ -74,6 +78,15 @@ Checks, in order of severity:
    machine oversubscribes every multi-thread point (the committed
    snapshots are from a 1-core container), so its sweep timings carry no
    signal and the thread-sweep comparison is skipped with a note.
+
+A missing or unparsable input file is a usage/environment error, not a
+bench regression: the check exits 1 with a one-line message naming the
+file, instead of a traceback — so CI logs say "baseline snapshot
+BENCH_perf_prN.json not found" rather than a stack dump.
+
+When $GITHUB_STEP_SUMMARY is set (as it is inside GitHub Actions), the
+check also appends a markdown trend summary there: per-section digest
+status and the headline throughput deltas vs the snapshot.
 """
 
 import json
@@ -87,6 +100,23 @@ DIGEST_WARN_ONLY = os.environ.get("EQIMPACT_BENCH_DIGEST_WARN_ONLY") == "1"
 def fail(message):
     print(f"FAIL: {message}")
     return 1
+
+
+def load_json_or_die(path, label):
+    """Reads one input file; a missing or unparsable file exits 1 with a
+    one-line message instead of a traceback."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        print(f"FAIL: {label} '{path}' cannot be read: {e.strerror or e}")
+        sys.exit(1)
+    except json.JSONDecodeError as e:
+        print(
+            f"FAIL: {label} '{path}' is not valid JSON "
+            f"(line {e.lineno}, column {e.colno}: {e.msg})"
+        )
+        sys.exit(1)
 
 
 def sequential_rate(section, key):
@@ -144,6 +174,100 @@ def check_rate(name, fresh_rate, snapshot_rate, warnings):
         )
 
 
+def headline_rates(fresh, snapshot):
+    """(name, fresh_rate, snapshot_rate) triples for the trend summary."""
+    rows = []
+    for name, section, key in (
+        ("multi_trial trials/sec (1 thread)", "multi_trial_scaling",
+         "trials_per_sec"),
+        ("within_trial user-years/sec (1 thread)", "within_trial_scaling",
+         "user_years_per_sec"),
+        ("fit fits/sec (1 thread)", "fit_scaling", "fits_per_sec"),
+        ("market trials/sec (1 thread)", "market_scaling",
+         "trials_per_sec"),
+    ):
+        rows.append((
+            name,
+            sequential_rate(fresh.get(section, {}), key),
+            sequential_rate(snapshot.get(section, {}), key),
+        ))
+    for name, section, key in (
+        ("phi vector elems/sec", "phi_scaling", "vector_elems_per_sec"),
+        ("fold dense user-years/sec", "fold_scaling",
+         "dense_user_years_per_sec"),
+        ("serving jobs/sec", "serving_scaling", "jobs_per_sec"),
+        ("serving p50 latency ms", "serving_scaling", "p50_latency_ms"),
+        ("serving p95 latency ms", "serving_scaling", "p95_latency_ms"),
+    ):
+        rows.append((
+            name,
+            fresh.get(section, {}).get(key),
+            snapshot.get(section, {}).get(key),
+        ))
+    return rows
+
+
+def write_step_summary(fresh, snapshot, digest_sections, errors, warnings):
+    """Appends a markdown trend block to $GITHUB_STEP_SUMMARY, if set."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = ["## Bench trend vs snapshot", ""]
+    if errors:
+        lines.append(
+            f"**{errors} hard determinism failure(s)** — see the job log."
+        )
+    else:
+        lines.append(
+            f"Passed with {len(warnings)} throughput warning(s) "
+            f"(warn threshold {REGRESSION_THRESHOLD:.0%})."
+        )
+    lines += [
+        "",
+        "### Determinism digests",
+        "",
+        "| Section | Fresh | Snapshot | Status |",
+        "| --- | --- | --- | --- |",
+    ]
+    for section, params in digest_sections:
+        f = fresh.get(section)
+        s = snapshot.get(section)
+        if f is None or s is None:
+            status = "skipped (absent)"
+        elif any(f.get(p) != s.get(p) for p in params):
+            status = "skipped (parameters differ)"
+        elif f.get("digest") == s.get("digest"):
+            status = "match"
+        else:
+            status = "**MISMATCH**"
+        fresh_digest = f.get("digest", "—") if f else "—"
+        snapshot_digest = s.get("digest", "—") if s else "—"
+        lines.append(
+            f"| {section} | `{fresh_digest}` | `{snapshot_digest}` "
+            f"| {status} |"
+        )
+    lines += [
+        "",
+        "### Throughput deltas",
+        "",
+        "| Metric | Fresh | Snapshot | Delta |",
+        "| --- | ---: | ---: | ---: |",
+    ]
+    for name, fresh_rate, snapshot_rate in headline_rates(fresh, snapshot):
+        if not fresh_rate or not snapshot_rate:
+            continue
+        delta = (fresh_rate / snapshot_rate - 1.0) * 100.0
+        lines.append(
+            f"| {name} | {fresh_rate:.1f} | {snapshot_rate:.1f} "
+            f"| {delta:+.1f}% |"
+        )
+    if warnings:
+        lines += ["", "### Regression warnings", ""]
+        lines += [f"- {warning}" for warning in warnings]
+    with open(path, "a") as out:
+        out.write("\n".join(lines) + "\n")
+
+
 def check_thread_sweep(section_name, fresh, snapshot, rate_key, warnings):
     """Compares a scaling section's rates per matching thread count."""
     snapshot_runs = {
@@ -175,10 +299,8 @@ def main(argv):
     if len(args) != 2:
         print(__doc__)
         return 2
-    with open(args[0]) as f:
-        fresh = json.load(f)
-    with open(args[1]) as f:
-        snapshot = json.load(f)
+    fresh = load_json_or_die(args[0], "fresh bench run")
+    snapshot = load_json_or_die(args[1], "baseline snapshot")
 
     errors = 0
     notes = []
@@ -188,8 +310,9 @@ def main(argv):
     # block, never from the run being checked.
     accepted_bumps = None
     if bump_path is not None:
-        with open(bump_path) as f:
-            bump_block = json.load(f).get("digest_bump")
+        bump_block = load_json_or_die(
+            bump_path, "--accept-digest-bump snapshot"
+        ).get("digest_bump")
         if not bump_block:
             notes.append(
                 f"--accept-digest-bump: {bump_path} declares no "
@@ -213,6 +336,7 @@ def main(argv):
         ("phi_scaling", ["num_values"]),
         ("fold_scaling", ["num_users", "num_user_years"]),
         ("shard_scaling", ["num_users", "num_years"]),
+        ("serving_scaling", ["num_jobs", "num_distinct"]),
     ]
     for section, params in digest_sections:
         e, n = compare_digests(
@@ -303,6 +427,14 @@ def main(argv):
         ):
             if not shard.get(flag, True):
                 errors += fail(f"shard_scaling: {meaning}")
+    if "serving_scaling" in fresh and not fresh["serving_scaling"].get(
+        "served_digest_matches_cli", True
+    ):
+        errors += fail(
+            "serving_scaling: a served result's digest or payload differs "
+            "from the direct engine run + CLI render of the same spec — "
+            "the serving layer changed the numbers"
+        )
 
     # 3. Throughput trend (warnings only).
     warnings = []
@@ -426,11 +558,21 @@ def main(argv):
             snapshot_shards.get(run.get("num_shards")),
             warnings,
         )
+    # Serving throughput: end-to-end jobs/sec through the experiment
+    # service (admission + scheduling + render + transport), warn-only
+    # like every other rate.
+    check_rate(
+        "serving_scaling jobs/sec",
+        fresh.get("serving_scaling", {}).get("jobs_per_sec"),
+        snapshot.get("serving_scaling", {}).get("jobs_per_sec"),
+        warnings,
+    )
 
     for note in notes:
         print(f"note: {note}")
     for warning in warnings:
         print(f"WARNING (>{REGRESSION_THRESHOLD:.0%} regression): {warning}")
+    write_step_summary(fresh, snapshot, digest_sections, errors, warnings)
     if errors:
         return 1
     print(

@@ -36,11 +36,11 @@ ShardPlan MakeShardPlan(size_t num_users, size_t chunk_size,
   return plan;
 }
 
-ShardBudget SplitShardBudget(size_t total_threads, size_t num_shards) {
+ThreadBudget SplitBudget(size_t total_threads, size_t num_ways) {
   EQIMPACT_CHECK_GT(total_threads, 0u);
-  EQIMPACT_CHECK_GT(num_shards, 0u);
-  ShardBudget budget;
-  budget.outer = std::min(total_threads, num_shards);
+  EQIMPACT_CHECK_GT(num_ways, 0u);
+  ThreadBudget budget;
+  budget.outer = std::min(total_threads, num_ways);
   budget.inner = std::max<size_t>(total_threads / budget.outer, 1);
   return budget;
 }

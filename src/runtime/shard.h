@@ -49,20 +49,31 @@ struct ShardPlan {
 ShardPlan MakeShardPlan(size_t num_users, size_t chunk_size,
                         size_t requested_shards);
 
-/// A two-level worker budget for shard-parallel execution, in the PR 5
-/// nested-budget style (sweep points over trials): `outer` workers run
-/// shards concurrently and each shard may fan its own chunk work out over
-/// `inner` workers, with outer * inner <= total.
-struct ShardBudget {
+/// A two-level worker budget for nested parallelism: `outer` workers run
+/// independent units (shards, sweep points, served jobs) concurrently and
+/// each unit may fan its own inner work out over `inner` workers, with
+/// outer * inner <= total. The generic form of the PR 5 point-thread and
+/// PR 7 shard-budget machinery; the experiment service's per-job thread
+/// budget is the same split with jobs as the outer level.
+struct ThreadBudget {
   size_t outer = 1;
   size_t inner = 1;
 };
 
-/// Splits `total_threads` workers across `num_shards` shards: the outer
-/// level takes min(total, shards) workers and the inner level the largest
-/// per-shard share that keeps outer * inner <= total. total_threads == 0
-/// (hardware concurrency) must be resolved by the caller first.
-ShardBudget SplitShardBudget(size_t total_threads, size_t num_shards);
+/// Splits `total_threads` workers across `num_ways` concurrent units:
+/// the outer level takes min(total, ways) workers and the inner level
+/// the largest per-unit share that keeps outer * inner <= total.
+/// total_threads == 0 (hardware concurrency) must be resolved by the
+/// caller first.
+ThreadBudget SplitBudget(size_t total_threads, size_t num_ways);
+
+/// Backwards-compatible alias of the budget split for the sharded
+/// population engine (shards as the outer level).
+using ShardBudget = ThreadBudget;
+inline ShardBudget SplitShardBudget(size_t total_threads,
+                                    size_t num_shards) {
+  return SplitBudget(total_threads, num_shards);
+}
 
 }  // namespace runtime
 }  // namespace eqimpact

@@ -1,0 +1,74 @@
+#ifndef EQIMPACT_SERVE_CLIENT_H_
+#define EQIMPACT_SERVE_CLIENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace eqimpact {
+namespace serve {
+
+/// One parsed server event (see serve/protocol.h for the wire shape).
+struct ClientEvent {
+  std::string event;  ///< "accepted" | "progress" | "result" | "error".
+  std::string id;
+  bool cached = false;        ///< accepted/result.
+  size_t queue_depth = 0;     ///< accepted.
+  std::string unit;           ///< progress: "trial" | "point".
+  size_t index = 0;           ///< progress.
+  size_t completed = 0;       ///< progress.
+  size_t total = 0;           ///< progress.
+  uint64_t digest = 0;        ///< result.
+  std::string payload;        ///< result: the CLI-identical document.
+  std::string code;           ///< error: the typed code's wire name.
+  std::string message;        ///< error.
+};
+
+/// Parses one event line. Returns false (with a diagnostic in `error`)
+/// on anything that is not a well-formed event object.
+bool ParseEventLine(const std::string& line, ClientEvent* event,
+                    std::string* error);
+
+/// Blocking loopback client of the experiment service: connects to
+/// 127.0.0.1:port, submits request lines, reads back '\n'-framed event
+/// lines. Shared by the experiment_client CLI, the serving bench and
+/// the serve tests — one framing implementation on each side of the
+/// wire. Not thread-safe; use one Client per concurrent job stream.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to the loopback server. False (with `error`) on failure.
+  bool Connect(uint16_t port, std::string* error);
+
+  /// Sends one request line ('\n' appended if missing).
+  bool Send(const std::string& request_line);
+
+  /// Blocks for the next event line; false on EOF or socket error.
+  bool ReadEvent(ClientEvent* event, std::string* error);
+
+  /// Submits one request and pumps events until its terminal event
+  /// (result or error), invoking `on_event` (may be null) for each.
+  /// Returns true iff a result event arrived; the terminal event is
+  /// left in `last`.
+  bool SubmitAndWait(const std::string& request_line, ClientEvent* last,
+                     std::string* error,
+                     const std::function<void(const ClientEvent&)>&
+                         on_event = nullptr);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace serve
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_SERVE_CLIENT_H_

@@ -1,0 +1,166 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace eqimpact {
+namespace serve {
+
+/// One client connection: the socket, a write lock serializing event
+/// lines from worker threads, and the reader thread. Held by shared_ptr
+/// because event sinks may outlive the reader (a job finishing after
+/// the client hung up writes into a closed-out connection and is
+/// ignored).
+struct Server::Connection {
+  int fd = -1;
+  std::mutex write_mutex;
+  std::thread reader;
+  std::atomic<bool> closed{false};
+
+  /// Writes one event line, serialized against concurrent senders.
+  /// Errors (client gone) mark the connection closed; MSG_NOSIGNAL
+  /// keeps a dead peer from raising SIGPIPE.
+  void Send(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (closed.load()) return;
+    size_t sent = 0;
+    while (sent < line.size()) {
+      const ssize_t n = ::send(fd, line.data() + sent, line.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        closed.store(true);
+        return;
+      }
+      sent += static_cast<size_t>(n);
+    }
+  }
+};
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      service_(new ExperimentService(options.service)) {}
+
+Server::~Server() { Shutdown(); }
+
+bool Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    std::perror("serve: socket");
+    return false;
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+  sockaddr_in address;
+  std::memset(&address, 0, sizeof(address));
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) < 0) {
+    std::perror("serve: bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    std::perror("serve: listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      // The listener was closed by Shutdown (or failed hard): stop.
+      return;
+    }
+    if (shutting_down_.load()) {
+      ::close(client);
+      continue;
+    }
+    auto connection = std::make_shared<Connection>();
+    connection->fd = client;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(connection);
+    }
+    connection->reader =
+        std::thread([this, connection] { ConnectionLoop(connection); });
+  }
+}
+
+void Server::ConnectionLoop(std::shared_ptr<Connection> connection) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(connection->fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      // The sink holds the connection alive until the job's terminal
+      // event; a send to a hung-up client is dropped, never fatal.
+      service_->Submit(line,
+                       [connection](const std::string& event_line) {
+                         connection->Send(event_line);
+                       });
+    }
+  }
+  connection->closed.store(true);
+}
+
+void Server::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  if (shutdown_complete_) return;
+  shutdown_complete_ = true;
+  shutting_down_.store(true);
+  // Stop admitting: new submissions get typed kShuttingDown, then the
+  // accepted backlog drains to completion — every in-flight stream
+  // finishes before any socket is torn down.
+  service_->Shutdown();
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& connection : connections) {
+    connection->closed.store(true);
+    ::shutdown(connection->fd, SHUT_RDWR);
+    if (connection->reader.joinable()) connection->reader.join();
+    ::close(connection->fd);
+  }
+}
+
+}  // namespace serve
+}  // namespace eqimpact

@@ -1,0 +1,80 @@
+#ifndef EQIMPACT_SERVE_SERVER_H_
+#define EQIMPACT_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace eqimpact {
+namespace serve {
+
+/// Server configuration.
+struct ServerOptions {
+  ServiceOptions service;
+  /// TCP port to listen on (loopback only). 0 = ephemeral; read the
+  /// bound port back through port().
+  uint16_t port = 0;
+};
+
+/// Loopback TCP front end of the experiment service: line-delimited
+/// JSON over 127.0.0.1 (see serve/protocol.h), one reader thread per
+/// connection, dependency-free POSIX sockets. The server only frames
+/// lines and serializes writes; scheduling, caching and dedup live in
+/// ExperimentService.
+///
+/// Lifecycle: construct, Start() (binds and begins accepting), serve,
+/// Shutdown() — which stops accepting, lets the service drain every
+/// in-flight job (streams keep flowing while draining), then closes
+/// the remaining connections. Shutdown is what the CLI's SIGTERM
+/// handler calls: a kill during a burst still flushes every accepted
+/// job's result before exit.
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the accept loop. Returns false (with a
+  /// message on stderr) when the port cannot be bound.
+  bool Start();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// Graceful shutdown: stop accepting, drain in-flight jobs, close
+  /// connections, join every thread. Idempotent; also run by the
+  /// destructor.
+  void Shutdown();
+
+  ExperimentService& service() { return *service_; }
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ConnectionLoop(std::shared_ptr<Connection> connection);
+
+  const ServerOptions options_;
+  std::unique_ptr<ExperimentService> service_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> shutting_down_{false};
+  std::mutex shutdown_mutex_;
+  bool shutdown_complete_ = false;
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace serve
+}  // namespace eqimpact
+
+#endif  // EQIMPACT_SERVE_SERVER_H_

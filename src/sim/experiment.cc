@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 
 #include "base/check.h"
 #include "base/fnv1a.h"
@@ -239,18 +240,34 @@ ExperimentResult RunExperiment(Scenario* scenario,
       }
       result.trials[t] = scenario->RunTrial(context, &trial_impact[t]);
       write_snapshot(t + 1, false, 0, {});
+      if (options.on_trial_complete) {
+        options.on_trial_complete(t, result.trials[t], t + 1,
+                                  options.num_trials);
+      }
     }
   } else {
+    // Progress observation is serialized and counted under one mutex so
+    // the observer sees a monotone completed count without locking of
+    // its own; it never touches the trial slots, so output bits are
+    // unaffected.
+    std::mutex progress_mutex;
+    size_t trials_completed = 0;
     runtime::ParallelFor(
         options.num_trials,
         [&options, &seeds, &result, &trial_impact, &trial_pool,
-         scenario](size_t t) {
+         &progress_mutex, &trials_completed, scenario](size_t t) {
           TrialContext context;
           context.trial_index = t;
           context.trial_seed = seeds.Seed(t);
           context.num_threads = options.trial_threads;
           context.pool = trial_pool.get();
           result.trials[t] = scenario->RunTrial(context, &trial_impact[t]);
+          if (options.on_trial_complete) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            options.on_trial_complete(t, result.trials[t],
+                                      ++trials_completed,
+                                      options.num_trials);
+          }
         },
         dispatch);
   }

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,18 @@ struct ExperimentOptions {
   /// resumed experiment — from any year of any trial, killed or not —
   /// produces a result byte-identical to an uninterrupted run.
   bool resume = false;
+  /// Optional progress observer, invoked once per completed trial with
+  /// the trial's slot index, its outcome, and the count of trials
+  /// completed so far (monotone 1..num_trials). Under parallel trial
+  /// dispatch the calls arrive in *completion* order from worker
+  /// threads, serialized by the driver (at most one call at a time), so
+  /// the observer needs no locking of its own; trial_index identifies
+  /// the slot regardless of order. Observation never affects the
+  /// result: output stays bitwise-identical with or without it. The
+  /// experiment service streams per-trial events through this hook.
+  std::function<void(size_t trial_index, const TrialOutcome& outcome,
+                     size_t completed, size_t total)>
+      on_trial_complete;
 };
 
 /// Scalar equal-impact diagnostics of one experiment, evaluated at the

@@ -1,6 +1,7 @@
 #include "sim/sweep.h"
 
 #include <algorithm>
+#include <mutex>
 #include <utility>
 
 #include "base/check.h"
@@ -52,6 +53,12 @@ SweepResult RunSweep(const ScenarioFactory& factory,
   std::vector<std::string> scenario_names(num_points);
   std::vector<std::vector<std::string>> metric_names(num_points);
 
+  // Progress observation is serialized under one mutex (completion
+  // order; a monotone completed count) and never touches the grid
+  // slots, so the observed sweep stays bitwise-identical.
+  std::mutex progress_mutex;
+  size_t points_completed = 0;
+
   runtime::ParallelFor(
       num_points,
       [&](size_t index) {
@@ -87,6 +94,11 @@ SweepResult RunSweep(const ScenarioFactory& factory,
         point.digest = ExperimentDigest(experiment);
         if (options.keep_experiments) {
           result.experiments[index] = std::move(experiment);
+        }
+        if (options.on_point_complete) {
+          std::lock_guard<std::mutex> lock(progress_mutex);
+          options.on_point_complete(index, point, ++points_completed,
+                                    num_points);
         }
       },
       dispatch);

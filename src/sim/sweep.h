@@ -21,6 +21,8 @@ struct SweepParameter {
   std::vector<double> values;
 };
 
+struct SweepPoint;
+
 /// Configuration of a parameter-grid sweep.
 struct SweepOptions {
   /// Experiment run at every grid point (same trials/seed/threads at
@@ -47,6 +49,16 @@ struct SweepOptions {
   /// SetParameter) must be safe to call concurrently — true of the
   /// registry's built-ins.
   size_t num_point_threads = 1;
+  /// Optional progress observer, invoked once per completed grid point
+  /// with the point's grid-order index, its read-out, and the count of
+  /// points completed so far (monotone 1..num_points). Under cross-point
+  /// parallelism the calls arrive in completion order, serialized by the
+  /// driver; point_index identifies the grid slot regardless of order.
+  /// Observation never moves a result bit. The experiment service
+  /// streams per-point events of a served sweep through this hook.
+  std::function<void(size_t point_index, const SweepPoint& point,
+                     size_t completed, size_t total)>
+      on_point_complete;
 };
 
 /// One grid point's equal-impact read-out.

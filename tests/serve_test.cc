@@ -1,0 +1,538 @@
+// Serve-layer tests: the request protocol (JSON parsing, spec
+// validation, fingerprints), the bounded-admission scheduler, the LRU
+// result cache, the service's cache/dedup behaviour, and the TCP
+// server end to end — including the serving contract that a served
+// payload is byte-identical to the CLI renderer's output and carries
+// the same digest as a direct engine run.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/client.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "serve/render_json.h"
+#include "serve/result_cache.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "sim/experiment.h"
+#include "sim/scenario_registry.h"
+
+namespace {
+
+using eqimpact::serve::Admission;
+using eqimpact::serve::CachedResult;
+using eqimpact::serve::Client;
+using eqimpact::serve::ClientEvent;
+using eqimpact::serve::ErrorCode;
+using eqimpact::serve::ExperimentService;
+using eqimpact::serve::JobSpec;
+using eqimpact::serve::JsonValue;
+using eqimpact::serve::ParseJson;
+using eqimpact::serve::ResultCache;
+using eqimpact::serve::Scheduler;
+using eqimpact::serve::SchedulerOptions;
+using eqimpact::serve::Server;
+using eqimpact::serve::ServerOptions;
+using eqimpact::serve::ServiceOptions;
+
+// --- JSON -------------------------------------------------------------
+
+TEST(ServeJson, ParsesObjectsArraysAndScalars) {
+  JsonValue value;
+  std::string error;
+  ASSERT_TRUE(ParseJson(
+      R"({"a": 1.5, "b": [true, null, "x\n"], "c": {"d": -2e3}})", &value,
+      &error))
+      << error;
+  ASSERT_TRUE(value.is_object());
+  EXPECT_DOUBLE_EQ(value.Find("a")->as_number(), 1.5);
+  const JsonValue* b = value.Find("b");
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->items().size(), 3u);
+  EXPECT_TRUE(b->items()[0].as_bool());
+  EXPECT_TRUE(b->items()[1].is_null());
+  EXPECT_EQ(b->items()[2].as_string(), "x\n");
+  EXPECT_DOUBLE_EQ(value.Find("c")->Find("d")->as_number(), -2000.0);
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  JsonValue value;
+  std::string error;
+  const char* bad[] = {"",       "{",           "{\"a\": }", "[1,]",
+                       "01",     "\"unclosed",  "{} extra",  "nan",
+                       "+1",     "{'a': 1}",    "[1 2]",     "\"\\q\""};
+  for (const char* text : bad) {
+    EXPECT_FALSE(ParseJson(text, &value, &error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(ServeJson, DumpRoundTrips) {
+  JsonValue object = JsonValue::Object();
+  object.Set("name", JsonValue::String("a\"b\\c"));
+  object.Set("count", JsonValue::Number(3));
+  JsonValue array = JsonValue::Array();
+  array.Append(JsonValue::Number(0.1));
+  array.Append(JsonValue::Bool(false));
+  object.Set("items", array);
+  JsonValue reparsed;
+  std::string error;
+  ASSERT_TRUE(ParseJson(object.Dump(), &reparsed, &error)) << error;
+  EXPECT_EQ(reparsed.Find("name")->as_string(), "a\"b\\c");
+  EXPECT_DOUBLE_EQ(reparsed.Find("count")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(reparsed.Find("items")->items()[0].as_number(), 0.1);
+}
+
+TEST(ServeJson, BoundsNestingDepth) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(ParseJson(deep, &value, &error));
+}
+
+// --- Protocol ---------------------------------------------------------
+
+JobSpec ParseSpecOrDie(const std::string& text) {
+  JsonValue request;
+  std::string error;
+  EXPECT_TRUE(ParseJson(text, &request, &error)) << error;
+  JobSpec spec;
+  ErrorCode code;
+  EXPECT_TRUE(eqimpact::serve::ParseJobSpec(request, &spec, &code, &error))
+      << error;
+  return spec;
+}
+
+TEST(ServeProtocol, ParsesFullSpec) {
+  const JobSpec spec = ParseSpecOrDie(
+      R"({"id": "j1", "scenario": "credit", "trials": 3, "seed": 7,
+          "bins": 32, "threads": 2, "set": {"num_users": 500},
+          "sweep": {"cutoff": [0.4, 0.6]}})");
+  EXPECT_EQ(spec.id, "j1");
+  EXPECT_EQ(spec.scenario, "credit");
+  EXPECT_EQ(spec.num_trials, 3u);
+  EXPECT_EQ(spec.master_seed, 7u);
+  EXPECT_EQ(spec.impact_bins, 32u);
+  EXPECT_EQ(spec.num_threads, 2u);
+  ASSERT_EQ(spec.assignments.size(), 1u);
+  EXPECT_EQ(spec.assignments[0].first, "num_users");
+  EXPECT_DOUBLE_EQ(spec.assignments[0].second, 500.0);
+  ASSERT_TRUE(spec.is_sweep());
+  ASSERT_EQ(spec.sweeps.size(), 1u);
+  EXPECT_EQ(spec.sweeps[0].name, "cutoff");
+  EXPECT_EQ(spec.sweeps[0].values.size(), 2u);
+}
+
+TEST(ServeProtocol, DefaultsMatchTheCli) {
+  const JobSpec spec = ParseSpecOrDie(R"({"scenario": "credit"})");
+  EXPECT_EQ(spec.num_trials, 5u);
+  EXPECT_EQ(spec.master_seed, 42u);
+  EXPECT_EQ(spec.impact_bins, 64u);
+  EXPECT_EQ(spec.num_threads, 0u);
+  EXPECT_EQ(spec.point_threads, 1u);
+  EXPECT_FALSE(spec.is_sweep());
+}
+
+TEST(ServeProtocol, RejectsMalformedSpecs) {
+  const struct {
+    const char* text;
+    ErrorCode expected;
+  } cases[] = {
+      {R"([1, 2])", ErrorCode::kBadRequest},
+      {R"({"trials": 3})", ErrorCode::kBadRequest},  // no scenario
+      {R"({"scenario": "credit", "trials": 0})", ErrorCode::kBadRequest},
+      {R"({"scenario": "credit", "trials": -1})", ErrorCode::kBadRequest},
+      {R"({"scenario": "credit", "trials": 2.5})", ErrorCode::kBadRequest},
+      {R"({"scenario": "credit", "mystery": 1})", ErrorCode::kBadRequest},
+      {R"({"scenario": "credit", "set": [1]})", ErrorCode::kBadRequest},
+      {R"({"scenario": "credit", "sweep": {"x": []}})",
+       ErrorCode::kBadRequest},
+      {R"({"scenario": "credit", "sweep": {"x": [1, "y"]}})",
+       ErrorCode::kBadRequest},
+  };
+  for (const auto& test_case : cases) {
+    JsonValue request;
+    std::string error;
+    ASSERT_TRUE(ParseJson(test_case.text, &request, &error)) << error;
+    JobSpec spec;
+    ErrorCode code;
+    EXPECT_FALSE(
+        eqimpact::serve::ParseJobSpec(request, &spec, &code, &error))
+        << test_case.text;
+    EXPECT_EQ(code, test_case.expected) << test_case.text;
+  }
+}
+
+TEST(ServeProtocol, FingerprintSeparatesSpecs) {
+  const JobSpec base = ParseSpecOrDie(R"({"scenario": "credit"})");
+  const JobSpec other_seed =
+      ParseSpecOrDie(R"({"scenario": "credit", "seed": 43})");
+  const JobSpec other_scenario = ParseSpecOrDie(R"({"scenario": "market"})");
+  const JobSpec with_set = ParseSpecOrDie(
+      R"({"scenario": "credit", "set": {"num_users": 100}})");
+  const uint64_t base_print = eqimpact::serve::JobSpecFingerprint(base);
+  EXPECT_NE(base_print, eqimpact::serve::JobSpecFingerprint(other_seed));
+  EXPECT_NE(base_print,
+            eqimpact::serve::JobSpecFingerprint(other_scenario));
+  EXPECT_NE(base_print, eqimpact::serve::JobSpecFingerprint(with_set));
+  // The client id never reaches the payload, so it never reaches the key.
+  JobSpec with_id = base;
+  with_id.id = "client-7";
+  EXPECT_EQ(base_print, eqimpact::serve::JobSpecFingerprint(with_id));
+}
+
+// --- Scheduler --------------------------------------------------------
+
+TEST(ServeScheduler, RejectsWhenQueueIsFull) {
+  SchedulerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  options.total_threads = 1;
+  Scheduler scheduler(options);
+
+  std::mutex mutex;
+  std::condition_variable started_cv;
+  std::condition_variable release_cv;
+  bool started = false;
+  bool release = false;
+  auto blocker = [&](size_t) {
+    std::unique_lock<std::mutex> lock(mutex);
+    started = true;
+    started_cv.notify_all();
+    release_cv.wait(lock, [&] { return release; });
+  };
+  ASSERT_EQ(scheduler.Submit(blocker), Admission::kAccepted);
+  {
+    // The first job occupies the only worker before we fill the queue,
+    // so the admission arithmetic below is deterministic.
+    std::unique_lock<std::mutex> lock(mutex);
+    started_cv.wait(lock, [&] { return started; });
+  }
+  EXPECT_EQ(scheduler.Submit([](size_t) {}), Admission::kAccepted);
+  EXPECT_EQ(scheduler.queue_depth(), 1u);
+  // Executing + queued == num_workers + queue_capacity: full.
+  EXPECT_EQ(scheduler.Submit([](size_t) {}), Admission::kQueueFull);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  release_cv.notify_all();
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.in_flight(), 0u);
+}
+
+TEST(ServeScheduler, ShutdownRejectsAndDrains) {
+  SchedulerOptions options;
+  options.num_workers = 2;
+  options.total_threads = 1;
+  Scheduler scheduler(options);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(scheduler.Submit([&ran](size_t) { ++ran; }),
+              Admission::kAccepted);
+  }
+  scheduler.Shutdown();
+  EXPECT_EQ(ran.load(), 5);
+  EXPECT_EQ(scheduler.Submit([](size_t) {}), Admission::kShuttingDown);
+}
+
+TEST(ServeScheduler, SwallowsJobExceptions) {
+  SchedulerOptions options;
+  options.num_workers = 1;
+  options.total_threads = 1;
+  Scheduler scheduler(options);
+  ASSERT_EQ(scheduler.Submit([](size_t) { throw std::runtime_error("x"); }),
+            Admission::kAccepted);
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.failed_jobs(), 1u);
+  // The worker survives the throw.
+  std::atomic<bool> ran{false};
+  ASSERT_EQ(scheduler.Submit([&ran](size_t) { ran = true; }),
+            Admission::kAccepted);
+  scheduler.Drain();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ServeScheduler, SplitsTheThreadBudgetAcrossWorkers) {
+  SchedulerOptions options;
+  options.num_workers = 2;
+  options.total_threads = 8;
+  Scheduler scheduler(options);
+  EXPECT_EQ(scheduler.job_threads(), 4u);
+}
+
+// --- Result cache -----------------------------------------------------
+
+TEST(ServeResultCache, HitsReturnTheInsertedPayload) {
+  ResultCache cache(4);
+  CachedResult result;
+  EXPECT_FALSE(cache.Lookup(1, &result));
+  cache.Insert(1, {0xabcdu, "payload-1"});
+  ASSERT_TRUE(cache.Lookup(1, &result));
+  EXPECT_EQ(result.digest, 0xabcdu);
+  EXPECT_EQ(result.payload, "payload-1");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ServeResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.Insert(1, {1, "one"});
+  cache.Insert(2, {2, "two"});
+  CachedResult result;
+  ASSERT_TRUE(cache.Lookup(1, &result));  // 1 is now most recent.
+  cache.Insert(3, {3, "three"});          // Evicts 2.
+  EXPECT_TRUE(cache.Lookup(1, &result));
+  EXPECT_FALSE(cache.Lookup(2, &result));
+  EXPECT_TRUE(cache.Lookup(3, &result));
+}
+
+// --- Service ----------------------------------------------------------
+
+/// Collects one submission's event stream (sinks may fire from worker
+/// threads; the service serializes per-submission calls).
+struct EventLog {
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::vector<ClientEvent> events;
+  bool done = false;
+
+  ExperimentService::EventSink Sink() {
+    return [this](const std::string& line) {
+      ClientEvent event;
+      std::string error;
+      ASSERT_TRUE(eqimpact::serve::ParseEventLine(line, &event, &error))
+          << error << ": " << line;
+      std::lock_guard<std::mutex> lock(mutex);
+      events.push_back(event);
+      if (event.event == "result" || event.event == "error") {
+        done = true;
+        done_cv.notify_all();
+      }
+    };
+  }
+
+  void WaitDone() {
+    std::unique_lock<std::mutex> lock(mutex);
+    done_cv.wait(lock, [this] { return done; });
+  }
+
+  const ClientEvent& last() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return events.back();
+  }
+};
+
+ServiceOptions SmallService() {
+  ServiceOptions options;
+  options.scheduler.num_workers = 2;
+  options.scheduler.queue_capacity = 4;
+  options.scheduler.total_threads = 1;
+  options.cache_capacity = 8;
+  return options;
+}
+
+const char kSmallCreditJob[] =
+    R"({"scenario": "credit", "trials": 2, "set": {"num_users": 150}})";
+
+TEST(ServeService, StreamsAcceptedProgressResult) {
+  ExperimentService service(SmallService());
+  EventLog log;
+  ASSERT_TRUE(service.Submit(kSmallCreditJob, log.Sink()));
+  log.WaitDone();
+  ASSERT_EQ(log.events.size(), 4u);  // accepted, 2x progress, result.
+  EXPECT_EQ(log.events[0].event, "accepted");
+  EXPECT_FALSE(log.events[0].cached);
+  EXPECT_EQ(log.events[1].event, "progress");
+  EXPECT_EQ(log.events[1].unit, "trial");
+  EXPECT_EQ(log.events[2].completed, 2u);
+  EXPECT_EQ(log.events[3].event, "result");
+  EXPECT_NE(log.events[3].digest, 0u);
+  EXPECT_FALSE(log.events[3].payload.empty());
+}
+
+TEST(ServeService, ServedDigestMatchesDirectEngineRun) {
+  ExperimentService service(SmallService());
+  EventLog log;
+  ASSERT_TRUE(service.Submit(kSmallCreditJob, log.Sink()));
+  log.WaitDone();
+
+  std::unique_ptr<eqimpact::sim::Scenario> scenario =
+      eqimpact::sim::CreateScenario("credit");
+  ASSERT_TRUE(scenario->SetParameter("num_users", 150));
+  eqimpact::sim::ExperimentOptions options;
+  options.num_trials = 2;
+  options.num_threads = 1;
+  eqimpact::sim::ExperimentResult direct =
+      eqimpact::sim::RunExperiment(scenario.get(), options);
+  EXPECT_EQ(log.last().digest, eqimpact::sim::ExperimentDigest(direct));
+}
+
+TEST(ServeService, CacheHitIsBitwiseIdentical) {
+  ExperimentService service(SmallService());
+  EventLog first;
+  ASSERT_TRUE(service.Submit(kSmallCreditJob, first.Sink()));
+  first.WaitDone();
+  EventLog second;
+  ASSERT_TRUE(service.Submit(kSmallCreditJob, second.Sink()));
+  second.WaitDone();
+  // The repeat is answered from cache: no second engine run, and the
+  // payload/digest are byte-for-byte the first run's.
+  EXPECT_EQ(service.runs_started(), 1u);
+  EXPECT_GE(service.cache_hits(), 1u);
+  ASSERT_EQ(second.events.size(), 2u);  // accepted + result, no progress.
+  EXPECT_TRUE(second.events[0].cached);
+  EXPECT_TRUE(second.events[1].cached);
+  EXPECT_EQ(second.last().payload, first.last().payload);
+  EXPECT_EQ(second.last().digest, first.last().digest);
+}
+
+TEST(ServeService, ConcurrentIdenticalSubmissionsDedupToOneRun) {
+  // One worker: the first submission occupies it, the identical
+  // follow-ups must join it rather than queue their own runs.
+  ServiceOptions options = SmallService();
+  options.scheduler.num_workers = 1;
+  ExperimentService service(options);
+  const char job[] =
+      R"({"scenario": "credit", "trials": 3, "set": {"num_users": 40000}})";
+  EventLog logs[3];
+  for (auto& log : logs) {
+    ASSERT_TRUE(service.Submit(job, log.Sink()));
+  }
+  for (auto& log : logs) log.WaitDone();
+  EXPECT_EQ(service.runs_started(), 1u);
+  EXPECT_EQ(service.dedup_joins(), 2u);
+  for (auto& log : logs) {
+    EXPECT_EQ(log.last().event, "result");
+    EXPECT_EQ(log.last().payload, logs[0].last().payload);
+  }
+  // Every subscriber's stream is tagged with its own id.
+  EXPECT_NE(logs[0].last().id, logs[1].last().id);
+}
+
+TEST(ServeService, TypedErrorsDoNotReachTheScheduler) {
+  ExperimentService service(SmallService());
+  const struct {
+    const char* request;
+    const char* code;
+  } cases[] = {
+      {"{oops", "bad_json"},
+      {R"({"scenario": "credit", "trials": "three"})", "bad_request"},
+      {R"({"scenario": "galaxy"})", "unknown_scenario"},
+      {R"({"scenario": "credit", "set": {"num_users": -5}})",
+       "bad_parameter"},
+      {R"({"scenario": "credit", "sweep": {"warp": [1]}})",
+       "bad_parameter"},
+  };
+  for (const auto& test_case : cases) {
+    EventLog log;
+    EXPECT_FALSE(service.Submit(test_case.request, log.Sink()))
+        << test_case.request;
+    ASSERT_EQ(log.events.size(), 1u) << test_case.request;
+    EXPECT_EQ(log.events[0].event, "error");
+    EXPECT_EQ(log.events[0].code, test_case.code) << test_case.request;
+  }
+  EXPECT_EQ(service.runs_started(), 0u);
+  // The service keeps serving after every rejection.
+  EventLog log;
+  ASSERT_TRUE(service.Submit(kSmallCreditJob, log.Sink()));
+  log.WaitDone();
+  EXPECT_EQ(log.last().event, "result");
+}
+
+TEST(ServeService, ShutdownRejectsNewJobsWithTypedError) {
+  ExperimentService service(SmallService());
+  service.Shutdown();
+  EventLog log;
+  EXPECT_FALSE(service.Submit(kSmallCreditJob, log.Sink()));
+  ASSERT_EQ(log.events.size(), 1u);
+  EXPECT_EQ(log.events[0].code, "shutting_down");
+}
+
+// --- TCP server -------------------------------------------------------
+
+TEST(ServeServer, ServesOverLoopbackByteIdenticallyToTheRenderer) {
+  ServerOptions options;
+  options.service = SmallService();
+  Server server(options);
+  ASSERT_TRUE(server.Start());
+  ASSERT_GT(server.port(), 0);
+
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(server.port(), &error)) << error;
+  ClientEvent last;
+  ASSERT_TRUE(client.SubmitAndWait(kSmallCreditJob, &last, &error)) << error;
+
+  // The served payload equals the shared renderer's output for the
+  // same spec — the serving path adds no bytes and loses none.
+  std::unique_ptr<eqimpact::sim::Scenario> scenario =
+      eqimpact::sim::CreateScenario("credit");
+  ASSERT_TRUE(scenario->SetParameter("num_users", 150));
+  eqimpact::sim::ExperimentOptions experiment;
+  experiment.num_trials = 2;
+  experiment.num_threads = 1;
+  eqimpact::sim::ExperimentResult direct =
+      eqimpact::sim::RunExperiment(scenario.get(), experiment);
+  eqimpact::serve::RenderHeader header;
+  header.num_trials = 2;
+  header.provenance_json = eqimpact::serve::RenderProvenance(
+      false, 0, "", false, "\"served\": true");
+  EXPECT_EQ(last.payload,
+            eqimpact::serve::RenderExperimentJson(direct, header));
+  EXPECT_EQ(last.digest, eqimpact::sim::ExperimentDigest(direct));
+
+  // A malformed line gets a typed error and leaves the connection and
+  // the server alive for the next request.
+  ASSERT_TRUE(client.Send("this is not json"));
+  ClientEvent event;
+  ASSERT_TRUE(client.ReadEvent(&event, &error)) << error;
+  EXPECT_EQ(event.event, "error");
+  EXPECT_EQ(event.code, "bad_json");
+  ASSERT_TRUE(client.SubmitAndWait(kSmallCreditJob, &last, &error)) << error;
+  EXPECT_TRUE(last.cached);
+
+  server.Shutdown();
+}
+
+TEST(ServeServer, ShutdownDrainsInFlightJobs) {
+  ServerOptions options;
+  options.service = SmallService();
+  Server server(options);
+  ASSERT_TRUE(server.Start());
+
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(server.port(), &error)) << error;
+  ASSERT_TRUE(client.Send(
+      R"({"scenario": "credit", "trials": 2, "set": {"num_users": 60000}})"));
+  ClientEvent event;
+  ASSERT_TRUE(client.ReadEvent(&event, &error)) << error;
+  ASSERT_EQ(event.event, "accepted");
+
+  // Shut down while the job runs: the drain must still deliver its
+  // result before the socket closes.
+  std::thread shutdown_thread([&server] { server.Shutdown(); });
+  bool saw_result = false;
+  while (client.ReadEvent(&event, &error)) {
+    if (event.event == "result") {
+      saw_result = true;
+      break;
+    }
+  }
+  shutdown_thread.join();
+  EXPECT_TRUE(saw_result);
+  EXPECT_EQ(server.service().runs_started(), 1u);
+}
+
+}  // namespace
