@@ -74,15 +74,29 @@
 //    shared renderer and requires digest AND payload byte-equality —
 //    the serving path must add no bytes and lose none.
 //
+//  * "markov_scaling" — the sparse Markov/Ulam engine (PR 9): the
+//    biased binary IFS {x/2 w.p. 0.6, x/2 + 1/2 w.p. 0.4} discretised
+//    at 10^2..10^5
+//    cells. Per size: CSR build time, adjoint matvec rate, stationary
+//    solver iterations, spectral gap and the invariant-measure digest.
+//    Hard gates feeding the exit code: at the sizes where the dense
+//    O(n^2) oracle is affordable, the sparse operator must equal the
+//    dense Ulam matrix entry for entry and Propagate must match it bit
+//    for bit ("sparse_matches_dense"); build, matvec and stationary
+//    digests must be bitwise identical at 1, 2 and 8 threads with a
+//    chunk size small enough to force multi-chunk dispatch
+//    ("deterministic_across_thread_counts").
+//
 //  * "micro" — single-thread timings of the library's hot paths (RNG
 //    throughput, normal CDF, logistic IRLS, one closed-loop trial,
 //    Markov/linalg kernels) replacing the earlier google-benchmark
 //    micro-suite with a dependency-free harness.
 //
 // Usage: bench_perf [num_trials] [num_users] [max_threads] [within_users]
-// [fit_rows]
-// (defaults 32, 200, hardware_concurrency, 1000000, 12000000;
-// within_users 0 / fit_rows 0 skip the respective section)
+// [fit_rows] [markov_cells]
+// (defaults 32, 200, hardware_concurrency, 1000000, 12000000, 100000;
+// within_users 0 / fit_rows 0 / markov_cells 0 skip the respective
+// section)
 // Output: a single JSON object on stdout; progress notes on stderr.
 
 #include <algorithm>
@@ -111,12 +125,15 @@
 #include "credit/credit_loop.h"
 #include "linalg/eigen.h"
 #include "linalg/matrix.h"
+#include "linalg/sparse_eigen.h"
+#include "linalg/sparse_matrix.h"
 #include "linalg/symmetric_eigen.h"
 #include "market/matching_market.h"
 #include "markov/affine_ifs.h"
 #include "markov/affine_map.h"
 #include "markov/coupling.h"
 #include "markov/markov_chain.h"
+#include "markov/sparse_ulam.h"
 #include "markov/ulam.h"
 #include "ml/binned_dataset.h"
 #include "ml/dataset.h"
@@ -1038,6 +1055,201 @@ bool AllDigestsEqual(const std::vector<ScalingPoint>& scaling) {
   return true;
 }
 
+// --- markov_scaling helpers. ------------------------------------------------
+
+struct MarkovPoint {
+  size_t num_cells = 0;
+  size_t nonzeros = 0;
+  double build_seconds = 0.0;
+  double matvec_seconds = 0.0;  // per adjoint matvec
+  double matvec_entries_per_sec = 0.0;
+  int solver_iterations = 0;
+  double spectral_gap = 0.0;
+  uint64_t measure_digest = 0;
+};
+
+struct MarkovSection {
+  size_t max_cells = 0;
+  bool sparse_matches_dense = true;
+  bool deterministic_across_thread_counts = true;
+  bool stationary_converged = true;
+  uint64_t digest = 0;
+  std::vector<MarkovPoint> runs;
+};
+
+uint64_t DigestVector(const eqimpact::linalg::Vector& v) {
+  Fnv1a digest;
+  for (size_t i = 0; i < v.size(); ++i) digest.MixDouble(v[i]);
+  return digest.hash();
+}
+
+uint64_t DigestSparseMatrix(const eqimpact::linalg::SparseMatrix& m) {
+  Fnv1a digest;
+  for (size_t offset : m.row_offsets()) digest.Mix(offset);
+  for (size_t col : m.col_indices()) digest.Mix(col);
+  for (double value : m.values()) digest.MixDouble(value);
+  return digest.hash();
+}
+
+/// The markov_scaling section: the sparse Ulam engine on the biased
+/// binary IFS {x/2 w.p. 0.6, x/2 + 1/2 w.p. 0.4} — the (0.6, 0.4)
+/// Bernoulli measure on [0, 1], non-uniform so the stationary solver
+/// iterates for real — swept over cell counts up to `max_cells`. The
+/// dense UlamApproximation matrix — still built by the O(n^2) oracle
+/// path — is the equality reference at the sizes where it is
+/// affordable.
+MarkovSection RunMarkovSuite(size_t max_cells) {
+  namespace linalg = eqimpact::linalg;
+  namespace markov = eqimpact::markov;
+  MarkovSection section;
+  section.max_cells = max_cells;
+  const markov::AffineIfs ifs({markov::AffineMap::Scalar(0.5, 0.0),
+                               markov::AffineMap::Scalar(0.5, 0.5)},
+                              {0.6, 0.4});
+  constexpr size_t kDenseOracleLimit = 1000;
+  constexpr size_t kThreadSweep[] = {1, 2, 8};
+  constexpr unsigned kPropagateSteps = 5;
+
+  std::vector<size_t> sizes;
+  for (size_t n :
+       {size_t{100}, size_t{1000}, size_t{10000}, size_t{100000}}) {
+    if (n <= max_cells) sizes.push_back(n);
+  }
+  if (sizes.empty()) sizes.push_back(max_cells);
+
+  Fnv1a section_digest;
+  for (size_t n : sizes) {
+    MarkovPoint point;
+    point.num_cells = n;
+    point.build_seconds = TimeIt([&ifs, n] {
+      markov::SparseUlamOperator scratch(ifs, 0.0, 1.0, n);
+      (void)scratch;
+    });
+    const markov::SparseUlamOperator op(ifs, 0.0, 1.0, n);
+    point.nonzeros = op.transition().nonzeros();
+
+    // A tilted (non-uniform) probability vector: uniform would be the
+    // fixed point and make the Propagate comparison vacuous.
+    linalg::Vector x(n);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<double>(i % 7 + 1);
+      total += x[i];
+    }
+    x /= total;
+
+    const size_t reps =
+        std::max<size_t>(1, 4000000 / std::max<size_t>(point.nonzeros, 1));
+    linalg::Vector y(n);
+    const double reps_seconds = TimeIt([&op, &x, &y, reps] {
+      for (size_t rep = 0; rep < reps; ++rep) y = op.adjoint().Multiply(x);
+    });
+    point.matvec_seconds = reps_seconds / static_cast<double>(reps);
+    point.matvec_entries_per_sec =
+        point.matvec_seconds > 0.0
+            ? static_cast<double>(point.nonzeros) / point.matvec_seconds
+            : 0.0;
+
+    const linalg::SparseStationaryResult stationary = op.StationarySolve();
+    if (!stationary.converged || !stationary.distribution.has_value()) {
+      std::fprintf(stderr,
+                   "  ERROR: markov stationary solve failed at %zu cells\n",
+                   n);
+      section.stationary_converged = false;
+      section.runs.push_back(point);
+      continue;
+    }
+    point.solver_iterations = stationary.iterations;
+    const linalg::Vector& pi = *stationary.distribution;
+    point.measure_digest = DigestVector(pi);
+    point.spectral_gap =
+        linalg::SparseSubdominantModulus(op.transition(), pi).spectral_gap;
+
+    // Dense-oracle gate: entry-for-entry matrix equality and bitwise
+    // Propagate equality against the dense Ulam path.
+    if (n <= kDenseOracleLimit) {
+      const markov::UlamApproximation dense(ifs, 0.0, 1.0, n);
+      const linalg::Matrix& reference = dense.chain().transition();
+      bool matches = true;
+      for (size_t r = 0; r < n && matches; ++r) {
+        for (size_t c = 0; c < n; ++c) {
+          if (op.transition().At(r, c) != reference(r, c)) {
+            matches = false;
+            break;
+          }
+        }
+      }
+      const linalg::Vector sparse_step = op.Propagate(x, kPropagateSteps);
+      const linalg::Vector dense_step =
+          dense.chain().Propagate(x, kPropagateSteps);
+      matches = matches && std::memcmp(sparse_step.data().data(),
+                                       dense_step.data().data(),
+                                       n * sizeof(double)) == 0;
+      const std::optional<linalg::Vector> dense_pi =
+          dense.chain().StationaryDistribution();
+      if (dense_pi.has_value()) {
+        for (size_t i = 0; i < n; ++i) {
+          if (std::fabs(pi[i] - (*dense_pi)[i]) > 1e-9) matches = false;
+        }
+      } else {
+        matches = false;
+      }
+      if (!matches) {
+        std::fprintf(stderr,
+                     "  ERROR: sparse Ulam diverged from the dense oracle "
+                     "at %zu cells\n",
+                     n);
+        section.sparse_matches_dense = false;
+      }
+    }
+
+    // Thread-invariance gate: build, matvec and stationary solve must
+    // reproduce the serial digests bit for bit at every thread count. A
+    // small chunk size forces multi-chunk dispatch even at 100 cells.
+    const uint64_t build_reference = DigestSparseMatrix(op.transition());
+    const uint64_t matvec_reference = DigestVector(y);
+    for (size_t threads : kThreadSweep) {
+      markov::SparseUlamOptions build_options;
+      build_options.num_threads = threads;
+      const markov::SparseUlamOperator rebuilt(ifs, 0.0, 1.0, n,
+                                               build_options);
+      linalg::SparseProductOptions product;
+      product.num_threads = threads;
+      product.chunk_size = 64;
+      linalg::SparseSolverOptions solver;
+      solver.product = product;
+      const linalg::SparseStationaryResult rerun =
+          rebuilt.StationarySolve(solver);
+      const bool invariant =
+          DigestSparseMatrix(rebuilt.transition()) == build_reference &&
+          DigestVector(rebuilt.adjoint().Multiply(x, product)) ==
+              matvec_reference &&
+          rerun.distribution.has_value() &&
+          DigestVector(*rerun.distribution) == point.measure_digest;
+      if (!invariant) {
+        std::fprintf(stderr,
+                     "  ERROR: markov digests moved at %zu cells, "
+                     "%zu threads\n",
+                     n, threads);
+        section.deterministic_across_thread_counts = false;
+      }
+    }
+
+    section_digest.Mix(point.num_cells);
+    section_digest.Mix(point.nonzeros);
+    section_digest.Mix(point.measure_digest);
+    std::fprintf(stderr,
+                 "  markov cells=%zu nnz=%zu build %.4fs matvec %.1fM "
+                 "entries/s solve %d iters gap %.4f\n",
+                 n, point.nonzeros, point.build_seconds,
+                 point.matvec_entries_per_sec / 1e6, point.solver_iterations,
+                 point.spectral_gap);
+    section.runs.push_back(point);
+  }
+  section.digest = section_digest.hash();
+  return section;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1056,13 +1268,16 @@ int main(int argc, char** argv) {
   if (argc > 4) within_users = std::atol(argv[4]);
   // Accumulated-history size of the fit_scaling section; 0 skips it.
   if (argc > 5) fit_rows = std::atol(argv[5]);
+  // Largest Ulam discretisation of the markov_scaling section; 0 skips it.
+  long markov_cells = 100000;
+  if (argc > 6) markov_cells = std::atol(argv[6]);
   if (num_trials <= 0 || num_users <= 0 || max_threads <= 0 ||
-      within_users < 0 || fit_rows < 0) {
+      within_users < 0 || fit_rows < 0 || markov_cells < 0) {
     std::fprintf(
         stderr,
         "usage: bench_perf [num_trials] [num_users] [max_threads] "
-        "[within_users] [fit_rows]\n"
-        "       the first three must be positive; the last two >= 0\n");
+        "[within_users] [fit_rows] [markov_cells]\n"
+        "       the first three must be positive; the rest >= 0\n");
     return 2;
   }
   const size_t hw = static_cast<size_t>(max_threads);
@@ -1383,6 +1598,15 @@ int main(int argc, char** argv) {
   // --- Section 7: serving scaling (the experiment service, PR 8). ------
   const ServingSection serving_section = RunServingSuite();
 
+  // --- Section 8: markov scaling (the sparse Ulam engine, PR 9). -------
+  MarkovSection markov_section;
+  if (markov_cells > 0) {
+    markov_section = RunMarkovSuite(static_cast<size_t>(markov_cells));
+  }
+  const bool markov_ok = markov_section.sparse_matches_dense &&
+                         markov_section.deterministic_across_thread_counts &&
+                         markov_section.stationary_converged;
+
   std::vector<MicroResult> micro = RunMicroSuite();
 
   const bool deterministic =
@@ -1392,7 +1616,7 @@ int main(int argc, char** argv) {
       phi_section.max_ulp_vs_libm <= phi_section.ulp_bound &&
       fold_section.dense_matches_hashed && shard_matches_unsharded &&
       shard_deterministic && checkpoint_resume_matches &&
-      serving_section.served_digest_matches_cli;
+      serving_section.served_digest_matches_cli && markov_ok;
 
   // Emit the JSON document on stdout.
   std::printf("{\n");
@@ -1575,6 +1799,35 @@ int main(int argc, char** argv) {
   std::printf("    \"digest\": \"%016" PRIx64 "\"\n",
               serving_section.digest);
   std::printf("  },\n");
+  if (!markov_section.runs.empty()) {
+    std::printf("  \"markov_scaling\": {\n");
+    std::printf("    \"max_cells\": %zu,\n", markov_section.max_cells);
+    std::printf("    \"num_maps\": 2,\n");
+    std::printf("    \"sparse_matches_dense\": %s,\n",
+                markov_section.sparse_matches_dense ? "true" : "false");
+    std::printf(
+        "    \"deterministic_across_thread_counts\": %s,\n",
+        markov_section.deterministic_across_thread_counts ? "true" : "false");
+    std::printf("    \"stationary_converged\": %s,\n",
+                markov_section.stationary_converged ? "true" : "false");
+    std::printf("    \"digest\": \"%016" PRIx64 "\",\n",
+                markov_section.digest);
+    std::printf("    \"runs\": [\n");
+    for (size_t i = 0; i < markov_section.runs.size(); ++i) {
+      const MarkovPoint& p = markov_section.runs[i];
+      std::printf(
+          "      {\"num_cells\": %zu, \"nonzeros\": %zu, "
+          "\"build_seconds\": %.6f, \"matvec_entries_per_sec\": %.1f, "
+          "\"solver_iterations\": %d, \"spectral_gap\": %.6f, "
+          "\"measure_digest\": \"%016" PRIx64 "\"}%s\n",
+          p.num_cells, p.nonzeros, p.build_seconds,
+          p.matvec_entries_per_sec, p.solver_iterations, p.spectral_gap,
+          p.measure_digest,
+          i + 1 < markov_section.runs.size() ? "," : "");
+    }
+    std::printf("    ]\n");
+    std::printf("  },\n");
+  }
   std::printf("  \"micro\": [\n");
   for (size_t i = 0; i < micro.size(); ++i) {
     std::printf(

@@ -12,6 +12,21 @@
 //   run_experiment --serve [--port=P] [--port-file=PATH]
 //                  [--serve-workers=N] [--serve-queue=N]
 //                  [--serve-threads=N] [--serve-cache=N]
+//   run_experiment --certify [--scenario=NAME] [--cells=N]
+//                  [--force-scalar] [--set name=value]...
+//
+// --certify prints ergodicity certificates instead of running trials:
+// each scenario's declared dynamics surrogate (an affine IFS) is
+// discretised on a sparse Ulam operator and its invariant measure,
+// spectral gap and mixing-time bound are computed with the iterative
+// sparse eigensolvers — simulation-free, O(cells) memory. Without
+// --scenario it certifies every registered scenario; with it, one
+// scenario with the --set assignments applied. --cells sets the Ulam
+// resolution (default 4096). Certificates are closed-form properties of
+// the spec, so --certify cannot be combined with --sweep, --serve or
+// checkpointing, and the output is byte-identical under --force-scalar
+// (the provenance line, which also records the certificate solver
+// configuration, is the only line that differs).
 //
 // --serve runs the long-lived experiment service instead of one
 // experiment: line-delimited JSON requests over loopback TCP (see
@@ -63,6 +78,7 @@
 #include "base/simd_scalar.h"
 #include "serve/render_json.h"
 #include "serve/server.h"
+#include "sim/certify.h"
 #include "sim/experiment.h"
 #include "sim/scenario_registry.h"
 #include "sim/sweep.h"
@@ -100,6 +116,10 @@ struct CliSpec {
   /// --shards=N: sugar for --set num_shards=N (0 = flag absent, keep
   /// the scenario default). Recorded in the provenance field either way.
   size_t shards = 0;
+  /// --certify: print ergodicity certificates instead of running.
+  bool certify = false;
+  /// --cells=N: Ulam resolution of the certificate discretisation.
+  size_t certify_cells = 4096;
   std::vector<Assignment> assignments;
   std::vector<SweepParameter> sweeps;
 };
@@ -237,6 +257,14 @@ bool ParseArgs(int argc, char** argv, CliSpec* spec) {
       }
     } else if (arg == "--resume") {
       spec->experiment.resume = true;
+    } else if (arg == "--certify") {
+      spec->certify = true;
+    } else if (arg.rfind("--cells=", 0) == 0) {
+      if (!parse_size_flag("--cells=", &spec->certify_cells)) return false;
+      if (spec->certify_cells == 0) {
+        std::fprintf(stderr, "error: --cells must be positive\n");
+        return false;
+      }
     } else if (arg == "--set") {
       const char* text = next_value("--set");
       if (text == nullptr) return false;
@@ -349,6 +377,53 @@ int RunGrid(const CliSpec& spec) {
   return 0;
 }
 
+// --- --certify mode ---------------------------------------------------
+
+int RunCertify(const CliSpec& spec) {
+  eqimpact::sim::ScenarioCertifyOptions options;
+  options.spectral.num_cells = spec.certify_cells;
+  // The provenance line carries the certificate solver configuration, so
+  // a stored document is self-describing about how its numbers arose.
+  char extra[192];
+  std::snprintf(extra, sizeof(extra),
+                "\"certify\": {\"num_cells\": %zu, \"epsilon\": %g, "
+                "\"max_iterations\": %d, \"arnoldi_subspace\": %zu}",
+                options.spectral.num_cells, options.spectral.epsilon,
+                options.spectral.max_iterations,
+                options.spectral.arnoldi_subspace);
+  const std::string provenance = eqimpact::serve::RenderProvenance(
+      spec.force_scalar, /*num_shards=*/0, /*checkpoint_path=*/"",
+      /*resume=*/false, extra);
+
+  std::vector<eqimpact::sim::ScenarioCertificate> certificates;
+  if (spec.scenario.empty()) {
+    certificates = eqimpact::sim::CertifyRegisteredScenarios(options);
+  } else {
+    std::unique_ptr<Scenario> scenario =
+        eqimpact::sim::CreateScenario(spec.scenario);
+    if (scenario == nullptr) {
+      std::fprintf(stderr, "error: unknown scenario '%s' (try --list)\n",
+                   spec.scenario.c_str());
+      return 2;
+    }
+    for (const Assignment& assignment : spec.assignments) {
+      if (!scenario->SetParameter(assignment.name, assignment.value)) {
+        std::fprintf(stderr,
+                     "error: scenario '%s' rejects parameter '%s' "
+                     "(unknown name or out-of-range value)\n",
+                     spec.scenario.c_str(), assignment.name.c_str());
+        return 2;
+      }
+    }
+    certificates.push_back(
+        eqimpact::sim::CertifyScenario(*scenario, options));
+  }
+  const std::string document = eqimpact::sim::RenderScenarioCertificatesJson(
+      certificates, provenance, options);
+  std::fwrite(document.data(), 1, document.size(), stdout);
+  return 0;
+}
+
 // --- --serve mode -----------------------------------------------------
 
 /// SIGTERM/SIGINT land here: the handler only pokes a self-pipe (the
@@ -443,6 +518,30 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (spec.certify) {
+    if (spec.serve || !spec.sweeps.empty()) {
+      std::fprintf(stderr,
+                   "error: --certify computes closed-form certificates; it "
+                   "cannot be combined with --sweep or --serve\n");
+      return 2;
+    }
+    if (!spec.experiment.checkpoint_path.empty() || spec.experiment.resume) {
+      std::fprintf(stderr,
+                   "error: --certify runs no trials; --checkpoint/--resume "
+                   "do not apply\n");
+      return 2;
+    }
+    if (spec.scenario.empty() &&
+        (!spec.assignments.empty() || spec.shards > 0)) {
+      std::fprintf(stderr,
+                   "error: --set/--shards with --certify need "
+                   "--scenario=NAME (certifying all scenarios takes their "
+                   "defaults)\n");
+      return 2;
+    }
+    return RunCertify(spec);
+  }
+
   if (spec.serve) {
     if (!spec.scenario.empty() || !spec.sweeps.empty()) {
       std::fprintf(stderr,
@@ -461,7 +560,8 @@ int main(int argc, char** argv) {
                  "[--checkpoint=PATH] [--resume] [--force-scalar] "
                  "[--set name=value]... [--sweep name=v1,v2,...]... | "
                  "--serve [--port=P] [--port-file=PATH] [--serve-workers=N] "
-                 "[--serve-queue=N] [--serve-threads=N] [--serve-cache=N]\n");
+                 "[--serve-queue=N] [--serve-threads=N] [--serve-cache=N] | "
+                 "--certify [--scenario=NAME] [--cells=N]\n");
     return 2;
   }
   if (spec.experiment.num_trials == 0 || spec.experiment.impact_bins == 0) {

@@ -60,7 +60,14 @@ Checks, in order of severity:
    section adds served_digest_matches_cli: every job served over the
    experiment service must carry the same digest AND byte-identical
    payload as a direct engine run + CLI render of the same spec — the
-   serving layer is transport, never arithmetic. Additionally, whenever a run
+   serving layer is transport, never arithmetic. The PR 9
+   markov_scaling section adds three more: sparse_matches_dense (the
+   sparse Ulam operator must equal the dense oracle entry for entry and
+   propagate bit for bit), deterministic_across_thread_counts (build,
+   matvec and stationary digests bitwise-stable at 1/2/8 threads), and
+   stationary_converged; its section digest folds the per-size
+   invariant-measure digests and is checked like every other
+   section's. Additionally, whenever a run
    (fresh or snapshot) carries both within_trial_scaling and
    shard_scaling at the same workload parameters, their digests must
    agree with each other *within that file* (HARD FAIL): the sharded
@@ -124,6 +131,15 @@ def sequential_rate(section, key):
         if run.get("num_threads") == 1:
             return run.get(key)
     return None
+
+
+def largest_cells_rate(section, key):
+    """The markov_scaling rate at the largest discretisation in the run."""
+    best = None
+    for run in section.get("runs", []):
+        if best is None or run.get("num_cells", 0) > best.get("num_cells", 0):
+            best = run
+    return best.get(key) if best else None
 
 
 def compare_digests(fresh, snapshot, section, params, accepted_bumps=None):
@@ -204,6 +220,15 @@ def headline_rates(fresh, snapshot):
             fresh.get(section, {}).get(key),
             snapshot.get(section, {}).get(key),
         ))
+    rows.append((
+        "markov matvec entries/sec (largest cells)",
+        largest_cells_rate(
+            fresh.get("markov_scaling", {}), "matvec_entries_per_sec"
+        ),
+        largest_cells_rate(
+            snapshot.get("markov_scaling", {}), "matvec_entries_per_sec"
+        ),
+    ))
     return rows
 
 
@@ -337,6 +362,7 @@ def main(argv):
         ("fold_scaling", ["num_users", "num_user_years"]),
         ("shard_scaling", ["num_users", "num_years"]),
         ("serving_scaling", ["num_jobs", "num_distinct"]),
+        ("markov_scaling", ["max_cells", "num_maps"]),
     ]
     for section, params in digest_sections:
         e, n = compare_digests(
@@ -371,6 +397,7 @@ def main(argv):
         "within_trial_scaling",
         "fit_scaling",
         "market_scaling",
+        "markov_scaling",
     ):
         if section in fresh and not fresh[section].get(
             "deterministic_across_thread_counts", True
@@ -435,6 +462,22 @@ def main(argv):
             "from the direct engine run + CLI render of the same spec — "
             "the serving layer changed the numbers"
         )
+    if "markov_scaling" in fresh:
+        markov = fresh["markov_scaling"]
+        for flag, meaning in (
+            (
+                "sparse_matches_dense",
+                "the sparse Ulam operator diverged from the dense oracle "
+                "(matrix entries, bitwise Propagate, or the stationary "
+                "measure)",
+            ),
+            (
+                "stationary_converged",
+                "a stationary solve failed to converge",
+            ),
+        ):
+            if not markov.get(flag, True):
+                errors += fail(f"markov_scaling: {meaning}")
 
     # 3. Throughput trend (warnings only).
     warnings = []
@@ -567,6 +610,21 @@ def main(argv):
         snapshot.get("serving_scaling", {}).get("jobs_per_sec"),
         warnings,
     )
+    # markov_scaling rates, per cell count (sparse matvec and build are
+    # single-number-per-size; compared by num_cells, warn-only).
+    snapshot_markov = {
+        run.get("num_cells"): run
+        for run in snapshot.get("markov_scaling", {}).get("runs", [])
+    }
+    for run in fresh.get("markov_scaling", {}).get("runs", []):
+        reference = snapshot_markov.get(run.get("num_cells"), {})
+        check_rate(
+            f"markov_scaling matvec entries/sec ({run.get('num_cells')} "
+            "cells)",
+            run.get("matvec_entries_per_sec"),
+            reference.get("matvec_entries_per_sec"),
+            warnings,
+        )
 
     for note in notes:
         print(f"note: {note}")

@@ -1,8 +1,11 @@
 #include "core/ergodicity.h"
 
+#include <cmath>
 #include <cstdio>
 
+#include "base/fnv1a.h"
 #include "graph/analysis.h"
+#include "markov/sparse_ulam.h"
 
 namespace eqimpact {
 namespace core {
@@ -64,6 +67,81 @@ ErgodicityCertificate CertifyMarkovSystem(const markov::MarkovSystem& system,
   certificate.uniquely_ergodic = certificate.irreducible &&
                                  certificate.aperiodic &&
                                  certificate.average_contractive;
+  return certificate;
+}
+
+std::string SpectralCertificate::Summary() const {
+  char line[320];
+  std::snprintf(
+      line, sizeof(line),
+      "cells=%zu contraction=%.4f terminal_classes=%zu "
+      "invariant_measure=%s mean=%.6f gap=%.6f mixing(eps=%.2g)<=%.0f "
+      "certified=%s",
+      num_cells, contraction_factor, terminal_classes,
+      invariant_measure_exists ? "exists" : "none", invariant_mean,
+      spectral_gap, mixing_time_epsilon, mixing_time_bound,
+      certified ? "yes" : "no");
+  return line;
+}
+
+SpectralCertificate CertifyIfsSpectral(
+    const markov::AffineIfs& ifs, double lo, double hi,
+    const SpectralCertificateOptions& options) {
+  SpectralCertificate certificate;
+  certificate.num_cells = options.num_cells;
+  certificate.lo = lo;
+  certificate.hi = hi;
+  certificate.mixing_time_epsilon = options.epsilon;
+  certificate.contraction_factor = ifs.AverageContractionFactor();
+  certificate.average_contractive = certificate.contraction_factor < 1.0;
+
+  markov::SparseUlamOptions build;
+  build.num_threads = options.num_threads;
+  markov::SparseUlamOperator op(ifs, lo, hi, options.num_cells, build);
+
+  linalg::SparseSolverOptions solver;
+  solver.max_iterations = options.max_iterations;
+  solver.tolerance = options.tolerance;
+  solver.product.num_threads = options.num_threads;
+  linalg::SparseStationaryResult stationary = op.StationarySolve(solver);
+  certificate.irreducible = stationary.irreducible;
+  certificate.terminal_classes = stationary.terminal_classes;
+  certificate.solver_iterations = stationary.iterations;
+  certificate.solver_converged = stationary.converged;
+  certificate.invariant_measure_exists =
+      stationary.converged && stationary.distribution.has_value();
+  if (!certificate.invariant_measure_exists) return certificate;
+
+  const linalg::Vector& pi = *stationary.distribution;
+  base::Fnv1a digest;
+  double mean = 0.0;
+  double pi_min = 1.0;
+  for (size_t i = 0; i < pi.size(); ++i) {
+    digest.MixDouble(pi[i]);
+    mean += pi[i] * op.CellCenter(i);
+    if (pi[i] > 0.0 && pi[i] < pi_min) pi_min = pi[i];
+  }
+  certificate.measure_digest = digest.hash();
+  certificate.invariant_mean = mean;
+
+  linalg::SubdominantOptions subdominant;
+  subdominant.subspace = options.arnoldi_subspace;
+  subdominant.product.num_threads = options.num_threads;
+  linalg::SubdominantResult spectrum =
+      linalg::SparseSubdominantModulus(op.transition(), pi, subdominant);
+  certificate.subdominant_modulus = spectrum.modulus;
+  certificate.spectral_gap = spectrum.spectral_gap;
+  if (spectrum.modulus <= 0.0) {
+    // Rank-one chain: one step reaches stationarity.
+    certificate.mixing_time_bound = 1.0;
+  } else if (spectrum.modulus < 1.0) {
+    certificate.mixing_time_bound =
+        std::ceil(std::log(1.0 / (options.epsilon * pi_min)) /
+                  std::log(1.0 / spectrum.modulus));
+  }
+  certificate.certified = certificate.average_contractive &&
+                          certificate.invariant_measure_exists &&
+                          certificate.spectral_gap > 0.0;
   return certificate;
 }
 

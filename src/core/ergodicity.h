@@ -2,6 +2,8 @@
 #define EQIMPACT_CORE_ERGODICITY_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <string>
 
 #include "markov/affine_ifs.h"
@@ -55,6 +57,71 @@ ErgodicityCertificate CertifyAffineIfs(const markov::AffineIfs& ifs);
 /// more when unknown — the certificate then reports existence only).
 ErgodicityCertificate CertifyMarkovSystem(const markov::MarkovSystem& system,
                                           double contraction_estimate);
+
+/// Controls for CertifyIfsSpectral.
+struct SpectralCertificateOptions {
+  /// Ulam resolution. O(num_cells) memory and per-iteration time via the
+  /// sparse engine, so 10^5+ is practical.
+  size_t num_cells = 4096;
+  /// Total-variation accuracy the mixing-time bound is stated for.
+  double epsilon = 0.01;
+  /// Stationary-solver iteration cap and L1 step tolerance.
+  int max_iterations = 100000;
+  double tolerance = 1e-13;
+  /// Krylov dimension for the subdominant-eigenvalue Arnoldi projection.
+  size_t arnoldi_subspace = 32;
+  /// Threads for the Ulam build and solver matvecs (results are
+  /// bitwise-identical at any value; see linalg/sparse_matrix.h).
+  size_t num_threads = 1;
+};
+
+/// Quantitative, simulation-free ergodicity certificate for a 1-d affine
+/// IFS, computed on its sparse Ulam discretisation: invariant-measure
+/// existence/uniqueness (structural: exactly one recurrent class),
+/// spectral gap 1 - |lambda_2| via deflated Arnoldi, and a mixing-time
+/// bound. The bound uses the standard spectral heuristic
+///   t(eps) <= log(1 / (eps * pi_min)) / log(1 / |lambda_2|)
+/// with pi_min the smallest positive stationary mass (exact for
+/// reversible chains, a gap-based estimate otherwise — reported as a
+/// diagnostic, not a proof). `certified` combines the continuous-side
+/// Elton condition (average contractivity) with the discretised chain's
+/// unique attractive invariant measure.
+struct SpectralCertificate {
+  size_t num_cells = 0;
+  double lo = 0.0;
+  double hi = 0.0;
+  /// Continuous side: exact average contraction factor of the IFS.
+  double contraction_factor = 1.0;
+  bool average_contractive = false;
+  /// Structure of the discretised chain.
+  bool irreducible = false;
+  size_t terminal_classes = 0;
+  /// Stationary solve.
+  bool invariant_measure_exists = false;
+  double invariant_mean = 0.0;
+  int solver_iterations = 0;
+  bool solver_converged = false;
+  /// FNV-1a digest of the stationary vector's bit patterns (0 when none).
+  uint64_t measure_digest = 0;
+  /// Spectral quantities (valid when an invariant measure was found).
+  double subdominant_modulus = 1.0;
+  double spectral_gap = 0.0;
+  double mixing_time_epsilon = 0.01;
+  /// Steps to come within epsilon of stationarity per the bound above;
+  /// +inf when the gap is zero or no measure exists.
+  double mixing_time_bound = std::numeric_limits<double>::infinity();
+  /// Average contractivity + unique attractive invariant measure of the
+  /// discretised chain, at this resolution.
+  bool certified = false;
+
+  /// One-line summary for reports.
+  std::string Summary() const;
+};
+
+/// Computes a SpectralCertificate for `ifs` discretised on [lo, hi].
+SpectralCertificate CertifyIfsSpectral(
+    const markov::AffineIfs& ifs, double lo, double hi,
+    const SpectralCertificateOptions& options = {});
 
 }  // namespace core
 }  // namespace eqimpact

@@ -81,7 +81,8 @@ UlamApproximation::UlamApproximation(const AffineIfs& ifs, double lo,
     : lo_(lo),
       hi_(hi),
       cell_width_((hi - lo) / static_cast<double>(num_cells)),
-      chain_(BuildUlamMatrix(ifs, lo, hi, num_cells)) {}
+      chain_(BuildUlamMatrix(ifs, lo, hi, num_cells)),
+      sparse_(ifs, lo, hi, num_cells) {}
 
 double UlamApproximation::CellCenter(size_t i) const {
   EQIMPACT_CHECK_LT(i, num_cells());
@@ -90,7 +91,7 @@ double UlamApproximation::CellCenter(size_t i) const {
 
 std::optional<linalg::Vector> UlamApproximation::InvariantCellMeasure()
     const {
-  return chain_.StationaryDistribution();
+  return sparse_.InvariantCellMeasure();
 }
 
 std::optional<double> UlamApproximation::InvariantMean() const {
@@ -105,7 +106,7 @@ std::optional<double> UlamApproximation::InvariantMean() const {
 
 linalg::Vector UlamApproximation::Propagate(
     const linalg::Vector& cell_measure, unsigned steps) const {
-  return chain_.Propagate(cell_measure, steps);
+  return sparse_.Propagate(cell_measure, steps);
 }
 
 }  // namespace markov

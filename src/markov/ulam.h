@@ -9,6 +9,7 @@
 #include "linalg/vector.h"
 #include "markov/affine_ifs.h"
 #include "markov/markov_chain.h"
+#include "markov/sparse_ulam.h"
 
 namespace eqimpact {
 namespace markov {
@@ -20,18 +21,33 @@ namespace markov {
 /// interval [lo, hi] into n cells, and approximate the transition kernel
 /// by the matrix
 ///   T(i, j) = sum_e p_e * |w_e(C_i) intersect C_j| / |C_i|,
-/// exact for affine maps because w_e(C_i) is again an interval. The
-/// invariant density of the IFS is approximated by the stationary
-/// distribution of T, and attractivity ((P*)^n nu -> mu) becomes ordinary
-/// matrix-power convergence — giving an independent, simulation-free
-/// check of the Section VI certificates.
+/// exact for affine maps because w_e(C_i) is again an interval.
+///
+/// Boundary-cell mass clamping: mass an affine image carries below `lo`
+/// is deposited into cell 0 and mass above `hi` into cell n-1, and every
+/// row is renormalised to sum exactly to 1 — so T stays row-stochastic
+/// and Propagate conserves total mass even when the window does not
+/// contain the attractor (the escaping mass piles up in the boundary
+/// cells instead of leaking).
+///
+/// Since the sparse engine landed, this class holds *two* bit-identical
+/// representations of T: the dense `MarkovChain` (the small-n test
+/// oracle, also used for spectral checks via matrix powers) and a
+/// `SparseUlamOperator` (CSR, O(n) non-zeros). `Propagate` and
+/// `InvariantCellMeasure` route through the sparse products — Propagate
+/// is bitwise-identical to the dense `MarkovChain::Propagate` it
+/// replaced, and the attractivity check ((P*)^k nu -> mu) is now an
+/// O(nnz) matvec iteration rather than dense matrix powers. For
+/// resolutions where the dense n x n oracle itself is too large (>~10^4
+/// cells), use `SparseUlamOperator` directly.
 class UlamApproximation {
  public:
   /// Discretises `ifs` (must be 1-d with constant probabilities) on
   /// [lo, hi] with `num_cells` cells. Mass mapped outside [lo, hi] is
-  /// clamped into the boundary cells, so choose an interval that contains
-  /// the attractor (for an average-contractive IFS, any interval that all
-  /// fixed points and images of the endpoints fall into).
+  /// clamped into the boundary cells (see above), so choose an interval
+  /// that contains the attractor (for an average-contractive IFS, any
+  /// interval that all fixed points and images of the endpoints fall
+  /// into).
   UlamApproximation(const AffineIfs& ifs, double lo, double hi,
                     size_t num_cells);
 
@@ -43,20 +59,28 @@ class UlamApproximation {
   /// Midpoint of cell `i`.
   double CellCenter(size_t i) const;
 
-  /// The discretised transfer operator as a Markov chain (row-stochastic
-  /// transition matrix T).
+  /// The discretised transfer operator as a dense Markov chain
+  /// (row-stochastic transition matrix T) — the test oracle for the
+  /// sparse path.
   const MarkovChain& chain() const { return chain_; }
 
+  /// The same operator in CSR form (entry-for-entry bit-identical to
+  /// `chain()`).
+  const SparseUlamOperator& sparse() const { return sparse_; }
+
   /// Approximate invariant *probability vector* over the cells
-  /// (stationary distribution of T); std::nullopt if T is reducible to
-  /// working precision.
+  /// (stationary distribution of T, via the sparse shifted power
+  /// iteration); std::nullopt if T has more than one recurrent class or
+  /// the iteration does not converge.
   std::optional<linalg::Vector> InvariantCellMeasure() const;
 
   /// Mean of the approximate invariant measure.
   std::optional<double> InvariantMean() const;
 
   /// Pushes a probability vector over cells through k steps of the
-  /// adjoint operator (nu (P*)^k in the paper's notation).
+  /// adjoint operator (nu (P*)^k in the paper's notation). Routed through
+  /// the sparse adjoint gather, bitwise-identical to the dense
+  /// `chain().Propagate`.
   linalg::Vector Propagate(const linalg::Vector& cell_measure,
                            unsigned steps) const;
 
@@ -65,6 +89,7 @@ class UlamApproximation {
   double hi_;
   double cell_width_;
   MarkovChain chain_;
+  SparseUlamOperator sparse_;
 };
 
 }  // namespace markov

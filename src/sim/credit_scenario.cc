@@ -133,5 +133,36 @@ TrialOutcome CreditScenario::RunTrial(const TrialContext& context,
   return outcome;
 }
 
+std::optional<ScenarioDynamics> CreditScenario::DynamicsModel() const {
+  // Surrogate: the ADR of a *marginal* applicant — one held at the
+  // approval boundary, where the equal-impact question lives — is an
+  // exponentially weighted average of their default indicator stream.
+  // With forgetting factor f < 1 the engine's yearly update weighs the
+  // newest year by a = 1 - f; at f = 1 (plain accumulation) the
+  // late-horizon yearly weight is ~1/num_years. The indicator is
+  // Bernoulli(p) with p the boundary default rate, which the scorecard
+  // cutoff pins by construction. Abstracted away: population
+  // heterogeneity, the yearly refit, and approval-set feedback.
+  const int num_years =
+      options_.loop.last_year - options_.loop.first_year + 1;
+  if (num_years <= 0) return std::nullopt;
+  double a = options_.loop.forgetting_factor < 1.0
+                 ? 1.0 - options_.loop.forgetting_factor
+                 : 1.0 / static_cast<double>(num_years);
+  a = std::clamp(a, 1e-6, 1.0);
+  const double p = std::clamp(options_.loop.cutoff, 0.01, 0.99);
+  ScenarioDynamics model;
+  model.ifs = markov::AffineIfs(
+      {markov::AffineMap::Scalar(1.0 - a, a),
+       markov::AffineMap::Scalar(1.0 - a, 0.0)},
+      {p, 1.0 - p});
+  model.lo = 0.0;
+  model.hi = 1.0;
+  model.description =
+      "EWMA of a boundary applicant's default indicator: "
+      "x' = (1-a) x + a Bern(cutoff)";
+  return model;
+}
+
 }  // namespace sim
 }  // namespace eqimpact

@@ -46,6 +46,10 @@ class CreditScenario : public Scenario {
   /// TrialContext::checkpoint_sink and resume byte-identically from
   /// TrialContext::resume_state.
   bool SupportsCheckpoint() const override;
+  /// EWMA surrogate of a marginal applicant's ADR: the default indicator
+  /// stream of a user held at the approval boundary, averaged with the
+  /// loop's forgetting factor (see the .cc for the exact maps).
+  std::optional<ScenarioDynamics> DynamicsModel() const override;
   TrialOutcome RunTrial(const TrialContext& context,
                         stats::AdrAccumulator* impacts) override;
 

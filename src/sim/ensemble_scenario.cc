@@ -135,5 +135,43 @@ TrialOutcome EnsembleScenario::RunTrial(const TrialContext& context,
   return outcome;
 }
 
+std::optional<ScenarioDynamics> EnsembleScenario::DynamicsModel() const {
+  const double target =
+      std::clamp(options_.ensemble.target_fraction, 0.01, 0.99);
+  ScenarioDynamics model;
+  model.lo = 0.0;
+  model.hi = 1.0;
+  if (options_.kind == EnsembleControllerKind::kStableRandomized) {
+    // One agent's running action average under the stable randomized
+    // broadcast: actions are i.i.d. Bernoulli(target), so the running
+    // average is the EWMA surrogate with span weight a = 2/(steps+1).
+    const double a =
+        2.0 / (static_cast<double>(options_.ensemble.steps) + 1.0);
+    model.ifs = markov::AffineIfs(
+        {markov::AffineMap::Scalar(1.0 - a, a),
+         markov::AffineMap::Scalar(1.0 - a, 0.0)},
+        {target, 1.0 - target});
+    model.description =
+        "EWMA of one agent's Bern(target) action under the stable "
+        "randomized broadcast";
+  } else {
+    // Integral action linearized around its cycle: the broadcast level
+    // moves by +gain*(target - y) with y in {0, 1}, a slope-1 random
+    // walk (clamped at the domain ends by the Ulam window). Average
+    // contraction factor is exactly 1 — not average contractive — so
+    // unique ergodicity is correctly *not* certified, matching the
+    // frozen ON/OFF split the simulation shows.
+    const double gain = options_.ensemble.gain;
+    model.ifs = markov::AffineIfs(
+        {markov::AffineMap::Scalar(1.0, gain * (target - 1.0)),
+         markov::AffineMap::Scalar(1.0, gain * target)},
+        {target, 1.0 - target});
+    model.description =
+        "slope-1 integral-hysteresis increments: x' = x + gain*(target - "
+        "Bern(target))";
+  }
+  return model;
+}
+
 }  // namespace sim
 }  // namespace eqimpact

@@ -54,6 +54,12 @@ class EnsembleScenario : public Scenario {
   std::vector<std::string> ParameterNames() const override;
   TrialOutcome RunTrial(const TrialContext& context,
                         stats::AdrAccumulator* impacts) override;
+  /// Controller-dependent surrogate of one agent's running action
+  /// average: contractive EWMA under the stable randomized broadcast,
+  /// slope-1 integrator increments under integral hysteresis — the
+  /// latter is *not* average contractive, so the spectral certificate
+  /// correctly withholds unique ergodicity (see the .cc).
+  std::optional<ScenarioDynamics> DynamicsModel() const override;
 
   const EnsembleScenarioOptions& options() const { return options_; }
 

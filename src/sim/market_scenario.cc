@@ -208,5 +208,30 @@ TrialOutcome MatchingMarketScenario::RunTrial(const TrialContext& context,
   return outcome;
 }
 
+std::optional<ScenarioDynamics> MatchingMarketScenario::DynamicsModel()
+    const {
+  // Surrogate: one worker's running match rate. Under uniform capacity
+  // rationing a worker is matched each round with probability ~=
+  // capacity_fraction (jobs per round / workers); the running average
+  // over `rounds` rounds behaves like an EWMA with the span-equivalent
+  // weight a = 2 / (rounds + 1). Abstracted away: reputation-sorted
+  // assignment, exploration and the equalizer intervention.
+  if (options_.market.rounds == 0) return std::nullopt;
+  const double a =
+      2.0 / (static_cast<double>(options_.market.rounds) + 1.0);
+  const double p = std::clamp(options_.market.capacity_fraction, 0.01, 0.99);
+  ScenarioDynamics model;
+  model.ifs = markov::AffineIfs(
+      {markov::AffineMap::Scalar(1.0 - a, a),
+       markov::AffineMap::Scalar(1.0 - a, 0.0)},
+      {p, 1.0 - p});
+  model.lo = 0.0;
+  model.hi = 1.0;
+  model.description =
+      "EWMA of one worker's match indicator: "
+      "x' = (1-a) x + a Bern(capacity_fraction)";
+  return model;
+}
+
 }  // namespace sim
 }  // namespace eqimpact

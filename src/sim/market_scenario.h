@@ -56,6 +56,9 @@ class MatchingMarketScenario : public Scenario {
   std::vector<std::string> ParameterNames() const override;
   TrialOutcome RunTrial(const TrialContext& context,
                         stats::AdrAccumulator* impacts) override;
+  /// EWMA surrogate of one worker's running match rate under uniform
+  /// capacity rationing (see the .cc for the exact maps).
+  std::optional<ScenarioDynamics> DynamicsModel() const override;
 
   const MatchingMarketScenarioOptions& options() const { return options_; }
 

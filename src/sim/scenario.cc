@@ -29,6 +29,10 @@ std::vector<std::string> Scenario::ParameterNames() const { return {}; }
 
 void Scenario::BeginExperiment(size_t /*num_trials*/) {}
 
+std::optional<ScenarioDynamics> Scenario::DynamicsModel() const {
+  return std::nullopt;
+}
+
 bool Scenario::SupportsCheckpoint() const { return false; }
 
 }  // namespace sim

@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "markov/affine_ifs.h"
 #include "stats/adr_accumulator.h"
 
 namespace eqimpact {
@@ -50,6 +52,26 @@ struct TrialContext {
   /// previously sunk snapshot instead of starting fresh; the finished
   /// trial must be byte-identical to an uninterrupted run. Not owned.
   const std::vector<uint8_t>* resume_state = nullptr;
+};
+
+/// Closed-form surrogate of a scenario's per-subject impact dynamics as
+/// a 1-d affine IFS on [lo, hi] — the object the paper's Section VI
+/// certificates are stated for. Scenarios that expose one unlock the
+/// simulation-free spectral ergodicity certificate path
+/// (sim::CertifyScenario -> core::CertifyIfsSpectral): invariant-measure
+/// existence, spectral gap and a mixing-time bound computed on a sparse
+/// Ulam discretisation of this model, never by running trials. The model
+/// is a *documented surrogate* of the simulated loop (each override says
+/// exactly what it abstracts), not a bit-level twin of RunTrial.
+struct ScenarioDynamics {
+  /// Initialised to the identity map (AffineIfs has no empty state);
+  /// every DynamicsModel override assigns the real surrogate.
+  markov::AffineIfs ifs =
+      markov::AffineIfs({markov::AffineMap::Scalar(1.0, 0.0)}, {1.0});
+  double lo = 0.0;
+  double hi = 1.0;
+  /// What the surrogate models and what it abstracts away.
+  std::string description;
 };
 
 /// Generic per-trial record every scenario produces.
@@ -126,6 +148,12 @@ class Scenario {
   /// the trial count — the hook where scenarios preallocate per-trial
   /// slots. Default no-op.
   virtual void BeginExperiment(size_t num_trials);
+
+  /// Closed-form affine-IFS surrogate of this scenario's per-subject
+  /// impact dynamics under the *current* parameters, for the ergodicity
+  /// certificate path; std::nullopt (the default) when the scenario has
+  /// no meaningful 1-d surrogate.
+  virtual std::optional<ScenarioDynamics> DynamicsModel() const;
 
   /// True if RunTrial honours TrialContext::checkpoint_sink /
   /// resume_state (per-step engine snapshots with byte-identical

@@ -401,5 +401,68 @@ TEST_P(SpectralSweep, IssCertificateTracksSpectralRadius) {
 INSTANTIATE_TEST_SUITE_P(Radii, SpectralSweep,
                          ::testing::Values(0.1, 0.5, 0.9, 0.99, 1.01, 1.5));
 
+// --- Spectral certificates (the sparse Ulam path). --------------------------
+
+TEST(SpectralCertificateTest, UniformLimitIfsIsCertifiedWithHalfGap) {
+  // w1 = x/2, w2 = x/2 + 1/2, p = (1/2, 1/2): invariant measure Lebesgue
+  // on [0, 1], transfer-operator subdominant eigenvalue 1/2. The cell
+  // count must not be a power of two: on a dyadic grid the images align
+  // exactly with cell boundaries, P^log2(n) becomes rank one and every
+  // non-Perron eigenvalue collapses to 0 (gap ~= 1 instead of 1/2).
+  markov::AffineIfs ifs(
+      {markov::AffineMap::Scalar(0.5, 0.0), markov::AffineMap::Scalar(0.5, 0.5)},
+      {0.5, 0.5});
+  core::SpectralCertificateOptions options;
+  options.num_cells = 250;
+  core::SpectralCertificate certificate =
+      core::CertifyIfsSpectral(ifs, 0.0, 1.0, options);
+  EXPECT_TRUE(certificate.average_contractive);
+  EXPECT_NEAR(certificate.contraction_factor, 0.5, 1e-12);
+  ASSERT_TRUE(certificate.invariant_measure_exists);
+  EXPECT_TRUE(certificate.solver_converged);
+  EXPECT_NEAR(certificate.invariant_mean, 0.5, 1e-2);
+  EXPECT_NEAR(certificate.spectral_gap, 0.5, 0.05);
+  EXPECT_TRUE(std::isfinite(certificate.mixing_time_bound));
+  EXPECT_GE(certificate.mixing_time_bound, 1.0);
+  EXPECT_TRUE(certificate.certified);
+  EXPECT_NE(certificate.measure_digest, 0u);
+}
+
+TEST(SpectralCertificateTest, SlopeOneIfsHasMeasureButIsNotCertified) {
+  // Two slope-1 maps: contraction factor exactly 1, so the IFS is not
+  // average-contractive — yet the *discretised* chain (a clamped random
+  // walk on the cells) still has a unique invariant measure. The
+  // certificate must report the measure and still refuse to certify.
+  markov::AffineIfs ifs(
+      {markov::AffineMap::Scalar(1.0, -0.1), markov::AffineMap::Scalar(1.0, 0.1)},
+      {0.5, 0.5});
+  core::SpectralCertificateOptions options;
+  options.num_cells = 64;
+  core::SpectralCertificate certificate =
+      core::CertifyIfsSpectral(ifs, 0.0, 1.0, options);
+  EXPECT_FALSE(certificate.average_contractive);
+  EXPECT_NEAR(certificate.contraction_factor, 1.0, 1e-12);
+  EXPECT_TRUE(certificate.invariant_measure_exists);
+  EXPECT_FALSE(certificate.certified);
+}
+
+TEST(SpectralCertificateTest, CertificateIsDeterministicAcrossThreadCounts) {
+  markov::AffineIfs ifs(
+      {markov::AffineMap::Scalar(0.5, 0.0), markov::AffineMap::Scalar(0.5, 0.5)},
+      {0.6, 0.4});
+  core::SpectralCertificateOptions options;
+  options.num_cells = 128;
+  core::SpectralCertificate reference =
+      core::CertifyIfsSpectral(ifs, 0.0, 1.0, options);
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    options.num_threads = threads;
+    core::SpectralCertificate rerun =
+        core::CertifyIfsSpectral(ifs, 0.0, 1.0, options);
+    EXPECT_EQ(rerun.measure_digest, reference.measure_digest)
+        << threads << " threads";
+    EXPECT_EQ(rerun.solver_iterations, reference.solver_iterations);
+  }
+}
+
 }  // namespace
 }  // namespace eqimpact

@@ -1,7 +1,8 @@
-// Unit tests for the linalg module: vectors, matrices, factorisations and
-// the eigen/stationary-distribution solvers.
+// Unit tests for the linalg module: vectors, matrices, factorisations,
+// the eigen/stationary-distribution solvers, and the CSR sparse engine.
 
 #include <cmath>
+#include <cstring>
 #include <optional>
 
 #include <gtest/gtest.h>
@@ -9,6 +10,8 @@
 #include "linalg/eigen.h"
 #include "linalg/matrix.h"
 #include "linalg/solve.h"
+#include "linalg/sparse_eigen.h"
+#include "linalg/sparse_matrix.h"
 #include "linalg/vector.h"
 #include "rng/random.h"
 
@@ -315,6 +318,302 @@ TEST_P(RandomSolveSweep, StationaryDistributionIsInvariant) {
 
 INSTANTIATE_TEST_SUITE_P(Dimensions, RandomSolveSweep,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 40));
+
+// --- Sparse CSR matrix. -----------------------------------------------------
+
+using linalg::SparseMatrix;
+using linalg::SparseProductOptions;
+
+/// Bitwise vector equality: the determinism contract is stated at the bit
+/// level, so -0.0 vs +0.0 or a reordered sum must fail, not pass.
+bool BitwiseEqual(const Vector& a, const Vector& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.size() * sizeof(double)) == 0;
+}
+
+TEST(SparseMatrixTest, BuilderCoalescesDuplicatesInInsertionOrder) {
+  SparseMatrix::Builder builder(2, 3);
+  builder.Add(1, 2, 0.1);
+  builder.Add(0, 0, 1.0);
+  builder.Add(1, 2, 0.2);
+  builder.Add(1, 2, 0.3);
+  EXPECT_EQ(builder.num_triplets(), 4u);
+  SparseMatrix m = builder.Build();
+  EXPECT_EQ(m.nonzeros(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  // Coalescing must reproduce the dense accumulation order bit for bit.
+  double reference = 0.1;
+  reference += 0.2;
+  reference += 0.3;
+  EXPECT_EQ(m.At(1, 2), reference);
+}
+
+TEST(SparseMatrixTest, EmptyRowsDenseRowsAndNonSquare) {
+  // 4x3: row 0 dense, row 1 empty, row 2 single entry, row 3 empty.
+  SparseMatrix::Builder builder(4, 3);
+  builder.Add(0, 0, 1.0);
+  builder.Add(0, 1, 2.0);
+  builder.Add(0, 2, 3.0);
+  builder.Add(2, 1, -4.0);
+  SparseMatrix m = builder.Build();
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nonzeros(), 4u);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.At(3, 0), 0.0);
+  Matrix dense = m.ToDense();
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(m.At(r, c), dense(r, c));
+  }
+  Vector y = m.Multiply(Vector{1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], -4.0);
+  EXPECT_DOUBLE_EQ(y[3], 0.0);
+}
+
+TEST(SparseMatrixTest, OneByOneAndAllEmpty) {
+  SparseMatrix::Builder builder(1, 1);
+  builder.Add(0, 0, 2.5);
+  SparseMatrix m = builder.Build();
+  EXPECT_DOUBLE_EQ(m.Multiply(Vector{2.0})[0], 5.0);
+  SparseMatrix empty = SparseMatrix::Builder(3, 3).Build();
+  EXPECT_EQ(empty.nonzeros(), 0u);
+  Vector zero = empty.Multiply(Vector{1.0, 2.0, 3.0});
+  for (size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(zero[i], 0.0);
+}
+
+TEST(SparseMatrixTest, TransposedRoundTrip) {
+  rng::Random random(7);
+  SparseMatrix::Builder builder(5, 3);
+  for (int k = 0; k < 8; ++k) {
+    builder.Add(random.UniformInt(5), random.UniformInt(3),
+                random.UniformDouble(-1.0, 1.0));
+  }
+  SparseMatrix m = builder.Build();
+  SparseMatrix round_trip = m.Transposed().Transposed();
+  EXPECT_EQ(round_trip.rows(), m.rows());
+  EXPECT_EQ(round_trip.cols(), m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_EQ(round_trip.At(r, c), m.At(r, c));
+    }
+  }
+}
+
+/// A random rectangular CSR matrix with deliberately adversarial
+/// structure: one dense row, empty rows, and duplicate insertions.
+SparseMatrix AdversarialMatrix(size_t rows, size_t cols, uint64_t seed) {
+  rng::Random random(seed);
+  SparseMatrix::Builder builder(rows, cols);
+  for (size_t c = 0; c < cols; ++c) {
+    builder.Add(0, c, random.UniformDouble(-1.0, 1.0));
+  }
+  for (size_t k = 0; k < rows * 2; ++k) {
+    // Skip row 1 (kept empty) — and bias collisions so coalescing runs.
+    size_t r = 2 + random.UniformInt(rows - 2);
+    builder.Add(r, random.UniformInt(cols), random.UniformDouble(-1.0, 1.0));
+  }
+  return builder.Build();
+}
+
+TEST(SparseMatrixTest, MultiplyMatchesDenseIncludingSkippedZeros) {
+  SparseMatrix m = AdversarialMatrix(17, 9, 3);
+  rng::Random random(11);
+  Vector x(9);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = random.UniformDouble(-2.0, 2.0);
+  }
+  Matrix dense = m.ToDense();
+  Vector y = m.Multiply(x);
+  // The dense reference accumulates every column, explicit zeros
+  // included; CSR skips them. The two must agree exactly (skipping a
+  // zero term never changes a partial sum here — see SparseMatrix).
+  for (size_t r = 0; r < m.rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < m.cols(); ++c) sum += dense(r, c) * x[c];
+    EXPECT_EQ(y[r], sum) << "row " << r;
+  }
+}
+
+TEST(SparseMatrixTest, MultiplyIsBitwiseThreadAndChunkInvariant) {
+  SparseMatrix m = AdversarialMatrix(64, 33, 5);
+  rng::Random random(13);
+  Vector x(33);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = random.UniformDouble(-3.0, 3.0);
+  }
+  const Vector reference = m.Multiply(x);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    for (size_t chunk : {size_t{1}, size_t{7}, size_t{4096}}) {
+      SparseProductOptions options;
+      options.num_threads = threads;
+      options.chunk_size = chunk;
+      EXPECT_TRUE(BitwiseEqual(m.Multiply(x, options), reference))
+          << threads << " threads, chunk " << chunk;
+    }
+  }
+}
+
+TEST(SparseMatrixTest, TransposeMultiplyMatchesTransposedAndIsInvariant) {
+  SparseMatrix m = AdversarialMatrix(48, 21, 9);
+  rng::Random random(17);
+  Vector x(48);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = random.UniformDouble(-1.0, 1.0);
+  }
+  // Chunk-folded scatter vs transposed-gather: same value up to FP
+  // reordering (they are NOT bitwise-equal in general — see the header).
+  const Vector gathered = m.Transposed().Multiply(x);
+  const Vector scattered = m.TransposeMultiply(x);
+  ASSERT_EQ(scattered.size(), gathered.size());
+  for (size_t c = 0; c < scattered.size(); ++c) {
+    EXPECT_NEAR(scattered[c], gathered[c], 1e-12);
+  }
+  // At a fixed chunk size the fold order is pinned, so the result is a
+  // pure function of (matrix, x, chunk_size): bitwise thread-invariant.
+  SparseProductOptions pinned;
+  pinned.chunk_size = 16;
+  const Vector reference = m.TransposeMultiply(x, pinned);
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    pinned.num_threads = threads;
+    EXPECT_TRUE(BitwiseEqual(m.TransposeMultiply(x, pinned), reference))
+        << threads << " threads";
+  }
+}
+
+// --- Sparse eigensolvers. ---------------------------------------------------
+
+SparseMatrix FromDense(const Matrix& dense) {
+  SparseMatrix::Builder builder(dense.rows(), dense.cols());
+  for (size_t r = 0; r < dense.rows(); ++r) {
+    for (size_t c = 0; c < dense.cols(); ++c) {
+      if (dense(r, c) != 0.0) builder.Add(r, c, dense(r, c));
+    }
+  }
+  return builder.Build();
+}
+
+TEST(SparseEigenTest, PowerIterationMatchesDense) {
+  Matrix a{{4.0, 1.0, 0.0}, {1.0, 3.0, 1.0}, {0.0, 1.0, 2.0}};
+  linalg::PowerIterationResult dense = linalg::PowerIteration(a);
+  linalg::SparsePowerResult sparse =
+      linalg::SparsePowerIteration(FromDense(a));
+  ASSERT_TRUE(dense.converged);
+  ASSERT_TRUE(sparse.converged);
+  EXPECT_NEAR(sparse.eigenvalue, dense.eigenvalue, 1e-9);
+}
+
+TEST(SparseEigenTest, StationaryMatchesDenseOnRandomChain) {
+  rng::Random random(23);
+  const size_t n = 12;
+  Matrix p(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    double total = 0.0;
+    for (size_t c = 0; c < n; ++c) {
+      p(r, c) = random.UniformDouble(0.05, 1.0);
+      total += p(r, c);
+    }
+    for (size_t c = 0; c < n; ++c) p(r, c) /= total;
+  }
+  std::optional<Vector> dense = linalg::StationaryDistribution(p);
+  linalg::SparseStationaryResult sparse =
+      linalg::SparseStationaryDistribution(FromDense(p));
+  ASSERT_TRUE(dense.has_value());
+  ASSERT_TRUE(sparse.converged);
+  ASSERT_TRUE(sparse.distribution.has_value());
+  EXPECT_TRUE(sparse.irreducible);
+  EXPECT_EQ(sparse.terminal_classes, 1u);
+  EXPECT_NEAR(sparse.distribution->Sum(), 1.0, 1e-12);
+  EXPECT_TRUE(AllClose(*sparse.distribution, *dense, 1e-9));
+}
+
+TEST(SparseEigenTest, PeriodicChainConvergesViaLazyShift) {
+  // The 2-cycle has eigenvalues {1, -1}; plain power iteration on P^T
+  // oscillates forever, the lazy shift (1 + L) / 2 kills the -1 branch.
+  Matrix p{{0.0, 1.0}, {1.0, 0.0}};
+  linalg::SparseStationaryResult result =
+      linalg::SparseStationaryDistribution(FromDense(p));
+  ASSERT_TRUE(result.converged);
+  ASSERT_TRUE(result.distribution.has_value());
+  EXPECT_NEAR((*result.distribution)[0], 0.5, 1e-12);
+  EXPECT_NEAR((*result.distribution)[1], 0.5, 1e-12);
+}
+
+TEST(SparseEigenTest, TwoSinkReducibleChainHasNoUniqueStationary) {
+  // Two disconnected 2-cycles: two terminal classes, no unique pi.
+  Matrix p{{0.0, 1.0, 0.0, 0.0},
+           {1.0, 0.0, 0.0, 0.0},
+           {0.0, 0.0, 0.0, 1.0},
+           {0.0, 0.0, 1.0, 0.0}};
+  linalg::SparseStationaryResult result =
+      linalg::SparseStationaryDistribution(FromDense(p));
+  EXPECT_FALSE(result.irreducible);
+  EXPECT_EQ(result.terminal_classes, 2u);
+  EXPECT_FALSE(result.distribution.has_value());
+}
+
+TEST(SparseEigenTest, TransientStatesWithSingleSinkStillSolve) {
+  // State 0 is transient (drains into the 1<->2 cycle): reducible, but
+  // with exactly one terminal class the stationary measure is unique —
+  // the structural gate must accept it, not demand irreducibility.
+  Matrix p{{0.5, 0.5, 0.0}, {0.0, 0.0, 1.0}, {0.0, 1.0, 0.0}};
+  linalg::SparseStationaryResult result =
+      linalg::SparseStationaryDistribution(FromDense(p));
+  EXPECT_FALSE(result.irreducible);
+  EXPECT_EQ(result.terminal_classes, 1u);
+  ASSERT_TRUE(result.converged);
+  ASSERT_TRUE(result.distribution.has_value());
+  EXPECT_NEAR((*result.distribution)[0], 0.0, 1e-12);
+  EXPECT_NEAR((*result.distribution)[1], 0.5, 1e-9);
+  EXPECT_NEAR((*result.distribution)[2], 0.5, 1e-9);
+}
+
+TEST(SparseEigenTest, SubdominantModulusOfTwoStateChainIsExact) {
+  // P = [[1-a, a], [b, 1-b]] has eigenvalues 1 and 1 - a - b.
+  const double a = 0.3;
+  const double b = 0.2;
+  Matrix p{{1.0 - a, a}, {b, 1.0 - b}};
+  linalg::SparseStationaryResult pi =
+      linalg::SparseStationaryDistribution(FromDense(p));
+  ASSERT_TRUE(pi.distribution.has_value());
+  linalg::SubdominantResult spectrum =
+      linalg::SparseSubdominantModulus(FromDense(p), *pi.distribution);
+  EXPECT_TRUE(spectrum.valid);
+  EXPECT_NEAR(spectrum.modulus, 1.0 - a - b, 1e-9);
+  EXPECT_NEAR(spectrum.spectral_gap, a + b, 1e-9);
+}
+
+TEST(SparseEigenTest, StationarySolveIsBitwiseThreadInvariant) {
+  rng::Random random(31);
+  const size_t n = 40;
+  Matrix p(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    double total = 0.0;
+    for (size_t c = 0; c < n; ++c) {
+      p(r, c) = random.UniformDouble(0.01, 1.0);
+      total += p(r, c);
+    }
+    for (size_t c = 0; c < n; ++c) p(r, c) /= total;
+  }
+  SparseMatrix sparse = FromDense(p);
+  linalg::SparseSolverOptions options;
+  options.product.chunk_size = 8;  // Force multi-chunk dispatch.
+  linalg::SparseStationaryResult reference =
+      linalg::SparseStationaryDistribution(sparse, options);
+  ASSERT_TRUE(reference.distribution.has_value());
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    options.product.num_threads = threads;
+    linalg::SparseStationaryResult rerun =
+        linalg::SparseStationaryDistribution(sparse, options);
+    ASSERT_TRUE(rerun.distribution.has_value());
+    EXPECT_EQ(rerun.iterations, reference.iterations);
+    EXPECT_TRUE(
+        BitwiseEqual(*rerun.distribution, *reference.distribution))
+        << threads << " threads";
+  }
+}
 
 }  // namespace
 }  // namespace eqimpact
