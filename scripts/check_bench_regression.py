@@ -60,7 +60,14 @@ Checks, in order of severity:
    section adds served_digest_matches_cli: every job served over the
    experiment service must carry the same digest AND byte-identical
    payload as a direct engine run + CLI render of the same spec — the
-   serving layer is transport, never arithmetic. The PR 9
+   serving layer is transport, never arithmetic. PR 10 extends the
+   same section with a connection_sweep array (1/4/16/64 pipelined
+   connections on both the threads and epoll transports): every sweep
+   point's payloads_match flag — and the folded
+   connection_sweep_payloads_match — is checked at the same severity,
+   because each point byte-compares every served payload against the
+   pre-sweep baseline. Snapshots predating the sweep simply lack the
+   keys and are skipped. The PR 9
    markov_scaling section adds three more: sparse_matches_dense (the
    sparse Ulam operator must equal the dense oracle entry for entry and
    propagate bit for bit), deterministic_across_thread_counts (build,
@@ -454,14 +461,32 @@ def main(argv):
         ):
             if not shard.get(flag, True):
                 errors += fail(f"shard_scaling: {meaning}")
-    if "serving_scaling" in fresh and not fresh["serving_scaling"].get(
-        "served_digest_matches_cli", True
-    ):
-        errors += fail(
-            "serving_scaling: a served result's digest or payload differs "
-            "from the direct engine run + CLI render of the same spec — "
-            "the serving layer changed the numbers"
-        )
+    if "serving_scaling" in fresh:
+        serving = fresh["serving_scaling"]
+        if not serving.get("served_digest_matches_cli", True):
+            errors += fail(
+                "serving_scaling: a served result's digest or payload "
+                "differs from the direct engine run + CLI render of the "
+                "same spec — the serving layer changed the numbers"
+            )
+        # PR 10 connection sweep: each point byte-compares every payload
+        # served over N pipelined connections against the pre-sweep
+        # baseline. Absent in older runs (pre-sweep snapshots) — skipped
+        # like any other absent section.
+        if not serving.get("connection_sweep_payloads_match", True):
+            errors += fail(
+                "serving_scaling: connection_sweep_payloads_match is "
+                "false — some payload served during the connection sweep "
+                "differs from the baseline render of the same spec"
+            )
+        for point in serving.get("connection_sweep", []):
+            if not point.get("payloads_match", True):
+                errors += fail(
+                    "serving_scaling connection_sweep: payload mismatch "
+                    f"at transport={point.get('transport')} "
+                    f"connections={point.get('connections')} — the "
+                    "transport corrupted or dropped a served payload"
+                )
     if "markov_scaling" in fresh:
         markov = fresh["markov_scaling"]
         for flag, meaning in (
@@ -610,6 +635,27 @@ def main(argv):
         snapshot.get("serving_scaling", {}).get("jobs_per_sec"),
         warnings,
     )
+    # Connection-sweep rates, per (transport, connection count). Warn
+    # only, like every rate; an older snapshot without the sweep has no
+    # reference points and contributes nothing.
+    snapshot_sweep = {
+        (point.get("transport"), point.get("connections")):
+            point.get("jobs_per_sec")
+        for point in snapshot.get("serving_scaling", {}).get(
+            "connection_sweep", []
+        )
+    }
+    for point in fresh.get("serving_scaling", {}).get(
+        "connection_sweep", []
+    ):
+        key = (point.get("transport"), point.get("connections"))
+        check_rate(
+            f"serving_scaling connection_sweep jobs/sec "
+            f"({key[0]}, {key[1]} conns)",
+            point.get("jobs_per_sec"),
+            snapshot_sweep.get(key),
+            warnings,
+        )
     # markov_scaling rates, per cell count (sparse matvec and build are
     # single-number-per-size; compared by num_cells, warn-only).
     snapshot_markov = {

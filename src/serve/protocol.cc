@@ -50,6 +50,7 @@ const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kQueueFull: return "queue_full";
     case ErrorCode::kShuttingDown: return "shutting_down";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kTooManyConnections: return "too_many_connections";
   }
   return "internal";
 }

@@ -49,6 +49,11 @@ enum class ErrorCode {
   kQueueFull,        ///< Admission control: the bounded queue is full.
   kShuttingDown,     ///< Server is draining; no new jobs.
   kInternal,         ///< The job failed inside the engine.
+  /// Connection-level admission control: the transport's max-connection
+  /// cap is reached. Sent as the sole event on the rejected connection,
+  /// which is then closed — the shutting_down-style typed rejection of
+  /// the connection layer rather than the job layer.
+  kTooManyConnections,
 };
 
 /// The wire identifier of `code` ("bad_json", "queue_full", ...).

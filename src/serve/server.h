@@ -9,10 +9,17 @@
 #include <thread>
 #include <vector>
 
+#include "serve/event_loop.h"
 #include "serve/service.h"
 
 namespace eqimpact {
 namespace serve {
+
+/// Which transport owns the sockets. kEpoll is the default: one
+/// event-loop thread for every connection. kThreads is the original
+/// thread-per-connection transport, kept selectable for one PR so the
+/// bench can compare both and CI can smoke each.
+enum class ServerTransport { kThreads, kEpoll };
 
 /// Server configuration.
 struct ServerOptions {
@@ -20,13 +27,21 @@ struct ServerOptions {
   /// TCP port to listen on (loopback only). 0 = ephemeral; read the
   /// bound port back through port().
   uint16_t port = 0;
+  ServerTransport transport = ServerTransport::kEpoll;
+  /// Connection-lifecycle limits (caps, idle timeout, backpressure
+  /// watermarks). Both transports honor the caps and the idle timeout;
+  /// the watermarks only apply to epoll (the threads transport's writer
+  /// blocks in send(), which is the kernel's own backpressure).
+  TransportLimits limits;
 };
 
 /// Loopback TCP front end of the experiment service: line-delimited
-/// JSON over 127.0.0.1 (see serve/protocol.h), one reader thread per
-/// connection, dependency-free POSIX sockets. The server only frames
-/// lines and serializes writes; scheduling, caching and dedup live in
-/// ExperimentService.
+/// JSON over 127.0.0.1 (see serve/protocol.h), dependency-free POSIX
+/// sockets. The server only frames lines and moves event bytes;
+/// scheduling, caching and dedup live in ExperimentService. Two
+/// transports share the wire protocol byte for byte (ServerTransport
+/// above): a single-threaded epoll event loop (serve/event_loop.h) and
+/// the original thread-per-connection reader/writer.
 ///
 /// Lifecycle: construct, Start() (binds and begins accepting), serve,
 /// Shutdown() — which stops accepting, lets the service drain every
@@ -42,25 +57,34 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens and starts the accept loop. Returns false (with a
+  /// Binds, listens and starts the transport. Returns false (with a
   /// message on stderr) when the port cannot be bound.
   bool Start();
 
   /// The bound port (valid after a successful Start).
   uint16_t port() const { return port_; }
 
-  /// Graceful shutdown: stop accepting, drain in-flight jobs, close
-  /// connections, join every thread. Idempotent; also run by the
+  /// Graceful shutdown: stop accepting, drain in-flight jobs, flush and
+  /// close connections, join every thread. Idempotent; also run by the
   /// destructor.
   void Shutdown();
 
   ExperimentService& service() { return *service_; }
+
+  /// Lifecycle counters of the running transport (accepts, rejections,
+  /// backpressure pauses, ...).
+  TransportStats transport_stats() const;
 
  private:
   struct Connection;
 
   void AcceptLoop();
   void ConnectionLoop(std::shared_ptr<Connection> connection);
+  /// Joins and drops connections whose reader has exited (so the
+  /// threads-mode connection list and the max-connection count track
+  /// live connections, not every connection ever accepted). Callers
+  /// hold connections_mutex_.
+  void PruneFinishedLocked();
 
   const ServerOptions options_;
   std::unique_ptr<ExperimentService> service_;
@@ -69,9 +93,16 @@ class Server {
   std::atomic<bool> shutting_down_{false};
   std::mutex shutdown_mutex_;
   bool shutdown_complete_ = false;
+
+  // Epoll transport.
+  std::unique_ptr<EventLoop> loop_;
+  std::thread loop_thread_;
+
+  // Threads transport.
   std::thread accept_thread_;
   std::mutex connections_mutex_;
   std::vector<std::shared_ptr<Connection>> connections_;
+  TransportCounters counters_;
 };
 
 }  // namespace serve

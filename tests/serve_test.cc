@@ -5,9 +5,14 @@
 // payload is byte-identical to the CLI renderer's output and carries
 // the same digest as a direct engine run.
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -16,6 +21,7 @@
 
 #include "gtest/gtest.h"
 #include "serve/client.h"
+#include "serve/event_loop.h"
 #include "serve/json.h"
 #include "serve/protocol.h"
 #include "serve/render_json.h"
@@ -37,12 +43,15 @@ using eqimpact::serve::ExperimentService;
 using eqimpact::serve::JobSpec;
 using eqimpact::serve::JsonValue;
 using eqimpact::serve::ParseJson;
+using eqimpact::serve::LineFramer;
 using eqimpact::serve::ResultCache;
 using eqimpact::serve::Scheduler;
 using eqimpact::serve::SchedulerOptions;
 using eqimpact::serve::Server;
 using eqimpact::serve::ServerOptions;
+using eqimpact::serve::ServerTransport;
 using eqimpact::serve::ServiceOptions;
+using eqimpact::serve::TransportStats;
 
 // --- JSON -------------------------------------------------------------
 
@@ -533,6 +542,377 @@ TEST(ServeServer, ShutdownDrainsInFlightJobs) {
   shutdown_thread.join();
   EXPECT_TRUE(saw_result);
   EXPECT_EQ(server.service().runs_started(), 1u);
+}
+
+// --- Line framer ------------------------------------------------------
+
+TEST(ServeLineFramer, FramesStripsAndSkipsAcrossChunks) {
+  LineFramer framer(64);
+  std::vector<std::string> lines;
+  size_t overflows = 0;
+  auto on_line = [&lines](std::string&& line) {
+    lines.push_back(std::move(line));
+  };
+  auto on_overflow = [&overflows] { ++overflows; };
+  // One line split across feeds, a '\r\n' line, and empty lines skipped.
+  const std::string input = "hel";
+  framer.Feed(input.data(), input.size(), on_line, on_overflow);
+  const std::string rest = "lo\nworld\r\n\n\r\nsecond\n";
+  framer.Feed(rest.data(), rest.size(), on_line, on_overflow);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "hello");
+  EXPECT_EQ(lines[1], "world");
+  EXPECT_EQ(lines[2], "second");
+  EXPECT_EQ(overflows, 0u);
+}
+
+TEST(ServeLineFramer, OverflowDiscardsAndResyncsAtTheNextNewline) {
+  LineFramer framer(8);
+  std::vector<std::string> lines;
+  size_t overflows = 0;
+  auto on_line = [&lines](std::string&& line) {
+    lines.push_back(std::move(line));
+  };
+  auto on_overflow = [&overflows] { ++overflows; };
+  // An oversized line fed in pieces: exactly one overflow callback, the
+  // tail is discarded, and the next line parses normally.
+  const std::string big(20, 'x');
+  framer.Feed(big.data(), big.size(), on_line, on_overflow);
+  EXPECT_EQ(overflows, 1u);
+  EXPECT_TRUE(framer.discarding());
+  const std::string tail = "yyy\nok\n";
+  framer.Feed(tail.data(), tail.size(), on_line, on_overflow);
+  EXPECT_EQ(overflows, 1u);
+  EXPECT_FALSE(framer.discarding());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "ok");
+  // A line of exactly the cap passes.
+  const std::string exact = std::string(8, 'z') + "\n";
+  framer.Feed(exact.data(), exact.size(), on_line, on_overflow);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], std::string(8, 'z'));
+  EXPECT_EQ(overflows, 1u);
+}
+
+// --- Transport hardening (both transports) ----------------------------
+
+/// Value-parameterized over the two transports: the lifecycle limits
+/// (line cap, idle timeout, connection cap) behave identically.
+class ServeTransportTest
+    : public ::testing::TestWithParam<ServerTransport> {
+ protected:
+  ServerOptions Options() {
+    ServerOptions options;
+    options.service = SmallService();
+    options.transport = GetParam();
+    return options;
+  }
+};
+
+TEST_P(ServeTransportTest, OversizedLineGetsTypedErrorAndResyncs) {
+  ServerOptions options = Options();
+  options.limits.max_line_bytes = 256;
+  Server server(options);
+  ASSERT_TRUE(server.Start());
+
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(server.port(), &error)) << error;
+  ASSERT_TRUE(client.Send(std::string(1000, 'x')));
+  ClientEvent event;
+  ASSERT_TRUE(client.ReadEvent(&event, &error)) << error;
+  EXPECT_EQ(event.event, "error");
+  EXPECT_EQ(event.code, "bad_request");
+  EXPECT_NE(event.message.find("exceeds"), std::string::npos);
+  // The connection survives and the next request serves normally.
+  ClientEvent last;
+  ASSERT_TRUE(client.SubmitAndWait(kSmallCreditJob, &last, &error)) << error;
+  EXPECT_EQ(last.event, "result");
+  EXPECT_EQ(server.transport_stats().oversized_lines, 1u);
+  server.Shutdown();
+}
+
+TEST_P(ServeTransportTest, IdleConnectionsAreClosed) {
+  ServerOptions options = Options();
+  options.limits.idle_timeout_ms = 150;
+  Server server(options);
+  ASSERT_TRUE(server.Start());
+
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(server.port(), &error)) << error;
+  // No traffic: the server must close us (ReadEvent sees EOF).
+  ClientEvent event;
+  EXPECT_FALSE(client.ReadEvent(&event, &error));
+  EXPECT_EQ(server.transport_stats().idle_closes, 1u);
+  server.Shutdown();
+}
+
+TEST_P(ServeTransportTest, ConnectionCapRejectsWithTypedError) {
+  ServerOptions options = Options();
+  options.limits.max_connections = 2;
+  Server server(options);
+  ASSERT_TRUE(server.Start());
+
+  Client first;
+  Client second;
+  std::string error;
+  ASSERT_TRUE(first.Connect(server.port(), &error)) << error;
+  ASSERT_TRUE(second.Connect(server.port(), &error)) << error;
+  // Make sure both connections are registered before the third arrives
+  // (Connect returns at SYN time, before the server accepts).
+  ClientEvent last;
+  ASSERT_TRUE(first.SubmitAndWait(kSmallCreditJob, &last, &error)) << error;
+  ASSERT_TRUE(second.SubmitAndWait(kSmallCreditJob, &last, &error)) << error;
+
+  Client third;
+  ASSERT_TRUE(third.Connect(server.port(), &error)) << error;
+  ClientEvent event;
+  ASSERT_TRUE(third.ReadEvent(&event, &error)) << error;
+  EXPECT_EQ(event.event, "error");
+  EXPECT_EQ(event.code, "too_many_connections");
+  EXPECT_FALSE(third.ReadEvent(&event, &error));  // Then closed.
+  EXPECT_EQ(server.transport_stats().connections_rejected, 1u);
+
+  // The capped-out server still serves the admitted connections.
+  ASSERT_TRUE(first.SubmitAndWait(kSmallCreditJob, &last, &error)) << error;
+  EXPECT_EQ(last.event, "result");
+  server.Shutdown();
+}
+
+TEST_P(ServeTransportTest, ShutdownDrainsInFlightJobs) {
+  ServerOptions options = Options();
+  Server server(options);
+  ASSERT_TRUE(server.Start());
+
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(server.port(), &error)) << error;
+  ASSERT_TRUE(client.Send(
+      R"({"scenario": "credit", "trials": 2, "set": {"num_users": 60000}})"));
+  ClientEvent event;
+  ASSERT_TRUE(client.ReadEvent(&event, &error)) << error;
+  ASSERT_EQ(event.event, "accepted");
+
+  std::thread shutdown_thread([&server] { server.Shutdown(); });
+  bool saw_result = false;
+  while (client.ReadEvent(&event, &error)) {
+    if (event.event == "result") {
+      saw_result = true;
+      break;
+    }
+  }
+  shutdown_thread.join();
+  EXPECT_TRUE(saw_result);
+  EXPECT_EQ(server.service().runs_started(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transports, ServeTransportTest,
+    ::testing::Values(ServerTransport::kThreads, ServerTransport::kEpoll),
+    [](const ::testing::TestParamInfo<ServerTransport>& info) {
+      return info.param == ServerTransport::kThreads ? "Threads" : "Epoll";
+    });
+
+// --- Epoll transport --------------------------------------------------
+
+TEST(ServeEventLoop, SlowReaderHitsBackpressureWithoutCorruption) {
+  ServerOptions options;
+  options.service = SmallService();
+  options.transport = ServerTransport::kEpoll;
+  // Tiny socket buffer and watermarks so a handful of cached results
+  // cross the high watermark while the client refuses to read.
+  options.limits.socket_send_buffer = 1;  // Kernel clamps to its floor.
+  options.limits.write_high_watermark = 4 * 1024;
+  options.limits.write_low_watermark = 512;
+  Server server(options);
+  ASSERT_TRUE(server.Start());
+
+  // Raw socket so SO_RCVBUF can shrink before connect: the in-flight
+  // window (server sndbuf + client rcvbuf) stays a few KB and the rest
+  // of the event bytes must queue server-side.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int tiny = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  sockaddr_in address;
+  std::memset(&address, 0, sizeof(address));
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                      sizeof(address)),
+            0);
+
+  // Pipeline many identical jobs without reading a byte: one engine
+  // run, every result served from cache/dedup into the write queue.
+  const size_t kJobs = 30;
+  std::string requests;
+  for (size_t i = 0; i < kJobs; ++i) {
+    requests += R"({"id": "slow-)" + std::to_string(i) +
+                R"(", "scenario": "credit", "trials": 2, )" +
+                R"("set": {"num_users": 150}})" + "\n";
+  }
+  size_t sent = 0;
+  while (sent < requests.size()) {
+    const ssize_t n = ::send(fd, requests.data() + sent,
+                             requests.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<size_t>(n);
+  }
+
+  // The write queue must cross the high watermark while we stall.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server.transport_stats().backpressure_pauses == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "no backpressure pause observed";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Now drain: every queued event must come out intact and in order.
+  std::string stream;
+  char chunk[4096];
+  size_t results = 0;
+  std::string first_payload;
+  while (results < kJobs) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    ASSERT_GT(n, 0) << "connection closed before all results arrived";
+    stream.append(chunk, static_cast<size_t>(n));
+    size_t newline;
+    while ((newline = stream.find('\n')) != std::string::npos) {
+      const std::string line = stream.substr(0, newline);
+      stream.erase(0, newline + 1);
+      ClientEvent event;
+      std::string error;
+      ASSERT_TRUE(eqimpact::serve::ParseEventLine(line, &event, &error))
+          << error << ": " << line;
+      if (event.event != "result") continue;
+      ++results;
+      if (first_payload.empty()) {
+        first_payload = event.payload;
+      } else {
+        EXPECT_EQ(event.payload, first_payload);  // No corruption.
+      }
+    }
+  }
+  ::close(fd);
+
+  const TransportStats stats = server.transport_stats();
+  EXPECT_GE(stats.backpressure_pauses, 1u);
+  EXPECT_GE(stats.backpressure_resumes, 1u);
+  EXPECT_GE(stats.peak_write_queue_bytes,
+            options.limits.write_high_watermark);
+  EXPECT_EQ(server.service().runs_started(), 1u);
+  server.Shutdown();
+}
+
+TEST(ServeEventLoop, SixtyFourConnectionPipelinedBurstIsByteIdentical) {
+  ServerOptions options;
+  options.service = SmallService();
+  options.transport = ServerTransport::kEpoll;
+  Server server(options);
+  ASSERT_TRUE(server.Start());
+
+  // Baseline payloads: one submission per distinct spec.
+  const char* kSpecs[] = {
+      R"("scenario": "credit", "trials": 2, "set": {"num_users": 150})",
+      R"("scenario": "credit", "trials": 2, "seed": 43, "set": {"num_users": 150})",
+      R"("scenario": "credit", "trials": 2, "set": {"num_users": 200})",
+      R"("scenario": "credit", "trials": 2, "seed": 44, "set": {"num_users": 200})",
+  };
+  const size_t kDistinct = sizeof(kSpecs) / sizeof(kSpecs[0]);
+  std::string error;
+  std::vector<std::string> baseline(kDistinct);
+  {
+    Client warm;
+    ASSERT_TRUE(warm.Connect(server.port(), &error)) << error;
+    for (size_t i = 0; i < kDistinct; ++i) {
+      ClientEvent last;
+      ASSERT_TRUE(warm.SubmitAndWait(std::string("{") + kSpecs[i] + "}",
+                                     &last, &error))
+          << error;
+      ASSERT_FALSE(last.payload.empty());
+      baseline[i] = last.payload;
+    }
+  }
+
+  // 64 concurrent connections, each pipelining one request per spec
+  // before reading anything back.
+  const size_t kConnections = 64;
+  std::vector<std::unique_ptr<Client>> clients;
+  for (size_t i = 0; i < kConnections; ++i) {
+    clients.push_back(std::unique_ptr<Client>(new Client()));
+    ASSERT_TRUE(clients.back()->Connect(server.port(), &error))
+        << error << " (connection " << i << ")";
+  }
+  for (size_t i = 0; i < kConnections; ++i) {
+    for (size_t k = 0; k < kDistinct; ++k) {
+      const std::string request = R"({"id": "c)" + std::to_string(i) +
+                                  "-s" + std::to_string(k) + R"(", )" +
+                                  kSpecs[k] + "}";
+      ASSERT_TRUE(clients[i]->Send(request));
+    }
+  }
+  for (size_t i = 0; i < kConnections; ++i) {
+    size_t results = 0;
+    while (results < kDistinct) {
+      ClientEvent event;
+      ASSERT_TRUE(clients[i]->ReadEvent(&event, &error))
+          << error << " (connection " << i << ")";
+      ASSERT_NE(event.event, "error") << event.message;
+      if (event.event != "result") continue;
+      // "c<i>-s<k>": route the result back to its spec by id.
+      const size_t spec = static_cast<size_t>(
+          event.id[event.id.find("-s") + 2] - '0');
+      ASSERT_LT(spec, kDistinct);
+      EXPECT_EQ(event.payload, baseline[spec])
+          << "payload diverged on connection " << i;
+      ++results;
+    }
+  }
+
+  const TransportStats stats = server.transport_stats();
+  EXPECT_EQ(stats.connections_accepted, kConnections + 1);
+  EXPECT_EQ(stats.connections_rejected, 0u);
+  // 4 distinct engine runs, everything else cache/dedup.
+  EXPECT_EQ(server.service().runs_started(), kDistinct);
+  server.Shutdown();
+}
+
+TEST(ServeEventLoop, PayloadsMatchTheThreadsTransportByteForByte) {
+  const char* kJobs[] = {
+      kSmallCreditJob,
+      R"({"scenario": "market", "trials": 2, "set": {"exploration": 0.1}})",
+      R"({"scenario": "credit", "trials": 2, "seed": 7, "sweep": {"num_users": [150, 200]}})",
+  };
+  std::vector<std::string> payloads[2];
+  std::vector<uint64_t> digests[2];
+  const ServerTransport transports[] = {ServerTransport::kThreads,
+                                        ServerTransport::kEpoll};
+  for (int t = 0; t < 2; ++t) {
+    ServerOptions options;
+    options.service = SmallService();
+    options.transport = transports[t];
+    Server server(options);
+    ASSERT_TRUE(server.Start());
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.Connect(server.port(), &error)) << error;
+    for (const char* job : kJobs) {
+      ClientEvent last;
+      ASSERT_TRUE(client.SubmitAndWait(job, &last, &error)) << error;
+      payloads[t].push_back(last.payload);
+      digests[t].push_back(last.digest);
+    }
+    server.Shutdown();
+  }
+  ASSERT_EQ(payloads[0].size(), payloads[1].size());
+  for (size_t i = 0; i < payloads[0].size(); ++i) {
+    EXPECT_EQ(payloads[0][i], payloads[1][i])
+        << "transport changed payload bytes for job " << i;
+    EXPECT_EQ(digests[0][i], digests[1][i]);
+  }
 }
 
 }  // namespace
