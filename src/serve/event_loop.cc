@@ -78,6 +78,11 @@ struct EventLoop::Connection {
   bool has_deadline = false;
 
   explicit Connection(size_t max_line_bytes) : framer(max_line_bytes) {}
+  /// Owns the socket: closing here covers every loop exit path,
+  /// including a hard epoll_wait failure that abandons connections_.
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
 };
 
 EventLoop::EventLoop(int listen_fd, ExperimentService* service,
@@ -85,8 +90,8 @@ EventLoop::EventLoop(int listen_fd, ExperimentService* service,
     : limits_(limits), service_(service), listen_fd_(listen_fd) {}
 
 EventLoop::~EventLoop() {
-  // Run() closes connection fds and the listener on exit; here only the
-  // loop's own descriptors remain.
+  // Client sockets close in ~Connection as connections_ is destroyed;
+  // here only the loop's own descriptors remain.
   if (wake_fd_ >= 0) ::close(wake_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (listen_fd_ >= 0) ::close(listen_fd_);
@@ -229,8 +234,7 @@ void EventLoop::HandleAccept() {
     event.events = EPOLLIN;
     event.data.u64 = connection->id;
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, client, &event) < 0) {
-      ::close(client);
-      continue;
+      continue;  // ~Connection closes the socket.
     }
     TouchDeadline(connection.get());
     counters_.Accepted();
@@ -245,8 +249,7 @@ void EventLoop::CloseConnection(uint64_t id) {
   Connection* connection = found->second.get();
   if (connection->has_deadline) deadlines_.erase(connection->deadline);
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, connection->fd, nullptr);
-  ::close(connection->fd);
-  connections_.erase(found);
+  connections_.erase(found);  // ~Connection closes the socket.
   counters_.SetOpen(connections_.size());
 }
 
@@ -306,6 +309,10 @@ void EventLoop::FlushWrites(Connection* connection) {
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // A partial drain may already be under the low watermark:
+        // resume there, as the TransportLimits contract promises, not
+        // only when the queue fully empties.
+        PumpPending(connection);
         connection->want_write = true;
         UpdateInterest(connection);
         return;
@@ -366,15 +373,14 @@ void EventLoop::HandleReadable(Connection* connection) {
         [this, id, &closed]() {
           if (closed) return;
           counters_.OversizedLine();
-          auto found = connections_.find(id);
-          if (found != connections_.end()) {
-            DeliverEvent(found->second.get(),
-                         ErrorEventLine(
-                             "", ErrorCode::kBadRequest,
-                             "request line exceeds " +
-                                 std::to_string(limits_.max_line_bytes) +
-                                 " bytes"));
-          }
+          // Route through the completion queue, not DeliverEvent: an
+          // inline flush whose send() fails would destroy this
+          // connection — and the framer Feed is still executing on.
+          EnqueueEvent(id, ErrorEventLine(
+                               "", ErrorCode::kBadRequest,
+                               "request line exceeds " +
+                                   std::to_string(limits_.max_line_bytes) +
+                                   " bytes"));
         });
     if (connections_.find(id) == connections_.end()) return;
   }
@@ -459,7 +465,14 @@ void EventLoop::Run() {
     struct epoll_event events[64];
     const int n =
         ::epoll_wait(epoll_fd_, events, 64, NextTimeoutMs());
-    if (n < 0 && errno != EINTR) return;  // Loop descriptor failed.
+    if (n < 0 && errno != EINTR) {
+      // The loop descriptor failed hard; release every client socket
+      // (via ~Connection) instead of leaking them for the process
+      // lifetime.
+      deadlines_.clear();
+      connections_.clear();
+      return;
+    }
     for (int i = 0; i < n; ++i) {
       const uint64_t id = events[i].data.u64;
       if (id == 0) {

@@ -125,7 +125,16 @@ void Server::PruneFinishedLocked() {
       if (connections_[i]->reader.joinable()) {
         connections_[i]->reader.join();
       }
-      ::close(connections_[i]->fd);
+      {
+        // Close under the write lock: a worker Send() that already
+        // passed its closed check may still be inside ::send() on this
+        // fd, and releasing the number early would let the kernel hand
+        // it to a different client.
+        std::lock_guard<std::mutex> write_lock(
+            connections_[i]->write_mutex);
+        connections_[i]->closed.store(true);
+        ::close(connections_[i]->fd);
+      }
       continue;
     }
     connections_[kept++] = std::move(connections_[i]);
@@ -273,6 +282,9 @@ void Server::Shutdown() {
     connection->closed.store(true);
     ::shutdown(connection->fd, SHUT_RDWR);
     if (connection->reader.joinable()) connection->reader.join();
+    // Same fd-reuse guard as PruneFinishedLocked: wait out any Send()
+    // already past its closed check before releasing the fd number.
+    std::lock_guard<std::mutex> write_lock(connection->write_mutex);
     ::close(connection->fd);
   }
 }
